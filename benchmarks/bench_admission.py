@@ -1,0 +1,72 @@
+"""Ablation: prune-at-arrival (admission control) vs the paper's
+prune-at-mapping (defer + drop).
+
+Same 50 % chance threshold, same workloads.  Deferring should win: a
+rejected task is gone forever, a deferred one can still be mapped when a
+better machine frees up (§IV-B's argument for deferment).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED
+from repro.core.config import PruningConfig
+from repro.experiments.runner import pet_matrix
+from repro.system.admission import AdmissionController
+from repro.system.serverless import ServerlessSystem
+from repro.workload import WorkloadSpec, generate_workload
+
+SPEC = WorkloadSpec(num_tasks=450, time_span=250.0)
+
+
+def _tasks(trial=0):
+    return generate_workload(SPEC, pet_matrix(), np.random.default_rng(300 + trial))
+
+
+def test_pruning_mechanism(benchmark, show):
+    def run():
+        sys = ServerlessSystem(pet_matrix(), "MM", pruning=PruningConfig.paper_default(), seed=1)
+        sys.run(_tasks())
+        return sys
+
+    sys = benchmark.pedantic(run, rounds=1, iterations=1)
+    res = sys.result()
+    show(f"pruning mechanism (defer+drop): {res.robustness_pct:5.1f}% on time")
+    assert res.total > 0
+
+
+def test_admission_control(benchmark, show):
+    def run():
+        sys = ServerlessSystem(pet_matrix(), "MM", seed=1)
+        ac = AdmissionController(sys, threshold=0.5)
+        ac.run(_tasks())
+        return sys, ac
+
+    sys, ac = benchmark.pedantic(run, rounds=1, iterations=1)
+    res = sys.result()
+    show(
+        f"admission control (reject<50%): {res.robustness_pct:5.1f}% on time "
+        f"({ac.stats.rejected} rejected at the gate)"
+    )
+    assert res.total > 0
+
+
+def test_deferring_beats_rejection(show):
+    """Paired-trial comparison with significance (not a timing bench)."""
+    from repro.metrics import compare_paired
+    from repro.workload.generator import trimmed_slice
+
+    base, var = [], []
+    for trial in range(4):
+        sys_a = ServerlessSystem(pet_matrix(), "MM", seed=trial)
+        ac = AdmissionController(sys_a, threshold=0.5)
+        ac.run(_tasks(trial))
+        base.append(sys_a.result(trimmed_slice(sys_a.tasks, SPEC.trim_count)))
+
+        sys_b = ServerlessSystem(
+            pet_matrix(), "MM", pruning=PruningConfig.paper_default(), seed=trial
+        )
+        sys_b.run(_tasks(trial))
+        var.append(sys_b.result(trimmed_slice(sys_b.tasks, SPEC.trim_count)))
+    cmp = compare_paired(base, var)
+    show(f"pruning vs admission control: {cmp}")
+    assert cmp.mean_delta_pp >= 0

@@ -1,0 +1,31 @@
+"""Fig. 10 benches: pruning mechanism on homogeneous systems.
+
+Regenerates both panels (constant / spiky) for FCFS-RR, SJF and EDF with
+and without pruning across the oversubscription levels.
+"""
+
+from benchmarks.conftest import run_figure
+from repro.experiments.scenarios import fig10
+from repro.workload.spec import ArrivalPattern
+
+
+def _check(grid):
+    # §V-F: pruning significantly helps homogeneous heuristics too, and
+    # the benefit holds at every oversubscription level for EDF (the
+    # heuristic the paper highlights).
+    for h in ("FCFS-RR", "SJF", "EDF"):
+        assert grid.get(f"{h}-P", "25k").mean_pct > grid.get(h, "25k").mean_pct
+    for level in grid.cols:
+        assert grid.get("EDF-P", level).mean_pct > grid.get("EDF", level).mean_pct
+
+
+def test_fig10a_constant(benchmark, show):
+    grid = run_figure(benchmark, fig10, pattern=ArrivalPattern.CONSTANT)
+    show(grid.to_text())
+    _check(grid)
+
+
+def test_fig10b_spiky(benchmark, show):
+    grid = run_figure(benchmark, fig10, pattern=ArrivalPattern.SPIKY)
+    show(grid.to_text())
+    _check(grid)

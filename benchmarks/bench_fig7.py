@@ -1,0 +1,30 @@
+"""Fig. 7 benches: impact of the Toggle module (dropping policies).
+
+Regenerates both panels — immediate-mode (7a) and batch-mode (7b)
+heuristics under {no dropping, always dropping, reactive Toggle} — and
+prints the grid the paper plots as grouped bars.
+"""
+
+from benchmarks.conftest import run_figure
+from repro.experiments.scenarios import fig7a, fig7b
+
+NO_DROP = "no Toggle, no dropping"
+ALWAYS = "no Toggle, always dropping"
+REACTIVE = "reactive Toggle"
+
+
+def test_fig7a(benchmark, show):
+    grid = run_figure(benchmark, fig7a)
+    show(grid.to_text())
+    # Shape check (§V-C): reactive dropping helps the informed
+    # immediate-mode heuristics.
+    for h in ("MCT", "KPB"):
+        assert grid.get(h, REACTIVE).mean_pct >= grid.get(h, NO_DROP).mean_pct - 2.0
+
+
+def test_fig7b(benchmark, show):
+    grid = run_figure(benchmark, fig7b)
+    show(grid.to_text())
+    # Shape check: dropping (either policy) lifts every batch heuristic.
+    for h in ("MM", "MSD", "MMU"):
+        assert grid.get(h, REACTIVE).mean_pct >= grid.get(h, NO_DROP).mean_pct - 2.0

@@ -1,0 +1,21 @@
+"""Fig. 8 bench: task-deferring threshold sweep on batch heuristics.
+
+Regenerates the pruning-threshold sweep (0/25/50/75 %) at the heaviest
+oversubscription level (25k-equivalent, spiky arrivals).
+"""
+
+from benchmarks.conftest import run_figure
+from repro.experiments.scenarios import fig8
+
+
+def test_fig8(benchmark, show):
+    grid = run_figure(benchmark, fig8)
+    show(grid.to_text())
+    # Shape checks (§V-D): deferring at 50 % lifts the deadline-chasing
+    # heuristics far above their no-pruning baseline...
+    for h in ("MSD", "MMU"):
+        assert grid.get(h, "50%").mean_pct > grid.get(h, "0%").mean_pct
+    # ...and the three heuristics converge once deferring is active.
+    at50 = [grid.get(h, "50%").mean_pct for h in grid.rows]
+    at0 = [grid.get(h, "0%").mean_pct for h in grid.rows]
+    assert max(at50) - min(at50) < max(at0) - min(at0)

@@ -1,0 +1,66 @@
+"""Microbenchmarks of the probabilistic substrate (Fig. 2 / Eq. 1).
+
+The paper notes (§V-A) that completion-time estimation "involves multiple
+convolutions which impose calculation overhead"; these benches quantify
+that overhead for the exact Fig. 2 example, for realistic PET supports,
+and for a full machine-queue PCT chain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.stochastic.pet import generate_pet_matrix
+from repro.stochastic.pmf import PMF
+
+
+def test_fig2_convolution(benchmark, capsys):
+    """The paper's Fig. 2: 3-bin PET ⊛ 3-bin PCT."""
+    pet = PMF.from_dict({1: 0.125, 2: 0.75, 3: 0.125})
+    pct_last = PMF.from_dict({4: 0.17, 5: 0.33, 6: 0.50})
+    result = benchmark(lambda: pet.convolve(pct_last))
+    with capsys.disabled():
+        print("\nFig. 2 PCT:", {int(t): round(float(p), 2) for t, p in zip(result.times(), result.probs)})
+    assert result.total_mass == pytest.approx(1.0)
+
+
+def test_realistic_pet_convolution(benchmark):
+    """One Eq. 1 step with paper-recipe PET cells (~50–150 bin supports)."""
+    pet = generate_pet_matrix(seed=3, mean_range=(10.0, 30.0))
+    a = pet.pmf(0, 0)
+    b = pet.pmf(1, 0)
+    out = benchmark(lambda: a.convolve(b))
+    assert out.total_mass == pytest.approx(1.0)
+
+
+def test_pct_chain_depth_8(benchmark):
+    """Full PCT chain over an 8-deep machine queue (worst case for the
+    drop scan without memoization)."""
+    pet = generate_pet_matrix(seed=3, mean_range=(10.0, 30.0))
+    cells = [pet.pmf(t % pet.num_task_types, 0) for t in range(8)]
+
+    def chain():
+        acc = PMF.delta(0.0)
+        for cell in cells:
+            acc = acc.convolve(cell)
+        return acc
+
+    out = benchmark(chain)
+    assert out.total_mass == pytest.approx(1.0)
+
+
+def test_cdf_query(benchmark):
+    pet = generate_pet_matrix(seed=3)
+    cell = pet.pmf(0, 0)
+    chained = cell
+    for _ in range(4):
+        chained = chained.convolve(cell)
+    val = benchmark(lambda: chained.cdf_at(40.0))
+    assert 0.0 <= val <= 1.0
+
+
+def test_histogram_construction(benchmark):
+    """PET-cell construction: histogram of 500 gamma samples (§V-B)."""
+    rng = np.random.default_rng(5)
+    samples = rng.gamma(6.0, 3.0, size=500)
+    out = benchmark(lambda: PMF.from_samples(samples, min_value=1.0))
+    assert out.total_mass == pytest.approx(1.0)

@@ -1,0 +1,52 @@
+"""Simulator-substrate throughput benches.
+
+Not tied to a paper figure — these quantify the cost of the substrate the
+evaluation runs on (event throughput, mapping-event cost), which is what
+made the paper's 30-trial × 25k-task campaigns tractable.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED
+from repro.core.config import PruningConfig
+from repro.experiments.runner import pet_matrix
+from repro.sim.engine import Simulator
+from repro.system.serverless import ServerlessSystem
+from repro.workload import WorkloadSpec, generate_workload
+
+
+def test_event_engine_throughput(benchmark):
+    """Raw engine: schedule + fire 10k no-op events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(float(i % 97), lambda: None, priority=i % 3)
+        sim.run()
+        return sim.events_fired
+
+    fired = benchmark(run)
+    assert fired == 10_000
+
+
+def _trial(pruning):
+    pet = pet_matrix()
+    spec = WorkloadSpec(num_tasks=600, time_span=400.0)
+    tasks = generate_workload(spec, pet, np.random.default_rng(BENCH_SEED))
+    sys = ServerlessSystem(pet, "MM", pruning=pruning, seed=2)
+    sys.run(tasks)
+    return sys
+
+
+def test_full_trial_baseline(benchmark):
+    """End-to-end 600-task trial, MM, no pruning."""
+    sys = benchmark.pedantic(lambda: _trial(None), rounds=1, iterations=1)
+    assert sys.result().total > 0
+
+
+def test_full_trial_with_pruning(benchmark):
+    """Same trial with the full pruning mechanism (convolutions active)."""
+    sys = benchmark.pedantic(
+        lambda: _trial(PruningConfig.paper_default()), rounds=1, iterations=1
+    )
+    assert sys.result().dropped_proactive >= 0

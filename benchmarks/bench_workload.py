@@ -1,0 +1,46 @@
+"""Fig. 6 bench: regenerating the spiky arrival pattern.
+
+Prints the windowed per-type arrival-rate series the figure plots and
+measures full workload generation throughput.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.experiments.scenarios import fig6
+from repro.stochastic.pet import generate_pet_matrix
+from repro.workload import WorkloadSpec, generate_workload
+
+
+def test_fig6_series(benchmark, show):
+    """Regenerate the Fig. 6 arrival-rate series (4 task types shown)."""
+    series = benchmark.pedantic(
+        lambda: fig6(base_seed=BENCH_SEED, scale=BENCH_SCALE), rounds=1, iterations=1
+    )
+    lines = ["Fig. 6 — spiky arrival rates (tasks/unit):"]
+    for ttype, (centers, rates) in series.items():
+        peaks = rates.max()
+        lines.append(
+            f"  type {ttype}: lull≈{np.median(rates):.2f}, peak≈{peaks:.2f}, "
+            f"{rates.size} windows"
+        )
+    show("\n".join(lines))
+    # Spikes must be visible: peak well above the lull.
+    for _, rates in series.values():
+        assert rates.max() > 1.5 * max(np.median(rates), 1e-9)
+
+
+def test_workload_generation_throughput(benchmark):
+    """Generate a full 15k-equivalent trial (arrivals + Eq. 4 deadlines)."""
+    pet = generate_pet_matrix(seed=BENCH_SEED)
+    spec = WorkloadSpec(num_tasks=900, time_span=600.0)
+    tasks = benchmark(lambda: generate_workload(spec, pet, np.random.default_rng(3)))
+    assert len(tasks) == pytest.approx(900, rel=0.15)
+
+
+def test_constant_pattern_generation(benchmark):
+    pet = generate_pet_matrix(seed=BENCH_SEED)
+    spec = WorkloadSpec(num_tasks=900, time_span=600.0, pattern="constant")
+    tasks = benchmark(lambda: generate_workload(spec, pet, np.random.default_rng(3)))
+    assert len(tasks) == pytest.approx(900, rel=0.15)

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Fairness module in action (§IV-D).
+
+Pruning by chance of success alone is biased toward short task types —
+long types have lower chances and get starved.  This example builds a
+cluster with two *short* and two *long* task types, oversubscribes it,
+and compares per-type robustness for:
+
+* no pruning (baseline);
+* pruning with the Fairness module disabled (c = 0);
+* pruning with the paper's fairness factor (c = 0.05);
+* an aggressive fairness factor (c = 0.2).
+
+Watch the long types' on-time share recover as c grows, and the spread
+between types shrink, at a (small) cost to total robustness — the
+fairness/efficiency trade-off the paper's design anticipates.
+
+Run:  python examples/fairness_analysis.py
+"""
+
+import numpy as np
+
+from repro import PruningConfig, ServerlessSystem, Task
+from repro.stochastic.pet import PETMatrix
+from repro.stochastic.pmf import PMF
+from repro.workload import WorkloadSpec, generate_workload
+
+TYPE_NAMES = ["short-a", "short-b", "long-a", "long-b"]
+
+
+def build_pet(rng: np.random.Generator) -> PETMatrix:
+    """2 short types (mean ~4) and 2 long types (mean ~16), 4 machines."""
+    rows = []
+    for mean in (4.0, 5.0, 15.0, 17.0):
+        row = []
+        for _ in range(4):
+            shape = rng.uniform(3.0, 10.0)
+            jitter = rng.uniform(0.8, 1.2)
+            row.append(PMF.from_samples(rng.gamma(shape, mean * jitter / shape, 500), min_value=1.0))
+        rows.append(row)
+    return PETMatrix(rows)
+
+
+def replay(tasks):
+    return [
+        Task(task_id=t.task_id, task_type=t.task_type, arrival=t.arrival, deadline=t.deadline)
+        for t in tasks
+    ]
+
+
+def run_variant(pet, tasks, pruning):
+    sys = ServerlessSystem(pet, "MM", pruning=pruning, seed=4)
+    sys.run(replay(tasks))
+    return sys.result()
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    pet = build_pet(rng)
+    spec = WorkloadSpec(num_tasks=900, time_span=400.0, num_task_types=4)
+    tasks = generate_workload(spec, pet, rng)
+    print(f"{len(tasks)} tasks, 4 machines, short types ~4.5u, long types ~16u\n")
+
+    variants = {
+        "no pruning": None,
+        "pruning, fairness OFF": PruningConfig(enable_fairness=False),
+        "pruning, c = 0.05 (paper)": PruningConfig.paper_default(),
+        "pruning, c = 0.20": PruningConfig(fairness_factor=0.20),
+    }
+
+    header = f"{'variant':28s} {'total':>7s}" + "".join(f"{n:>10s}" for n in TYPE_NAMES)
+    print(header)
+    print("-" * len(header))
+    for label, cfg in variants.items():
+        res = run_variant(pet, tasks, cfg)
+        per_type = [100 * res.per_type[t].robustness for t in range(4)]
+        spread = max(per_type) - min(per_type)
+        row = f"{label:28s} {res.robustness_pct:6.1f}%" + "".join(
+            f"{v:9.1f}%" for v in per_type
+        )
+        print(row + f"   (spread {spread:.1f} pp)")
+
+    print(
+        "\nreading: without pruning the long types are starved outright; the "
+        "fairness module narrows the short/long spread, and a larger c narrows "
+        "it further — at the cost of total robustness, since leniency toward "
+        "suffering types lets lower-chance work occupy the machines.  c = 0.05 "
+        "is the paper's compromise."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Inside a demand spike: watching the pruning mechanism react.
+
+Aggregate robustness (§V) hides the dynamics.  This example instruments a
+trial with a :class:`~repro.analysis.TimelineRecorder` and renders, window
+by window across a spiky workload:
+
+* the arrival rate (the Fig. 6 spikes),
+* the batch-queue backlog,
+* the on-time completion ratio,
+* proactive-drop activity (when the reactive Toggle engaged).
+
+Comparing baseline vs pruned shows the mechanism's signature: during each
+spike the pruner sheds exactly the load the cluster cannot carry, so the
+on-time ratio of what *does* run stays high, while the baseline's ratio
+collapses as machine queues fill with doomed work.
+
+Run:  python examples/spike_dynamics.py
+"""
+
+import numpy as np
+
+from repro import (
+    PruningConfig,
+    ServerlessSystem,
+    Task,
+    TimelineRecorder,
+    WorkloadSpec,
+    generate_pet_matrix,
+    generate_workload,
+)
+
+WINDOW = 25.0
+
+
+def replay(tasks):
+    return [
+        Task(task_id=t.task_id, task_type=t.task_type, arrival=t.arrival, deadline=t.deadline)
+        for t in tasks
+    ]
+
+
+def sparkline(values, width=1):
+    blocks = " ▁▂▃▄▅▆▇█"
+    vals = np.nan_to_num(np.asarray(values, dtype=float), nan=0.0)
+    peak = vals.max() if vals.size and vals.max() > 0 else 1.0
+    return "".join(blocks[int(round(8 * v / peak))] for v in vals)
+
+
+def run_instrumented(pet, tasks, pruning):
+    rec = TimelineRecorder()
+    sys = ServerlessSystem(pet, "MM", pruning=pruning, seed=6, observer=rec)
+    sys.run(replay(tasks))
+    return rec, sys
+
+
+def main() -> None:
+    pet = generate_pet_matrix(seed=2019)
+    spec = WorkloadSpec(num_tasks=1500, time_span=600.0, num_spikes=4)
+    tasks = generate_workload(spec, pet, np.random.default_rng(13))
+    span = spec.time_span
+
+    for label, pruning in [("baseline", None), ("pruned  ", PruningConfig.paper_default())]:
+        rec, sys = run_instrumented(pet, tasks, pruning)
+        res = sys.result()
+        _, arrivals = rec.rate_series("arrived", WINDOW, span)
+        _, backlog = rec.backlog_series(WINDOW, span)
+        _, ontime = rec.on_time_rate_series(WINDOW, span)
+        _, pdrops = rec.rate_series("dropped_proactive", WINDOW, span)
+        print(f"=== MM {label} — robustness {res.robustness_pct:.1f}% ===")
+        print(f"  arrivals/unit   {sparkline(arrivals)}   peak {arrivals.max():.1f}")
+        print(f"  batch backlog   {sparkline(backlog)}   peak {backlog.max():.0f} tasks")
+        print(f"  on-time ratio   {sparkline(ontime)}   mean {np.nanmean(ontime):.2f}")
+        print(f"  proactive drops {sparkline(pdrops)}   total {rec.counts().get('dropped_proactive', 0)}")
+        print(f"  ({rec.summary()})\n")
+
+    print("reading: spikes (row 1) build backlog (row 2); the pruner sheds it")
+    print("with proactive drops (row 4) so the on-time ratio (row 3) holds.")
+
+
+if __name__ == "__main__":
+    main()

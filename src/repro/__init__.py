@@ -1,0 +1,99 @@
+"""repro — Probabilistic Task Pruning for Heterogeneous Serverless Systems.
+
+A full reproduction of Denninnart, Gentry & Amini Salehi,
+"Improving Robustness of Heterogeneous Serverless Computing Systems Via
+Probabilistic Task Pruning" (IPDPS Workshops 2019, arXiv:1905.04456).
+
+Public API layers
+-----------------
+* probabilistic substrate — :class:`PMF`, :class:`PETMatrix`,
+  :class:`ETCMatrix`, :func:`generate_pet_matrix`
+* simulation substrate — :class:`Simulator`, :class:`Machine`,
+  :class:`Cluster`, :class:`Task`
+* heuristics — :func:`make_heuristic` and the §III classes
+* pruning mechanism — :class:`PruningConfig`, :class:`Pruner`
+* system — :class:`ServerlessSystem`
+* workloads — :class:`WorkloadSpec`, :func:`generate_workload`
+* metrics — :class:`SimulationResult`, :func:`aggregate_robustness`
+* experiments — ``repro.experiments`` regenerates every figure/table.
+"""
+
+from .analysis import TimelineRecorder
+from .core import (
+    Accounting,
+    FairnessTracker,
+    Pruner,
+    PruningConfig,
+    ToggleMode,
+)
+from .heuristics import (
+    ALL_HEURISTICS,
+    BATCH_HEURISTICS,
+    HOMOGENEOUS_HEURISTICS,
+    IMMEDIATE_HEURISTICS,
+    make_heuristic,
+)
+from .metrics import (
+    AggregateStats,
+    SimulationResult,
+    aggregate_robustness,
+    confidence_interval,
+)
+from .sim import Cluster, Machine, RngStreams, Simulator, Task, TaskStatus
+from .stochastic import ETCMatrix, PETMatrix, PMF, generate_pet_matrix
+from .system import CompletionEstimator, ServerlessSystem
+from .workload import (
+    ArrivalPattern,
+    WorkloadSpec,
+    generate_workload,
+    load_trace,
+    save_trace,
+    trimmed_slice,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # stochastic
+    "PMF",
+    "PETMatrix",
+    "ETCMatrix",
+    "generate_pet_matrix",
+    # sim
+    "Simulator",
+    "Machine",
+    "Cluster",
+    "Task",
+    "TaskStatus",
+    "RngStreams",
+    # heuristics
+    "make_heuristic",
+    "ALL_HEURISTICS",
+    "IMMEDIATE_HEURISTICS",
+    "BATCH_HEURISTICS",
+    "HOMOGENEOUS_HEURISTICS",
+    # core
+    "PruningConfig",
+    "ToggleMode",
+    "Pruner",
+    "Accounting",
+    "FairnessTracker",
+    # system
+    "ServerlessSystem",
+    "CompletionEstimator",
+    # workload
+    "WorkloadSpec",
+    "ArrivalPattern",
+    "generate_workload",
+    "trimmed_slice",
+    "save_trace",
+    "load_trace",
+    # analysis
+    "TimelineRecorder",
+    # metrics
+    "SimulationResult",
+    "AggregateStats",
+    "aggregate_robustness",
+    "confidence_interval",
+]

@@ -1,0 +1,12 @@
+"""Post-run analysis: event timelines, windowed series, terminal charts."""
+
+from .charts import bar_chart, grouped_bars, render_figure
+from .timeline import TimelineEvent, TimelineRecorder
+
+__all__ = [
+    "TimelineEvent",
+    "TimelineRecorder",
+    "bar_chart",
+    "grouped_bars",
+    "render_figure",
+]

@@ -1,0 +1,82 @@
+"""Terminal charts: render FigureResults the way the paper plots them.
+
+The paper's evaluation figures are grouped bar charts (Fig. 7/8) and
+line-ish level series (Fig. 9/10).  This module renders both as Unicode
+terminal graphics so ``python -m repro.experiments fig9b --chart`` shows
+a picture, not just a table — no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..experiments.report import FigureResult
+
+__all__ = ["bar_chart", "grouped_bars", "render_figure"]
+
+_FULL = "█"
+_PART = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, peak: float, width: int) -> str:
+    """A horizontal bar of ``value``/``peak`` scaled to ``width`` cells."""
+    if peak <= 0:
+        return ""
+    cells = value / peak * width
+    whole = int(cells)
+    frac = cells - whole
+    partial = _PART[int(frac * 8)] if whole < width else ""
+    return _FULL * whole + partial.strip()
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    peak: float | None = None,
+    unit: str = "%",
+) -> str:
+    """Simple labelled horizontal bar chart."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal lengths")
+    if not labels:
+        return "(empty chart)"
+    peak = peak if peak is not None else max(max(values), 1e-9)
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        lines.append(
+            f"{str(label):>{label_w}} |{_bar(value, peak, width):<{width}} "
+            f"{value:5.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    figure: "FigureResult",
+    *,
+    width: int = 40,
+    peak: float = 100.0,
+) -> str:
+    """Grouped bar rendering of a figure grid: one group per column
+    (the paper's x-axis), one bar per row within the group."""
+    lines = [f"{figure.figure_id}: {figure.title}", ""]
+    label_w = max(len(r) for r in figure.rows)
+    for col in figure.cols:
+        lines.append(f"[{figure.col_axis} = {col}]")
+        for row in figure.rows:
+            stat = figure.get(row, col)
+            bar = _bar(stat.mean_pct, peak, width)
+            lines.append(
+                f"  {row:>{label_w}} |{bar:<{width}} "
+                f"{stat.mean_pct:5.1f} ±{stat.ci95_pct:4.1f}%"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_figure(figure: "FigureResult", *, width: int = 40) -> str:
+    """Chart + the underlying table (what the CLI's ``--chart`` prints)."""
+    return grouped_bars(figure, width=width) + "\n\n" + figure.to_text()

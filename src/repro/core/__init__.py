@@ -1,0 +1,22 @@
+"""The paper's contribution: probabilistic task pruning (§IV)."""
+
+from .accounting import Accounting, TypeCounters
+from .config import PruningConfig, ToggleMode
+from .fairness import FairnessTracker
+from .pruner import DropDecision, Pruner
+from .toggle import AlwaysDrop, NeverDrop, ReactiveToggle, Toggle, make_toggle
+
+__all__ = [
+    "PruningConfig",
+    "ToggleMode",
+    "Accounting",
+    "TypeCounters",
+    "FairnessTracker",
+    "Pruner",
+    "DropDecision",
+    "Toggle",
+    "NeverDrop",
+    "AlwaysDrop",
+    "ReactiveToggle",
+    "make_toggle",
+]

@@ -1,0 +1,79 @@
+"""Pruning Configuration (Fig. 4, left input).
+
+The service provider tunes the pruning mechanism through this object:
+
+* ``pruning_threshold`` (β) — minimum chance of success a task needs to be
+  mapped (deferring) or to stay in a machine queue once dropping is
+  engaged.  The paper's default, established by Fig. 8, is 50 %.
+* ``dropping_toggle`` (α) — how many deadline misses since the previous
+  mapping event flip the Toggle into dropping mode (reactive Toggle uses
+  α = 0, i.e. "at least one missed task").
+* ``fairness_factor`` (c) — per-event sufferage-score step (§IV-D);
+  default 0.05 per §V-A.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+__all__ = ["PruningConfig", "ToggleMode"]
+
+
+class ToggleMode(enum.Enum):
+    """How the Toggle module engages task dropping (§V-C scenarios)."""
+
+    NEVER = "never"        #: "no Toggle, no dropping"
+    ALWAYS = "always"      #: "no Toggle, always dropping"
+    REACTIVE = "reactive"  #: "reactive Toggle" — dropping under oversubscription
+
+
+@dataclass(frozen=True)
+class PruningConfig:
+    """Immutable pruning-mechanism settings (paper defaults, §V-A)."""
+
+    pruning_threshold: float = 0.5
+    dropping_toggle: int = 0
+    fairness_factor: float = 0.05
+    toggle_mode: ToggleMode = ToggleMode.REACTIVE
+    #: Master switches so experiments can isolate deferring vs dropping.
+    enable_deferring: bool = True
+    enable_dropping: bool = True
+    #: Disable the Fairness module entirely (sufferage scores frozen at 0).
+    enable_fairness: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.pruning_threshold <= 1.0:
+            raise ValueError(
+                f"pruning_threshold must be in [0, 1], got {self.pruning_threshold}"
+            )
+        if self.dropping_toggle < 0:
+            raise ValueError(f"dropping_toggle must be >= 0, got {self.dropping_toggle}")
+        if self.fairness_factor < 0:
+            raise ValueError(f"fairness_factor must be >= 0, got {self.fairness_factor}")
+        if isinstance(self.toggle_mode, str):
+            object.__setattr__(self, "toggle_mode", ToggleMode(self.toggle_mode))
+
+    # Convenience presets -------------------------------------------------
+    @classmethod
+    def paper_default(cls) -> "PruningConfig":
+        """Threshold 50 %, fairness factor 0.05, reactive Toggle (§V-A)."""
+        return cls()
+
+    @classmethod
+    def defer_only(cls, threshold: float = 0.5) -> "PruningConfig":
+        """Fig. 8 setting: deferring enabled, dropping never engaged."""
+        return cls(
+            pruning_threshold=threshold,
+            toggle_mode=ToggleMode.NEVER,
+            enable_dropping=False,
+        )
+
+    @classmethod
+    def drop_only(cls, mode: ToggleMode = ToggleMode.REACTIVE) -> "PruningConfig":
+        """Fig. 7 setting: dropping per ``mode``, deferring disabled."""
+        return cls(toggle_mode=mode, enable_deferring=False)
+
+    def with_(self, **changes) -> "PruningConfig":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **changes)

@@ -1,0 +1,142 @@
+"""The Pruner (§IV, Fig. 4/5): probabilistic task dropping and deferring.
+
+The Pruner is a *decision* component: it computes chances of success and
+says which tasks to drop from machine queues (Fig. 5 steps 3–6) and which
+freshly-mapped tasks to defer back to the batch queue (steps 9–10).  The
+resource allocator (:mod:`repro.system.allocator`) *enacts* those
+decisions — removing tasks from queues, flipping statuses, recording
+metrics — so the Pruner stays pluggable into any allocation system, which
+is the paper's headline design property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..sim.cluster import Cluster
+from ..sim.machine import Machine
+from ..sim.task import Task
+from .accounting import Accounting
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..system.completion import CompletionEstimator
+from .config import PruningConfig
+from .fairness import FairnessTracker
+from .toggle import Toggle, make_toggle
+
+__all__ = ["Pruner", "DropDecision"]
+
+
+@dataclass(frozen=True)
+class DropDecision:
+    """One proactive drop chosen by the drop scan."""
+
+    task: Task
+    machine: Machine
+    chance: float
+    effective_threshold: float
+
+
+class Pruner:
+    """Probabilistic task pruning mechanism (Fig. 4).
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.core.config.PruningConfig` (threshold β,
+        dropping toggle α, fairness factor c, enable switches).
+    accounting:
+        Shared :class:`~repro.core.accounting.Accounting` instance; the
+        allocator records events into it, the Pruner consumes them.
+    """
+
+    def __init__(self, config: PruningConfig, accounting: Accounting | None = None) -> None:
+        self.config = config
+        self.accounting = accounting if accounting is not None else Accounting()
+        self.fairness = FairnessTracker(
+            config.fairness_factor, enabled=config.enable_fairness
+        )
+        self.toggle: Toggle = make_toggle(config)
+        # Decision tallies (for ablation/analysis).
+        self.drop_decisions = 0
+        self.defer_decisions = 0
+
+    # ------------------------------------------------------------------
+    # Fig. 5 step 2 — fairness update from completions since last event.
+    # ------------------------------------------------------------------
+    def update_fairness(self) -> None:
+        for task in self.accounting.on_time_since_last_event():
+            self.fairness.note_on_time_completion(task.task_type)
+
+    # ------------------------------------------------------------------
+    # Fig. 5 step 3 — Toggle consultation.
+    # ------------------------------------------------------------------
+    def dropping_engaged(self) -> bool:
+        return self.config.enable_dropping and self.toggle.dropping_engaged(
+            self.accounting
+        )
+
+    # ------------------------------------------------------------------
+    # Fig. 5 steps 4–6 — drop scan over machine queues.
+    # ------------------------------------------------------------------
+    def drop_scan(
+        self,
+        cluster: Cluster,
+        estimator: "CompletionEstimator",
+        now: float,
+    ) -> list[DropDecision]:
+        """Select queued tasks whose chance of success ≤ β − γ_k.
+
+        The scan walks each machine queue front-to-back and applies drop
+        decisions *cumulatively*: once a task is marked for dropping, the
+        chance of the tasks behind it is recomputed without the dropped
+        task's PET in the convolution chain (§II — "their PCT is changed
+        in a way that their compound uncertainty is reduced").  Fairness
+        scores update as drops are decided, exactly as the pseudo-code's
+        in-loop ``γ_k ← γ_k + c``.
+        """
+        decisions: list[DropDecision] = []
+        beta = self.config.pruning_threshold
+        for machine in cluster.machines:
+            if not machine.queue:
+                continue
+            # Recompute the chain after each drop on this machine so that
+            # survivors are judged with the shortened queue.
+            scan_again = True
+            already_dropped: set[int] = set()
+            while scan_again:
+                scan_again = False
+                for task, chance in estimator.queue_chances(machine, now):
+                    if task.task_id in already_dropped:
+                        continue
+                    eff = self.fairness.effective_threshold(beta, task.task_type)
+                    if chance <= eff:
+                        decisions.append(DropDecision(task, machine, chance, eff))
+                        already_dropped.add(task.task_id)
+                        self.fairness.note_drop(task.task_type)
+                        self.drop_decisions += 1
+                        machine.remove(task)  # shortens the chain for the re-scan
+                        scan_again = True
+                        break
+        return decisions
+
+    # ------------------------------------------------------------------
+    # Fig. 5 steps 9–10 — defer check for a freshly mapped task.
+    # ------------------------------------------------------------------
+    def should_defer(self, task: Task, chance: float) -> bool:
+        """Whether a task the heuristic just mapped must be pulled back."""
+        if not self.config.enable_deferring:
+            return False
+        eff = self.fairness.effective_threshold(
+            self.config.pruning_threshold, task.task_type
+        )
+        if chance <= eff:
+            self.defer_decisions += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def end_mapping_event(self) -> None:
+        """Flush the per-event accounting buffers (end of Fig. 5)."""
+        self.accounting.flush_event()

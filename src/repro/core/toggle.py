@@ -1,0 +1,68 @@
+"""Toggle module (§IV-C): decides when dropping is engaged.
+
+"The current implementation of Toggle checks the number of tasks missing
+their deadlines since the previous mapping event and identifies the system
+as oversubscribed if the number is beyond a configurable Dropping Toggle."
+
+Three policies cover the paper's Fig. 7 scenarios:
+
+* :class:`NeverDrop` — "no Toggle, no dropping";
+* :class:`AlwaysDrop` — "no Toggle, always dropping";
+* :class:`ReactiveToggle` — dropping engaged when misses since the last
+  mapping event exceed α (α = 0 ⇒ at least one miss).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from .accounting import Accounting
+from .config import PruningConfig, ToggleMode
+
+__all__ = ["Toggle", "NeverDrop", "AlwaysDrop", "ReactiveToggle", "make_toggle"]
+
+
+class Toggle(abc.ABC):
+    """Oversubscription detector driving the dropping decision."""
+
+    @abc.abstractmethod
+    def dropping_engaged(self, accounting: Accounting) -> bool:
+        """Whether proactive dropping should run at this mapping event."""
+
+
+class NeverDrop(Toggle):
+    """Dropping permanently disengaged."""
+
+    def dropping_engaged(self, accounting: Accounting) -> bool:
+        return False
+
+
+class AlwaysDrop(Toggle):
+    """Dropping engaged at every mapping event, oversubscribed or not."""
+
+    def dropping_engaged(self, accounting: Accounting) -> bool:
+        return True
+
+
+class ReactiveToggle(Toggle):
+    """Engage dropping when misses since the last event exceed α."""
+
+    def __init__(self, alpha: int = 0) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        self.alpha = alpha
+
+    def dropping_engaged(self, accounting: Accounting) -> bool:
+        return accounting.misses_since_last_event > self.alpha
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ReactiveToggle(alpha={self.alpha})"
+
+
+def make_toggle(config: PruningConfig) -> Toggle:
+    """Build the Toggle implied by a :class:`PruningConfig`."""
+    if not config.enable_dropping or config.toggle_mode is ToggleMode.NEVER:
+        return NeverDrop()
+    if config.toggle_mode is ToggleMode.ALWAYS:
+        return AlwaysDrop()
+    return ReactiveToggle(alpha=config.dropping_toggle)

@@ -1,0 +1,37 @@
+"""Experiment harness (§V): per-figure scenarios, trial runner, CLI."""
+
+from .report import FigureResult
+from .runner import PET_SEED, ExperimentConfig, pet_matrix, run_experiment, run_trial
+from .scenarios import (
+    ALL_FIGURES,
+    BASE_TIME_SPAN,
+    LEVELS,
+    fig6,
+    fig7a,
+    fig7b,
+    fig8,
+    fig9,
+    fig10,
+    headline_summary,
+    level_spec,
+)
+
+__all__ = [
+    "FigureResult",
+    "ExperimentConfig",
+    "run_trial",
+    "run_experiment",
+    "pet_matrix",
+    "PET_SEED",
+    "LEVELS",
+    "BASE_TIME_SPAN",
+    "level_spec",
+    "fig6",
+    "fig7a",
+    "fig7b",
+    "fig8",
+    "fig9",
+    "fig10",
+    "headline_summary",
+    "ALL_FIGURES",
+]

@@ -1,0 +1,126 @@
+"""Command-line interface: regenerate any figure of the paper.
+
+Usage::
+
+    python -m repro.experiments fig7b --trials 10
+    python -m repro.experiments fig9b --trials 30 --paper-scale
+    python -m repro.experiments all --trials 5 --json-dir results/
+
+``--paper-scale`` stretches workloads ~16.7× at constant arrival rate,
+matching the paper's 15k–25k task counts and ~3000-unit span.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from ..workload.spec import ArrivalPattern
+from . import scenarios
+from .report import FigureResult
+
+__all__ = ["main", "build_parser"]
+
+#: scale factor matching the paper's trace length (15000 tasks / 900).
+PAPER_SCALE = 15000 / scenarios.LEVELS["15k"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of the probabilistic task "
+        "pruning paper (IPDPS-W 2019).",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(scenarios.ALL_FIGURES) + ["all", "headline"],
+        help="which figure to regenerate",
+    )
+    parser.add_argument("--trials", type=int, default=10, help="workload trials per cell")
+    parser.add_argument("--seed", type=int, default=42, help="base seed")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload size multiplier at constant arrival rate",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help=f"use the paper's full trace size (scale ≈ {PAPER_SCALE:.1f})",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="worker processes for parallel trials (default: serial)",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render each figure as a terminal bar chart",
+    )
+    parser.add_argument(
+        "--json-dir",
+        type=Path,
+        default=None,
+        help="directory to also write <figure>.json result grids into",
+    )
+    return parser
+
+
+def _run_one(name: str, args: argparse.Namespace) -> FigureResult | str:
+    fn = scenarios.ALL_FIGURES[name]
+    scale = PAPER_SCALE if args.paper_scale else args.scale
+    if name == "fig6":
+        return fn(base_seed=args.seed, scale=scale)
+    return fn(
+        trials=args.trials,
+        base_seed=args.seed,
+        scale=scale,
+        processes=args.processes,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Regenerate the requested figure(s); returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.json_dir is not None:
+        args.json_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.figure == "headline":
+        names = ["fig9b", "fig10b"]
+    elif args.figure == "all":
+        names = sorted(scenarios.ALL_FIGURES)
+    else:
+        names = [args.figure]
+
+    results: dict[str, FigureResult] = {}
+    for name in names:
+        t0 = time.time()
+        out = _run_one(name, args)
+        elapsed = time.time() - t0
+        if isinstance(out, FigureResult):
+            results[name] = out
+            if args.chart:
+                from ..analysis.charts import grouped_bars
+
+                print(grouped_bars(out))
+                print()
+            print(out.to_text())
+            if args.json_dir is not None:
+                out.save_json(args.json_dir / f"{name}.json")
+        else:
+            print(out)
+        print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+
+    if args.figure == "headline" and {"fig9b", "fig10b"} <= results.keys():
+        print(scenarios.headline_summary(results["fig9b"], results["fig10b"]))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

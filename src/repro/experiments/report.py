@@ -1,0 +1,102 @@
+"""Figure/table reporting: the rows the paper's figures plot.
+
+Every scenario in :mod:`repro.experiments.scenarios` returns a
+:class:`FigureResult` — a labelled grid of robustness statistics that
+prints as an aligned text table (the textual equivalent of the paper's
+bar/line charts) and serializes to JSON for EXPERIMENTS.md bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..metrics.robustness import AggregateStats
+
+__all__ = ["FigureResult"]
+
+
+@dataclass
+class FigureResult:
+    """A grid of aggregated robustness values for one paper figure.
+
+    ``cells[row_label][col_label]`` → :class:`AggregateStats`.
+    """
+
+    figure_id: str
+    title: str
+    row_axis: str
+    col_axis: str
+    rows: list[str]
+    cols: list[str]
+    cells: dict[str, dict[str, AggregateStats]]
+    notes: str = ""
+
+    def get(self, row: str, col: str) -> AggregateStats:
+        return self.cells[row][col]
+
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Aligned table: mean ± 95 % CI of tasks completed on time (%)."""
+        col_width = max(14, *(len(c) + 2 for c in self.cols))
+        row_width = max(10, *(len(r) + 2 for r in self.rows))
+        lines = [
+            f"{self.figure_id}: {self.title}",
+            f"(rows: {self.row_axis}; cols: {self.col_axis}; "
+            f"values: % tasks completed on time, mean ± 95% CI)",
+            "",
+            " " * row_width + "".join(c.rjust(col_width) for c in self.cols),
+        ]
+        for r in self.rows:
+            cells = []
+            for c in self.cols:
+                stat = self.cells[r][c]
+                cells.append(f"{stat.mean_pct:5.1f} ±{stat.ci95_pct:4.1f}".rjust(col_width))
+            lines.append(r.ljust(row_width) + "".join(cells))
+        if self.notes:
+            lines += ["", self.notes]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "row_axis": self.row_axis,
+            "col_axis": self.col_axis,
+            "rows": self.rows,
+            "cols": self.cols,
+            "cells": {
+                r: {
+                    c: {
+                        "mean_pct": s.mean_pct,
+                        "ci95_pct": s.ci95_pct,
+                        "trials": s.trials,
+                    }
+                    for c, s in row.items()
+                }
+                for r, row in self.cells.items()
+            },
+            "notes": self.notes,
+        }
+
+    def save_json(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    # ------------------------------------------------------------------
+    def improvement(self, base_row: str, pruned_row: str, col: str) -> float:
+        """Percentage-point robustness gain of pruning for one column."""
+        return self.cells[pruned_row][col].mean_pct - self.cells[base_row][col].mean_pct
+
+    def max_improvement(self, suffix: str = "-P") -> float:
+        """Largest pruning gain across the grid (the paper's headline
+        'up to 35 percentage points')."""
+        best = float("-inf")
+        for row in self.rows:
+            pruned = row + suffix
+            if pruned not in self.cells:
+                continue
+            for col in self.cols:
+                best = max(best, self.improvement(row, pruned, col))
+        return best

@@ -1,0 +1,12 @@
+"""Extensions implementing the paper's §VII future-work directions."""
+
+from .energy import EnergyModel, EnergyReport, measure_energy
+from .priority import ValueAwarePruner, inverse_value_weight
+
+__all__ = [
+    "EnergyModel",
+    "EnergyReport",
+    "measure_energy",
+    "ValueAwarePruner",
+    "inverse_value_weight",
+]

@@ -1,0 +1,149 @@
+"""Energy / incurred-cost accounting (§VII future work).
+
+"We believe that probabilistic task pruning improves energy efficiency by
+saving the computing power that is otherwise wasted to execute failing
+tasks.  Such saving … can also reduce the incurred cost of using cloud
+resources.  In the future, we plan to measure such improvements."
+
+This extension measures them.  The model is deliberately simple and
+standard: each machine type has an active power draw and an idle draw
+(watts, arbitrary units) and a per-busy-time-unit monetary rate.  From a
+finished simulation we then report:
+
+* total energy, split into *useful* energy (spent on tasks that completed
+  on time) and *wasted* energy (spent on tasks that finished late — work
+  the paper's motivation says has no value);
+* incurred cost under a serverless billing model (charged for busy time
+  only);
+* energy-per-on-time-task, the efficiency headline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.cluster import Cluster
+from ..sim.task import Task, TaskStatus
+
+__all__ = ["EnergyModel", "EnergyReport", "measure_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-machine-type power and price parameters."""
+
+    #: Active power draw per machine type (power units).
+    active_power: tuple[float, ...]
+    #: Idle power draw per machine type.
+    idle_power: tuple[float, ...]
+    #: Billing rate per busy time unit per machine type (cost units).
+    price_per_busy_unit: tuple[float, ...]
+
+    @classmethod
+    def uniform(
+        cls,
+        num_machine_types: int,
+        *,
+        active: float = 100.0,
+        idle: float = 30.0,
+        price: float = 1.0,
+    ) -> "EnergyModel":
+        return cls(
+            active_power=(active,) * num_machine_types,
+            idle_power=(idle,) * num_machine_types,
+            price_per_busy_unit=(price,) * num_machine_types,
+        )
+
+    def __post_init__(self) -> None:
+        n = len(self.active_power)
+        if len(self.idle_power) != n or len(self.price_per_busy_unit) != n:
+            raise ValueError("power/price tuples must have equal lengths")
+        if any(p < 0 for p in self.active_power + self.idle_power + self.price_per_busy_unit):
+            raise ValueError("power and price values must be non-negative")
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy and cost outcome of one simulation trial."""
+
+    total_energy: float
+    useful_energy: float      #: spent on tasks that completed on time
+    wasted_energy: float      #: spent on tasks that completed late
+    idle_energy: float
+    incurred_cost: float      #: serverless billing: busy time × rate
+    on_time_tasks: int
+
+    @property
+    def waste_fraction(self) -> float:
+        """Fraction of active energy spent on late (valueless) work."""
+        active = self.useful_energy + self.wasted_energy
+        return self.wasted_energy / active if active > 0 else 0.0
+
+    @property
+    def energy_per_on_time_task(self) -> float:
+        if self.on_time_tasks == 0:
+            return float("inf")
+        return self.total_energy / self.on_time_tasks
+
+    def summary(self) -> str:
+        return (
+            f"energy={self.total_energy:.0f} (useful={self.useful_energy:.0f}, "
+            f"wasted={self.wasted_energy:.0f}, idle={self.idle_energy:.0f}), "
+            f"cost={self.incurred_cost:.0f}, "
+            f"energy/on-time-task={self.energy_per_on_time_task:.1f}"
+        )
+
+
+def measure_energy(
+    tasks: Sequence[Task],
+    cluster: Cluster,
+    model: EnergyModel,
+    makespan: float,
+) -> EnergyReport:
+    """Compute the energy/cost report for a finished trial.
+
+    Requires tasks to carry their scheduling outcome (``machine_id``,
+    ``exec_time``, terminal status), i.e. run them through
+    :class:`~repro.system.ServerlessSystem` first.
+    """
+    if makespan < 0:
+        raise ValueError("makespan must be non-negative")
+    n_types = len(model.active_power)
+    useful = 0.0
+    wasted = 0.0
+    on_time = 0
+    for task in tasks:
+        if task.exec_time is None or task.machine_id is None:
+            continue  # never started
+        machine = cluster[task.machine_id]
+        if machine.machine_type >= n_types:
+            raise IndexError(
+                f"machine type {machine.machine_type} outside energy model "
+                f"({n_types} types)"
+            )
+        energy = task.exec_time * model.active_power[machine.machine_type]
+        if task.status is TaskStatus.COMPLETED_ON_TIME:
+            useful += energy
+            on_time += 1
+        elif task.status is TaskStatus.COMPLETED_LATE:
+            wasted += energy
+        # Dropped tasks never ran: no energy attributed.
+
+    idle = 0.0
+    cost = 0.0
+    for machine in cluster.machines:
+        idle_time = max(makespan - machine.busy_time, 0.0)
+        idle += idle_time * model.idle_power[machine.machine_type]
+        cost += machine.busy_time * model.price_per_busy_unit[machine.machine_type]
+
+    return EnergyReport(
+        total_energy=useful + wasted + idle,
+        useful_energy=useful,
+        wasted_energy=wasted,
+        idle_energy=idle,
+        incurred_cost=cost,
+        on_time_tasks=on_time,
+    )

@@ -1,0 +1,171 @@
+"""Heuristic interfaces and the shared two-phase batch planner.
+
+§III of the paper: immediate-mode heuristics map each arriving task on the
+spot; batch-mode heuristics keep an arrival (batch) queue and, at every
+mapping event, run a two-phase process over a *virtual queue*:
+
+  phase 1 — for every unmapped task find its best machine (per-heuristic
+            objective, here: minimum expected completion time);
+  phase 2 — among the resulting (task, machine) pairs pick the winner by
+            the heuristic's selection rule, virtually assign it, repeat
+            until machine-queue slots are exhausted or no tasks remain.
+
+The planner below vectorizes both phases with NumPy: each iteration builds
+the full ``(tasks, machines)`` expected-completion matrix from per-machine
+availability accumulators — no Python loops over the batch queue.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from ..sim.cluster import Cluster
+from ..sim.machine import Machine
+from ..sim.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..system.completion import CompletionEstimator
+
+__all__ = [
+    "ImmediateHeuristic",
+    "BatchHeuristic",
+    "TwoPhaseBatchHeuristic",
+    "Plan",
+    "PlanEntry",
+]
+
+#: One planned assignment: (task, machine).
+PlanEntry = tuple[Task, Machine]
+Plan = list[PlanEntry]
+
+
+class ImmediateHeuristic(abc.ABC):
+    """Maps each task to a machine immediately upon arrival (Fig. 1a)."""
+
+    #: Registry name, e.g. ``"MCT"``.
+    name: str = "?"
+    mode = "immediate"
+
+    @abc.abstractmethod
+    def select_machine(
+        self,
+        task: Task,
+        cluster: Cluster,
+        estimator: CompletionEstimator,
+        now: float,
+    ) -> Machine:
+        """Pick the machine for ``task``."""
+
+    def reset(self) -> None:
+        """Clear any internal state (e.g. round-robin pointers)."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}()"
+
+
+class BatchHeuristic(abc.ABC):
+    """Plans assignments for a batch of unmapped tasks (Fig. 1b)."""
+
+    name: str = "?"
+    mode = "batch"
+
+    @abc.abstractmethod
+    def plan(
+        self,
+        tasks: Sequence[Task],
+        cluster: Cluster,
+        estimator: CompletionEstimator,
+        now: float,
+    ) -> Plan:
+        """Return virtual assignments respecting machine-queue slots.
+
+        The plan is ordered (earlier entries were selected first); the
+        allocator dispatches entries in order, re-checking chance of
+        success against the *real* queue state as it goes.
+        """
+
+    def reset(self) -> None:
+        """Clear any internal state."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}()"
+
+
+def _exec_mean_matrix(
+    tasks: Sequence[Task], machines: Sequence[Machine], estimator: CompletionEstimator
+) -> np.ndarray:
+    """``(len(tasks), len(machines))`` expected execution times."""
+    model = estimator.model
+    means = getattr(model, "means", None)
+    if means is not None:
+        ttypes = np.fromiter((t.task_type for t in tasks), dtype=np.int64, count=len(tasks))
+        mtypes = np.fromiter(
+            (m.machine_type for m in machines), dtype=np.int64, count=len(machines)
+        )
+        return np.asarray(means)[np.ix_(ttypes, mtypes)]
+    # Fallback for models without a dense means table.
+    return np.array(
+        [[model.mean(t.task_type, m.machine_type) for m in machines] for t in tasks]
+    )
+
+
+class TwoPhaseBatchHeuristic(BatchHeuristic):
+    """Shared machinery for MM / MSD / MMU (§III-C) and friends.
+
+    Subclasses provide :meth:`select_winner`, phase 2's selection rule.
+    """
+
+    def plan(
+        self,
+        tasks: Sequence[Task],
+        cluster: Cluster,
+        estimator: CompletionEstimator,
+        now: float,
+    ) -> Plan:
+        if not tasks:
+            return []
+        machines = list(cluster.machines)
+        slots = np.array(
+            [np.inf if m.free_slots() is None else m.free_slots() for m in machines],
+            dtype=np.float64,
+        )
+        if not np.any(slots > 0):
+            return []
+        avail = np.array(
+            [estimator.expected_available(m, now) for m in machines], dtype=np.float64
+        )
+        exec_means = _exec_mean_matrix(tasks, machines, estimator)
+        deadlines = np.fromiter((t.deadline for t in tasks), dtype=np.float64, count=len(tasks))
+        active = np.ones(len(tasks), dtype=bool)
+
+        plan: Plan = []
+        while np.any(active) and np.any(slots > 0):
+            # Phase 1: best machine (min expected completion) per task.
+            completion = avail[None, :] + exec_means  # (T, M)
+            completion = np.where(slots[None, :] > 0, completion, np.inf)
+            best_m = np.argmin(completion, axis=1)
+            best_completion = completion[np.arange(len(tasks)), best_m]
+            best_completion = np.where(active, best_completion, np.inf)
+            if not np.any(np.isfinite(best_completion)):
+                break
+            # Phase 2: heuristic-specific winner among (task, best machine).
+            w = self.select_winner(best_completion, deadlines, active)
+            m = int(best_m[w])
+            plan.append((tasks[w], machines[m]))
+            avail[m] += exec_means[w, m]
+            slots[m] -= 1
+            active[w] = False
+        return plan
+
+    @abc.abstractmethod
+    def select_winner(
+        self,
+        best_completion: np.ndarray,
+        deadlines: np.ndarray,
+        active: np.ndarray,
+    ) -> int:
+        """Index of the winning task.  ``best_completion`` is ``inf`` for
+        inactive tasks; implementations must never pick those."""

@@ -1,0 +1,73 @@
+"""Additional mapping heuristics beyond the paper's §III set.
+
+These demonstrate the mechanism's pluggability claim on heuristics the
+paper did *not* evaluate — anything implementing the two-phase interface
+gets pruning for free:
+
+* **LLF** (Least Laxity First) — classic real-time policy: phase 2 picks
+  the task with the smallest laxity ``deadline − now − E[execution]``.
+  Differs from MMU in using laxity directly (linear) instead of inverse
+  urgency, so deeply negative-slack tasks sort *first* (most urgent by
+  laxity), making LLF maximally dependent on pruning to shed hopeless
+  work — a stress test for the mechanism.
+* **MaxMin** — the classic Max-Min variant of MM: phase 2 picks the task
+  whose *minimum* completion time is *largest*, scheduling long tasks
+  early; known to help when task lengths are skewed.
+* **RandomBatch** — uniformly random winner; the floor any informed
+  heuristic must beat, useful in tests and sanity benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import TwoPhaseBatchHeuristic
+
+__all__ = ["LLF", "MaxMin", "RandomBatch"]
+
+
+class LLF(TwoPhaseBatchHeuristic):
+    """Least Laxity First (laxity = deadline − expected completion)."""
+
+    name = "LLF"
+
+    def select_winner(
+        self, best_completion: np.ndarray, deadlines: np.ndarray, active: np.ndarray
+    ) -> int:
+        laxity = np.where(
+            active & np.isfinite(best_completion),
+            deadlines - best_completion,
+            np.inf,
+        )
+        return int(np.argmin(laxity))
+
+
+class MaxMin(TwoPhaseBatchHeuristic):
+    """Max-Min: largest minimum-completion-time task first."""
+
+    name = "MAXMIN"
+
+    def select_winner(
+        self, best_completion: np.ndarray, deadlines: np.ndarray, active: np.ndarray
+    ) -> int:
+        masked = np.where(active & np.isfinite(best_completion), best_completion, -np.inf)
+        return int(np.argmax(masked))
+
+
+class RandomBatch(TwoPhaseBatchHeuristic):
+    """Uniformly random phase-2 winner (seeded, reproducible)."""
+
+    name = "RANDOM"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+    def select_winner(
+        self, best_completion: np.ndarray, deadlines: np.ndarray, active: np.ndarray
+    ) -> int:
+        candidates = np.flatnonzero(active & np.isfinite(best_completion))
+        return int(self._rng.choice(candidates))

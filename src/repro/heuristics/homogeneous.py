@@ -1,0 +1,143 @@
+"""Mapping heuristics for homogeneous systems (§III-D).
+
+These are batch-mode by nature but with simpler logic than the two-phase
+heterogeneous heuristics: sort the arrival queue by the heuristic's key,
+then repeatedly assign the head to the machine offering the minimum
+expected completion time (which, in a homogeneous system, is simply the
+least-loaded machine).
+
+* **FCFS-RR** — first-come-first-served order, machines cycled round-robin.
+* **EDF** — earliest deadline first (functionally similar to MSD).
+* **SJF** — shortest (expected) job first (functionally similar to MM).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.cluster import Cluster
+from ..sim.machine import Machine
+from ..sim.task import Task
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..system.completion import CompletionEstimator
+from .base import BatchHeuristic, Plan, _exec_mean_matrix
+
+__all__ = ["FCFSRR", "EDF", "SJF"]
+
+
+class _SortedAssign(BatchHeuristic):
+    """Sort the batch queue by a key, then greedily assign heads to the
+    machine with minimum expected completion time."""
+
+    def sort_indices(
+        self, tasks: Sequence[Task], exec_means: np.ndarray
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def plan(
+        self,
+        tasks: Sequence[Task],
+        cluster: Cluster,
+        estimator: CompletionEstimator,
+        now: float,
+    ) -> Plan:
+        if not tasks:
+            return []
+        machines = list(cluster.machines)
+        slots = np.array(
+            [np.inf if m.free_slots() is None else m.free_slots() for m in machines],
+            dtype=np.float64,
+        )
+        if not np.any(slots > 0):
+            return []
+        avail = np.array(
+            [estimator.expected_available(m, now) for m in machines], dtype=np.float64
+        )
+        exec_means = _exec_mean_matrix(tasks, machines, estimator)
+        order = self.sort_indices(tasks, exec_means)
+
+        plan: Plan = []
+        for w in order:
+            if not np.any(slots > 0):
+                break
+            completion = np.where(slots > 0, avail + exec_means[w], np.inf)
+            m = int(np.argmin(completion))
+            plan.append((tasks[int(w)], machines[m]))
+            avail[m] += exec_means[w, m]
+            slots[m] -= 1
+        return plan
+
+
+class FCFSRR(BatchHeuristic):
+    """First Come First Served — Round Robin.
+
+    Tasks are taken in arrival order and placed on the next machine in a
+    cyclic scan that has a free queue slot ("the first available machine
+    in a round robin manner").
+    """
+
+    name = "FCFS-RR"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def plan(
+        self,
+        tasks: Sequence[Task],
+        cluster: Cluster,
+        estimator: CompletionEstimator,
+        now: float,
+    ) -> Plan:
+        machines = list(cluster.machines)
+        slots = [m.free_slots() for m in machines]
+        plan: Plan = []
+        ordered = sorted(tasks, key=lambda t: (t.arrival, t.task_id))
+        n = len(machines)
+        for task in ordered:
+            placed = False
+            for probe in range(n):
+                idx = (self._next + probe) % n
+                if slots[idx] is None or slots[idx] > 0:
+                    plan.append((task, machines[idx]))
+                    if slots[idx] is not None:
+                        slots[idx] -= 1
+                    self._next = (idx + 1) % n
+                    placed = True
+                    break
+            if not placed:
+                break  # every queue is full
+        return plan
+
+
+class EDF(_SortedAssign):
+    """Earliest Deadline First."""
+
+    name = "EDF"
+
+    def sort_indices(self, tasks: Sequence[Task], exec_means: np.ndarray) -> np.ndarray:
+        deadlines = np.fromiter((t.deadline for t in tasks), dtype=np.float64, count=len(tasks))
+        ids = np.fromiter((t.task_id for t in tasks), dtype=np.int64, count=len(tasks))
+        return np.lexsort((ids, deadlines))
+
+
+class SJF(_SortedAssign):
+    """Shortest (expected) Job First.
+
+    In a homogeneous system the expected execution time of a task is the
+    same on every machine; we sort by the per-task mean across machines so
+    the heuristic also behaves sensibly if run on a heterogeneous cluster.
+    """
+
+    name = "SJF"
+
+    def sort_indices(self, tasks: Sequence[Task], exec_means: np.ndarray) -> np.ndarray:
+        mean_exec = exec_means.mean(axis=1)
+        ids = np.fromiter((t.task_id for t in tasks), dtype=np.int64, count=len(tasks))
+        return np.lexsort((ids, mean_exec))

@@ -1,0 +1,130 @@
+"""Immediate-mode mapping heuristics for heterogeneous systems (§III-B).
+
+Each arriving task is mapped on the spot, with no arrival queue:
+
+* **RR** — round robin over machines, blind to execution/completion times.
+* **MET** — minimum expected execution time (pure task-machine affinity;
+  ignores load, so it can pile everything on one machine).
+* **MCT** — minimum expected completion time (affinity + current load).
+* **KPB** — k-percent best: MCT restricted to the ``k`` fraction of
+  machines with the lowest expected execution time for the task's type.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..sim.cluster import Cluster
+from ..sim.machine import Machine
+from ..sim.task import Task
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..system.completion import CompletionEstimator
+from .base import ImmediateHeuristic
+
+__all__ = ["RoundRobin", "MET", "MCT", "KPB"]
+
+
+class RoundRobin(ImmediateHeuristic):
+    """Cyclic assignment Machine 0 → Machine n, skipping full queues."""
+
+    name = "RR"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def select_machine(
+        self, task: Task, cluster: Cluster, estimator: CompletionEstimator, now: float
+    ) -> Machine:
+        n = len(cluster)
+        for probe in range(n):
+            machine = cluster.machines[(self._next + probe) % n]
+            if machine.has_free_slot:
+                self._next = (self._next + probe + 1) % n
+                return machine
+        raise RuntimeError("no machine with a free slot (immediate mode expects unbounded queues)")
+
+
+class MET(ImmediateHeuristic):
+    """Minimum expected execution time (ignores queue lengths)."""
+
+    name = "MET"
+
+    def select_machine(
+        self, task: Task, cluster: Cluster, estimator: CompletionEstimator, now: float
+    ) -> Machine:
+        best, best_exec = None, math.inf
+        for machine in cluster.machines:
+            if not machine.has_free_slot:
+                continue
+            e = estimator.model.mean(task.task_type, machine.machine_type)
+            if e < best_exec:
+                best, best_exec = machine, e
+        if best is None:
+            raise RuntimeError("no machine with a free slot")
+        return best
+
+
+class MCT(ImmediateHeuristic):
+    """Minimum expected completion time (availability + execution)."""
+
+    name = "MCT"
+
+    def select_machine(
+        self, task: Task, cluster: Cluster, estimator: CompletionEstimator, now: float
+    ) -> Machine:
+        best, best_c = None, math.inf
+        for machine in cluster.machines:
+            if not machine.has_free_slot:
+                continue
+            c = estimator.expected_completion(task.task_type, machine, now)
+            if c < best_c:
+                best, best_c = machine, c
+        if best is None:
+            raise RuntimeError("no machine with a free slot")
+        return best
+
+
+class KPB(ImmediateHeuristic):
+    """K-percent best: MCT among the top-``k`` fraction of machines by
+    expected execution time for the task's type.
+
+    ``k = 1.0`` degenerates to MCT; ``k -> 0`` degenerates to MET (only
+    the single best-affinity machine is considered).
+    """
+
+    name = "KPB"
+
+    def __init__(self, k: float = 0.25) -> None:
+        if not 0.0 < k <= 1.0:
+            raise ValueError(f"k must be in (0, 1], got {k}")
+        self.k = k
+
+    def select_machine(
+        self, task: Task, cluster: Cluster, estimator: CompletionEstimator, now: float
+    ) -> Machine:
+        candidates = [m for m in cluster.machines if m.has_free_slot]
+        if not candidates:
+            raise RuntimeError("no machine with a free slot")
+        execs = np.array(
+            [estimator.model.mean(task.task_type, m.machine_type) for m in candidates]
+        )
+        keep = max(1, math.ceil(self.k * len(candidates)))
+        best_idx = np.argsort(execs, kind="stable")[:keep]
+        best, best_c = None, math.inf
+        for i in best_idx:
+            machine = candidates[int(i)]
+            c = estimator.expected_completion(task.task_type, machine, now)
+            if c < best_c:
+                best, best_c = machine, c
+        assert best is not None
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"KPB(k={self.k})"

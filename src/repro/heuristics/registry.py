@@ -1,0 +1,72 @@
+"""Name-based heuristic registry.
+
+The experiment harness and CLI refer to heuristics by the names the paper
+uses (Fig. 3): ``RR MET MCT KPB`` (immediate, heterogeneous),
+``MM MSD MMU`` (batch, heterogeneous), ``FCFS-RR EDF SJF`` (homogeneous).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from .base import BatchHeuristic, ImmediateHeuristic
+from .batch import MMU, MSD, MinMin
+from .extra import LLF, MaxMin, RandomBatch
+from .homogeneous import EDF, FCFSRR, SJF
+from .immediate import KPB, MCT, MET, RoundRobin
+
+__all__ = [
+    "IMMEDIATE_HEURISTICS",
+    "BATCH_HEURISTICS",
+    "HOMOGENEOUS_HEURISTICS",
+    "EXTRA_HEURISTICS",
+    "ALL_HEURISTICS",
+    "make_heuristic",
+]
+
+Heuristic = Union[ImmediateHeuristic, BatchHeuristic]
+
+IMMEDIATE_HEURISTICS: dict[str, Callable[[], ImmediateHeuristic]] = {
+    "RR": RoundRobin,
+    "MET": MET,
+    "MCT": MCT,
+    "KPB": KPB,
+}
+
+BATCH_HEURISTICS: dict[str, Callable[[], BatchHeuristic]] = {
+    "MM": MinMin,
+    "MSD": MSD,
+    "MMU": MMU,
+}
+
+#: Heuristics beyond the paper's §III set (see :mod:`repro.heuristics.extra`).
+EXTRA_HEURISTICS: dict[str, Callable[[], BatchHeuristic]] = {
+    "LLF": LLF,
+    "MAXMIN": MaxMin,
+    "RANDOM": RandomBatch,
+}
+
+HOMOGENEOUS_HEURISTICS: dict[str, Callable[[], BatchHeuristic]] = {
+    "FCFS-RR": FCFSRR,
+    "EDF": EDF,
+    "SJF": SJF,
+}
+
+ALL_HEURISTICS: dict[str, Callable[[], Heuristic]] = {
+    **IMMEDIATE_HEURISTICS,
+    **BATCH_HEURISTICS,
+    **HOMOGENEOUS_HEURISTICS,
+    **EXTRA_HEURISTICS,
+}
+
+
+def make_heuristic(name: str, **kwargs) -> Heuristic:
+    """Instantiate a heuristic by its paper name (case-insensitive)."""
+    key = name.upper().replace("_", "-")
+    try:
+        factory = ALL_HEURISTICS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown heuristic {name!r}; choose from {sorted(ALL_HEURISTICS)}"
+        ) from None
+    return factory(**kwargs)

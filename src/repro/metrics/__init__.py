@@ -1,0 +1,15 @@
+"""Robustness metrics and cross-trial aggregation (§V-A)."""
+
+from .collector import SimulationResult, TypeOutcome
+from .compare import PairedComparison, compare_paired
+from .robustness import AggregateStats, aggregate_robustness, confidence_interval
+
+__all__ = [
+    "SimulationResult",
+    "TypeOutcome",
+    "AggregateStats",
+    "aggregate_robustness",
+    "confidence_interval",
+    "PairedComparison",
+    "compare_paired",
+]

@@ -1,0 +1,146 @@
+"""Result collection: per-task outcomes rolled up into robustness stats.
+
+The paper's robustness metric is the percentage of tasks completing
+before their deadlines (§I).  :class:`SimulationResult` snapshots one
+trial; per-type breakdowns support the fairness analysis, machine
+utilizations support the energy/cost extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..sim.cluster import Cluster
+from ..sim.task import Task, TaskStatus
+
+__all__ = ["SimulationResult", "TypeOutcome"]
+
+
+@dataclass(frozen=True)
+class TypeOutcome:
+    """Outcome tallies for one task type."""
+
+    total: int = 0
+    on_time: int = 0
+    late: int = 0
+    dropped_missed: int = 0
+    dropped_proactive: int = 0
+    unfinished: int = 0
+
+    @property
+    def robustness(self) -> float:
+        """On-time completion ratio within this type (0 when empty)."""
+        return self.on_time / self.total if self.total else 0.0
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Aggregated outcome of one simulation trial."""
+
+    total: int
+    on_time: int
+    late: int
+    dropped_missed: int
+    dropped_proactive: int
+    unfinished: int
+    defer_decisions: int
+    mapping_events: int
+    makespan: float
+    per_type: Mapping[int, TypeOutcome] = field(default_factory=dict)
+    machine_busy_time: tuple[float, ...] = ()
+
+    # ------------------------------------------------------------------
+    @property
+    def robustness(self) -> float:
+        """Fraction of tasks completed on time — the paper's metric."""
+        return self.on_time / self.total if self.total else 0.0
+
+    @property
+    def robustness_pct(self) -> float:
+        return 100.0 * self.robustness
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_missed + self.dropped_proactive
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of tasks that did not complete on time."""
+        return 1.0 - self.robustness
+
+    def utilization(self) -> tuple[float, ...]:
+        if self.makespan <= 0:
+            return tuple(0.0 for _ in self.machine_busy_time)
+        return tuple(b / self.makespan for b in self.machine_busy_time)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tasks(
+        cls,
+        tasks: Sequence[Task],
+        *,
+        cluster: Cluster | None = None,
+        makespan: float = 0.0,
+        defer_decisions: int = 0,
+        mapping_events: int = 0,
+    ) -> "SimulationResult":
+        """Roll task terminal states up into one result record."""
+        counts = {
+            TaskStatus.COMPLETED_ON_TIME: 0,
+            TaskStatus.COMPLETED_LATE: 0,
+            TaskStatus.DROPPED_MISSED: 0,
+            TaskStatus.DROPPED_PROACTIVE: 0,
+        }
+        unfinished = 0
+        per_type_raw: dict[int, dict[str, int]] = {}
+        for task in tasks:
+            bucket = per_type_raw.setdefault(
+                task.task_type,
+                {
+                    "total": 0,
+                    "on_time": 0,
+                    "late": 0,
+                    "dropped_missed": 0,
+                    "dropped_proactive": 0,
+                    "unfinished": 0,
+                },
+            )
+            bucket["total"] += 1
+            if task.status in counts:
+                counts[task.status] += 1
+                key = {
+                    TaskStatus.COMPLETED_ON_TIME: "on_time",
+                    TaskStatus.COMPLETED_LATE: "late",
+                    TaskStatus.DROPPED_MISSED: "dropped_missed",
+                    TaskStatus.DROPPED_PROACTIVE: "dropped_proactive",
+                }[task.status]
+                bucket[key] += 1
+            else:
+                unfinished += 1
+                bucket["unfinished"] += 1
+        per_type = {k: TypeOutcome(**v) for k, v in sorted(per_type_raw.items())}
+        return cls(
+            total=len(tasks),
+            on_time=counts[TaskStatus.COMPLETED_ON_TIME],
+            late=counts[TaskStatus.COMPLETED_LATE],
+            dropped_missed=counts[TaskStatus.DROPPED_MISSED],
+            dropped_proactive=counts[TaskStatus.DROPPED_PROACTIVE],
+            unfinished=unfinished,
+            defer_decisions=defer_decisions,
+            mapping_events=mapping_events,
+            makespan=makespan,
+            per_type=per_type,
+            machine_busy_time=(
+                tuple(m.busy_time for m in cluster.machines) if cluster else ()
+            ),
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.on_time}/{self.total} on time ({self.robustness_pct:.1f}%), "
+            f"{self.late} late, {self.dropped_missed} reactive drops, "
+            f"{self.dropped_proactive} proactive drops, "
+            f"{self.defer_decisions} defers"
+        )

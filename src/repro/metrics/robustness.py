@@ -1,0 +1,65 @@
+"""Cross-trial aggregation: mean robustness and 95 % confidence intervals.
+
+§V-A: "For each set of experiments, 30 workload trials were performed …
+the mean and 95% confidence interval of the results are reported."  The
+interval uses the Student-t critical value (SciPy), matching standard
+practice for ~30 samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+from .collector import SimulationResult
+
+__all__ = ["AggregateStats", "aggregate_robustness", "confidence_interval"]
+
+
+def confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float]:
+    """Mean and half-width of the Student-t confidence interval.
+
+    A single sample has an undefined interval; we report half-width 0 so
+    downstream tables stay printable.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no values to aggregate")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, 0.0
+    sem = float(arr.std(ddof=1) / math.sqrt(arr.size))
+    if sem == 0.0:
+        return mean, 0.0
+    t_crit = float(stats.t.ppf(0.5 + confidence / 2.0, df=arr.size - 1))
+    return mean, t_crit * sem
+
+
+@dataclass(frozen=True)
+class AggregateStats:
+    """Mean ± 95 % CI of a robustness series over workload trials."""
+
+    mean_pct: float
+    ci95_pct: float
+    trials: int
+    per_trial_pct: tuple[float, ...]
+
+    def __str__(self) -> str:
+        return f"{self.mean_pct:.1f} ± {self.ci95_pct:.1f} % (n={self.trials})"
+
+
+def aggregate_robustness(
+    results: Sequence[SimulationResult], confidence: float = 0.95
+) -> AggregateStats:
+    """Aggregate per-trial robustness percentages."""
+    pcts = [r.robustness_pct for r in results]
+    mean, half = confidence_interval(pcts, confidence)
+    return AggregateStats(
+        mean_pct=mean, ci95_pct=half, trials=len(pcts), per_trial_pct=tuple(pcts)
+    )

@@ -1,0 +1,98 @@
+"""Clusters of machines.
+
+The paper's heterogeneous testbed is eight machine types (§V-B footnote:
+Dell Precision 380 … IBM BladeCenter HS21XM), one machine per type, against
+twelve task types.  Homogeneous experiments (§V-F) use identical machines.
+A :class:`Cluster` is an ordered collection of :class:`~repro.sim.machine.
+Machine` plus convenience constructors for both layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from .machine import Machine
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """Ordered, indexable set of machines."""
+
+    def __init__(self, machines: Sequence[Machine]) -> None:
+        if not machines:
+            raise ValueError("cluster needs at least one machine")
+        ids = [m.machine_id for m in machines]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate machine ids: {ids}")
+        self.machines: list[Machine] = list(machines)
+        self._by_id = {m.machine_id: m for m in machines}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def heterogeneous(
+        cls,
+        num_machine_types: int,
+        *,
+        machines_per_type: int = 1,
+        queue_limit: Optional[int] = None,
+    ) -> "Cluster":
+        """One (or more) machine of each machine type, ids 0..n-1."""
+        machines = []
+        mid = 0
+        for mtype in range(num_machine_types):
+            for _ in range(machines_per_type):
+                machines.append(Machine(mid, mtype, queue_limit=queue_limit))
+                mid += 1
+        return cls(machines)
+
+    @classmethod
+    def homogeneous(
+        cls,
+        num_machines: int,
+        *,
+        machine_type: int = 0,
+        queue_limit: Optional[int] = None,
+    ) -> "Cluster":
+        """``num_machines`` identical machines, all of ``machine_type``."""
+        return cls(
+            [Machine(i, machine_type, queue_limit=queue_limit) for i in range(num_machines)]
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.machines)
+
+    def __iter__(self) -> Iterator[Machine]:
+        return iter(self.machines)
+
+    def __getitem__(self, machine_id: int) -> Machine:
+        return self._by_id[machine_id]
+
+    @property
+    def machine_types(self) -> tuple[int, ...]:
+        return tuple(m.machine_type for m in self.machines)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        return len(set(self.machine_types)) == 1
+
+    def machines_with_free_slots(self) -> list[Machine]:
+        return [m for m in self.machines if m.has_free_slot]
+
+    def any_free_slot(self) -> bool:
+        return any(m.has_free_slot for m in self.machines)
+
+    def total_queued(self) -> int:
+        return sum(m.queue_length for m in self.machines)
+
+    def queued_tasks(self) -> list:
+        """All mapped-but-not-running tasks across machine queues."""
+        out = []
+        for m in self.machines:
+            out.extend(m.queue)
+        return out
+
+    def set_queue_limit(self, limit: Optional[int]) -> None:
+        for m in self.machines:
+            m.queue_limit = limit

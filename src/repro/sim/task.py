@@ -1,0 +1,157 @@
+"""Tasks and their lifecycle.
+
+§II of the paper: users issue independent service requests (*tasks*) drawn
+from a set of offered service types (*task types*); each task has an
+individual hard deadline and is dropped once the deadline passes.  A task
+cannot be remapped after it is assigned to a machine queue, and machines
+execute their queues FCFS without preemption.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["Task", "TaskStatus", "TERMINAL_STATUSES", "fresh_task_ids"]
+
+
+class TaskStatus(enum.Enum):
+    """Lifecycle states of a task.
+
+    State machine::
+
+        PENDING ──map──▶ MAPPED ──start──▶ RUNNING ──finish──▶ COMPLETED_*
+           │  ▲             │
+           │  └──defer──────┘ (batch mode pulls a virtual mapping back)
+           └/│───drop──▶ DROPPED_*
+    """
+
+    PENDING = "pending"              #: waiting in the arrival/batch queue
+    MAPPED = "mapped"                #: sitting in a machine queue
+    RUNNING = "running"              #: executing on a machine
+    COMPLETED_ON_TIME = "on_time"    #: finished at or before its deadline
+    COMPLETED_LATE = "late"          #: finished after its deadline
+    DROPPED_MISSED = "drop_missed"   #: reactively dropped (deadline already passed)
+    DROPPED_PROACTIVE = "drop_proactive"  #: dropped by the probabilistic pruner
+
+
+TERMINAL_STATUSES = frozenset(
+    {
+        TaskStatus.COMPLETED_ON_TIME,
+        TaskStatus.COMPLETED_LATE,
+        TaskStatus.DROPPED_MISSED,
+        TaskStatus.DROPPED_PROACTIVE,
+    }
+)
+
+
+def fresh_task_ids(start: int = 0):
+    """Monotone task-id factory (one per workload/system instance)."""
+    return itertools.count(start)
+
+
+@dataclass
+class Task:
+    """One service request.
+
+    Immutable identity fields come from the workload trace; the mutable
+    fields record the scheduling outcome and are filled by the system.
+    """
+
+    task_id: int
+    task_type: int
+    arrival: float
+    deadline: float
+
+    # -- mutable scheduling state -------------------------------------
+    status: TaskStatus = TaskStatus.PENDING
+    machine_id: int | None = None    #: machine queue this task was mapped to
+    mapped_at: float | None = None
+    started_at: float | None = None
+    finished_at: float | None = None
+    dropped_at: float | None = None
+    defer_count: int = 0             #: how many mapping events pulled it back
+    exec_time: float | None = None   #: actual (sampled) execution duration
+    # Extension hooks (repro.extensions): monetary value / priority class.
+    value: float = 1.0
+    priority: int = 0
+    metadata: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.deadline < self.arrival:
+            raise ValueError(
+                f"task {self.task_id}: deadline {self.deadline} precedes "
+                f"arrival {self.arrival}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    @property
+    def completed_on_time(self) -> bool:
+        return self.status is TaskStatus.COMPLETED_ON_TIME
+
+    @property
+    def was_dropped(self) -> bool:
+        return self.status in (TaskStatus.DROPPED_MISSED, TaskStatus.DROPPED_PROACTIVE)
+
+    def laxity(self, now: float) -> float:
+        """Time remaining until the deadline (negative once missed)."""
+        return self.deadline - now
+
+    def missed_deadline(self, now: float) -> bool:
+        """Whether the hard deadline has passed and the task is not done."""
+        return not self.is_terminal and now > self.deadline
+
+    # ------------------------------------------------------------------
+    # Transition helpers keep status bookkeeping in one place; the system
+    # and pruner call these rather than poking fields directly.
+    # ------------------------------------------------------------------
+    def mark_mapped(self, machine_id: int, now: float) -> None:
+        if self.is_terminal:
+            raise RuntimeError(f"cannot map terminal task {self.task_id}")
+        self.status = TaskStatus.MAPPED
+        self.machine_id = machine_id
+        self.mapped_at = now
+
+    def mark_deferred(self) -> None:
+        if self.status is not TaskStatus.MAPPED:
+            raise RuntimeError(
+                f"task {self.task_id}: defer from {self.status}, expected MAPPED"
+            )
+        self.status = TaskStatus.PENDING
+        self.machine_id = None
+        self.mapped_at = None
+        self.defer_count += 1
+
+    def mark_running(self, now: float, exec_time: float) -> None:
+        if self.status is not TaskStatus.MAPPED:
+            raise RuntimeError(
+                f"task {self.task_id}: start from {self.status}, expected MAPPED"
+            )
+        self.status = TaskStatus.RUNNING
+        self.started_at = now
+        self.exec_time = exec_time
+
+    def mark_completed(self, now: float) -> None:
+        if self.status is not TaskStatus.RUNNING:
+            raise RuntimeError(
+                f"task {self.task_id}: complete from {self.status}, expected RUNNING"
+            )
+        self.finished_at = now
+        self.status = (
+            TaskStatus.COMPLETED_ON_TIME
+            if now <= self.deadline
+            else TaskStatus.COMPLETED_LATE
+        )
+
+    def mark_dropped(self, now: float, *, proactive: bool) -> None:
+        if self.is_terminal:
+            raise RuntimeError(f"cannot drop terminal task {self.task_id}")
+        self.dropped_at = now
+        self.status = (
+            TaskStatus.DROPPED_PROACTIVE if proactive else TaskStatus.DROPPED_MISSED
+        )

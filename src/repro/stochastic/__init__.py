@@ -1,0 +1,20 @@
+"""Probabilistic substrate: PMF algebra and execution-time matrices."""
+
+from .etc import ETCMatrix
+from .pet import (
+    PAPER_NUM_MACHINE_TYPES,
+    PAPER_NUM_TASK_TYPES,
+    PETMatrix,
+    generate_pet_matrix,
+)
+from .pmf import DEFAULT_MAX_SUPPORT, PMF
+
+__all__ = [
+    "PMF",
+    "DEFAULT_MAX_SUPPORT",
+    "PETMatrix",
+    "ETCMatrix",
+    "generate_pet_matrix",
+    "PAPER_NUM_TASK_TYPES",
+    "PAPER_NUM_MACHINE_TYPES",
+]

@@ -1,0 +1,200 @@
+"""Probabilistic Execution Time (PET) matrices.
+
+The paper builds its PET matrix by running twelve SPECint benchmarks on
+eight physical machines and, for each (task type, machine type) pair,
+histogramming 500 samples of a Gamma distribution whose mean comes from the
+benchmark timing and whose shape is drawn uniformly from ``[1, 20]``
+(§V-B).  We follow the identical recipe; only the source of the mean matrix
+differs (synthetic, seeded — see DESIGN.md substitution table), because the
+original SPECint timings are not published.
+
+Heterogeneity terminology (§I):
+
+* *inconsistent* — task-machine affinity differs per pair: a machine fast
+  for one task type may be slow for another.  Produced by sampling every
+  cell mean independently.
+* *consistent* — machines are uniformly faster/slower.  Produced by an
+  outer product of task-type base times and machine speed factors.
+* *homogeneous* — all machine columns identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .pmf import PMF
+
+__all__ = ["PETMatrix", "generate_pet_matrix", "PAPER_NUM_TASK_TYPES", "PAPER_NUM_MACHINE_TYPES"]
+
+#: Dimensions used throughout the paper's evaluation (§V-B).
+PAPER_NUM_TASK_TYPES = 12
+PAPER_NUM_MACHINE_TYPES = 8
+
+#: Gamma shape range used by the paper.
+PAPER_SHAPE_RANGE = (1.0, 20.0)
+
+#: Number of Gamma samples histogrammed per PET cell.
+PAPER_SAMPLES_PER_CELL = 500
+
+
+@dataclass
+class PETMatrix:
+    """Matrix of execution-time PMFs: ``pmfs[task_type][machine_type]``.
+
+    Attributes
+    ----------
+    pmfs:
+        Nested list indexed ``[task_type][machine_type]`` of :class:`PMF`.
+    means:
+        ``(num_task_types, num_machine_types)`` array of each cell's PMF
+        mean — the scalar Expected Time to Compute (ETC) view used by the
+        mapping heuristics.
+    """
+
+    pmfs: list[list[PMF]]
+    means: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.pmfs or not self.pmfs[0]:
+            raise ValueError("PET matrix must be non-empty")
+        width = len(self.pmfs[0])
+        if any(len(row) != width for row in self.pmfs):
+            raise ValueError("ragged PET matrix")
+        if self.means is None:
+            self.means = np.array(
+                [[cell.mean() for cell in row] for row in self.pmfs], dtype=np.float64
+            )
+        self.means = np.asarray(self.means, dtype=np.float64)
+        if self.means.shape != (self.num_task_types, self.num_machine_types):
+            raise ValueError(
+                f"means shape {self.means.shape} does not match matrix "
+                f"({self.num_task_types}, {self.num_machine_types})"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_task_types(self) -> int:
+        return len(self.pmfs)
+
+    @property
+    def num_machine_types(self) -> int:
+        return len(self.pmfs[0])
+
+    def pmf(self, task_type: int, machine_type: int) -> PMF:
+        """PET of ``task_type`` on ``machine_type``."""
+        return self.pmfs[task_type][machine_type]
+
+    def mean(self, task_type: int, machine_type: int) -> float:
+        """Expected execution time of ``task_type`` on ``machine_type``."""
+        return float(self.means[task_type, machine_type])
+
+    def type_mean(self, task_type: int) -> float:
+        """Mean duration of a task type across machine types (Eq. 4 avg_i)."""
+        return float(self.means[task_type].mean())
+
+    def overall_mean(self) -> float:
+        """Mean duration over all task and machine types (Eq. 4 avg_all)."""
+        return float(self.means.mean())
+
+    def best_machines(self, task_type: int) -> np.ndarray:
+        """Machine types sorted by ascending expected execution time."""
+        return np.argsort(self.means[task_type], kind="stable")
+
+    def sample_execution(
+        self, task_type: int, machine_type: int, rng: np.random.Generator
+    ) -> float:
+        """Draw an actual execution time from the cell's PMF.
+
+        The simulator uses the PET distribution itself as ground truth, the
+        same modelling choice as the paper's simulation (the PET is both
+        the scheduler's knowledge and the generative model).
+        """
+        value = self.pmf(task_type, machine_type).sample(rng)
+        return max(float(value), 1e-9)
+
+    # ------------------------------------------------------------------
+    def is_homogeneous(self, atol: float = 1e-9) -> bool:
+        """True when every machine column is identical for every task type."""
+        for row in self.pmfs:
+            first = row[0]
+            if any(not cell.allclose(first, atol=atol) for cell in row[1:]):
+                return False
+        return True
+
+    def restricted_to_machines(self, machine_types: Sequence[int]) -> "PETMatrix":
+        """Sub-matrix keeping only the given machine-type columns."""
+        rows = [[row[m] for m in machine_types] for row in self.pmfs]
+        return PETMatrix(rows, self.means[:, list(machine_types)])
+
+
+def _sample_cell_pmf(
+    mean: float,
+    rng: np.random.Generator,
+    shape_range: tuple[float, float],
+    samples: int,
+) -> PMF:
+    """One PET cell: histogram of Gamma samples, per the paper's recipe."""
+    shape = rng.uniform(*shape_range)
+    scale = mean / shape
+    draws = rng.gamma(shape, scale, size=samples)
+    return PMF.from_samples(draws, min_value=1.0)
+
+
+def generate_pet_matrix(
+    num_task_types: int = PAPER_NUM_TASK_TYPES,
+    num_machine_types: int = PAPER_NUM_MACHINE_TYPES,
+    *,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    mean_range: tuple[float, float] = (4.0, 20.0),
+    shape_range: tuple[float, float] = PAPER_SHAPE_RANGE,
+    samples_per_cell: int = PAPER_SAMPLES_PER_CELL,
+    heterogeneity: str = "inconsistent",
+) -> PETMatrix:
+    """Generate a PET matrix following §V-B of the paper.
+
+    Parameters
+    ----------
+    heterogeneity:
+        ``"inconsistent"`` — every cell mean drawn independently from
+        ``mean_range`` (task-machine affinity differs per pair);
+        ``"consistent"`` — outer product of task base times and machine
+        speed factors; ``"homogeneous"`` — one machine column replicated,
+        used for the paper's §V-F homogeneous-system experiments.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    lo, hi = mean_range
+    if lo <= 0 or hi < lo:
+        raise ValueError(f"invalid mean_range {mean_range}")
+
+    if heterogeneity == "inconsistent":
+        means = rng.uniform(lo, hi, size=(num_task_types, num_machine_types))
+    elif heterogeneity == "consistent":
+        base = rng.uniform(lo, hi, size=num_task_types)
+        speed = rng.uniform(0.5, 1.5, size=num_machine_types)
+        means = np.outer(base, speed)
+    elif heterogeneity == "homogeneous":
+        base = rng.uniform(lo, hi, size=num_task_types)
+        means = np.repeat(base[:, None], num_machine_types, axis=1)
+    else:
+        raise ValueError(f"unknown heterogeneity kind: {heterogeneity!r}")
+
+    if heterogeneity == "homogeneous":
+        # Identical columns must share the identical PMF object per row.
+        rows = []
+        for t in range(num_task_types):
+            cell = _sample_cell_pmf(float(means[t, 0]), rng, shape_range, samples_per_cell)
+            rows.append([cell] * num_machine_types)
+    else:
+        rows = [
+            [
+                _sample_cell_pmf(float(means[t, m]), rng, shape_range, samples_per_cell)
+                for m in range(num_machine_types)
+            ]
+            for t in range(num_task_types)
+        ]
+    return PETMatrix(rows)

@@ -1,0 +1,346 @@
+"""Discrete probability mass functions on a unit time grid.
+
+This module is the probabilistic substrate of the reproduction.  The paper
+models the execution time of each task type on each machine type as a PMF
+(Probabilistic Execution Time, PET) and derives completion-time
+distributions (PCT) by convolution::
+
+    PCT(i, j) = PET(i, j) * PCT(i-1, j)          (Eq. 1 of the paper)
+    S(i, j)   = P(PCT(i, j) <= deadline_i)       (Eq. 2 of the paper)
+
+A :class:`PMF` stores probabilities on a regular grid with unit spacing,
+anchored at a (possibly fractional) ``offset``, plus an explicit ``tail``
+scalar holding the mass that lies beyond the truncation horizon.  Folding
+far-future mass into ``tail`` keeps supports bounded while keeping
+chance-of-success values *exact*: tail mass is "certainly late" and never
+counts toward :meth:`PMF.cdf_at`.
+
+All bulk operations are vectorized NumPy (``np.convolve``, cumulative sums);
+no Python-level loops over probability bins.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["PMF", "DEFAULT_MAX_SUPPORT"]
+
+#: Default cap on the number of finite-support bins a convolution may
+#: produce before overflow mass is folded into :attr:`PMF.tail`.
+DEFAULT_MAX_SUPPORT = 4096
+
+_EPS = 1e-12
+
+
+class PMF:
+    """A discrete distribution over times ``offset + k`` (unit grid).
+
+    Parameters
+    ----------
+    probs:
+        Probability of each grid point, starting at ``offset``.  Trimmed of
+        leading/trailing zeros on construction.
+    offset:
+        Time coordinate of ``probs[0]``.  Fractional offsets are allowed so
+        distributions can be anchored at arbitrary simulation times; the
+        grid spacing is always one time unit.
+    tail:
+        Probability mass at ``+inf`` — outcomes beyond the truncation
+        horizon.  Always excluded from :meth:`cdf_at`.
+
+    Invariant: ``probs.sum() + tail == 1`` (up to floating error) for a
+    normalized PMF.  Construction does not force normalization (partial
+    distributions are useful while building), but :meth:`normalized` and
+    the ``validate`` flag are provided.
+    """
+
+    __slots__ = ("probs", "offset", "tail")
+
+    def __init__(
+        self,
+        probs: Sequence[float] | np.ndarray,
+        offset: float = 0.0,
+        tail: float = 0.0,
+        *,
+        validate: bool = False,
+    ) -> None:
+        arr = np.asarray(probs, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError(f"probs must be 1-D, got shape {arr.shape}")
+        if tail < -_EPS:
+            raise ValueError(f"tail mass must be non-negative, got {tail}")
+        # Trim zero padding so supports stay tight across convolutions.
+        nz = np.flatnonzero(arr > 0.0)
+        if nz.size == 0:
+            arr = np.zeros(0, dtype=np.float64)
+        else:
+            lo, hi = nz[0], nz[-1] + 1
+            if lo != 0 or hi != arr.size:
+                offset = offset + lo
+                arr = arr[lo:hi]
+        self.probs: np.ndarray = arr
+        self.offset: float = float(offset)
+        self.tail: float = max(float(tail), 0.0)
+        if validate:
+            if np.any(self.probs < -_EPS):
+                raise ValueError("negative probability mass")
+            total = self.total_mass
+            if not math.isclose(total, 1.0, abs_tol=1e-6):
+                raise ValueError(f"PMF mass {total} != 1")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def delta(cls, t: float) -> "PMF":
+        """Point mass at time ``t`` (e.g. 'machine is free now')."""
+        return cls(np.ones(1), offset=t)
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Iterable[float] | np.ndarray,
+        *,
+        bin_width: float = 1.0,
+        min_value: float = 0.0,
+    ) -> "PMF":
+        """Histogram raw samples into a unit-grid PMF.
+
+        This mirrors the paper's PET construction: "histogram on a sampling
+        of 500 points from a Gamma distribution".  Samples are divided by
+        ``bin_width``, floored onto the grid and clipped at ``min_value``.
+        """
+        arr = np.asarray(list(samples) if not isinstance(samples, np.ndarray) else samples,
+                         dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("cannot build a PMF from zero samples")
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        bins = np.floor(arr / bin_width).astype(np.int64)
+        bins = np.maximum(bins, int(math.floor(min_value / bin_width)))
+        lo = int(bins.min())
+        counts = np.bincount(bins - lo).astype(np.float64)
+        return cls(counts / counts.sum(), offset=float(lo))
+
+    @classmethod
+    def from_dict(cls, mapping: dict[float, float], tail: float = 0.0) -> "PMF":
+        """Build from ``{time: probability}`` with integer-spaced keys."""
+        if not mapping:
+            return cls(np.zeros(0), 0.0, tail)
+        keys = sorted(mapping)
+        lo, hi = keys[0], keys[-1]
+        n = int(round(hi - lo)) + 1
+        probs = np.zeros(n)
+        for k, v in mapping.items():
+            idx = int(round(k - lo))
+            if not math.isclose(lo + idx, k, abs_tol=1e-9):
+                raise ValueError(f"key {k} is not on a unit grid anchored at {lo}")
+            probs[idx] += v
+        return cls(probs, offset=float(lo), tail=tail)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def total_mass(self) -> float:
+        """Finite mass plus tail mass (1.0 for a normalized PMF)."""
+        return float(self.probs.sum()) + self.tail
+
+    @property
+    def finite_mass(self) -> float:
+        return float(self.probs.sum())
+
+    @property
+    def support_size(self) -> int:
+        return int(self.probs.size)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.probs.size == 0 and self.tail <= _EPS
+
+    @property
+    def min_time(self) -> float:
+        """Smallest grid point carrying mass (``inf`` if only tail mass)."""
+        return self.offset if self.probs.size else math.inf
+
+    @property
+    def max_time(self) -> float:
+        """Largest *finite* grid point carrying mass."""
+        return self.offset + self.probs.size - 1 if self.probs.size else -math.inf
+
+    def times(self) -> np.ndarray:
+        """Grid coordinates aligned with :attr:`probs`."""
+        return self.offset + np.arange(self.probs.size, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """Expected value.  ``inf`` if any tail mass exists."""
+        if self.tail > _EPS:
+            return math.inf
+        if self.probs.size == 0:
+            return math.nan
+        return float(np.dot(self.times(), self.probs) / self.probs.sum())
+
+    def finite_mean(self) -> float:
+        """Mean of the finite part, conditioned on not being in the tail."""
+        if self.probs.size == 0:
+            return math.nan
+        return float(np.dot(self.times(), self.probs) / self.probs.sum())
+
+    def variance(self) -> float:
+        if self.tail > _EPS:
+            return math.inf
+        m = self.mean()
+        t = self.times()
+        return float(np.dot((t - m) ** 2, self.probs) / self.probs.sum())
+
+    def cdf_at(self, t: float) -> float:
+        """``P(X <= t)``.  Tail mass never counts (it is beyond any t)."""
+        if self.probs.size == 0:
+            return 0.0
+        k = math.floor(t - self.offset)
+        if k < 0:
+            return 0.0
+        k = min(k, self.probs.size - 1)
+        return float(self.probs[: k + 1].sum())
+
+    def sf_at(self, t: float) -> float:
+        """Survival function ``P(X > t)`` including tail mass."""
+        return self.total_mass - self.cdf_at(t)
+
+    def quantile(self, q: float) -> float:
+        """Smallest grid time ``t`` with ``P(X <= t) >= q``.
+
+        Returns ``inf`` when ``q`` exceeds the finite mass (the quantile
+        falls into the tail).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        cum = np.cumsum(self.probs)
+        idx = int(np.searchsorted(cum, q - _EPS))
+        if idx >= self.probs.size:
+            return math.inf
+        return self.offset + idx
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def shift(self, dt: float) -> "PMF":
+        """Translate the distribution by ``dt`` time units."""
+        return PMF(self.probs, self.offset + dt, self.tail)
+
+    def normalized(self) -> "PMF":
+        total = self.total_mass
+        if total <= _EPS:
+            raise ValueError("cannot normalize a zero-mass PMF")
+        return PMF(self.probs / total, self.offset, self.tail / total)
+
+    def truncate(self, horizon: float) -> "PMF":
+        """Fold all mass at grid points > ``horizon`` into the tail."""
+        if self.probs.size == 0 or self.max_time <= horizon:
+            return self
+        keep = int(math.floor(horizon - self.offset)) + 1
+        if keep <= 0:
+            return PMF(np.zeros(0), self.offset, self.total_mass)
+        overflow = float(self.probs[keep:].sum())
+        return PMF(self.probs[:keep], self.offset, self.tail + overflow)
+
+    def condition_at_least(self, t: float) -> "PMF":
+        """Condition on ``X >= t`` (used for already-running tasks).
+
+        A task observed still running at time ``t`` cannot complete before
+        ``t``; the scheduler's belief is the original completion PCT with
+        mass below ``t`` removed and the remainder renormalized.  If no
+        mass remains at or after ``t`` the belief collapses to completion
+        "immediately", i.e. a delta at ``t``.
+        """
+        if self.probs.size == 0:
+            return PMF.delta(t) if self.tail <= _EPS else self
+        cut = int(math.ceil(t - self.offset))
+        if cut <= 0:
+            return self
+        if cut >= self.probs.size:
+            if self.tail > _EPS:
+                return PMF(np.zeros(0), t, 1.0)
+            return PMF.delta(t)
+        kept = self.probs[cut:]
+        total = float(kept.sum()) + self.tail
+        if total <= _EPS:
+            return PMF.delta(t)
+        return PMF(kept / total, self.offset + cut, self.tail / total)
+
+    # ------------------------------------------------------------------
+    # Convolution (Eq. 1)
+    # ------------------------------------------------------------------
+    def convolve(self, other: "PMF", max_support: int = DEFAULT_MAX_SUPPORT) -> "PMF":
+        """Distribution of the sum ``X + Y`` of independent variables.
+
+        Tail mass is absorbing: any outcome involving a tail term is a
+        tail outcome, so ``tail_out = 1 - (1 - tail_x) * (1 - tail_y)``
+        scaled by the respective finite masses.  If the finite convolution
+        exceeds ``max_support`` bins, the overflow is folded into the tail
+        (it only ever *under*-states chance of success, never overstates).
+        """
+        fx, fy = self.finite_mass, other.finite_mass
+        # Mass that ends in the tail because either operand was tail.
+        tail = self.total_mass * other.total_mass - fx * fy
+        if self.probs.size == 0 or other.probs.size == 0:
+            return PMF(np.zeros(0), self.offset + other.offset, tail)
+        if self.probs.size == 1 and other.probs.size >= 1:
+            probs = other.probs * float(self.probs[0])
+        elif other.probs.size == 1:
+            probs = self.probs * float(other.probs[0])
+        else:
+            probs = np.convolve(self.probs, other.probs)
+        out = PMF(probs, self.offset + other.offset, tail)
+        if out.probs.size > max_support:
+            overflow = float(out.probs[max_support:].sum())
+            out = PMF(out.probs[:max_support], out.offset, out.tail + overflow)
+        return out
+
+    def __mul__(self, other: object) -> "PMF":
+        """``a * b`` is convolution, mirroring the paper's Eq. 1 notation."""
+        if not isinstance(other, PMF):
+            return NotImplemented
+        return self.convolve(other)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> float | np.ndarray:
+        """Draw outcomes from the finite part (tail outcomes map to inf)."""
+        total = self.total_mass
+        if total <= _EPS:
+            raise ValueError("cannot sample a zero-mass PMF")
+        n = 1 if size is None else size
+        p = np.concatenate([self.probs, [self.tail]]) / total
+        idx = rng.choice(self.probs.size + 1, size=n, p=p)
+        vals = np.where(idx < self.probs.size, self.offset + idx, np.inf)
+        return float(vals[0]) if size is None else vals
+
+    # ------------------------------------------------------------------
+    # Comparison / repr
+    # ------------------------------------------------------------------
+    def allclose(self, other: "PMF", atol: float = 1e-9) -> bool:
+        if abs(self.tail - other.tail) > atol:
+            return False
+        if self.probs.size == 0 and other.probs.size == 0:
+            return True
+        if self.probs.size == 0 or other.probs.size == 0:
+            return False
+        if abs(self.offset - other.offset) > atol:
+            return False
+        if self.probs.size != other.probs.size:
+            return False
+        return bool(np.allclose(self.probs, other.probs, atol=atol))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PMF(offset={self.offset:g}, support={self.support_size}, "
+            f"mass={self.finite_mass:.6f}, tail={self.tail:.6f})"
+        )

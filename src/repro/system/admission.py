@@ -1,0 +1,95 @@
+"""Admission control: the prune-at-arrival alternative.
+
+A natural competitor to the paper's mechanism (cf. SLA-based admission
+control, the paper's ref [24]): instead of deferring/dropping at mapping
+events, simply *reject* arriving tasks whose chance of success on the
+best machine is below a threshold.  Rejection is irrevocable — unlike a
+deferred task, a rejected task cannot be revisited when a better machine
+frees up.
+
+The ablation this enables (``benchmarks/bench_admission.py``) shows why
+the paper prefers deferring: admission control with the same 50 %
+threshold throws away tasks that deferment would have saved, especially
+in inconsistently heterogeneous clusters where the right machine becomes
+available a few events later.
+
+:class:`AdmissionController` wraps any :class:`~repro.system.allocator.
+ResourceAllocator`-driving system by intercepting ``submit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.task import Task
+from .serverless import ServerlessSystem
+
+__all__ = ["AdmissionController", "AdmissionStats"]
+
+
+@dataclass
+class AdmissionStats:
+    """Counts of the admission decision outcomes."""
+
+    admitted: int = 0
+    rejected: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.admitted + self.rejected
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.total if self.total else 0.0
+
+
+class AdmissionController:
+    """Threshold admission control in front of a serverless system.
+
+    Parameters
+    ----------
+    system:
+        The wrapped system (any heuristic, pruning optional).
+    threshold:
+        Minimum best-machine chance of success required to admit.  The
+        *best machine* is evaluated with the system's own completion
+        estimator against the machines' current state — the information a
+        gateway could realistically have.
+    """
+
+    def __init__(self, system: ServerlessSystem, threshold: float = 0.5) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        self.system = system
+        self.threshold = threshold
+        self.stats = AdmissionStats()
+        self.rejected_tasks: list[Task] = []
+        # Intercept the allocator's submit.
+        self._inner_submit = system.allocator.submit
+        system.allocator.submit = self._submit  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    def best_chance(self, task: Task) -> float:
+        """Chance of success on the machine that maximizes it, now."""
+        est = self.system.estimator
+        now = self.system.sim.now
+        return max(
+            est.chance_of_success(task, machine, now)
+            for machine in self.system.cluster.machines
+        )
+
+    def _submit(self, task: Task) -> None:
+        if self.best_chance(task) < self.threshold:
+            task.mark_dropped(self.system.sim.now, proactive=True)
+            self.system.accounting.record_arrival(task)
+            self.system.accounting.record_drop(task)
+            self.stats.rejected += 1
+            self.rejected_tasks.append(task)
+            return
+        self.stats.admitted += 1
+        self._inner_submit(task)
+
+    # ------------------------------------------------------------------
+    def run(self, tasks, **kwargs):
+        """Convenience: run the wrapped system's trial."""
+        return self.system.run(tasks, **kwargs)

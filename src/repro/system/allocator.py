@@ -1,0 +1,257 @@
+"""Resource allocation systems (Fig. 1): immediate- and batch-mode.
+
+The allocator owns the mapping-event loop and *enacts* pruning decisions:
+
+* a **mapping event** fires when a task arrives (batch mode: only if some
+  machine queue has a free slot) and when a task completes (§II);
+* every mapping event starts by reactively dropping tasks whose deadline
+  already passed (Fig. 5 step 1), then runs fairness/toggle/drop-scan
+  (steps 2–6) when a pruner is attached, then maps tasks (steps 7–11).
+
+The pruner is optional — ``pruner=None`` gives the paper's baseline
+resource allocation, and any heuristic works with or without pruning,
+which is the mechanism's headline "pluggability" property.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+from ..core.accounting import Accounting
+from ..core.pruner import Pruner
+from ..heuristics.base import BatchHeuristic, ImmediateHeuristic
+from ..sim.cluster import Cluster
+from ..sim.engine import Priority, Simulator
+from ..sim.machine import Machine
+from ..sim.task import Task, TaskStatus
+from .completion import CompletionEstimator
+
+__all__ = ["ResourceAllocator", "ImmediateAllocator", "BatchAllocator"]
+
+#: Optional observer of task terminal transitions: ``(event, task, time)``.
+TaskObserver = Callable[[str, Task, float], None]
+
+
+class ResourceAllocator(abc.ABC):
+    """Common machinery for both allocation modes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        estimator: CompletionEstimator,
+        *,
+        pruner: Optional[Pruner] = None,
+        accounting: Optional[Accounting] = None,
+        exec_sampler: Callable[[Task, Machine], float],
+        observer: Optional[TaskObserver] = None,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.estimator = estimator
+        self.pruner = pruner
+        if pruner is not None and accounting is not None and pruner.accounting is not accounting:
+            raise ValueError("pruner and allocator must share one Accounting instance")
+        self.accounting = (
+            pruner.accounting if pruner is not None else (accounting or Accounting())
+        )
+        self.exec_sampler = exec_sampler
+        self.observer = observer
+        self.mapping_events = 0
+        # Machines skip deadline-missed tasks when picking their next job;
+        # record those reactive drops in the accounting.
+        for machine in cluster.machines:
+            machine.on_reap = self._on_machine_reap
+
+    def _on_machine_reap(self, task: Task) -> None:
+        task.mark_dropped(self.sim.now, proactive=False)
+        self.accounting.record_drop(task)
+        self._notify("dropped_missed", task)
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def submit(self, task: Task) -> None:
+        """Handle a task arrival."""
+
+    @abc.abstractmethod
+    def pending_tasks(self) -> list[Task]:
+        """Tasks waiting in the arrival/batch queue (empty for immediate)."""
+
+    # ------------------------------------------------------------------
+    def _notify(self, event: str, task: Task) -> None:
+        if self.observer is not None:
+            self.observer(event, task, self.sim.now)
+
+    def on_completion(self, task: Task, machine: Machine) -> None:
+        """Machine callback: record the completion, fire a mapping event."""
+        self.accounting.record_completion(task)
+        self._notify("completed", task)
+        self._mapping_event(arriving=None)
+
+    def _dispatch(self, task: Task, machine: Machine) -> None:
+        machine.dispatch(task, self.sim, self.exec_sampler, self.on_completion)
+        self._notify("dispatched", task)
+
+    # ------------------------------------------------------------------
+    # Fig. 5 step 1 — reactive dropping of deadline-missed tasks.
+    # ------------------------------------------------------------------
+    def _reactive_drop_pass(self) -> int:
+        now = self.sim.now
+        dropped = 0
+        for machine in self.cluster.machines:
+            missed = [t for t in machine.queue if now > t.deadline]
+            if missed:
+                machine.remove_many(missed)
+                for task in missed:
+                    task.mark_dropped(now, proactive=False)
+                    self.accounting.record_drop(task)
+                    self._notify("dropped_missed", task)
+                    dropped += 1
+        for task in self._pending_deadline_missed(now):
+            task.mark_dropped(now, proactive=False)
+            self.accounting.record_drop(task)
+            self._notify("dropped_missed", task)
+            dropped += 1
+        return dropped
+
+    def _pending_deadline_missed(self, now: float) -> list[Task]:
+        """Remove and return deadline-missed tasks from the arrival queue."""
+        return []
+
+    # ------------------------------------------------------------------
+    # Fig. 5 steps 2–6 — fairness, toggle, drop scan.
+    # ------------------------------------------------------------------
+    def _pruning_prologue(self) -> None:
+        pruner = self.pruner
+        if pruner is None:
+            self.accounting.flush_event()
+            return
+        pruner.update_fairness()
+        if pruner.dropping_engaged():
+            for decision in pruner.drop_scan(self.cluster, self.estimator, self.sim.now):
+                decision.task.mark_dropped(self.sim.now, proactive=True)
+                self.accounting.record_drop(decision.task)
+                self._notify("dropped_proactive", decision.task)
+        # The toggle has consumed this event's miss count; start a fresh
+        # horizon for the next mapping event.
+        pruner.end_mapping_event()
+
+    @abc.abstractmethod
+    def _mapping_event(self, arriving: Optional[Task]) -> None: ...
+
+
+class ImmediateAllocator(ResourceAllocator):
+    """Fig. 1(a): the mapper places each task immediately upon arrival.
+
+    There is no arrival queue, so deferring never applies; the pruning
+    mechanism contributes reactive and proactive *dropping* on the
+    machine queues (the Fig. 7a experiment).
+    """
+
+    def __init__(self, *args, heuristic: ImmediateHeuristic, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if not isinstance(heuristic, ImmediateHeuristic):
+            raise TypeError(
+                f"immediate-mode allocator needs an ImmediateHeuristic, got "
+                f"{type(heuristic).__name__}"
+            )
+        self.heuristic = heuristic
+
+    def submit(self, task: Task) -> None:
+        self.accounting.record_arrival(task)
+        self._notify("arrived", task)
+        self._mapping_event(arriving=task)
+
+    def pending_tasks(self) -> list[Task]:
+        return []
+
+    def _mapping_event(self, arriving: Optional[Task]) -> None:
+        self.mapping_events += 1
+        self._reactive_drop_pass()
+        self._pruning_prologue()
+        if arriving is not None and not arriving.is_terminal:
+            machine = self.heuristic.select_machine(
+                arriving, self.cluster, self.estimator, self.sim.now
+            )
+            arriving.mark_mapped(machine.machine_id, self.sim.now)
+            self._dispatch(arriving, machine)
+
+
+class BatchAllocator(ResourceAllocator):
+    """Fig. 1(b)/(c): arriving tasks pool in a batch queue; mapping events
+    run the two-phase heuristic over the batch and fill machine-queue
+    slots, with the pruner deferring low-chance mappings (steps 7–11)."""
+
+    def __init__(self, *args, heuristic: BatchHeuristic, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if not isinstance(heuristic, BatchHeuristic):
+            raise TypeError(
+                f"batch-mode allocator needs a BatchHeuristic, got "
+                f"{type(heuristic).__name__}"
+            )
+        self.heuristic = heuristic
+        self.batch_queue: list[Task] = []
+
+    def submit(self, task: Task) -> None:
+        self.accounting.record_arrival(task)
+        self._notify("arrived", task)
+        self.batch_queue.append(task)
+        # §II: arrival triggers a mapping event only while machine queues
+        # are not full; otherwise the task waits for the next completion.
+        if self.cluster.any_free_slot():
+            self._mapping_event(arriving=task)
+
+    def pending_tasks(self) -> list[Task]:
+        return list(self.batch_queue)
+
+    def _pending_deadline_missed(self, now: float) -> list[Task]:
+        missed = [t for t in self.batch_queue if now > t.deadline]
+        if missed:
+            missed_ids = {id(t) for t in missed}
+            self.batch_queue = [t for t in self.batch_queue if id(t) not in missed_ids]
+        return missed
+
+    # ------------------------------------------------------------------
+    def _mapping_event(self, arriving: Optional[Task]) -> None:
+        self.mapping_events += 1
+        now = self.sim.now
+        self._reactive_drop_pass()
+        self._pruning_prologue()
+
+        # Fig. 5 steps 7–11: repeatedly plan and dispatch; deferred tasks
+        # leave the eligible set for this event but stay in the batch
+        # queue for the next one.
+        eligible = list(self.batch_queue)
+        while eligible and self.cluster.any_free_slot():
+            plan = self.heuristic.plan(eligible, self.cluster, self.estimator, now)
+            if not plan:
+                break
+            consumed: set[int] = set()
+            for task, machine in plan:
+                if not machine.has_free_slot:
+                    # Real queue state diverged from the virtual plan
+                    # (earlier dispatches filled it); leave the task for
+                    # the next planning round.
+                    continue
+                consumed.add(task.task_id)
+                task.mark_mapped(machine.machine_id, now)
+                if self.pruner is not None and self.pruner.config.enable_deferring:
+                    chance = self.estimator.chance_of_success(task, machine, now)
+                    if self.pruner.should_defer(task, chance):
+                        task.mark_deferred()
+                        self.accounting.record_defer(task)
+                        self._notify("deferred", task)
+                        continue
+                self._remove_from_batch(task)
+                self._dispatch(task, machine)
+            if not consumed:
+                break
+            eligible = [t for t in eligible if t.task_id not in consumed]
+
+    def _remove_from_batch(self, task: Task) -> None:
+        for idx, queued in enumerate(self.batch_queue):
+            if queued is task:
+                del self.batch_queue[idx]
+                return
+        raise RuntimeError(f"task {task.task_id} not in batch queue")

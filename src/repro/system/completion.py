@@ -1,0 +1,233 @@
+"""Completion-time estimation: Eq. 1 (PCT chains) and Eq. 2 (chance of success).
+
+Two views of the same machine state:
+
+* **Scalar view** — expected completion times, used by every mapping
+  heuristic (MCT, MM, MSD, MMU, EDF, SJF ...).  O(queue) additions, no
+  convolutions.
+* **Probabilistic view** — full PCT distributions obtained by convolving
+  PETs along the machine queue (Eq. 1), used by the pruning mechanism to
+  compute chance of success (Eq. 2).
+
+The paper notes (§V-A) that repeated convolution cost is contained via
+"task grouping and memorization of partial results"; we memoize the PCT
+chain per machine keyed on ``(machine.version, now)`` — any queue change
+bumps ``version`` and naturally invalidates the chain.  The ablation bench
+``benchmarks/bench_ablation.py::test_memoization`` measures the saving.
+
+A running task's completion belief is its start-anchored PCT conditioned
+on it not having finished yet (``PMF.condition_at_least(now)``); the
+scalar view uses the conditioned finite mean.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence
+
+from ..sim.machine import Machine
+from ..sim.task import Task
+from ..stochastic.pmf import DEFAULT_MAX_SUPPORT, PMF
+
+__all__ = ["ExecutionModel", "CompletionEstimator"]
+
+
+class ExecutionModel(Protocol):
+    """What the estimator needs from a PET (or ETC) matrix."""
+
+    def pmf(self, task_type: int, machine_type: int) -> PMF: ...
+    def mean(self, task_type: int, machine_type: int) -> float: ...
+
+
+class CompletionEstimator:
+    """Estimates completion times and success probabilities on machines.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.stochastic.PETMatrix` (probabilistic) or
+        :class:`~repro.stochastic.ETCMatrix` (deterministic baseline —
+        chance of success degenerates to a 0/1 step).
+    horizon:
+        PCT chains are truncated ``horizon`` time units past ``now``;
+        beyond-horizon mass is folded into the PMF tail, i.e. treated as
+        "certainly late".  Must exceed the largest deadline slack in the
+        workload for chance values to be exact.
+    condition_running:
+        When True (default) the running task's PCT is conditioned on the
+        task still being unfinished at ``now``.
+    memoize:
+        Cache PCT chains per ``(machine, version, now)``.
+    """
+
+    def __init__(
+        self,
+        model: ExecutionModel,
+        *,
+        horizon: float = 512.0,
+        condition_running: bool = True,
+        memoize: bool = True,
+        max_support: int = DEFAULT_MAX_SUPPORT,
+        cache_capacity: int = 4096,
+    ) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.model = model
+        self.horizon = float(horizon)
+        self.condition_running = condition_running
+        self.memoize = memoize
+        self.max_support = max_support
+        self.cache_capacity = cache_capacity
+        self._chain_cache: dict[tuple[int, int, float], list[PMF]] = {}
+        self._scalar_cache: dict[tuple[int, int, float], list[float]] = {}
+        self._new_pct_cache: dict[tuple[int, int, float, int], PMF] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Scalar (expected-value) view — heuristics
+    # ------------------------------------------------------------------
+    def expected_available(self, machine: Machine, now: float) -> float:
+        """Expected time the machine finishes everything currently queued."""
+        chain = self._scalar_chain(machine, now)
+        return chain[-1]
+
+    def expected_release(self, machine: Machine, now: float) -> float:
+        """Expected time the *running* task (if any) finishes."""
+        return self._scalar_chain(machine, now)[0]
+
+    def expected_completion(
+        self,
+        task_type: int,
+        machine: Machine,
+        now: float,
+        extra_load: float = 0.0,
+    ) -> float:
+        """Expected completion of a new ``task_type`` task appended to the
+        queue, optionally after ``extra_load`` time units of virtually
+        planned work (used by batch heuristics' virtual queues)."""
+        return (
+            self.expected_available(machine, now)
+            + extra_load
+            + self.model.mean(task_type, machine.machine_type)
+        )
+
+    def _scalar_chain(self, machine: Machine, now: float) -> list[float]:
+        """``chain[0]`` = expected release of the running task (or ``now``
+        if idle); ``chain[k]`` = expected completion of the k-th queued
+        task.  The last entry is the expected availability."""
+        key = (machine.machine_id, machine.version, now)
+        if self.memoize:
+            cached = self._scalar_cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
+
+        if machine.running is None:
+            t = now
+        else:
+            run_mean = self.model.mean(machine.running.task_type, machine.machine_type)
+            started = machine.running_started_at
+            assert started is not None
+            if self.condition_running:
+                t = self._running_pct(machine, now).finite_mean()
+                if math.isnan(t):
+                    t = now
+            else:
+                t = max(now, started + run_mean)
+        chain = [t]
+        for queued in machine.queue:
+            t = t + self.model.mean(queued.task_type, machine.machine_type)
+            chain.append(t)
+
+        if self.memoize:
+            self._remember(self._scalar_cache, key, chain)
+        return chain
+
+    # ------------------------------------------------------------------
+    # Probabilistic view — pruning (Eq. 1 / Eq. 2)
+    # ------------------------------------------------------------------
+    def _running_pct(self, machine: Machine, now: float) -> PMF:
+        """Belief over when the running task completes."""
+        running = machine.running
+        assert running is not None
+        started = machine.running_started_at
+        assert started is not None
+        pct = self.model.pmf(running.task_type, machine.machine_type).shift(started)
+        if self.condition_running:
+            pct = pct.condition_at_least(now)
+        return pct.truncate(now + self.horizon)
+
+    def availability_pct(self, machine: Machine, now: float) -> PMF:
+        """PCT of the *last* task currently on the machine (Eq. 1's
+        ``PCT(i-1, j)``): when the machine would start one more task."""
+        chain = self._pct_chain(machine, now)
+        return chain[-1]
+
+    def _pct_chain(self, machine: Machine, now: float) -> list[PMF]:
+        """``chain[0]`` = availability after the running task (delta(now)
+        when idle); ``chain[k]`` = PCT of the k-th queued task."""
+        key = (machine.machine_id, machine.version, now)
+        if self.memoize:
+            cached = self._chain_cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
+
+        base = PMF.delta(now) if machine.running is None else self._running_pct(machine, now)
+        chain = [base]
+        cutoff = now + self.horizon
+        for queued in machine.queue:
+            pet = self.model.pmf(queued.task_type, machine.machine_type)
+            base = base.convolve(pet, max_support=self.max_support).truncate(cutoff)
+            chain.append(base)
+
+        if self.memoize:
+            self._remember(self._chain_cache, key, chain)
+        return chain
+
+    def pct_for_new(self, task_type: int, machine: Machine, now: float) -> PMF:
+        """Eq. 1: PCT of a new task appended to the machine's queue.
+
+        Cached per ``(machine, version, now, task_type)`` — within one
+        mapping event every task of the same type shares this PCT, so
+        defer checks over a large batch queue cost one convolution per
+        (type, machine) instead of one per task.
+        """
+        key = (machine.machine_id, machine.version, now, task_type)
+        if self.memoize:
+            cached = self._new_pct_cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
+        avail = self.availability_pct(machine, now)
+        pet = self.model.pmf(task_type, machine.machine_type)
+        pct = avail.convolve(pet, max_support=self.max_support).truncate(now + self.horizon)
+        if self.memoize:
+            self._remember(self._new_pct_cache, key, pct)
+        return pct
+
+    def chance_of_success(self, task: Task, machine: Machine, now: float) -> float:
+        """Eq. 2 for a task about to be appended to ``machine``'s queue."""
+        return self.pct_for_new(task.task_type, machine, now).cdf_at(task.deadline)
+
+    def queue_chances(self, machine: Machine, now: float) -> list[tuple[Task, float]]:
+        """Chance of success of every *queued* task, in FCFS order — the
+        pruner's drop scan (Fig. 5 steps 4–5) consumes this."""
+        chain = self._pct_chain(machine, now)
+        return [
+            (task, chain[k + 1].cdf_at(task.deadline))
+            for k, task in enumerate(machine.queue)
+        ]
+
+    # ------------------------------------------------------------------
+    def _remember(self, cache: dict, key, value) -> None:
+        if len(cache) >= self.cache_capacity:
+            cache.clear()
+        cache[key] = value
+
+    def cache_stats(self) -> dict[str, int]:
+        return {"hits": self.cache_hits, "misses": self.cache_misses}

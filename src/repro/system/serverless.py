@@ -1,0 +1,206 @@
+"""The serverless-platform facade: one object wiring the whole stack.
+
+:class:`ServerlessSystem` assembles the simulator, cluster, completion
+estimator, mapping heuristic, optional pruning mechanism, and accounting
+into the architecture of Fig. 1(c), runs a workload trial through it, and
+reports a :class:`~repro.metrics.SimulationResult`.
+
+Typical use::
+
+    from repro import (ServerlessSystem, PruningConfig, WorkloadSpec,
+                       generate_pet_matrix, generate_workload)
+    import numpy as np
+
+    pet = generate_pet_matrix(seed=1)
+    tasks = generate_workload(WorkloadSpec(), pet, np.random.default_rng(2))
+    system = ServerlessSystem(pet, heuristic="MM",
+                              pruning=PruningConfig.paper_default(), seed=3)
+    result = system.run(tasks)
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..core.accounting import Accounting
+from ..core.config import PruningConfig
+from ..core.pruner import Pruner
+from ..heuristics.base import BatchHeuristic, ImmediateHeuristic
+from ..heuristics.registry import make_heuristic
+from ..sim.cluster import Cluster
+from ..sim.engine import Priority, Simulator
+from ..sim.machine import Machine
+from ..sim.rng import RngStreams
+from ..sim.task import Task
+from ..metrics.collector import SimulationResult
+from .allocator import BatchAllocator, ImmediateAllocator, ResourceAllocator
+from .completion import CompletionEstimator, ExecutionModel
+
+__all__ = ["ServerlessSystem", "DEFAULT_BATCH_QUEUE_SLOTS"]
+
+#: Machine-queue slots in batch mode.  Bounding machine queues is what
+#: pools tasks in the batch queue where two-phase heuristics (and the
+#: pruner) can reorder them; immediate mode uses unbounded queues.
+DEFAULT_BATCH_QUEUE_SLOTS = 4
+
+
+class ServerlessSystem:
+    """A heterogeneous serverless back-end with optional task pruning.
+
+    Parameters
+    ----------
+    model:
+        :class:`~repro.stochastic.PETMatrix` (or
+        :class:`~repro.stochastic.ETCMatrix` for the deterministic
+        ablation).  Ground-truth execution times are sampled from it and
+        the scheduler estimates from it.
+    heuristic:
+        A heuristic instance or registry name (``"MM"``, ``"KPB"``, ...).
+        Its ``mode`` attribute selects immediate- vs batch-mode
+        allocation.
+    pruning:
+        ``None`` → baseline resource allocation (no pruning mechanism);
+        a :class:`~repro.core.PruningConfig` → pruning mechanism attached.
+    queue_limit:
+        Machine-queue slots.  ``"auto"`` → 4 in batch mode, unbounded in
+        immediate mode (the paper's setup).
+    seed:
+        Root seed for execution-time sampling.
+    """
+
+    def __init__(
+        self,
+        model: ExecutionModel,
+        heuristic: Union[str, ImmediateHeuristic, BatchHeuristic],
+        *,
+        pruning: Optional[PruningConfig] = None,
+        cluster: Optional[Cluster] = None,
+        machines_per_type: int = 1,
+        queue_limit: Union[int, None, str] = "auto",
+        seed: int = 0,
+        horizon: float = 512.0,
+        condition_running: bool = True,
+        memoize: bool = True,
+        observer=None,
+    ) -> None:
+        self.model = model
+        if isinstance(heuristic, str):
+            heuristic = make_heuristic(heuristic)
+        mode = getattr(heuristic, "mode", None)
+        if mode not in ("immediate", "batch"):
+            raise TypeError(f"heuristic {heuristic!r} has unknown mode {mode!r}")
+        self.mode = mode
+        self.heuristic = heuristic
+        heuristic.reset()
+
+        if queue_limit == "auto":
+            queue_limit = DEFAULT_BATCH_QUEUE_SLOTS if mode == "batch" else None
+        if cluster is None:
+            num_types = getattr(model, "num_machine_types")
+            cluster = Cluster.heterogeneous(
+                num_types, machines_per_type=machines_per_type, queue_limit=queue_limit
+            )
+        else:
+            cluster.set_queue_limit(queue_limit)
+        self.cluster = cluster
+
+        self.sim = Simulator()
+        self.rngs = RngStreams(seed)
+        self._exec_rng = self.rngs.stream("exec")
+        self.estimator = CompletionEstimator(
+            model,
+            horizon=horizon,
+            condition_running=condition_running,
+            memoize=memoize,
+        )
+        self.accounting = Accounting()
+        self.pruner: Optional[Pruner] = (
+            Pruner(pruning, self.accounting) if pruning is not None else None
+        )
+
+        sampler = self._sample_execution
+        if mode == "immediate":
+            self.allocator: ResourceAllocator = ImmediateAllocator(
+                self.sim,
+                self.cluster,
+                self.estimator,
+                heuristic=heuristic,  # type: ignore[arg-type]
+                pruner=self.pruner,
+                accounting=self.accounting,
+                exec_sampler=sampler,
+                observer=observer,
+            )
+        else:
+            self.allocator = BatchAllocator(
+                self.sim,
+                self.cluster,
+                self.estimator,
+                heuristic=heuristic,  # type: ignore[arg-type]
+                pruner=self.pruner,
+                accounting=self.accounting,
+                exec_sampler=sampler,
+                observer=observer,
+            )
+        self._submitted: list[Task] = []
+
+    # ------------------------------------------------------------------
+    def _sample_execution(self, task: Task, machine: Machine) -> float:
+        sampler = getattr(self.model, "sample_execution", None)
+        if sampler is not None:
+            return sampler(task.task_type, machine.machine_type, self._exec_rng)
+        # Deterministic model (ETC): execution takes exactly its mean.
+        return self.model.mean(task.task_type, machine.machine_type)
+
+    # ------------------------------------------------------------------
+    def submit_workload(self, tasks: Sequence[Task]) -> None:
+        """Schedule arrival events for a workload trial."""
+        for task in tasks:
+            self._submitted.append(task)
+            self.sim.schedule(
+                task.arrival,
+                (lambda t=task: self.allocator.submit(t)),
+                priority=Priority.ARRIVAL,
+            )
+
+    def run(
+        self,
+        tasks: Sequence[Task] | None = None,
+        *,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> SimulationResult:
+        """Run a trial to completion and aggregate the outcome.
+
+        Any task still pending when the event queue drains (e.g. deferred
+        forever by the pruner) is finalized as a reactive drop — it never
+        ran and its deadline is unreachable once no events remain.
+        """
+        if tasks is not None:
+            self.submit_workload(tasks)
+        self.sim.run(until=until, max_events=max_events)
+        self._finalize_leftovers()
+        return self.result()
+
+    def _finalize_leftovers(self) -> None:
+        for task in self._submitted:
+            if not task.is_terminal:
+                task.mark_dropped(self.sim.now, proactive=False)
+                self.accounting.record_drop(task)
+
+    # ------------------------------------------------------------------
+    def result(self, tasks: Sequence[Task] | None = None) -> SimulationResult:
+        """Aggregate outcomes — optionally over a subset (e.g. the
+        edge-trimmed evaluation window of §V-B)."""
+        universe = self._submitted if tasks is None else list(tasks)
+        return SimulationResult.from_tasks(
+            universe,
+            cluster=self.cluster,
+            makespan=self.sim.now,
+            defer_decisions=self.accounting.total_defers,
+            mapping_events=self.allocator.mapping_events,
+        )
+
+    @property
+    def tasks(self) -> list[Task]:
+        return list(self._submitted)

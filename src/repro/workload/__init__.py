@@ -1,0 +1,42 @@
+"""Workload generation (§V-B): arrival patterns, deadlines, traces."""
+
+from .arrivals import (
+    arrival_rate_series,
+    constant_arrivals,
+    generate_type_arrivals,
+    spiky_arrivals,
+    spiky_rate_profile,
+)
+from .generator import assign_deadlines, generate_workload, trimmed_slice
+from .models import (
+    DiurnalSpec,
+    MMPPSpec,
+    diurnal_arrivals,
+    mmpp_arrivals,
+    workload_from_arrivals,
+)
+from .spec import PAPER_TIME_SPAN, ArrivalPattern, WorkloadSpec
+from .trace import load_trace, records_to_tasks, save_trace, tasks_to_records
+
+__all__ = [
+    "WorkloadSpec",
+    "ArrivalPattern",
+    "PAPER_TIME_SPAN",
+    "generate_workload",
+    "assign_deadlines",
+    "trimmed_slice",
+    "constant_arrivals",
+    "spiky_arrivals",
+    "spiky_rate_profile",
+    "generate_type_arrivals",
+    "arrival_rate_series",
+    "DiurnalSpec",
+    "MMPPSpec",
+    "diurnal_arrivals",
+    "mmpp_arrivals",
+    "workload_from_arrivals",
+    "save_trace",
+    "load_trace",
+    "tasks_to_records",
+    "records_to_tasks",
+]

@@ -1,0 +1,90 @@
+"""Full workload generation: arrivals + Eq. 4 deadlines → task list.
+
+Eq. 4:  δ_i = arr_i + avg_i + β · avg_all
+
+where ``avg_i`` is the mean duration of the task's type (across machine
+types), ``avg_all`` the mean duration over all types, and β is drawn
+uniformly per task from the spec's ``beta_range`` ("the value of β of
+each task is randomly chosen from the range of [0.8, 2.5]").
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..sim.task import Task
+from .arrivals import generate_type_arrivals
+from .spec import WorkloadSpec
+
+__all__ = ["DurationModel", "generate_workload", "trimmed_slice", "assign_deadlines"]
+
+
+class DurationModel(Protocol):
+    """What deadline assignment needs from a PET/ETC matrix."""
+
+    def type_mean(self, task_type: int) -> float: ...
+    def overall_mean(self) -> float: ...
+
+    @property
+    def num_task_types(self) -> int: ...
+
+
+def assign_deadlines(
+    arrivals: np.ndarray,
+    task_type: int,
+    model: DurationModel,
+    rng: np.random.Generator,
+    beta_range: tuple[float, float],
+) -> np.ndarray:
+    """Vectorized Eq. 4 for all arrivals of one task type."""
+    lo, hi = beta_range
+    betas = rng.uniform(lo, hi, size=arrivals.size)
+    return arrivals + model.type_mean(task_type) + betas * model.overall_mean()
+
+
+def generate_workload(
+    spec: WorkloadSpec,
+    model: DurationModel,
+    rng: np.random.Generator,
+) -> list[Task]:
+    """Generate one workload trial: tasks sorted by arrival time, ids in
+    arrival order.
+
+    The expected task count is split evenly across the spec's task types
+    (capped at the model's type count); actual counts vary stochastically
+    with the arrival process, as in the paper.
+    """
+    num_types = min(spec.num_task_types, model.num_task_types)
+    if num_types <= 0:
+        raise ValueError("no task types available")
+    per_type = spec.num_tasks / num_types
+
+    records: list[tuple[float, int, float]] = []  # (arrival, type, deadline)
+    for ttype in range(num_types):
+        arrivals = generate_type_arrivals(spec, per_type, rng)
+        if arrivals.size == 0:
+            continue
+        deadlines = assign_deadlines(arrivals, ttype, model, rng, spec.beta_range)
+        records.extend(
+            (float(a), ttype, float(d)) for a, d in zip(arrivals, deadlines)
+        )
+
+    records.sort(key=lambda r: r[0])
+    return [
+        Task(task_id=i, task_type=ttype, arrival=arr, deadline=dl)
+        for i, (arr, ttype, dl) in enumerate(records)
+    ]
+
+
+def trimmed_slice(tasks: Sequence[Task], trim: int) -> Sequence[Task]:
+    """Drop the first/last ``trim`` tasks from *metrics* (§V-B: "The first
+    and last 100 tasks in each workload trial are removed from the data"
+    so results focus on the oversubscribed steady state).  The tasks still
+    run in the simulation; only the evaluation window shrinks."""
+    if trim <= 0:
+        return tasks
+    if 2 * trim >= len(tasks):
+        raise ValueError(f"trim {trim} would discard the whole trace of {len(tasks)}")
+    return tasks[trim : len(tasks) - trim]

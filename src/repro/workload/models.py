@@ -1,0 +1,187 @@
+"""Additional arrival models beyond the paper's constant/spiky pair.
+
+§V-B motivates the spiky pattern with "arrival patterns observed in HC
+systems" and cites the characterization of mainstream video portals
+(Miranda et al., ref [33]), which exhibit *diurnal* cycles and *bursty*
+(Markov-modulated) request streams.  This module provides both, plus a
+generic bridge that turns any per-type arrival arrays into a task list
+with Eq. 4 deadlines — so every experiment in the harness can be re-run
+under a different arrival law.
+
+* :func:`diurnal_arrivals` — sinusoidal day/night rate modulation;
+* :func:`mmpp_arrivals` — a Markov-modulated Poisson process alternating
+  between quiet and bursty states with exponential dwell times;
+* :func:`workload_from_arrivals` — arrivals → :class:`~repro.sim.task.
+  Task` list with Eq. 4 deadlines, matching :func:`~repro.workload.
+  generator.generate_workload` conventions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..sim.task import Task
+from .generator import DurationModel, assign_deadlines
+
+__all__ = [
+    "DiurnalSpec",
+    "MMPPSpec",
+    "diurnal_arrivals",
+    "mmpp_arrivals",
+    "workload_from_arrivals",
+]
+
+
+@dataclass(frozen=True)
+class DiurnalSpec:
+    """Sinusoidal rate profile: ``rate(t) ∝ 1 + depth·sin(2πt/period)``."""
+
+    period: float = 200.0
+    #: Peak-to-mean modulation depth in [0, 1); 0 degenerates to constant.
+    depth: float = 0.6
+    #: Phase offset as a fraction of the period.
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= self.depth < 1.0:
+            raise ValueError("depth must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class MMPPSpec:
+    """Two-state Markov-modulated Poisson process.
+
+    The process alternates between a *quiet* state (relative rate 1) and
+    a *burst* state (relative rate ``burst_ratio``); dwell times in each
+    state are exponential with the given means.
+    """
+
+    burst_ratio: float = 5.0
+    mean_quiet_dwell: float = 80.0
+    mean_burst_dwell: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.burst_ratio < 1.0:
+            raise ValueError("burst_ratio must be >= 1")
+        if self.mean_quiet_dwell <= 0 or self.mean_burst_dwell <= 0:
+            raise ValueError("dwell times must be positive")
+
+    @property
+    def stationary_burst_fraction(self) -> float:
+        """Long-run fraction of time spent in the burst state."""
+        return self.mean_burst_dwell / (self.mean_quiet_dwell + self.mean_burst_dwell)
+
+    @property
+    def mean_rate_multiplier(self) -> float:
+        f = self.stationary_burst_fraction
+        return (1.0 - f) + self.burst_ratio * f
+
+
+def _thinned_poisson(
+    base_rate: float,
+    peak_multiplier: float,
+    multiplier_at,
+    time_span: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Inhomogeneous Poisson sampling by thinning against the peak rate."""
+    peak_rate = base_rate * peak_multiplier
+    if peak_rate <= 0:
+        return np.empty(0)
+    times = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / peak_rate)
+        if t >= time_span:
+            break
+        if rng.random() <= multiplier_at(t) / peak_multiplier:
+            times.append(t)
+    return np.asarray(times)
+
+
+def diurnal_arrivals(
+    expected_count: float,
+    time_span: float,
+    rng: np.random.Generator,
+    spec: DiurnalSpec | None = None,
+) -> np.ndarray:
+    """Arrival times under a sinusoidal (day/night) rate profile."""
+    spec = spec or DiurnalSpec()
+    if expected_count <= 0:
+        return np.empty(0)
+    base_rate = expected_count / time_span  # sinus integrates to its mean
+
+    def multiplier(t: float) -> float:
+        return 1.0 + spec.depth * math.sin(
+            2.0 * math.pi * (t / spec.period + spec.phase)
+        )
+
+    return _thinned_poisson(base_rate, 1.0 + spec.depth, multiplier, time_span, rng)
+
+
+def mmpp_arrivals(
+    expected_count: float,
+    time_span: float,
+    rng: np.random.Generator,
+    spec: MMPPSpec | None = None,
+) -> np.ndarray:
+    """Arrival times from a two-state MMPP normalized to the expected
+    total count over the span."""
+    spec = spec or MMPPSpec()
+    if expected_count <= 0:
+        return np.empty(0)
+    base_rate = expected_count / (time_span * spec.mean_rate_multiplier)
+
+    # Pre-sample the state trajectory, then thin a Poisson stream on it.
+    switch_times: list[float] = []
+    states: list[int] = []  # 0 quiet, 1 burst
+    t, state = 0.0, 0
+    while t < time_span:
+        states.append(state)
+        switch_times.append(t)
+        dwell = rng.exponential(
+            spec.mean_quiet_dwell if state == 0 else spec.mean_burst_dwell
+        )
+        t += dwell
+        state = 1 - state
+    switch = np.asarray(switch_times)
+
+    def multiplier(at: float) -> float:
+        idx = int(np.searchsorted(switch, at, side="right")) - 1
+        return spec.burst_ratio if states[max(idx, 0)] == 1 else 1.0
+
+    return _thinned_poisson(base_rate, spec.burst_ratio, multiplier, time_span, rng)
+
+
+def workload_from_arrivals(
+    arrivals_by_type: Mapping[int, Sequence[float]] | Mapping[int, np.ndarray],
+    model: DurationModel,
+    rng: np.random.Generator,
+    *,
+    beta_range: tuple[float, float] = (0.8, 2.5),
+) -> list[Task]:
+    """Turn per-type arrival arrays into a task list with Eq. 4 deadlines.
+
+    Matches :func:`~repro.workload.generator.generate_workload`'s
+    conventions: tasks sorted by arrival, ids sequential in arrival order.
+    """
+    records: list[tuple[float, int, float]] = []
+    for ttype in sorted(arrivals_by_type):
+        if not 0 <= ttype < model.num_task_types:
+            raise ValueError(f"task type {ttype} outside the model's range")
+        arr = np.asarray(arrivals_by_type[ttype], dtype=np.float64)
+        if arr.size == 0:
+            continue
+        deadlines = assign_deadlines(arr, ttype, model, rng, beta_range)
+        records.extend((float(a), ttype, float(d)) for a, d in zip(arr, deadlines))
+    records.sort(key=lambda r: r[0])
+    return [
+        Task(task_id=i, task_type=tt, arrival=a, deadline=d)
+        for i, (a, tt, d) in enumerate(records)
+    ]

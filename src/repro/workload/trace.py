@@ -1,0 +1,100 @@
+"""Workload trace persistence.
+
+The paper published its workload trials for reproducibility (§V-B,
+git.io/fhSZW — now dead).  We persist traces as JSON: the spec that
+generated them plus the immutable identity of every task, so any trial
+can be re-run bit-for-bit and shared.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from ..sim.task import Task
+from .spec import ArrivalPattern, WorkloadSpec
+
+__all__ = ["save_trace", "load_trace", "tasks_to_records", "records_to_tasks"]
+
+_FORMAT_VERSION = 1
+
+
+def tasks_to_records(tasks: Sequence[Task]) -> list[dict]:
+    """Immutable identity of each task (scheduling state is not saved)."""
+    return [
+        {
+            "id": t.task_id,
+            "type": t.task_type,
+            "arrival": t.arrival,
+            "deadline": t.deadline,
+        }
+        for t in tasks
+    ]
+
+
+def records_to_tasks(records: Sequence[dict]) -> list[Task]:
+    """Rebuild fresh (PENDING) tasks from trace records."""
+    return [
+        Task(
+            task_id=int(r["id"]),
+            task_type=int(r["type"]),
+            arrival=float(r["arrival"]),
+            deadline=float(r["deadline"]),
+        )
+        for r in records
+    ]
+
+
+def _spec_to_dict(spec: WorkloadSpec) -> dict:
+    return {
+        "num_tasks": spec.num_tasks,
+        "time_span": spec.time_span,
+        "num_task_types": spec.num_task_types,
+        "pattern": spec.pattern.value,
+        "variance_fraction": spec.variance_fraction,
+        "spike_amplitude": spec.spike_amplitude,
+        "spike_duration_fraction": spec.spike_duration_fraction,
+        "num_spikes": spec.num_spikes,
+        "beta_range": list(spec.beta_range),
+        "trim_edge_tasks": spec.trim_edge_tasks,
+    }
+
+
+def _spec_from_dict(d: dict) -> WorkloadSpec:
+    return WorkloadSpec(
+        num_tasks=d["num_tasks"],
+        time_span=d["time_span"],
+        num_task_types=d["num_task_types"],
+        pattern=ArrivalPattern(d["pattern"]),
+        variance_fraction=d["variance_fraction"],
+        spike_amplitude=d["spike_amplitude"],
+        spike_duration_fraction=d["spike_duration_fraction"],
+        num_spikes=d["num_spikes"],
+        beta_range=tuple(d["beta_range"]),
+        trim_edge_tasks=d["trim_edge_tasks"],
+    )
+
+
+def save_trace(
+    path: str | Path, tasks: Sequence[Task], spec: WorkloadSpec | None = None
+) -> None:
+    """Write a workload trial to ``path`` as JSON."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "spec": _spec_to_dict(spec) if spec is not None else None,
+        "tasks": tasks_to_records(tasks),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_trace(path: str | Path) -> tuple[list[Task], WorkloadSpec | None]:
+    """Read a workload trial; returns fresh (PENDING) tasks plus the spec
+    if one was saved."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version}")
+    tasks = records_to_tasks(payload["tasks"])
+    spec = _spec_from_dict(payload["spec"]) if payload.get("spec") else None
+    return tasks, spec

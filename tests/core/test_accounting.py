@@ -1,0 +1,120 @@
+"""Tests for the Accounting module (Fig. 4)."""
+
+import pytest
+
+from repro.core.accounting import Accounting
+from repro.sim.task import Task
+
+
+def finished_task(i=0, ttype=0, *, late=False):
+    t = Task(task_id=i, task_type=ttype, arrival=0.0, deadline=10.0)
+    t.mark_mapped(0, 0.0)
+    t.mark_running(0.0, 5.0)
+    t.mark_completed(20.0 if late else 5.0)
+    return t
+
+
+def dropped_task(i=0, ttype=0, *, proactive=False):
+    t = Task(task_id=i, task_type=ttype, arrival=0.0, deadline=10.0)
+    t.mark_dropped(11.0, proactive=proactive)
+    return t
+
+
+class TestRecording:
+    def test_arrival_counts(self):
+        acc = Accounting()
+        for i in range(3):
+            acc.record_arrival(Task(task_id=i, task_type=1, arrival=0.0, deadline=5.0))
+        assert acc.total_arrived == 3
+        assert acc.per_type[1].arrived == 3
+
+    def test_on_time_completion(self):
+        acc = Accounting()
+        acc.record_completion(finished_task())
+        assert acc.total_on_time == 1
+        assert acc.per_type[0].completed_on_time == 1
+        assert acc.misses_since_last_event == 0
+        assert len(acc.on_time_since_last_event()) == 1
+
+    def test_late_completion_counts_as_miss(self):
+        acc = Accounting()
+        acc.record_completion(finished_task(late=True))
+        assert acc.total_late == 1
+        assert acc.misses_since_last_event == 1
+        assert acc.on_time_since_last_event() == []
+
+    def test_reactive_drop_counts_as_miss(self):
+        acc = Accounting()
+        acc.record_drop(dropped_task(proactive=False))
+        assert acc.total_dropped_missed == 1
+        assert acc.misses_since_last_event == 1
+
+    def test_proactive_drop_not_a_miss(self):
+        """Proactive drops are the mechanism working, not oversubscription
+        evidence — only deadline misses drive the Toggle."""
+        acc = Accounting()
+        acc.record_drop(dropped_task(proactive=True))
+        assert acc.total_dropped_proactive == 1
+        assert acc.misses_since_last_event == 0
+
+    def test_defer(self):
+        acc = Accounting()
+        t = Task(task_id=0, task_type=2, arrival=0.0, deadline=5.0)
+        acc.record_defer(t)
+        acc.record_defer(t)
+        assert acc.total_defers == 2
+        assert acc.per_type[2].deferred == 2
+
+    def test_record_completion_wrong_status(self):
+        acc = Accounting()
+        with pytest.raises(ValueError):
+            acc.record_completion(Task(task_id=0, task_type=0, arrival=0.0, deadline=5.0))
+
+    def test_record_drop_wrong_status(self):
+        acc = Accounting()
+        with pytest.raises(ValueError):
+            acc.record_drop(finished_task())
+
+
+class TestEventHorizon:
+    def test_flush_resets_event_buffers_only(self):
+        acc = Accounting()
+        acc.record_completion(finished_task(0))
+        acc.record_drop(dropped_task(1))
+        acc.flush_event()
+        assert acc.misses_since_last_event == 0
+        assert acc.on_time_since_last_event() == []
+        # cumulative counters survive
+        assert acc.total_on_time == 1
+        assert acc.total_dropped_missed == 1
+
+    def test_on_time_buffer_is_copy(self):
+        acc = Accounting()
+        acc.record_completion(finished_task())
+        buf = acc.on_time_since_last_event()
+        buf.clear()
+        assert len(acc.on_time_since_last_event()) == 1
+
+
+class TestHistograms:
+    def test_type_histogram(self):
+        acc = Accounting()
+        acc.record_completion(finished_task(0, ttype=0))
+        acc.record_completion(finished_task(1, ttype=0))
+        acc.record_completion(finished_task(2, ttype=1))
+        hist = acc.type_histogram()
+        assert hist[0] == 2 and hist[1] == 1
+
+    def test_drop_histogram_combines_both_kinds(self):
+        acc = Accounting()
+        acc.record_drop(dropped_task(0, ttype=3, proactive=True))
+        acc.record_drop(dropped_task(1, ttype=3, proactive=False))
+        assert acc.drop_histogram()[3] == 2
+
+    def test_type_counters_properties(self):
+        acc = Accounting()
+        acc.record_drop(dropped_task(0, ttype=1, proactive=True))
+        acc.record_completion(finished_task(1, ttype=1, late=True))
+        c = acc.per_type[1]
+        assert c.dropped == 1
+        assert c.finished == 2

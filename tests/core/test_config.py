@@ -1,0 +1,65 @@
+"""Tests for PruningConfig validation and presets."""
+
+import pytest
+
+from repro.core.config import PruningConfig, ToggleMode
+
+
+class TestValidation:
+    def test_defaults_match_paper(self):
+        cfg = PruningConfig.paper_default()
+        assert cfg.pruning_threshold == 0.5
+        assert cfg.fairness_factor == 0.05
+        assert cfg.dropping_toggle == 0
+        assert cfg.toggle_mode is ToggleMode.REACTIVE
+        assert cfg.enable_deferring and cfg.enable_dropping and cfg.enable_fairness
+
+    @pytest.mark.parametrize("th", [-0.1, 1.1])
+    def test_threshold_range(self, th):
+        with pytest.raises(ValueError, match="pruning_threshold"):
+            PruningConfig(pruning_threshold=th)
+
+    @pytest.mark.parametrize("th", [0.0, 0.5, 1.0])
+    def test_threshold_bounds_ok(self, th):
+        PruningConfig(pruning_threshold=th)
+
+    def test_negative_toggle_rejected(self):
+        with pytest.raises(ValueError, match="dropping_toggle"):
+            PruningConfig(dropping_toggle=-1)
+
+    def test_negative_fairness_rejected(self):
+        with pytest.raises(ValueError, match="fairness_factor"):
+            PruningConfig(fairness_factor=-0.01)
+
+    def test_string_toggle_mode_coerced(self):
+        cfg = PruningConfig(toggle_mode="always")
+        assert cfg.toggle_mode is ToggleMode.ALWAYS
+
+    def test_frozen(self):
+        cfg = PruningConfig()
+        with pytest.raises(AttributeError):
+            cfg.pruning_threshold = 0.9
+
+
+class TestPresets:
+    def test_defer_only(self):
+        cfg = PruningConfig.defer_only(0.25)
+        assert cfg.pruning_threshold == 0.25
+        assert cfg.enable_deferring
+        assert not cfg.enable_dropping
+        assert cfg.toggle_mode is ToggleMode.NEVER
+
+    def test_drop_only(self):
+        cfg = PruningConfig.drop_only(ToggleMode.ALWAYS)
+        assert cfg.enable_dropping
+        assert not cfg.enable_deferring
+        assert cfg.toggle_mode is ToggleMode.ALWAYS
+
+    def test_with_updates(self):
+        cfg = PruningConfig().with_(pruning_threshold=0.75)
+        assert cfg.pruning_threshold == 0.75
+        assert cfg.fairness_factor == 0.05
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            PruningConfig().with_(pruning_threshold=2.0)

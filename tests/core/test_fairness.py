@@ -1,0 +1,87 @@
+"""Tests for the Fairness module (sufferage scores, §IV-D)."""
+
+import pytest
+
+from repro.core.fairness import FairnessTracker
+
+
+class TestScores:
+    def test_initial_zero(self):
+        f = FairnessTracker(0.05)
+        assert f.score(0) == 0.0
+        assert f.effective_threshold(0.5, 0) == 0.5
+
+    def test_drop_raises_score(self):
+        f = FairnessTracker(0.05)
+        f.note_drop(1)
+        assert f.score(1) == pytest.approx(0.05)
+        assert f.effective_threshold(0.5, 1) == pytest.approx(0.45)
+
+    def test_completion_repays_sufferage(self):
+        f = FairnessTracker(0.05)
+        f.note_drop(1)
+        f.note_drop(1)
+        f.note_on_time_completion(1)
+        assert f.score(1) == pytest.approx(0.05)
+
+    def test_completion_never_goes_negative(self):
+        """Sufferage floors at zero: a type doing well returns to the base
+        threshold, it does not get extra-pruned."""
+        f = FairnessTracker(0.05)
+        for _ in range(100):
+            f.note_on_time_completion(2)
+        assert f.score(2) == 0.0
+        assert f.effective_threshold(0.5, 2) == 0.5
+
+    def test_score_ceiling(self):
+        f = FairnessTracker(0.4, clamp=1.0)
+        for _ in range(10):
+            f.note_drop(0)
+        assert f.score(0) == 1.0
+
+    def test_effective_threshold_clamped_to_zero(self):
+        f = FairnessTracker(0.4)
+        for _ in range(5):
+            f.note_drop(0)
+        assert f.effective_threshold(0.5, 0) == 0.0
+
+    def test_types_independent(self):
+        f = FairnessTracker(0.05)
+        f.note_drop(0)
+        assert f.score(1) == 0.0
+
+    def test_reset(self):
+        f = FairnessTracker(0.05)
+        f.note_drop(0)
+        f.reset()
+        assert f.score(0) == 0.0
+
+    def test_scores_snapshot(self):
+        f = FairnessTracker(0.1)
+        f.note_drop(3)
+        snap = f.scores()
+        assert snap == {3: pytest.approx(0.1)}
+
+
+class TestDisabled:
+    def test_disabled_scores_frozen(self):
+        f = FairnessTracker(0.05, enabled=False)
+        f.note_drop(0)
+        f.note_on_time_completion(0)
+        assert f.score(0) == 0.0
+        assert f.effective_threshold(0.5, 0) == 0.5
+
+    def test_zero_factor_equivalent(self):
+        f = FairnessTracker(0.0)
+        f.note_drop(0)
+        assert f.score(0) == 0.0
+
+
+class TestValidation:
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            FairnessTracker(-0.1)
+
+    def test_bad_clamp_rejected(self):
+        with pytest.raises(ValueError):
+            FairnessTracker(0.1, clamp=0.0)

@@ -1,0 +1,179 @@
+"""Tests for the Pruner's drop-scan and defer decisions (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.accounting import Accounting
+from repro.core.config import PruningConfig, ToggleMode
+from repro.core.pruner import Pruner
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.task import Task, TaskStatus
+from repro.system.completion import CompletionEstimator
+
+from tests.conftest import make_deterministic_pet
+
+
+@pytest.fixture
+def env():
+    """One machine; type 0 runs exactly 10 time units (deterministic)."""
+    pet = make_deterministic_pet(np.array([[10.0]]))
+    cluster = Cluster.heterogeneous(1)
+    sim = Simulator()
+    est = CompletionEstimator(pet)
+    return pet, cluster, sim, est
+
+
+def queue_task(cluster, sim, i, deadline, ttype=0):
+    t = Task(task_id=i, task_type=ttype, arrival=0.0, deadline=deadline)
+    t.mark_mapped(0, sim.now)
+    cluster[0].dispatch(t, sim, lambda *a: 10.0, lambda *a: None)
+    return t
+
+
+class TestDropScan:
+    def test_drops_hopeless_keeps_viable(self, env):
+        _, cluster, sim, est = env
+        running = queue_task(cluster, sim, 0, deadline=100.0)  # starts running
+        viable = queue_task(cluster, sim, 1, deadline=100.0)   # completes ~20
+        doomed = queue_task(cluster, sim, 2, deadline=15.0)    # completes ~30 > 15
+        pruner = Pruner(PruningConfig.paper_default())
+        decisions = pruner.drop_scan(cluster, est, now=0.0)
+        assert [d.task.task_id for d in decisions] == [2]
+        assert doomed not in cluster[0].queue
+        assert viable in cluster[0].queue
+        assert running is cluster[0].running
+
+    def test_drop_shortens_chain_for_survivors(self, env):
+        """Dropping a queue-head task must rescue the task behind it: the
+        re-scan uses the shortened convolution chain (§II)."""
+        _, cluster, sim, est = env
+        queue_task(cluster, sim, 0, deadline=100.0)           # running
+        head_doomed = queue_task(cluster, sim, 1, deadline=15.0)  # ~20 > 15
+        behind = queue_task(cluster, sim, 2, deadline=25.0)   # ~30 with head, ~20 without
+        pruner = Pruner(PruningConfig.paper_default())
+        decisions = pruner.drop_scan(cluster, est, now=0.0)
+        assert [d.task.task_id for d in decisions] == [1]
+        assert behind in cluster[0].queue
+
+    def test_cascade_when_survivor_still_hopeless(self, env):
+        _, cluster, sim, est = env
+        queue_task(cluster, sim, 0, deadline=100.0)  # running
+        a = queue_task(cluster, sim, 1, deadline=15.0)  # hopeless
+        b = queue_task(cluster, sim, 2, deadline=15.0)  # hopeless even alone (~20)
+        pruner = Pruner(PruningConfig.paper_default())
+        decisions = pruner.drop_scan(cluster, est, now=0.0)
+        assert {d.task.task_id for d in decisions} == {1, 2}
+        assert cluster[0].queue == []
+
+    def test_never_touches_running_task(self, env):
+        _, cluster, sim, est = env
+        running = queue_task(cluster, sim, 0, deadline=5.0)  # hopeless but running
+        pruner = Pruner(PruningConfig.paper_default())
+        assert pruner.drop_scan(cluster, est, now=0.0) == []
+        assert cluster[0].running is running
+
+    def test_decisions_carry_chance_and_threshold(self, env):
+        _, cluster, sim, est = env
+        queue_task(cluster, sim, 0, deadline=100.0)
+        queue_task(cluster, sim, 1, deadline=15.0)
+        pruner = Pruner(PruningConfig.paper_default())
+        (d,) = pruner.drop_scan(cluster, est, now=0.0)
+        assert d.chance == pytest.approx(0.0)
+        assert d.effective_threshold == pytest.approx(0.5)
+        assert d.machine is cluster[0]
+
+    def test_drop_updates_fairness(self, env):
+        _, cluster, sim, est = env
+        queue_task(cluster, sim, 0, deadline=100.0)
+        queue_task(cluster, sim, 1, deadline=15.0)
+        pruner = Pruner(PruningConfig.paper_default())
+        pruner.drop_scan(cluster, est, now=0.0)
+        assert pruner.fairness.score(0) == pytest.approx(0.05)
+        assert pruner.drop_decisions == 1
+
+    def test_fairness_offset_can_save_a_task(self, env):
+        """A heavily suffered type gets effective threshold 0 and borderline
+        tasks survive the scan."""
+        _, cluster, sim, est = env
+        queue_task(cluster, sim, 0, deadline=100.0)
+        borderline = queue_task(cluster, sim, 1, deadline=20.0)  # chance ~=0.5... exactly 1 at 20
+        hopeless = queue_task(cluster, sim, 2, deadline=15.0)
+        pruner = Pruner(PruningConfig.paper_default())
+        for _ in range(20):
+            pruner.fairness.note_drop(0)  # effective threshold → 0
+        decisions = pruner.drop_scan(cluster, est, now=0.0)
+        # chance(hopeless)=0.0 ≤ 0.0 → still dropped; borderline (chance 1) kept
+        assert [d.task.task_id for d in decisions] == [2]
+        assert borderline in cluster[0].queue
+
+
+class TestDeferDecision:
+    def test_defers_below_threshold(self):
+        pruner = Pruner(PruningConfig.paper_default())
+        t = Task(task_id=0, task_type=0, arrival=0.0, deadline=10.0)
+        assert pruner.should_defer(t, chance=0.3) is True
+        assert pruner.defer_decisions == 1
+
+    def test_keeps_above_threshold(self):
+        pruner = Pruner(PruningConfig.paper_default())
+        t = Task(task_id=0, task_type=0, arrival=0.0, deadline=10.0)
+        assert pruner.should_defer(t, chance=0.7) is False
+
+    def test_boundary_is_inclusive(self):
+        """Fig. 5 step 10: chance ≤ β defers."""
+        pruner = Pruner(PruningConfig.paper_default())
+        t = Task(task_id=0, task_type=0, arrival=0.0, deadline=10.0)
+        assert pruner.should_defer(t, chance=0.5) is True
+
+    def test_disabled_deferring(self):
+        pruner = Pruner(PruningConfig.drop_only())
+        t = Task(task_id=0, task_type=0, arrival=0.0, deadline=10.0)
+        assert pruner.should_defer(t, chance=0.0) is False
+
+    def test_fairness_lowers_defer_bar(self):
+        pruner = Pruner(PruningConfig.paper_default())
+        t = Task(task_id=0, task_type=0, arrival=0.0, deadline=10.0)
+        for _ in range(4):
+            pruner.fairness.note_drop(0)  # γ=0.2 → bar 0.3
+        assert pruner.should_defer(t, chance=0.35) is False
+        assert pruner.should_defer(t, chance=0.25) is True
+
+
+class TestToggleIntegration:
+    def test_dropping_engaged_follows_toggle(self):
+        acc = Accounting()
+        pruner = Pruner(PruningConfig.paper_default(), acc)
+        assert not pruner.dropping_engaged()
+        t = Task(task_id=0, task_type=0, arrival=0.0, deadline=1.0)
+        t.mark_dropped(2.0, proactive=False)
+        acc.record_drop(t)
+        assert pruner.dropping_engaged()
+
+    def test_dropping_disabled_overrides_toggle(self):
+        acc = Accounting()
+        pruner = Pruner(
+            PruningConfig(toggle_mode=ToggleMode.ALWAYS, enable_dropping=False), acc
+        )
+        assert not pruner.dropping_engaged()
+
+    def test_update_fairness_consumes_completions(self):
+        acc = Accounting()
+        pruner = Pruner(PruningConfig.paper_default(), acc)
+        pruner.fairness.note_drop(0)
+        t = Task(task_id=0, task_type=0, arrival=0.0, deadline=50.0)
+        t.mark_mapped(0, 0.0)
+        t.mark_running(0.0, 5.0)
+        t.mark_completed(5.0)
+        acc.record_completion(t)
+        pruner.update_fairness()
+        assert pruner.fairness.score(0) == pytest.approx(0.0)
+
+    def test_end_mapping_event_flushes(self):
+        acc = Accounting()
+        pruner = Pruner(PruningConfig.paper_default(), acc)
+        t = Task(task_id=0, task_type=0, arrival=0.0, deadline=1.0)
+        t.mark_dropped(2.0, proactive=False)
+        acc.record_drop(t)
+        pruner.end_mapping_event()
+        assert acc.misses_since_last_event == 0

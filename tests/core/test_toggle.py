@@ -1,0 +1,67 @@
+"""Tests for the Toggle module (§IV-C oversubscription detection)."""
+
+import pytest
+
+from repro.core.accounting import Accounting
+from repro.core.config import PruningConfig, ToggleMode
+from repro.core.toggle import AlwaysDrop, NeverDrop, ReactiveToggle, make_toggle
+from repro.sim.task import Task
+
+
+def acc_with_misses(n):
+    acc = Accounting()
+    for i in range(n):
+        t = Task(task_id=i, task_type=0, arrival=0.0, deadline=1.0)
+        t.mark_dropped(2.0, proactive=False)
+        acc.record_drop(t)
+    return acc
+
+
+class TestPolicies:
+    def test_never(self):
+        assert NeverDrop().dropping_engaged(acc_with_misses(100)) is False
+
+    def test_always(self):
+        assert AlwaysDrop().dropping_engaged(acc_with_misses(0)) is True
+
+    def test_reactive_default_alpha(self):
+        toggle = ReactiveToggle(alpha=0)
+        assert toggle.dropping_engaged(acc_with_misses(0)) is False
+        assert toggle.dropping_engaged(acc_with_misses(1)) is True
+
+    def test_reactive_higher_alpha(self):
+        toggle = ReactiveToggle(alpha=3)
+        assert toggle.dropping_engaged(acc_with_misses(3)) is False
+        assert toggle.dropping_engaged(acc_with_misses(4)) is True
+
+    def test_reactive_resets_with_horizon(self):
+        toggle = ReactiveToggle(alpha=0)
+        acc = acc_with_misses(2)
+        assert toggle.dropping_engaged(acc)
+        acc.flush_event()
+        assert not toggle.dropping_engaged(acc)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            ReactiveToggle(alpha=-1)
+
+
+class TestFactory:
+    def test_reactive_from_config(self):
+        toggle = make_toggle(PruningConfig(toggle_mode=ToggleMode.REACTIVE, dropping_toggle=2))
+        assert isinstance(toggle, ReactiveToggle)
+        assert toggle.alpha == 2
+
+    def test_always_from_config(self):
+        assert isinstance(
+            make_toggle(PruningConfig(toggle_mode=ToggleMode.ALWAYS)), AlwaysDrop
+        )
+
+    def test_never_from_config(self):
+        assert isinstance(
+            make_toggle(PruningConfig(toggle_mode=ToggleMode.NEVER)), NeverDrop
+        )
+
+    def test_dropping_disabled_forces_never(self):
+        cfg = PruningConfig(toggle_mode=ToggleMode.ALWAYS, enable_dropping=False)
+        assert isinstance(make_toggle(cfg), NeverDrop)

@@ -1,0 +1,60 @@
+"""Tests for the experiments CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import PAPER_SCALE, build_parser, main
+
+
+class TestParser:
+    def test_figure_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig7b"])
+        assert args.figure == "fig7b"
+        assert args.trials == 10
+
+    def test_all_and_headline_accepted(self):
+        parser = build_parser()
+        assert parser.parse_args(["all"]).figure == "all"
+        assert parser.parse_args(["headline"]).figure == "headline"
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_paper_scale_value(self):
+        assert PAPER_SCALE == pytest.approx(15000 / 900)
+
+
+class TestMain:
+    def test_fig6_runs(self, capsys):
+        rc = main(["fig6", "--scale", "0.2", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+
+    def test_figure_table_printed(self, capsys):
+        rc = main(["fig7b", "--trials", "1", "--scale", "0.12", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig7b" in out
+        assert "MM" in out and "reactive Toggle" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        rc = main(
+            [
+                "fig7b",
+                "--trials",
+                "1",
+                "--scale",
+                "0.12",
+                "--seed",
+                "1",
+                "--json-dir",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads((tmp_path / "fig7b.json").read_text())
+        assert payload["figure_id"] == "fig7b"

@@ -1,0 +1,75 @@
+"""Tests for FigureResult tables."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import FigureResult
+from repro.metrics.robustness import AggregateStats
+
+
+def stat(mean, ci=1.0):
+    return AggregateStats(mean_pct=mean, ci95_pct=ci, trials=3, per_trial_pct=(mean,) * 3)
+
+
+@pytest.fixture
+def grid():
+    return FigureResult(
+        figure_id="fig9b",
+        title="demo",
+        row_axis="heuristic",
+        col_axis="level",
+        rows=["MM", "MM-P"],
+        cols=["15k", "25k"],
+        cells={
+            "MM": {"15k": stat(70.0), "25k": stat(40.0)},
+            "MM-P": {"15k": stat(80.0), "25k": stat(55.0)},
+        },
+    )
+
+
+class TestText:
+    def test_contains_all_labels_and_values(self, grid):
+        text = grid.to_text()
+        for label in ("fig9b", "MM", "MM-P", "15k", "25k", "70.0", "55.0"):
+            assert label in text
+
+    def test_notes_rendered(self, grid):
+        grid.notes = "a note"
+        assert "a note" in grid.to_text()
+
+
+class TestAccessors:
+    def test_get(self, grid):
+        assert grid.get("MM", "15k").mean_pct == 70.0
+
+    def test_improvement(self, grid):
+        assert grid.improvement("MM", "MM-P", "25k") == pytest.approx(15.0)
+
+    def test_max_improvement(self, grid):
+        assert grid.max_improvement() == pytest.approx(15.0)
+
+    def test_max_improvement_no_pairs(self):
+        g = FigureResult(
+            figure_id="x",
+            title="t",
+            row_axis="r",
+            col_axis="c",
+            rows=["A"],
+            cols=["1"],
+            cells={"A": {"1": stat(1.0)}},
+        )
+        assert g.max_improvement() == float("-inf")
+
+
+class TestJson:
+    def test_roundtrip_via_dict(self, grid):
+        d = grid.to_dict()
+        assert d["cells"]["MM-P"]["25k"]["mean_pct"] == 55.0
+        assert d["rows"] == ["MM", "MM-P"]
+
+    def test_save_json(self, grid, tmp_path):
+        path = tmp_path / "fig.json"
+        grid.save_json(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["figure_id"] == "fig9b"

@@ -1,0 +1,102 @@
+"""Smoke tests for the per-figure scenarios at tiny scale.
+
+Full-scale shape assertions live in tests/test_integration.py; here each
+scenario runs at scale 0.15 with 1–2 trials to verify wiring, labels, and
+grid structure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import scenarios
+from repro.experiments.report import FigureResult
+from repro.workload.spec import ArrivalPattern
+
+TINY = dict(trials=1, base_seed=1, scale=0.15)
+
+
+class TestLevelSpec:
+    def test_levels_keep_paper_ratios(self):
+        n15 = scenarios.level_spec("15k").num_tasks
+        n20 = scenarios.level_spec("20k").num_tasks
+        n25 = scenarios.level_spec("25k").num_tasks
+        assert n20 / n15 == pytest.approx(20 / 15, rel=0.01)
+        assert n25 / n15 == pytest.approx(25 / 15, rel=0.01)
+
+    def test_scale_preserves_rate(self):
+        base = scenarios.level_spec("15k")
+        scaled = scenarios.level_spec("15k", scale=2.0)
+        assert scaled.mean_arrival_rate == pytest.approx(base.mean_arrival_rate, rel=0.01)
+        assert scaled.time_span == pytest.approx(2 * base.time_span)
+
+    def test_unknown_level(self):
+        with pytest.raises(KeyError):
+            scenarios.level_spec("30k")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            scenarios.level_spec("15k", scale=0.0)
+
+
+class TestFig6:
+    def test_series_shape(self):
+        series = scenarios.fig6(base_seed=1, scale=0.25, num_types_shown=2)
+        assert set(series) == {0, 1}
+        centers, rates = series[0]
+        assert centers.size == rates.size > 0
+
+    def test_text_rendering(self):
+        text = scenarios.fig6_text(base_seed=1, scale=0.25, num_types_shown=2)
+        assert "Fig. 6" in text
+        assert "type0" in text and "type1" in text
+
+
+class TestGrids:
+    def test_fig7a_structure(self):
+        grid = scenarios.fig7a(**TINY)
+        assert isinstance(grid, FigureResult)
+        assert grid.rows == ["RR", "MCT", "MET", "KPB"]
+        assert len(grid.cols) == 3
+        assert all(0 <= grid.get(r, c).mean_pct <= 100 for r in grid.rows for c in grid.cols)
+
+    def test_fig7b_structure(self):
+        grid = scenarios.fig7b(**TINY)
+        assert grid.rows == ["MM", "MSD", "MMU"]
+
+    def test_fig8_structure(self):
+        grid = scenarios.fig8(**TINY)
+        assert grid.cols == ["0%", "25%", "50%", "75%"]
+
+    def test_fig9_both_patterns(self):
+        a = scenarios.fig9(ArrivalPattern.CONSTANT, **TINY)
+        b = scenarios.fig9(ArrivalPattern.SPIKY, **TINY)
+        assert a.figure_id == "fig9a"
+        assert b.figure_id == "fig9b"
+        assert a.rows == ["MM", "MSD", "MMU", "MM-P", "MSD-P", "MMU-P"]
+        assert a.cols == ["15k", "20k", "25k"]
+
+    def test_fig10_homogeneous(self):
+        grid = scenarios.fig10(ArrivalPattern.SPIKY, **TINY)
+        assert grid.figure_id == "fig10b"
+        assert grid.rows == ["FCFS-RR", "SJF", "EDF", "FCFS-RR-P", "SJF-P", "EDF-P"]
+
+    def test_all_figures_registry(self):
+        assert set(scenarios.ALL_FIGURES) == {
+            "fig6",
+            "fig7a",
+            "fig7b",
+            "fig8",
+            "fig9a",
+            "fig9b",
+            "fig10a",
+            "fig10b",
+        }
+
+
+class TestHeadline:
+    def test_summary_text(self):
+        f9 = scenarios.fig9(ArrivalPattern.SPIKY, **TINY)
+        f10 = scenarios.fig10(ArrivalPattern.SPIKY, **TINY)
+        text = scenarios.headline_summary(f9, f10)
+        assert "max pruning gain" in text
+        assert "paper" in text

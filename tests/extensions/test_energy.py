@@ -1,0 +1,104 @@
+"""Tests for the energy/cost accounting extension (§VII)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PruningConfig
+from repro.extensions.energy import EnergyModel, EnergyReport, measure_energy
+from repro.sim.cluster import Cluster
+from repro.sim.task import Task
+from repro.system.serverless import ServerlessSystem
+
+from tests.conftest import fresh_tasks, make_deterministic_pet
+
+
+class TestEnergyModel:
+    def test_uniform(self):
+        m = EnergyModel.uniform(3)
+        assert len(m.active_power) == 3
+        assert m.active_power[0] == 100.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(active_power=(1.0,), idle_power=(1.0, 2.0), price_per_busy_unit=(1.0,))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(active_power=(-1.0,), idle_power=(1.0,), price_per_busy_unit=(1.0,))
+
+
+class TestMeasurement:
+    def test_hand_computed_case(self):
+        """One machine, active 10 / idle 1 / price 2 per unit.
+
+        Task A runs 4 units, on time; task B runs 6 units, late.
+        Makespan 20 → idle time 10.
+        """
+        pet = make_deterministic_pet(np.array([[4.0], [6.0]]))
+        cluster = Cluster.heterogeneous(1)
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        a = Task(task_id=0, task_type=0, arrival=0.0, deadline=50.0)
+        b = Task(task_id=1, task_type=1, arrival=0.0, deadline=5.0)
+        for t, dur in ((a, 4.0), (b, 6.0)):
+            t.mark_mapped(0, 0.0)
+            cluster[0].dispatch(t, sim, lambda task, m, d=dur: d, lambda *x: None)
+        sim.run()
+        model = EnergyModel(active_power=(10.0,), idle_power=(1.0,), price_per_busy_unit=(2.0,))
+        report = measure_energy([a, b], cluster, model, makespan=20.0)
+        assert report.useful_energy == pytest.approx(40.0)
+        assert report.wasted_energy == pytest.approx(60.0)
+        assert report.idle_energy == pytest.approx(10.0)
+        assert report.total_energy == pytest.approx(110.0)
+        assert report.incurred_cost == pytest.approx(20.0)
+        assert report.waste_fraction == pytest.approx(0.6)
+        assert report.energy_per_on_time_task == pytest.approx(110.0)
+
+    def test_dropped_tasks_consume_nothing(self):
+        pet = make_deterministic_pet(np.array([[4.0]]))
+        cluster = Cluster.heterogeneous(1)
+        t = Task(task_id=0, task_type=0, arrival=0.0, deadline=10.0)
+        t.mark_dropped(11.0, proactive=True)
+        model = EnergyModel.uniform(1)
+        report = measure_energy([t], cluster, model, makespan=20.0)
+        assert report.useful_energy == 0.0
+        assert report.wasted_energy == 0.0
+
+    def test_zero_on_time_infinite_efficiency(self):
+        report = EnergyReport(
+            total_energy=10.0,
+            useful_energy=0.0,
+            wasted_energy=10.0,
+            idle_energy=0.0,
+            incurred_cost=1.0,
+            on_time_tasks=0,
+        )
+        assert report.energy_per_on_time_task == float("inf")
+
+    def test_negative_makespan_rejected(self):
+        model = EnergyModel.uniform(1)
+        with pytest.raises(ValueError):
+            measure_energy([], Cluster.heterogeneous(1), model, makespan=-1.0)
+
+    def test_summary_readable(self):
+        report = EnergyReport(100.0, 50.0, 30.0, 20.0, 12.0, 5)
+        assert "energy=100" in report.summary()
+
+
+class TestPruningReducesWaste:
+    def test_paper_future_work_claim(self, pet_small, oversub_workload):
+        """§VII: pruning saves the energy otherwise wasted on failing
+        tasks — wasted (late-execution) energy must drop."""
+        model = EnergyModel.uniform(pet_small.num_machine_types)
+
+        base = ServerlessSystem(pet_small, "MM", seed=1)
+        base.run(fresh_tasks(oversub_workload))
+        r0 = measure_energy(base.tasks, base.cluster, model, base.sim.now)
+
+        pruned = ServerlessSystem(pet_small, "MM", pruning=PruningConfig.paper_default(), seed=1)
+        pruned.run(fresh_tasks(oversub_workload))
+        r1 = measure_energy(pruned.tasks, pruned.cluster, model, pruned.sim.now)
+
+        assert r1.wasted_energy < r0.wasted_energy
+        assert r1.energy_per_on_time_task < r0.energy_per_on_time_task

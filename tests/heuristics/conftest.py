@@ -1,0 +1,41 @@
+"""Crafted fixtures for heuristic unit tests: deterministic PETs so
+expected completion times are exact and selections hand-checkable."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.task import Task
+from repro.system.completion import CompletionEstimator
+
+from tests.conftest import make_deterministic_pet
+
+
+@pytest.fixture
+def det_env():
+    """3 machines, 3 task types with strong affinity diagonal:
+
+    means = [[2, 9, 9],   type 0 fastest on machine 0
+             [9, 2, 9],   type 1 fastest on machine 1
+             [9, 9, 2]]   type 2 fastest on machine 2
+    """
+    pet = make_deterministic_pet(
+        np.array([[2.0, 9.0, 9.0], [9.0, 2.0, 9.0], [9.0, 9.0, 2.0]])
+    )
+    cluster = Cluster.heterogeneous(3)
+    sim = Simulator()
+    est = CompletionEstimator(pet)
+    return pet, cluster, sim, est
+
+
+def task(i, ttype=0, arrival=0.0, deadline=100.0):
+    return Task(task_id=i, task_type=ttype, arrival=arrival, deadline=deadline)
+
+
+def occupy(machine, sim, duration, ttype=0, task_id=900):
+    """Put one running task of the given duration on a machine."""
+    t = task(task_id, ttype=ttype)
+    t.mark_mapped(machine.machine_id, sim.now)
+    machine.dispatch(t, sim, lambda *a: duration, lambda *a: None)
+    return t

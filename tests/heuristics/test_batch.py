@@ -1,0 +1,154 @@
+"""Unit tests for batch-mode two-phase heuristics (MM, MSD, MMU)."""
+
+import numpy as np
+import pytest
+
+from repro.heuristics.batch import MMU, MSD, MinMin
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.system.completion import CompletionEstimator
+
+from tests.conftest import make_deterministic_pet
+from tests.heuristics.conftest import occupy, task
+
+
+@pytest.fixture
+def env2():
+    """2 machines; type 0 → machine 0 (exec 2 vs 10), type 1 → machine 1."""
+    pet = make_deterministic_pet(np.array([[2.0, 10.0], [10.0, 2.0]]))
+    return pet, Cluster.heterogeneous(2, queue_limit=4), Simulator(), CompletionEstimator(pet)
+
+
+class TestMinMin:
+    def test_empty_batch(self, env2):
+        _, cluster, _, est = env2
+        assert MinMin().plan([], cluster, est, 0.0) == []
+
+    def test_no_free_slots(self, env2):
+        _, cluster, _, est = env2
+        cluster.set_queue_limit(0)
+        assert MinMin().plan([task(0)], cluster, est, 0.0) == []
+
+    def test_single_task_best_machine(self, env2):
+        _, cluster, _, est = env2
+        plan = MinMin().plan([task(0, ttype=1)], cluster, est, 0.0)
+        assert len(plan) == 1
+        assert plan[0][1].machine_id == 1
+
+    def test_shortest_task_first(self, env2):
+        """MM maps the globally minimum-completion pair first."""
+        pet = make_deterministic_pet(np.array([[5.0, 5.0], [2.0, 2.0]]))
+        cluster = Cluster.heterogeneous(2, queue_limit=4)
+        est = CompletionEstimator(pet)
+        plan = MinMin().plan([task(0, ttype=0), task(1, ttype=1)], cluster, est, 0.0)
+        assert [t.task_type for t, _ in plan] == [1, 0]
+
+    def test_virtual_queue_spreads_load(self, env2):
+        """Four identical type-0 tasks: first goes to machine 0 (exec 2);
+        virtual load accumulates until machine 1 (exec 10) wins one."""
+        _, cluster, _, est = env2
+        tasks = [task(i, ttype=0) for i in range(6)]
+        plan = MinMin().plan(tasks, cluster, est, 0.0)
+        machines = [m.machine_id for _, m in plan]
+        # completions on m0: 2,4,6,8 (4-slot cap); m1: 10, ...
+        assert machines.count(0) == 4
+        assert machines.count(1) == 2
+
+    def test_respects_slot_limits(self, env2):
+        _, cluster, _, est = env2
+        cluster.set_queue_limit(1)
+        tasks = [task(i, ttype=0) for i in range(5)]
+        plan = MinMin().plan(tasks, cluster, est, 0.0)
+        assert len(plan) == 2  # one slot per machine
+        per_machine = {}
+        for _, m in plan:
+            per_machine[m.machine_id] = per_machine.get(m.machine_id, 0) + 1
+        assert all(v <= 1 for v in per_machine.values())
+
+    def test_includes_current_machine_load(self, env2):
+        _, cluster, sim, est = env2
+        # A running type-1 task has model mean 10 on machine 0; stack two
+        # more in its queue so expected availability is ~30.
+        occupy(cluster[0], sim, 10.0, ttype=1)
+        occupy(cluster[0], sim, 10.0, ttype=1, task_id=901)
+        occupy(cluster[0], sim, 10.0, ttype=1, task_id=902)
+        plan = MinMin().plan([task(0, ttype=0)], cluster, est, 0.0)
+        # machine 0: ~30 + 2 = 32; machine 1: 0 + 10 = 10 → machine 1 wins.
+        assert plan[0][1].machine_id == 1
+
+
+class TestMSD:
+    def test_soonest_deadline_first(self, env2):
+        _, cluster, _, est = env2
+        t_late = task(0, ttype=0, deadline=90.0)
+        t_soon = task(1, ttype=0, deadline=10.0)
+        plan = MSD().plan([t_late, t_soon], cluster, est, 0.0)
+        assert plan[0][0] is t_soon
+
+    def test_deadline_tie_breaks_by_completion(self, env2):
+        _, cluster, _, est = env2
+        a = task(0, ttype=0, deadline=50.0)  # exec 2 on best machine
+        b = task(1, ttype=1, deadline=50.0)  # exec 2 on its best machine
+        # Load machine 1 so b's best completion is worse.
+        sim = Simulator()
+        occupy(cluster[1], sim, 5.0, ttype=1)
+        plan = MSD().plan([b, a], cluster, est, 0.0)
+        assert plan[0][0] is a
+
+    def test_machine_still_min_completion(self, env2):
+        _, cluster, _, est = env2
+        plan = MSD().plan([task(0, ttype=1, deadline=5.0)], cluster, est, 0.0)
+        assert plan[0][1].machine_id == 1
+
+
+class TestMMU:
+    def test_max_urgency_first(self, env2):
+        """Smaller positive slack → higher urgency → selected first."""
+        _, cluster, _, est = env2
+        tight = task(0, ttype=0, deadline=4.0)   # slack 4-2 = 2 → U=0.5
+        loose = task(1, ttype=1, deadline=42.0)  # slack 40 → U=0.025
+        plan = MMU().plan([loose, tight], cluster, est, 0.0)
+        assert plan[0][0] is tight
+
+    def test_negative_slack_selected_last(self, env2):
+        """Tasks whose expected completion already exceeds the deadline
+        get negative urgency (Eq. 3 applied literally)."""
+        _, cluster, _, est = env2
+        hopeless = task(0, ttype=0, deadline=1.0)   # slack 1-2 < 0
+        viable = task(1, ttype=1, deadline=42.0)
+        plan = MMU().plan([hopeless, viable], cluster, est, 0.0)
+        assert plan[0][0] is viable
+        assert plan[1][0] is hopeless
+
+    def test_zero_slack_guard(self, env2):
+        """Slack exactly 0 must not divide by zero."""
+        _, cluster, _, est = env2
+        edge = task(0, ttype=0, deadline=2.0)  # completion 2, deadline 2
+        plan = MMU().plan([edge], cluster, est, 0.0)
+        assert len(plan) == 1
+
+
+class TestPlanShape:
+    @pytest.mark.parametrize("cls", [MinMin, MSD, MMU])
+    def test_each_task_planned_once(self, env2, cls):
+        _, cluster, _, est = env2
+        tasks = [task(i, ttype=i % 2) for i in range(8)]
+        plan = cls().plan(tasks, cluster, est, 0.0)
+        ids = [t.task_id for t, _ in plan]
+        assert len(ids) == len(set(ids)) == 8
+
+    @pytest.mark.parametrize("cls", [MinMin, MSD, MMU])
+    def test_plan_respects_total_capacity(self, env2, cls):
+        _, cluster, _, est = env2
+        cluster.set_queue_limit(2)
+        tasks = [task(i, ttype=0) for i in range(20)]
+        plan = cls().plan(tasks, cluster, est, 0.0)
+        assert len(plan) == 4  # 2 machines × 2 slots
+
+    @pytest.mark.parametrize("cls", [MinMin, MSD, MMU])
+    def test_plan_deterministic(self, env2, cls):
+        _, cluster, _, est = env2
+        tasks = [task(i, ttype=i % 2, deadline=50.0 + i) for i in range(10)]
+        p1 = [(t.task_id, m.machine_id) for t, m in cls().plan(tasks, cluster, est, 0.0)]
+        p2 = [(t.task_id, m.machine_id) for t, m in cls().plan(tasks, cluster, est, 0.0)]
+        assert p1 == p2

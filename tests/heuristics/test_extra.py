@@ -1,0 +1,83 @@
+"""Tests for the extra heuristics (LLF, MaxMin, RandomBatch)."""
+
+import numpy as np
+import pytest
+
+from repro.heuristics.extra import LLF, MaxMin, RandomBatch
+from repro.sim.cluster import Cluster
+from repro.system.completion import CompletionEstimator
+
+from tests.conftest import make_deterministic_pet
+from tests.heuristics.conftest import task
+
+
+@pytest.fixture
+def env():
+    pet = make_deterministic_pet(np.array([[4.0, 4.0], [10.0, 10.0]]))
+    return Cluster.heterogeneous(2, queue_limit=4), CompletionEstimator(pet)
+
+
+class TestLLF:
+    def test_least_laxity_first(self, env):
+        cluster, est = env
+        loose = task(0, ttype=0, deadline=50.0)   # laxity 46
+        tight = task(1, ttype=0, deadline=10.0)   # laxity 6
+        plan = LLF().plan([loose, tight], cluster, est, 0.0)
+        assert plan[0][0] is tight
+
+    def test_negative_laxity_sorts_first(self, env):
+        """Unlike MMU's inverse urgency, LLF puts deeply late tasks first
+        — the stress case for pruning."""
+        cluster, est = env
+        hopeless = task(0, ttype=1, deadline=2.0)  # laxity -8
+        fine = task(1, ttype=0, deadline=50.0)
+        plan = LLF().plan([hopeless, fine], cluster, est, 0.0)
+        assert plan[0][0] is hopeless
+
+    def test_pruning_rescues_llf(self, pet_small, oversub_workload):
+        """LLF without pruning wastes machines on negative-laxity tasks;
+        with pruning it becomes competitive."""
+        from repro import PruningConfig, ServerlessSystem
+        from tests.conftest import fresh_tasks
+
+        base = ServerlessSystem(pet_small, LLF(), seed=1).run(fresh_tasks(oversub_workload))
+        pruned = ServerlessSystem(
+            pet_small, LLF(), pruning=PruningConfig.paper_default(), seed=1
+        ).run(fresh_tasks(oversub_workload))
+        assert pruned.on_time > base.on_time
+
+
+class TestMaxMin:
+    def test_longest_first(self, env):
+        cluster, est = env
+        short = task(0, ttype=0)
+        long_ = task(1, ttype=1)
+        plan = MaxMin().plan([short, long_], cluster, est, 0.0)
+        assert plan[0][0] is long_
+
+
+class TestRandomBatch:
+    def test_reproducible_given_seed(self, env):
+        cluster, est = env
+        tasks = [task(i, ttype=i % 2) for i in range(10)]
+        a = RandomBatch(seed=5)
+        p1 = [(t.task_id, m.machine_id) for t, m in a.plan(tasks, cluster, est, 0.0)]
+        a.reset()
+        p2 = [(t.task_id, m.machine_id) for t, m in a.plan(tasks, cluster, est, 0.0)]
+        assert p1 == p2
+
+    def test_all_tasks_planned(self, env):
+        cluster, est = env
+        tasks = [task(i, ttype=0) for i in range(6)]
+        plan = RandomBatch(seed=1).plan(tasks, cluster, est, 0.0)
+        assert sorted(t.task_id for t, _ in plan) == list(range(6))
+
+    def test_informed_heuristics_beat_random(self, pet_small, oversub_workload):
+        from repro import ServerlessSystem
+        from tests.conftest import fresh_tasks
+
+        rand = ServerlessSystem(pet_small, RandomBatch(seed=3), seed=1).run(
+            fresh_tasks(oversub_workload)
+        )
+        mm = ServerlessSystem(pet_small, "MM", seed=1).run(fresh_tasks(oversub_workload))
+        assert mm.on_time >= rand.on_time

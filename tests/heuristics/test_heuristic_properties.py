@@ -1,0 +1,115 @@
+"""Property-based tests on mapping-heuristic invariants.
+
+Whatever the batch composition, a plan must (a) respect machine-queue
+slots, (b) assign each task at most once, (c) only use tasks from the
+batch, and (d) be deterministic.  These hold for every batch heuristic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heuristics import EDF, FCFSRR, MMU, MSD, SJF, MinMin
+from repro.sim.cluster import Cluster
+from repro.sim.task import Task
+from repro.stochastic.etc import ETCMatrix
+from repro.system.completion import CompletionEstimator
+
+BATCH_CLASSES = [MinMin, MSD, MMU, FCFSRR, EDF, SJF]
+
+# Deterministic model: 3 task types × 3 machines.
+_MEANS = np.array([[2.0, 5.0, 9.0], [9.0, 2.0, 5.0], [5.0, 9.0, 2.0]])
+_MODEL = ETCMatrix(_MEANS)
+
+
+@st.composite
+def batches(draw):
+    n = draw(st.integers(min_value=0, max_value=25))
+    tasks = []
+    for i in range(n):
+        arrival = draw(st.floats(min_value=0.0, max_value=50.0))
+        slack = draw(st.floats(min_value=1.0, max_value=80.0))
+        tasks.append(
+            Task(
+                task_id=i,
+                task_type=draw(st.integers(min_value=0, max_value=2)),
+                arrival=arrival,
+                deadline=arrival + slack,
+            )
+        )
+    return tasks
+
+
+@st.composite
+def slot_limits(draw):
+    return draw(st.one_of(st.none(), st.integers(min_value=0, max_value=5)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(batches(), slot_limits(), st.sampled_from(BATCH_CLASSES))
+def test_plan_respects_slots_and_uniqueness(tasks, limit, cls):
+    cluster = Cluster.heterogeneous(3, queue_limit=limit)
+    est = CompletionEstimator(_MODEL)
+    plan = cls().plan(tasks, cluster, est, now=0.0)
+
+    # each task at most once, and only tasks from the batch
+    ids = [t.task_id for t, _ in plan]
+    assert len(ids) == len(set(ids))
+    batch_ids = {t.task_id for t in tasks}
+    assert set(ids) <= batch_ids
+
+    # per-machine slot limits respected
+    per_machine = {}
+    for _, m in plan:
+        per_machine[m.machine_id] = per_machine.get(m.machine_id, 0) + 1
+    if limit is not None:
+        assert all(v <= limit for v in per_machine.values())
+
+    # with unbounded slots, every task is planned
+    if limit is None:
+        assert len(plan) == len(tasks)
+
+
+@settings(max_examples=25, deadline=None)
+@given(batches(), st.sampled_from(BATCH_CLASSES))
+def test_plan_deterministic(tasks, cls):
+    cluster = Cluster.heterogeneous(3, queue_limit=4)
+    est = CompletionEstimator(_MODEL)
+    p1 = [(t.task_id, m.machine_id) for t, m in cls().plan(tasks, cluster, est, 0.0)]
+    # fresh heuristic instance (stateful RR pointers must reset identically)
+    p2 = [(t.task_id, m.machine_id) for t, m in cls().plan(tasks, cluster, est, 0.0)]
+    assert p1 == p2
+
+
+@settings(max_examples=25, deadline=None)
+@given(batches())
+def test_edf_plans_in_deadline_order(tasks):
+    cluster = Cluster.heterogeneous(3)
+    est = CompletionEstimator(_MODEL)
+    plan = EDF().plan(tasks, cluster, est, 0.0)
+    deadlines = [t.deadline for t, _ in plan]
+    assert deadlines == sorted(deadlines)
+
+
+@settings(max_examples=25, deadline=None)
+@given(batches())
+def test_fcfsrr_plans_in_arrival_order(tasks):
+    cluster = Cluster.heterogeneous(3)
+    est = CompletionEstimator(_MODEL)
+    plan = FCFSRR().plan(tasks, cluster, est, 0.0)
+    arrivals = [t.arrival for t, _ in plan]
+    assert arrivals == sorted(arrivals)
+
+
+@settings(max_examples=25, deadline=None)
+@given(batches())
+def test_minmin_first_pick_is_global_min_completion(tasks):
+    cluster = Cluster.heterogeneous(3)
+    est = CompletionEstimator(_MODEL)
+    plan = MinMin().plan(tasks, cluster, est, 0.0)
+    if not plan:
+        return
+    first_task, first_machine = plan[0]
+    best = min(_MEANS[t.task_type].min() for t in tasks)
+    assert _MEANS[first_task.task_type][first_machine.machine_type] == pytest.approx(best)

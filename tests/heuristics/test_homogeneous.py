@@ -1,0 +1,98 @@
+"""Unit tests for homogeneous-system heuristics (FCFS-RR, EDF, SJF)."""
+
+import numpy as np
+import pytest
+
+from repro.heuristics.homogeneous import EDF, FCFSRR, SJF
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.system.completion import CompletionEstimator
+
+from tests.conftest import make_deterministic_pet
+from tests.heuristics.conftest import occupy, task
+
+
+@pytest.fixture
+def homog_env():
+    """3 identical machines; type 0 runs 3 units, type 1 runs 7 units."""
+    pet = make_deterministic_pet(np.array([[3.0, 3.0, 3.0], [7.0, 7.0, 7.0]]))
+    return pet, Cluster.homogeneous(3, queue_limit=2), Simulator(), CompletionEstimator(pet)
+
+
+class TestFCFSRR:
+    def test_arrival_order_round_robin(self, homog_env):
+        _, cluster, _, est = homog_env
+        tasks = [task(i, arrival=float(i)) for i in range(5)]
+        plan = FCFSRR().plan(list(reversed(tasks)), cluster, est, 0.0)
+        assert [t.task_id for t, _ in plan] == [0, 1, 2, 3, 4]
+        assert [m.machine_id for _, m in plan] == [0, 1, 2, 0, 1]
+
+    def test_pointer_persists_across_events(self, homog_env):
+        _, cluster, _, est = homog_env
+        rr = FCFSRR()
+        p1 = rr.plan([task(0)], cluster, est, 0.0)
+        p2 = rr.plan([task(1)], cluster, est, 0.0)
+        assert p1[0][1].machine_id == 0
+        assert p2[0][1].machine_id == 1
+
+    def test_reset(self, homog_env):
+        _, cluster, _, est = homog_env
+        rr = FCFSRR()
+        rr.plan([task(0)], cluster, est, 0.0)
+        rr.reset()
+        assert rr.plan([task(1)], cluster, est, 0.0)[0][1].machine_id == 0
+
+    def test_skips_full_machines(self, homog_env):
+        _, cluster, _, est = homog_env
+        cluster[0].queue_limit = 0
+        plan = FCFSRR().plan([task(0), task(1)], cluster, est, 0.0)
+        assert [m.machine_id for _, m in plan] == [1, 2]
+
+    def test_stops_when_all_full(self, homog_env):
+        _, cluster, _, est = homog_env
+        cluster.set_queue_limit(1)
+        plan = FCFSRR().plan([task(i) for i in range(9)], cluster, est, 0.0)
+        assert len(plan) == 3
+
+
+class TestEDF:
+    def test_sorts_by_deadline(self, homog_env):
+        _, cluster, _, est = homog_env
+        tasks = [task(0, deadline=30.0), task(1, deadline=10.0), task(2, deadline=20.0)]
+        plan = EDF().plan(tasks, cluster, est, 0.0)
+        assert [t.task_id for t, _ in plan] == [1, 2, 0]
+
+    def test_deadline_tie_by_id(self, homog_env):
+        _, cluster, _, est = homog_env
+        tasks = [task(5, deadline=10.0), task(2, deadline=10.0)]
+        plan = EDF().plan(tasks, cluster, est, 0.0)
+        assert [t.task_id for t, _ in plan] == [2, 5]
+
+    def test_assigns_least_loaded(self, homog_env):
+        _, cluster, sim, est = homog_env
+        occupy(cluster[0], sim, 10.0)
+        occupy(cluster[1], sim, 5.0)
+        plan = EDF().plan([task(0, deadline=10.0)], cluster, est, 0.0)
+        assert plan[0][1].machine_id == 2
+
+
+class TestSJF:
+    def test_sorts_by_expected_exec(self, homog_env):
+        _, cluster, _, est = homog_env
+        long_t = task(0, ttype=1)
+        short_t = task(1, ttype=0)
+        plan = SJF().plan([long_t, short_t], cluster, est, 0.0)
+        assert plan[0][0] is short_t
+
+    def test_exec_tie_by_id(self, homog_env):
+        _, cluster, _, est = homog_env
+        plan = SJF().plan([task(4, ttype=0), task(1, ttype=0)], cluster, est, 0.0)
+        assert [t.task_id for t, _ in plan] == [1, 4]
+
+    def test_capacity_respected(self, homog_env):
+        _, cluster, _, est = homog_env
+        cluster.set_queue_limit(1)
+        plan = SJF().plan([task(i, ttype=i % 2) for i in range(10)], cluster, est, 0.0)
+        assert len(plan) == 3
+        # All planned tasks are the short type (SJF order).
+        assert all(t.task_type == 0 for t, _ in plan)

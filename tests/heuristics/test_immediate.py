@@ -1,0 +1,119 @@
+"""Unit tests for immediate-mode heuristics (RR, MET, MCT, KPB)."""
+
+import numpy as np
+import pytest
+
+from repro.heuristics.immediate import KPB, MCT, MET, RoundRobin
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.system.completion import CompletionEstimator
+
+from tests.conftest import make_deterministic_pet
+from tests.heuristics.conftest import occupy, task
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self, det_env):
+        _, cluster, _, est = det_env
+        rr = RoundRobin()
+        picks = [rr.select_machine(task(i), cluster, est, 0.0).machine_id for i in range(7)]
+        assert picks == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_skips_full_queues(self, det_env):
+        _, cluster, _, est = det_env
+        cluster.set_queue_limit(0)  # machines 1/2 can accept nothing
+        cluster[0].queue_limit = None  # only machine 0 can accept
+        rr = RoundRobin()
+        picks = [rr.select_machine(task(i), cluster, est, 0.0).machine_id for i in range(3)]
+        assert picks == [0, 0, 0]
+
+    def test_reset(self, det_env):
+        _, cluster, _, est = det_env
+        rr = RoundRobin()
+        rr.select_machine(task(0), cluster, est, 0.0)
+        rr.reset()
+        assert rr.select_machine(task(1), cluster, est, 0.0).machine_id == 0
+
+    def test_all_full_raises(self, det_env):
+        _, cluster, _, est = det_env
+        cluster.set_queue_limit(0)  # zero slots anywhere
+        with pytest.raises(RuntimeError, match="free slot"):
+            RoundRobin().select_machine(task(0), cluster, est, 0.0)
+
+
+class TestMET:
+    def test_picks_affinity_machine_regardless_of_load(self, det_env):
+        _, cluster, sim, est = det_env
+        occupy(cluster[1], sim, 100.0)  # machine 1 heavily loaded
+        met = MET()
+        assert met.select_machine(task(0, ttype=1), cluster, est, 0.0).machine_id == 1
+
+    def test_each_type_goes_to_its_machine(self, det_env):
+        _, cluster, _, est = det_env
+        met = MET()
+        for ttype in range(3):
+            assert met.select_machine(task(0, ttype=ttype), cluster, est, 0.0).machine_id == ttype
+
+
+class TestMCT:
+    def test_picks_min_completion(self, det_env):
+        _, cluster, sim, est = det_env
+        met_machine = cluster[1]
+        occupy(met_machine, sim, 100.0)  # best-affinity machine busy 100
+        mct = MCT()
+        # type 1: machine 1 completes at 100+2=102; machines 0/2 at 9.
+        assert mct.select_machine(task(0, ttype=1), cluster, est, 0.0).machine_id in (0, 2)
+
+    def test_prefers_affinity_when_idle(self, det_env):
+        _, cluster, _, est = det_env
+        mct = MCT()
+        assert mct.select_machine(task(0, ttype=2), cluster, est, 0.0).machine_id == 2
+
+    def test_accounts_for_queue_load(self, det_env):
+        """The estimator sees the *model's* expected durations of whatever
+        occupies the machine, so load is crafted via task types."""
+        _, cluster, sim, est = det_env
+        occupy(cluster[2], sim, 2.0, ttype=2)  # model mean 2 on machine 2
+        mct = MCT()
+        # machine 2: avail 2 + exec 2 = 4; machines 0/1 offer 9.
+        assert mct.select_machine(task(0, ttype=2), cluster, est, 0.0).machine_id == 2
+        occupy(cluster[2], sim, 9.0, ttype=0, task_id=901)  # queued, mean 9 there
+        # machine 2 now: avail 2+9=11, completion 13 > 9 on machines 0/1.
+        assert mct.select_machine(task(1, ttype=2), cluster, est, 0.0).machine_id != 2
+
+
+class TestKPB:
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            KPB(k=0.0)
+        with pytest.raises(ValueError):
+            KPB(k=1.5)
+
+    def test_k_one_equals_mct(self, det_env):
+        _, cluster, sim, est = det_env
+        occupy(cluster[0], sim, 50.0)
+        kpb, mct = KPB(k=1.0), MCT()
+        for ttype in range(3):
+            t = task(0, ttype=ttype)
+            assert (
+                kpb.select_machine(t, cluster, est, 0.0).machine_id
+                == mct.select_machine(t, cluster, est, 0.0).machine_id
+            )
+
+    def test_small_k_equals_met(self, det_env):
+        """k small enough to keep a single machine degenerates to MET."""
+        _, cluster, sim, est = det_env
+        occupy(cluster[1], sim, 100.0)
+        kpb = KPB(k=0.01)
+        assert kpb.select_machine(task(0, ttype=1), cluster, est, 0.0).machine_id == 1
+
+    def test_kpb_balances_within_best_subset(self):
+        """2 of 4 machines are good for type 0; KPB(0.5) picks the less
+        loaded of the two even though MET would always pick machine 0."""
+        pet = make_deterministic_pet(np.array([[2.0, 3.0, 50.0, 50.0]]))
+        cluster = Cluster.heterogeneous(4)
+        sim = Simulator()
+        est = CompletionEstimator(pet)
+        occupy(cluster[0], sim, 30.0)
+        kpb = KPB(k=0.5)
+        assert kpb.select_machine(task(0), cluster, est, 0.0).machine_id == 1

@@ -1,0 +1,50 @@
+"""The batch planner's dense-means fast path must agree with the generic
+per-cell fallback for models that lack a ``.means`` table."""
+
+import numpy as np
+
+from repro.heuristics.base import _exec_mean_matrix
+from repro.heuristics.batch import MinMin
+from repro.sim.cluster import Cluster
+from repro.sim.task import Task
+from repro.stochastic.etc import ETCMatrix
+from repro.system.completion import CompletionEstimator
+
+
+class _MeanOnlyModel:
+    """Minimal ExecutionModel without a dense ``.means`` attribute."""
+
+    def __init__(self, means: np.ndarray) -> None:
+        self._m = means
+
+    def mean(self, task_type: int, machine_type: int) -> float:
+        return float(self._m[task_type, machine_type])
+
+    def pmf(self, task_type: int, machine_type: int):  # pragma: no cover
+        raise NotImplementedError
+
+
+MEANS = np.array([[2.0, 7.0], [9.0, 3.0]])
+
+
+def _tasks():
+    return [Task(task_id=i, task_type=i % 2, arrival=0.0, deadline=60.0) for i in range(6)]
+
+
+def test_fallback_matches_fast_path():
+    cluster = Cluster.heterogeneous(2)
+    machines = list(cluster.machines)
+    tasks = _tasks()
+    fast = _exec_mean_matrix(tasks, machines, CompletionEstimator(ETCMatrix(MEANS)))
+    slow = _exec_mean_matrix(tasks, machines, CompletionEstimator(_MeanOnlyModel(MEANS)))
+    np.testing.assert_allclose(fast, slow)
+
+
+def test_planning_works_without_dense_means():
+    cluster = Cluster.heterogeneous(2, queue_limit=4)
+    est = CompletionEstimator(_MeanOnlyModel(MEANS))
+    plan = MinMin().plan(_tasks(), cluster, est, 0.0)
+    assert len(plan) == 6
+    # affinity respected: type 0 → machine 0, type 1 → machine 1 (initially)
+    first_task, first_machine = plan[0]
+    assert MEANS[first_task.task_type, first_machine.machine_type] == MEANS.min()

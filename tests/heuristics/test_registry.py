@@ -1,0 +1,52 @@
+"""Tests for the heuristic registry."""
+
+import pytest
+
+from repro.heuristics import (
+    ALL_HEURISTICS,
+    BATCH_HEURISTICS,
+    EXTRA_HEURISTICS,
+    HOMOGENEOUS_HEURISTICS,
+    IMMEDIATE_HEURISTICS,
+    make_heuristic,
+)
+from repro.heuristics.base import BatchHeuristic, ImmediateHeuristic
+
+
+class TestRegistry:
+    def test_paper_names_present(self):
+        assert set(IMMEDIATE_HEURISTICS) == {"RR", "MET", "MCT", "KPB"}
+        assert set(BATCH_HEURISTICS) == {"MM", "MSD", "MMU"}
+        assert set(HOMOGENEOUS_HEURISTICS) == {"FCFS-RR", "EDF", "SJF"}
+        assert set(EXTRA_HEURISTICS) == {"LLF", "MAXMIN", "RANDOM"}
+        assert set(ALL_HEURISTICS) == (
+            set(IMMEDIATE_HEURISTICS)
+            | set(BATCH_HEURISTICS)
+            | set(HOMOGENEOUS_HEURISTICS)
+            | set(EXTRA_HEURISTICS)
+        )
+
+    @pytest.mark.parametrize("name", sorted(ALL_HEURISTICS))
+    def test_make_each(self, name):
+        h = make_heuristic(name)
+        assert h.name == name
+        assert isinstance(h, (ImmediateHeuristic, BatchHeuristic))
+
+    def test_modes(self):
+        assert make_heuristic("MCT").mode == "immediate"
+        assert make_heuristic("MM").mode == "batch"
+        assert make_heuristic("EDF").mode == "batch"
+
+    def test_case_insensitive(self):
+        assert make_heuristic("mm").name == "MM"
+        assert make_heuristic("fcfs_rr").name == "FCFS-RR"
+
+    def test_kwargs_forwarded(self):
+        assert make_heuristic("KPB", k=0.5).k == 0.5
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown heuristic"):
+            make_heuristic("HEFT")
+
+    def test_instances_are_fresh(self):
+        assert make_heuristic("RR") is not make_heuristic("RR")

@@ -1,0 +1,95 @@
+"""Tests for SimulationResult aggregation."""
+
+import pytest
+
+from repro.metrics.collector import SimulationResult, TypeOutcome
+from repro.sim.task import Task
+
+
+def finished(i, ttype=0, *, late=False):
+    t = Task(task_id=i, task_type=ttype, arrival=0.0, deadline=10.0)
+    t.mark_mapped(0, 0.0)
+    t.mark_running(0.0, 5.0)
+    t.mark_completed(20.0 if late else 5.0)
+    return t
+
+
+def dropped(i, ttype=0, *, proactive=False):
+    t = Task(task_id=i, task_type=ttype, arrival=0.0, deadline=10.0)
+    t.mark_dropped(11.0, proactive=proactive)
+    return t
+
+
+def pending(i, ttype=0):
+    return Task(task_id=i, task_type=ttype, arrival=0.0, deadline=10.0)
+
+
+class TestFromTasks:
+    def test_counts(self):
+        tasks = [
+            finished(0),
+            finished(1, late=True),
+            dropped(2),
+            dropped(3, proactive=True),
+            pending(4),
+        ]
+        res = SimulationResult.from_tasks(tasks, makespan=100.0)
+        assert res.total == 5
+        assert res.on_time == 1
+        assert res.late == 1
+        assert res.dropped_missed == 1
+        assert res.dropped_proactive == 1
+        assert res.unfinished == 1
+        assert res.dropped == 2
+
+    def test_robustness(self):
+        tasks = [finished(0), finished(1), dropped(2), dropped(3)]
+        res = SimulationResult.from_tasks(tasks)
+        assert res.robustness == pytest.approx(0.5)
+        assert res.robustness_pct == pytest.approx(50.0)
+        assert res.miss_ratio == pytest.approx(0.5)
+
+    def test_empty(self):
+        res = SimulationResult.from_tasks([])
+        assert res.total == 0
+        assert res.robustness == 0.0
+
+    def test_per_type_breakdown(self):
+        tasks = [finished(0, ttype=0), finished(1, ttype=1, late=True), dropped(2, ttype=1)]
+        res = SimulationResult.from_tasks(tasks)
+        assert res.per_type[0].on_time == 1
+        assert res.per_type[0].robustness == 1.0
+        assert res.per_type[1].late == 1
+        assert res.per_type[1].dropped_missed == 1
+        assert res.per_type[1].robustness == 0.0
+
+    def test_per_type_sorted_keys(self):
+        tasks = [finished(0, ttype=2), finished(1, ttype=0)]
+        res = SimulationResult.from_tasks(tasks)
+        assert list(res.per_type) == [0, 2]
+
+    def test_summary_readable(self):
+        res = SimulationResult.from_tasks([finished(0)])
+        s = res.summary()
+        assert "1/1 on time" in s and "100.0%" in s
+
+
+class TestUtilization:
+    def test_utilization_from_cluster(self, pet_small, small_workload):
+        from repro.system.serverless import ServerlessSystem
+        from tests.conftest import fresh_tasks
+
+        sys = ServerlessSystem(pet_small, "MM", seed=0)
+        res = sys.run(fresh_tasks(small_workload))
+        utils = res.utilization()
+        assert len(utils) == len(sys.cluster)
+        assert all(0.0 <= u <= 1.0 + 1e-9 for u in utils)
+
+    def test_zero_makespan(self):
+        res = SimulationResult.from_tasks([], makespan=0.0)
+        assert res.utilization() == ()
+
+
+class TestTypeOutcome:
+    def test_empty_robustness(self):
+        assert TypeOutcome().robustness == 0.0

@@ -1,0 +1,82 @@
+"""Tests for cross-trial aggregation (mean ± 95 % CI)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.metrics.collector import SimulationResult
+from repro.metrics.robustness import (
+    AggregateStats,
+    aggregate_robustness,
+    confidence_interval,
+)
+
+
+def result_with_robustness(pct):
+    """Fabricate a SimulationResult with a given robustness percentage."""
+    on_time = int(round(pct))
+    return SimulationResult(
+        total=100,
+        on_time=on_time,
+        late=0,
+        dropped_missed=100 - on_time,
+        dropped_proactive=0,
+        unfinished=0,
+        defer_decisions=0,
+        mapping_events=0,
+        makespan=1.0,
+    )
+
+
+class TestConfidenceInterval:
+    def test_matches_scipy_reference(self):
+        values = [40.0, 45.0, 50.0, 55.0, 60.0]
+        mean, half = confidence_interval(values)
+        sem = stats.sem(values)
+        t = stats.t.ppf(0.975, df=4)
+        assert mean == pytest.approx(50.0)
+        assert half == pytest.approx(t * sem)
+
+    def test_single_value_zero_width(self):
+        mean, half = confidence_interval([42.0])
+        assert (mean, half) == (42.0, 0.0)
+
+    def test_constant_series_zero_width(self):
+        mean, half = confidence_interval([5.0] * 10)
+        assert (mean, half) == (5.0, 0.0)
+
+    def test_wider_confidence_wider_interval(self):
+        values = list(np.random.default_rng(0).normal(50, 5, size=20))
+        _, h95 = confidence_interval(values, 0.95)
+        _, h99 = confidence_interval(values, 0.99)
+        assert h99 > h95
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval([])
+
+    def test_coverage_simulation(self):
+        """~95 % of intervals over N(50, 10) samples must contain 50."""
+        rng = np.random.default_rng(7)
+        hits = 0
+        n_rep = 400
+        for _ in range(n_rep):
+            sample = rng.normal(50.0, 10.0, size=12)
+            mean, half = confidence_interval(sample)
+            hits += abs(mean - 50.0) <= half
+        assert hits / n_rep == pytest.approx(0.95, abs=0.03)
+
+
+class TestAggregate:
+    def test_aggregate_robustness(self):
+        results = [result_with_robustness(p) for p in (40, 50, 60)]
+        agg = aggregate_robustness(results)
+        assert isinstance(agg, AggregateStats)
+        assert agg.mean_pct == pytest.approx(50.0)
+        assert agg.trials == 3
+        assert agg.per_trial_pct == (40.0, 50.0, 60.0)
+
+    def test_str_format(self):
+        agg = aggregate_robustness([result_with_robustness(50)])
+        assert "50.0" in str(agg)
+        assert "n=1" in str(agg)

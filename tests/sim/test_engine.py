@@ -1,0 +1,201 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import Priority, Simulator
+
+
+class TestScheduling:
+    def test_initial_time(self):
+        assert Simulator().now == 0.0
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(4.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.5]
+        assert sim.now == 4.5
+
+    def test_same_time_priority_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("arrival"), priority=Priority.ARRIVAL)
+        sim.schedule(1.0, lambda: fired.append("completion"), priority=Priority.COMPLETION)
+        sim.run()
+        assert fired == ["completion", "arrival"]
+
+    def test_same_time_same_priority_fifo(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(2.0, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule(9.0, lambda: None)
+
+    def test_schedule_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            Simulator().schedule(float("nan"), lambda: None)
+
+    def test_schedule_in_relative(self):
+        sim = Simulator(start_time=3.0)
+        seen = []
+        sim.schedule_in(2.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_schedule_in_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule_in(1.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        sim.cancel(handle)
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.cancel(handle)
+        sim.cancel(handle)
+        sim.run()
+
+    def test_cancel_does_not_disturb_others(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(1.0, lambda: fired.append("b"))
+        sim.cancel(h)
+        sim.run()
+        assert fired == ["b"]
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(h)
+        assert sim.pending_events == 1
+
+
+class TestRunControl:
+    def test_run_until_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run(until=2.0)
+        assert fired == [1, 2]
+        assert sim.now == 2.0
+
+    def test_run_until_future_advances_clock(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        sim.run()
+        assert fired == [5]
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i), lambda i=i: fired.append(i))
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_fired == 4
+
+    def test_step_returns_false_on_empty(self):
+        assert Simulator().step() is False
+
+    def test_step_fires_one(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+
+        def recurse():
+            sim.run()
+
+        sim.schedule(1.0, recurse)
+        with pytest.raises(RuntimeError, match="reentrant"):
+            sim.run()
+
+    def test_exception_propagates_and_releases_lock(self):
+        sim = Simulator()
+
+        def boom():
+            raise RuntimeError("boom")
+
+        sim.schedule(1.0, boom)
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+        # engine is usable again
+        fired = []
+        sim.schedule(2.0, lambda: fired.append(1))
+        sim.run()
+        assert fired == [1]
+
+
+class TestDeterminism:
+    def test_large_interleaving_deterministic(self):
+        def run_once():
+            sim = Simulator()
+            order = []
+            for i in range(200):
+                sim.schedule((i * 7) % 50 / 10.0, lambda i=i: order.append(i), priority=i % 3)
+            sim.run()
+            return order
+
+        assert run_once() == run_once()

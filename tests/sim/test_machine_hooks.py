@@ -1,0 +1,118 @@
+"""Tests for per-task sampler/callback hooks and machine-level reaping."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.machine import Machine
+from repro.sim.task import Task, TaskStatus
+
+
+def make_task(i=0, deadline=100.0):
+    return Task(task_id=i, task_type=0, arrival=0.0, deadline=deadline)
+
+
+class TestPerTaskHooks:
+    def test_each_task_uses_its_own_sampler(self):
+        """A task must start with the sampler it was dispatched with, even
+        when a different task's dispatch happened in between."""
+        sim, m = Simulator(), Machine(0, 0)
+        durations = {}
+
+        def on_complete(task, machine):
+            durations[task.task_id] = task.exec_time
+
+        for tid, dur in ((0, 4.0), (1, 6.0), (2, 2.5)):
+            t = make_task(tid)
+            t.mark_mapped(0, sim.now)
+            m.dispatch(t, sim, lambda task, mach, d=dur: d, on_complete)
+        sim.run()
+        assert durations == {0: 4.0, 1: 6.0, 2: 2.5}
+
+    def test_each_task_uses_its_own_callback(self):
+        sim, m = Simulator(), Machine(0, 0)
+        calls = []
+        for tid in range(2):
+            t = make_task(tid)
+            t.mark_mapped(0, sim.now)
+            m.dispatch(
+                t,
+                sim,
+                lambda *a: 1.0,
+                lambda task, mach, tag=f"cb{tid}": calls.append((tag, task.task_id)),
+            )
+        sim.run()
+        assert calls == [("cb0", 0), ("cb1", 1)]
+
+    def test_hooks_cleaned_up(self):
+        sim, m = Simulator(), Machine(0, 0)
+        t = make_task(0)
+        t.mark_mapped(0, sim.now)
+        m.dispatch(t, sim, lambda *a: 1.0, lambda *a: None)
+        sim.run()
+        assert m._task_hooks == {}
+
+    def test_hooks_cleaned_on_remove(self):
+        sim, m = Simulator(), Machine(0, 0)
+        t1, t2 = make_task(1), make_task(2)
+        for t in (t1, t2):
+            t.mark_mapped(0, sim.now)
+            m.dispatch(t, sim, lambda *a: 5.0, lambda *a: None)
+        m.remove(t2)
+        assert 2 not in m._task_hooks
+        sim.run()
+        assert m._task_hooks == {}
+
+
+class TestMachineReaping:
+    def test_missed_head_skipped_at_start(self):
+        sim, m = Simulator(), Machine(0, 0)
+        reaped = []
+        m.on_reap = reaped.append
+        runner = make_task(0)
+        doomed = make_task(1, deadline=3.0)
+        ok = make_task(2)
+        for t in (runner, doomed, ok):
+            t.mark_mapped(0, sim.now)
+            m.dispatch(t, sim, lambda *a: 5.0, lambda *a: None)
+        sim.run()
+        assert [t.task_id for t in reaped] == [1]
+        assert ok.status is TaskStatus.COMPLETED_ON_TIME
+        assert ok.started_at == 5.0  # started right after the runner
+
+    def test_reaping_without_hook_still_skips(self):
+        sim, m = Simulator(), Machine(0, 0)
+        runner = make_task(0)
+        doomed = make_task(1, deadline=3.0)
+        for t in (runner, doomed):
+            t.mark_mapped(0, sim.now)
+            m.dispatch(t, sim, lambda *a: 5.0, lambda *a: None)
+        sim.run()
+        # skipped, never started; status is whatever the caller set
+        assert doomed.started_at is None
+
+    def test_chain_of_missed_heads_all_reaped(self):
+        sim, m = Simulator(), Machine(0, 0)
+        reaped = []
+        m.on_reap = reaped.append
+        runner = make_task(0)
+        runner.mark_mapped(0, sim.now)
+        m.dispatch(runner, sim, lambda *a: 10.0, lambda *a: None)
+        for tid in (1, 2, 3):
+            t = make_task(tid, deadline=4.0)
+            t.mark_mapped(0, sim.now)
+            m.dispatch(t, sim, lambda *a: 10.0, lambda *a: None)
+        sim.run()
+        assert [t.task_id for t in reaped] == [1, 2, 3]
+
+    def test_deadline_exactly_now_not_reaped(self):
+        """Reaping uses strict 'now > deadline' — completing exactly at
+        the deadline is on time, so starting at it is still legal."""
+        sim, m = Simulator(), Machine(0, 0)
+        runner = make_task(0)
+        edge = make_task(1, deadline=5.0)
+        for t in (runner, edge):
+            t.mark_mapped(0, sim.now)
+            m.dispatch(t, sim, lambda *a: 5.0, lambda *a: None)
+        sim.run()
+        assert edge.started_at == 5.0
+        assert edge.status is TaskStatus.COMPLETED_LATE  # finished at 10

@@ -1,0 +1,147 @@
+"""Tests for task lifecycle and state transitions."""
+
+import pytest
+
+from repro.sim.task import TERMINAL_STATUSES, Task, TaskStatus, fresh_task_ids
+
+
+def make_task(**kw):
+    defaults = dict(task_id=0, task_type=1, arrival=10.0, deadline=50.0)
+    defaults.update(kw)
+    return Task(**defaults)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        t = make_task()
+        assert t.status is TaskStatus.PENDING
+        assert t.machine_id is None
+        assert t.defer_count == 0
+        assert not t.is_terminal
+
+    def test_deadline_before_arrival_rejected(self):
+        with pytest.raises(ValueError, match="deadline"):
+            make_task(deadline=5.0)
+
+    def test_deadline_equal_arrival_allowed(self):
+        make_task(deadline=10.0)
+
+    def test_fresh_task_ids(self):
+        gen = fresh_task_ids(5)
+        assert [next(gen) for _ in range(3)] == [5, 6, 7]
+
+
+class TestQueries:
+    def test_laxity(self):
+        t = make_task()
+        assert t.laxity(20.0) == 30.0
+        assert t.laxity(60.0) == -10.0
+
+    def test_missed_deadline(self):
+        t = make_task()
+        assert not t.missed_deadline(50.0)
+        assert t.missed_deadline(50.1)
+
+    def test_missed_deadline_false_for_terminal(self):
+        t = make_task()
+        t.mark_dropped(60.0, proactive=False)
+        assert not t.missed_deadline(70.0)
+
+
+class TestTransitions:
+    def test_happy_path_on_time(self):
+        t = make_task()
+        t.mark_mapped(2, 11.0)
+        assert t.status is TaskStatus.MAPPED
+        assert t.machine_id == 2
+        assert t.mapped_at == 11.0
+        t.mark_running(12.0, 5.0)
+        assert t.status is TaskStatus.RUNNING
+        assert t.exec_time == 5.0
+        t.mark_completed(17.0)
+        assert t.status is TaskStatus.COMPLETED_ON_TIME
+        assert t.completed_on_time
+
+    def test_late_completion(self):
+        t = make_task()
+        t.mark_mapped(0, 11.0)
+        t.mark_running(12.0, 100.0)
+        t.mark_completed(112.0)
+        assert t.status is TaskStatus.COMPLETED_LATE
+        assert not t.completed_on_time
+
+    def test_completion_exactly_at_deadline_is_on_time(self):
+        t = make_task()
+        t.mark_mapped(0, 11.0)
+        t.mark_running(12.0, 38.0)
+        t.mark_completed(50.0)
+        assert t.status is TaskStatus.COMPLETED_ON_TIME
+
+    def test_defer_returns_to_pending(self):
+        t = make_task()
+        t.mark_mapped(1, 11.0)
+        t.mark_deferred()
+        assert t.status is TaskStatus.PENDING
+        assert t.machine_id is None
+        assert t.defer_count == 1
+
+    def test_multiple_defers_count(self):
+        t = make_task()
+        for i in range(3):
+            t.mark_mapped(1, 11.0 + i)
+            t.mark_deferred()
+        assert t.defer_count == 3
+
+    def test_drop_reactive(self):
+        t = make_task()
+        t.mark_dropped(55.0, proactive=False)
+        assert t.status is TaskStatus.DROPPED_MISSED
+        assert t.was_dropped
+        assert t.dropped_at == 55.0
+
+    def test_drop_proactive_from_mapped(self):
+        t = make_task()
+        t.mark_mapped(0, 11.0)
+        t.mark_dropped(20.0, proactive=True)
+        assert t.status is TaskStatus.DROPPED_PROACTIVE
+
+
+class TestInvalidTransitions:
+    def test_cannot_map_terminal(self):
+        t = make_task()
+        t.mark_dropped(60.0, proactive=False)
+        with pytest.raises(RuntimeError):
+            t.mark_mapped(0, 61.0)
+
+    def test_cannot_defer_pending(self):
+        with pytest.raises(RuntimeError, match="defer"):
+            make_task().mark_deferred()
+
+    def test_cannot_run_pending(self):
+        with pytest.raises(RuntimeError, match="start"):
+            make_task().mark_running(12.0, 5.0)
+
+    def test_cannot_complete_unstarted(self):
+        t = make_task()
+        t.mark_mapped(0, 11.0)
+        with pytest.raises(RuntimeError, match="complete"):
+            t.mark_completed(20.0)
+
+    def test_cannot_drop_completed(self):
+        t = make_task()
+        t.mark_mapped(0, 11.0)
+        t.mark_running(12.0, 5.0)
+        t.mark_completed(17.0)
+        with pytest.raises(RuntimeError):
+            t.mark_dropped(18.0, proactive=True)
+
+
+class TestTerminalSet:
+    def test_terminal_statuses(self):
+        assert TaskStatus.COMPLETED_ON_TIME in TERMINAL_STATUSES
+        assert TaskStatus.COMPLETED_LATE in TERMINAL_STATUSES
+        assert TaskStatus.DROPPED_MISSED in TERMINAL_STATUSES
+        assert TaskStatus.DROPPED_PROACTIVE in TERMINAL_STATUSES
+        assert TaskStatus.PENDING not in TERMINAL_STATUSES
+        assert TaskStatus.MAPPED not in TERMINAL_STATUSES
+        assert TaskStatus.RUNNING not in TERMINAL_STATUSES

@@ -1,0 +1,55 @@
+"""Tests for the deterministic ETC baseline matrix."""
+
+import numpy as np
+import pytest
+
+from repro.stochastic.etc import ETCMatrix
+from repro.stochastic.pet import generate_pet_matrix
+
+
+class TestETC:
+    def test_from_pet_copies_means(self):
+        pet = generate_pet_matrix(3, 2, seed=4)
+        etc = ETCMatrix.from_pet(pet)
+        np.testing.assert_allclose(etc.means, pet.means)
+        etc.means[0, 0] = 999.0
+        assert pet.means[0, 0] != 999.0  # independent copy
+
+    def test_dimensions(self):
+        etc = ETCMatrix(np.ones((5, 3)))
+        assert etc.num_task_types == 5
+        assert etc.num_machine_types == 3
+
+    def test_pmf_is_delta_at_mean(self):
+        etc = ETCMatrix(np.array([[4.0, 7.0]]))
+        p = etc.pmf(0, 1)
+        assert p.support_size == 1
+        assert p.mean() == pytest.approx(7.0)
+
+    def test_pmf_cached(self):
+        etc = ETCMatrix(np.array([[4.0]]))
+        assert etc.pmf(0, 0) is etc.pmf(0, 0)
+
+    def test_chance_degenerates_to_step(self):
+        """The ETC ablation's point: chance of success is 0/1."""
+        etc = ETCMatrix(np.array([[5.0]]))
+        p = etc.pmf(0, 0)
+        assert p.cdf_at(4.99) == 0.0
+        assert p.cdf_at(5.0) == 1.0
+
+    def test_type_and_overall_means(self):
+        etc = ETCMatrix(np.array([[2.0, 4.0], [6.0, 8.0]]))
+        assert etc.type_mean(0) == pytest.approx(3.0)
+        assert etc.overall_mean() == pytest.approx(5.0)
+
+    def test_best_machines(self):
+        etc = ETCMatrix(np.array([[3.0, 1.0, 2.0]]))
+        np.testing.assert_array_equal(etc.best_machines(0), [1, 2, 0])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ETCMatrix(np.ones(3))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ETCMatrix(np.array([[1.0, 0.0]]))

@@ -1,0 +1,143 @@
+"""Tests for PET matrix generation (§V-B recipe)."""
+
+import numpy as np
+import pytest
+
+from repro.stochastic.pet import (
+    PAPER_NUM_MACHINE_TYPES,
+    PAPER_NUM_TASK_TYPES,
+    PETMatrix,
+    generate_pet_matrix,
+)
+from repro.stochastic.pmf import PMF
+
+
+class TestGeneration:
+    def test_paper_dimensions(self):
+        pet = generate_pet_matrix(seed=0)
+        assert pet.num_task_types == PAPER_NUM_TASK_TYPES == 12
+        assert pet.num_machine_types == PAPER_NUM_MACHINE_TYPES == 8
+        assert pet.means.shape == (12, 8)
+
+    def test_deterministic_by_seed(self):
+        a = generate_pet_matrix(3, 2, seed=5)
+        b = generate_pet_matrix(3, 2, seed=5)
+        np.testing.assert_allclose(a.means, b.means)
+        assert a.pmf(1, 1).allclose(b.pmf(1, 1))
+
+    def test_different_seeds_differ(self):
+        a = generate_pet_matrix(3, 2, seed=5)
+        b = generate_pet_matrix(3, 2, seed=6)
+        assert not np.allclose(a.means, b.means)
+
+    def test_cells_are_normalized_pmfs(self):
+        pet = generate_pet_matrix(4, 3, seed=1)
+        for t in range(4):
+            for m in range(3):
+                assert pet.pmf(t, m).total_mass == pytest.approx(1.0)
+
+    def test_execution_times_at_least_one(self):
+        pet = generate_pet_matrix(4, 3, seed=1, mean_range=(1.0, 3.0))
+        for t in range(4):
+            for m in range(3):
+                assert pet.pmf(t, m).min_time >= 1.0
+
+    def test_means_in_plausible_range(self):
+        pet = generate_pet_matrix(6, 4, seed=2, mean_range=(10.0, 20.0))
+        # Histogram flooring biases down ~0.5; gamma sampling adds noise.
+        assert pet.means.min() > 5.0
+        assert pet.means.max() < 40.0
+
+    def test_invalid_mean_range(self):
+        with pytest.raises(ValueError):
+            generate_pet_matrix(2, 2, seed=0, mean_range=(0.0, 5.0))
+        with pytest.raises(ValueError):
+            generate_pet_matrix(2, 2, seed=0, mean_range=(5.0, 1.0))
+
+    def test_unknown_heterogeneity(self):
+        with pytest.raises(ValueError, match="heterogeneity"):
+            generate_pet_matrix(2, 2, seed=0, heterogeneity="bogus")
+
+
+class TestHeterogeneityKinds:
+    def test_inconsistent_has_affinity_inversions(self):
+        """Some pair of machines must disagree on which is faster across
+        task types — the definition of inconsistent heterogeneity."""
+        pet = generate_pet_matrix(seed=3, heterogeneity="inconsistent")
+        best = np.argmin(pet.means, axis=1)
+        assert len(set(best.tolist())) > 1
+
+    def test_consistent_machine_order_mostly_uniform(self):
+        """Consistent heterogeneity: machine speed order is (near-)uniform
+        across task types.  Histogram sampling noise can flip near-ties,
+        so we check rank correlation rather than exact equality."""
+        pet = generate_pet_matrix(seed=3, heterogeneity="consistent")
+        ranks = np.argsort(np.argsort(pet.means, axis=1), axis=1).astype(float)
+        base = ranks[0]
+        corrs = [np.corrcoef(base, row)[0, 1] for row in ranks[1:]]
+        assert np.mean(corrs) > 0.8
+
+    def test_homogeneous_columns_identical(self):
+        pet = generate_pet_matrix(seed=3, heterogeneity="homogeneous")
+        assert pet.is_homogeneous()
+        np.testing.assert_allclose(
+            pet.means, np.repeat(pet.means[:, [0]], pet.num_machine_types, axis=1)
+        )
+
+    def test_inconsistent_not_homogeneous(self):
+        pet = generate_pet_matrix(seed=3)
+        assert not pet.is_homogeneous()
+
+
+class TestAccessors:
+    @pytest.fixture(scope="class")
+    def pet(self):
+        return generate_pet_matrix(4, 3, seed=11)
+
+    def test_mean_matches_pmf_mean(self, pet):
+        for t in range(4):
+            for m in range(3):
+                assert pet.mean(t, m) == pytest.approx(pet.pmf(t, m).mean())
+
+    def test_type_mean(self, pet):
+        assert pet.type_mean(2) == pytest.approx(pet.means[2].mean())
+
+    def test_overall_mean(self, pet):
+        assert pet.overall_mean() == pytest.approx(pet.means.mean())
+
+    def test_best_machines_sorted(self, pet):
+        for t in range(4):
+            order = pet.best_machines(t)
+            means = pet.means[t][order]
+            assert np.all(np.diff(means) >= 0)
+
+    def test_restricted_to_machines(self, pet):
+        sub = pet.restricted_to_machines([2, 0])
+        assert sub.num_machine_types == 2
+        assert sub.mean(1, 0) == pet.mean(1, 2)
+        assert sub.mean(1, 1) == pet.mean(1, 0)
+
+    def test_sample_execution_positive_and_on_support(self, pet, rng):
+        for _ in range(50):
+            v = pet.sample_execution(1, 1, rng)
+            assert v > 0
+            cell = pet.pmf(1, 1)
+            assert cell.min_time <= v <= cell.max_time
+
+
+class TestValidation:
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            PETMatrix([])
+
+    def test_ragged_matrix_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            PETMatrix([[PMF.delta(1), PMF.delta(2)], [PMF.delta(3)]])
+
+    def test_means_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="means shape"):
+            PETMatrix([[PMF.delta(1)]], means=np.ones((2, 2)))
+
+    def test_means_autocomputed(self):
+        pet = PETMatrix([[PMF.delta(4.0), PMF.delta(6.0)]])
+        np.testing.assert_allclose(pet.means, [[4.0, 6.0]])

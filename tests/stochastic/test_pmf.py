@@ -1,0 +1,343 @@
+"""Unit tests for the PMF algebra (Eq. 1 / Eq. 2 substrate)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stochastic.pmf import DEFAULT_MAX_SUPPORT, PMF
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+class TestConstruction:
+    def test_basic(self):
+        p = PMF([0.25, 0.5, 0.25], offset=3)
+        assert p.offset == 3
+        assert p.support_size == 3
+        assert p.total_mass == pytest.approx(1.0)
+
+    def test_trims_leading_and_trailing_zeros(self):
+        p = PMF([0.0, 0.0, 0.5, 0.5, 0.0], offset=1)
+        assert p.offset == 3
+        assert p.support_size == 2
+
+    def test_all_zero_probs_gives_empty_support(self):
+        p = PMF([0.0, 0.0], offset=5, tail=1.0)
+        assert p.support_size == 0
+        assert p.tail == 1.0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            PMF(np.ones((2, 2)))
+
+    def test_rejects_negative_tail(self):
+        with pytest.raises(ValueError, match="tail"):
+            PMF([1.0], tail=-0.5)
+
+    def test_validate_flags_unnormalized(self):
+        with pytest.raises(ValueError, match="mass"):
+            PMF([0.25, 0.25], validate=True)
+
+    def test_validate_accepts_normalized(self):
+        PMF([0.5, 0.5], validate=True)
+
+    def test_fractional_offset_allowed(self):
+        p = PMF([1.0], offset=2.5)
+        assert p.min_time == 2.5
+
+    def test_delta(self):
+        d = PMF.delta(7.0)
+        assert d.support_size == 1
+        assert d.cdf_at(7.0) == pytest.approx(1.0)
+        assert d.cdf_at(6.99) == 0.0
+        assert d.mean() == pytest.approx(7.0)
+
+    def test_from_dict(self):
+        p = PMF.from_dict({2: 0.5, 4: 0.5})
+        assert p.offset == 2
+        assert p.probs[0] == pytest.approx(0.5)
+        assert p.probs[1] == 0.0
+        assert p.probs[2] == pytest.approx(0.5)
+
+    def test_from_dict_off_grid_rejected(self):
+        with pytest.raises(ValueError, match="unit grid"):
+            PMF.from_dict({2.0: 0.5, 3.5: 0.5})
+
+    def test_from_dict_empty(self):
+        p = PMF.from_dict({})
+        assert p.is_empty
+
+
+class TestFromSamples:
+    def test_histogram_mass(self, rng):
+        samples = rng.gamma(4.0, 2.0, size=500)
+        p = PMF.from_samples(samples)
+        assert p.total_mass == pytest.approx(1.0)
+        assert p.tail == 0.0
+
+    def test_mean_close_to_sample_mean(self, rng):
+        samples = rng.gamma(9.0, 2.0, size=4000)
+        p = PMF.from_samples(samples)
+        # Flooring onto the grid biases the mean down by ~0.5.
+        assert p.mean() == pytest.approx(samples.mean() - 0.5, abs=0.25)
+
+    def test_min_value_clip(self):
+        p = PMF.from_samples([0.1, 0.2, 5.0], min_value=1.0)
+        assert p.min_time >= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero samples"):
+            PMF.from_samples([])
+
+    def test_bad_bin_width(self):
+        with pytest.raises(ValueError, match="bin_width"):
+            PMF.from_samples([1.0], bin_width=0.0)
+
+    def test_bin_width_scales_grid(self):
+        p = PMF.from_samples([10.0, 20.0], bin_width=10.0)
+        assert p.offset == 1.0
+        assert p.support_size == 2
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+class TestStatistics:
+    def test_cdf_steps(self):
+        p = PMF([0.2, 0.3, 0.5], offset=10)
+        assert p.cdf_at(9.99) == 0.0
+        assert p.cdf_at(10.0) == pytest.approx(0.2)
+        assert p.cdf_at(11.7) == pytest.approx(0.5)
+        assert p.cdf_at(12.0) == pytest.approx(1.0)
+        assert p.cdf_at(1e9) == pytest.approx(1.0)
+
+    def test_cdf_excludes_tail(self):
+        p = PMF([0.6], offset=0, tail=0.4)
+        assert p.cdf_at(100.0) == pytest.approx(0.6)
+
+    def test_sf_includes_tail(self):
+        p = PMF([0.6], offset=0, tail=0.4)
+        assert p.sf_at(0.0) == pytest.approx(0.4)
+        assert p.sf_at(-1.0) == pytest.approx(1.0)
+
+    def test_mean_inf_with_tail(self):
+        assert PMF([0.9], tail=0.1).mean() == math.inf
+
+    def test_finite_mean_conditions_out_tail(self):
+        p = PMF([0.45, 0.45], offset=2, tail=0.1)
+        assert p.finite_mean() == pytest.approx(2.5)
+
+    def test_variance(self):
+        p = PMF([0.5, 0.5], offset=0)  # values 0, 1
+        assert p.variance() == pytest.approx(0.25)
+
+    def test_quantile(self):
+        p = PMF([0.25, 0.25, 0.5], offset=4)
+        assert p.quantile(0.2) == 4
+        assert p.quantile(0.5) == 5
+        assert p.quantile(1.0) == 6
+
+    def test_quantile_in_tail_is_inf(self):
+        p = PMF([0.5], offset=0, tail=0.5)
+        assert p.quantile(0.9) == math.inf
+
+    def test_quantile_out_of_range(self):
+        with pytest.raises(ValueError):
+            PMF([1.0]).quantile(1.5)
+
+    def test_times(self):
+        p = PMF([0.5, 0.5], offset=3)
+        np.testing.assert_allclose(p.times(), [3.0, 4.0])
+
+
+# ----------------------------------------------------------------------
+# Transformations
+# ----------------------------------------------------------------------
+class TestTransforms:
+    def test_shift(self):
+        p = PMF([0.5, 0.5], offset=1).shift(4.0)
+        assert p.offset == 5.0
+        assert p.mean() == pytest.approx(5.5)
+
+    def test_normalized(self):
+        p = PMF([0.2, 0.2], tail=0.1).normalized()
+        assert p.total_mass == pytest.approx(1.0)
+        assert p.tail == pytest.approx(0.2)
+
+    def test_normalize_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            PMF([0.0]).normalized()
+
+    def test_truncate_folds_overflow_into_tail(self):
+        p = PMF([0.25, 0.25, 0.25, 0.25], offset=0).truncate(1.0)
+        assert p.support_size == 2
+        assert p.tail == pytest.approx(0.5)
+        assert p.total_mass == pytest.approx(1.0)
+
+    def test_truncate_noop_when_within_horizon(self):
+        p = PMF([0.5, 0.5], offset=0)
+        assert p.truncate(10.0) is p
+
+    def test_truncate_everything(self):
+        p = PMF([0.5, 0.5], offset=5).truncate(1.0)
+        assert p.support_size == 0
+        assert p.tail == pytest.approx(1.0)
+
+    def test_condition_at_least_noop_below_support(self):
+        p = PMF([0.5, 0.5], offset=10)
+        assert p.condition_at_least(3.0) is p
+
+    def test_condition_at_least_renormalizes(self):
+        p = PMF([0.25, 0.25, 0.5], offset=0)
+        q = p.condition_at_least(1.0)
+        assert q.total_mass == pytest.approx(1.0)
+        assert q.min_time >= 1.0
+        assert q.probs[0] == pytest.approx(0.25 / 0.75)
+
+    def test_condition_past_support_collapses_to_delta(self):
+        p = PMF([0.5, 0.5], offset=0)
+        q = p.condition_at_least(5.0)
+        assert q.support_size == 1
+        assert q.min_time == 5.0
+
+    def test_condition_preserves_tail_ratio(self):
+        p = PMF([0.4, 0.4], offset=0, tail=0.2)
+        q = p.condition_at_least(1.0)
+        # kept finite mass 0.4, tail 0.2 → renormalized tail = 1/3
+        assert q.tail == pytest.approx(0.2 / 0.6)
+        assert q.total_mass == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Convolution — Eq. 1
+# ----------------------------------------------------------------------
+class TestConvolve:
+    def test_delta_identity(self):
+        p = PMF([0.3, 0.7], offset=2)
+        q = p.convolve(PMF.delta(0.0))
+        assert q.allclose(p)
+
+    def test_delta_shift(self):
+        p = PMF([0.3, 0.7], offset=2)
+        q = p.convolve(PMF.delta(5.0))
+        assert q.offset == 7.0
+        np.testing.assert_allclose(q.probs, p.probs)
+
+    def test_two_coin_flips(self):
+        coin = PMF([0.5, 0.5], offset=0)
+        s = coin.convolve(coin)
+        np.testing.assert_allclose(s.probs, [0.25, 0.5, 0.25])
+
+    def test_mean_additive(self):
+        a = PMF([0.2, 0.8], offset=1)
+        b = PMF([0.6, 0.4], offset=3)
+        assert a.convolve(b).mean() == pytest.approx(a.mean() + b.mean())
+
+    def test_offsets_add(self):
+        a = PMF([1.0], offset=2.5)
+        b = PMF([1.0], offset=4.0)
+        assert a.convolve(b).offset == 6.5
+
+    def test_commutative(self):
+        a = PMF([0.2, 0.3, 0.5], offset=1)
+        b = PMF([0.9, 0.1], offset=0)
+        assert a.convolve(b).allclose(b.convolve(a))
+
+    def test_mul_operator_is_convolution(self):
+        a = PMF([0.5, 0.5])
+        assert (a * a).allclose(a.convolve(a))
+
+    def test_mul_with_non_pmf(self):
+        with pytest.raises(TypeError):
+            PMF([1.0]).__mul__(3)  # NotImplemented → TypeError via operator
+            _ = PMF([1.0]) * 3
+
+    def test_tail_is_absorbing(self):
+        a = PMF([0.5], offset=0, tail=0.5)
+        b = PMF([0.5], offset=0, tail=0.5)
+        c = a.convolve(b)
+        assert c.tail == pytest.approx(0.75)
+        assert c.finite_mass == pytest.approx(0.25)
+        assert c.total_mass == pytest.approx(1.0)
+
+    def test_max_support_overflow_to_tail(self):
+        long = PMF(np.full(100, 0.01), offset=0)
+        out = long.convolve(long, max_support=50)
+        assert out.support_size <= 50
+        assert out.total_mass == pytest.approx(1.0)
+        assert out.tail > 0
+
+    def test_empty_operand(self):
+        a = PMF([0.5], offset=0, tail=0.5)
+        empty = PMF([], offset=3, tail=1.0)
+        out = a.convolve(empty)
+        assert out.support_size == 0
+        assert out.tail == pytest.approx(1.0)
+
+    def test_fig2_worked_example(self):
+        """The exact convolution of the paper's Fig. 2.
+
+        PET of task i: P(1)=.125, P(2)=.75, P(3)=.125
+        PCT of last task on machine j: P(4)=.17, P(5)=.33, P(6)=.50
+        Result: P(5)=.02, P(6)=.17, P(7)=.33, P(8)=.42, P(9)=.06
+        (the figure rounds to two decimals).
+        """
+        pet = PMF.from_dict({1: 0.125, 2: 0.75, 3: 0.125})
+        pct_last = PMF.from_dict({4: 0.17, 5: 0.33, 6: 0.50})
+        pct = pet.convolve(pct_last)
+        assert pct.min_time == 5
+        assert pct.max_time == 9
+        expected = {5: 0.02, 6: 0.17, 7: 0.33, 8: 0.42, 9: 0.06}
+        for t, want in expected.items():
+            got = float(pct.probs[int(t - pct.offset)])
+            assert got == pytest.approx(want, abs=0.006), (t, got, want)
+        assert pct.total_mass == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Sampling and comparison
+# ----------------------------------------------------------------------
+class TestSampling:
+    def test_sample_within_support(self, rng):
+        p = PMF([0.25, 0.5, 0.25], offset=10)
+        vals = p.sample(rng, size=500)
+        assert set(np.unique(vals)) <= {10.0, 11.0, 12.0}
+
+    def test_sample_scalar(self, rng):
+        assert PMF.delta(4.0).sample(rng) == 4.0
+
+    def test_sample_tail_maps_to_inf(self, rng):
+        p = PMF([0.01], offset=0, tail=0.99)
+        vals = p.sample(rng, size=200)
+        assert np.isinf(vals).sum() > 100
+
+    def test_sample_frequencies(self, rng):
+        p = PMF([0.2, 0.8], offset=0)
+        vals = p.sample(rng, size=20_000)
+        assert (vals == 1.0).mean() == pytest.approx(0.8, abs=0.02)
+
+    def test_sample_zero_mass_rejected(self, rng):
+        with pytest.raises(ValueError):
+            PMF([0.0]).sample(rng)
+
+
+class TestAllclose:
+    def test_equal(self):
+        assert PMF([0.5, 0.5], offset=1).allclose(PMF([0.5, 0.5], offset=1))
+
+    def test_different_offset(self):
+        assert not PMF([1.0], offset=0).allclose(PMF([1.0], offset=1))
+
+    def test_different_tail(self):
+        assert not PMF([0.5], tail=0.5).allclose(PMF([0.5], tail=0.4))
+
+    def test_both_empty(self):
+        assert PMF([], tail=1.0).allclose(PMF([], offset=9, tail=1.0))
+
+    def test_one_empty(self):
+        assert not PMF([], tail=1.0).allclose(PMF([1.0]))
+
+    def test_different_support_size(self):
+        assert not PMF([0.5, 0.5]).allclose(PMF([1.0]))

@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) for PMF invariants.
+
+The pruning mechanism's correctness rests on these algebraic facts: mass
+is conserved by every operation, convolution adds means and offsets, CDFs
+are monotone, and tail mass only ever grows (pessimism is one-sided).
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stochastic.pmf import PMF
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def pmfs(draw, max_support=12, allow_tail=True):
+    n = draw(st.integers(min_value=1, max_value=max_support))
+    weights = draw(
+        st.lists(
+            # Weights are either exactly zero or >= 1e-6 so that products
+            # of boundary probabilities never underflow to zero (which
+            # would legitimately trim the support).
+            st.one_of(
+                st.just(0.0),
+                st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+            ),
+            min_size=n,
+            max_size=n,
+        ).filter(lambda w: sum(w) > 1e-6)
+    )
+    offset = draw(st.integers(min_value=-5, max_value=30))
+    tail_frac = draw(st.floats(min_value=0.0, max_value=0.5)) if allow_tail else 0.0
+    arr = np.asarray(weights, dtype=np.float64)
+    finite = arr / arr.sum() * (1.0 - tail_frac)
+    return PMF(finite, offset=float(offset), tail=tail_frac)
+
+
+normalized_pmfs = pmfs()
+tailless_pmfs = pmfs(allow_tail=False)
+
+
+# ----------------------------------------------------------------------
+# Mass conservation
+# ----------------------------------------------------------------------
+@given(normalized_pmfs, normalized_pmfs)
+def test_convolve_conserves_mass(a, b):
+    c = a.convolve(b)
+    assert math.isclose(c.total_mass, a.total_mass * b.total_mass, abs_tol=1e-9)
+
+
+@given(normalized_pmfs, st.floats(min_value=-10, max_value=60))
+def test_truncate_conserves_mass(p, horizon):
+    q = p.truncate(horizon)
+    assert math.isclose(q.total_mass, p.total_mass, abs_tol=1e-9)
+
+
+@given(normalized_pmfs, st.integers(min_value=2, max_value=8))
+def test_convolve_max_support_conserves_mass(p, cap):
+    q = p.convolve(p, max_support=cap)
+    assert q.support_size <= cap
+    assert math.isclose(q.total_mass, p.total_mass**2, abs_tol=1e-9)
+
+
+@given(normalized_pmfs, st.floats(min_value=-20, max_value=50))
+def test_condition_at_least_normalizes(p, t):
+    q = p.condition_at_least(t)
+    assert math.isclose(q.total_mass, 1.0, abs_tol=1e-9)
+    # float tolerance: ceil(t - offset) may keep a grid point an ulp below t
+    assert q.min_time >= t - 1e-9 or q.support_size == 0
+
+
+# ----------------------------------------------------------------------
+# Convolution algebra
+# ----------------------------------------------------------------------
+@given(tailless_pmfs, tailless_pmfs)
+def test_convolve_adds_means(a, b):
+    assert math.isclose(a.convolve(b).mean(), a.mean() + b.mean(), abs_tol=1e-6)
+
+
+@given(tailless_pmfs, tailless_pmfs)
+def test_convolve_adds_min_times(a, b):
+    c = a.convolve(b)
+    assert math.isclose(c.min_time, a.min_time + b.min_time, abs_tol=1e-9)
+
+
+@given(normalized_pmfs, normalized_pmfs)
+def test_convolve_commutes(a, b):
+    assert a.convolve(b).allclose(b.convolve(a), atol=1e-9)
+
+
+@settings(deadline=None)
+@given(pmfs(max_support=6), pmfs(max_support=6), pmfs(max_support=6))
+def test_convolve_associates(a, b, c):
+    left = a.convolve(b).convolve(c)
+    right = a.convolve(b.convolve(c))
+    assert left.allclose(right, atol=1e-9)
+
+
+@given(tailless_pmfs, tailless_pmfs)
+def test_convolve_adds_variances(a, b):
+    c = a.convolve(b)
+    assert math.isclose(c.variance(), a.variance() + b.variance(), abs_tol=1e-6)
+
+
+@given(normalized_pmfs, st.floats(min_value=-10, max_value=10))
+def test_delta_convolution_is_shift(p, t):
+    assert p.convolve(PMF.delta(t)).allclose(p.shift(t), atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# CDF behaviour
+# ----------------------------------------------------------------------
+@given(normalized_pmfs, st.floats(min_value=-20, max_value=80), st.floats(min_value=0, max_value=20))
+def test_cdf_monotone(p, t, dt):
+    assert p.cdf_at(t + dt) >= p.cdf_at(t) - 1e-12
+
+
+@given(normalized_pmfs)
+def test_cdf_bounded_by_finite_mass(p):
+    assert p.cdf_at(1e9) <= p.finite_mass + 1e-12
+    assert p.cdf_at(-1e9) == 0.0
+
+
+@given(normalized_pmfs, st.floats(min_value=-20, max_value=80))
+def test_cdf_plus_sf_is_total_mass(p, t):
+    assert math.isclose(p.cdf_at(t) + p.sf_at(t), p.total_mass, abs_tol=1e-9)
+
+
+@given(normalized_pmfs, st.floats(min_value=-10, max_value=60), st.floats(min_value=-20, max_value=80))
+def test_truncation_is_one_sided_pessimism(p, horizon, t):
+    """Truncation can only *reduce* a chance of success, never raise it —
+    the property that makes bounded supports safe for pruning decisions."""
+    q = p.truncate(horizon)
+    assert q.cdf_at(t) <= p.cdf_at(t) + 1e-12
+
+
+@given(tailless_pmfs)
+def test_quantile_inverts_cdf(p):
+    for q in (0.1, 0.5, 0.9):
+        t = p.quantile(q)
+        assert p.cdf_at(t) >= q - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Histogram construction
+# ----------------------------------------------------------------------
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=500.0), min_size=1, max_size=200),
+)
+def test_from_samples_mass_and_support(samples):
+    p = PMF.from_samples(samples)
+    assert math.isclose(p.total_mass, 1.0, abs_tol=1e-9)
+    assert p.min_time >= math.floor(min(samples))
+    assert p.max_time <= math.floor(max(samples))
+
+
+@given(st.floats(min_value=0.0, max_value=1000.0))
+def test_delta_cdf_step(t):
+    d = PMF.delta(t)
+    assert d.cdf_at(t) == 1.0
+    assert d.cdf_at(t - 1e-6) == 0.0

@@ -1,0 +1,175 @@
+"""Tests for batch-mode resource allocation (Fig. 1b/1c + Fig. 5 loop)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PruningConfig, ToggleMode
+from repro.sim.task import Task, TaskStatus
+from repro.system.serverless import ServerlessSystem
+
+from tests.conftest import make_deterministic_pet
+
+
+def tasks_from(specs):
+    return [
+        Task(task_id=i, task_type=tt, arrival=a, deadline=d)
+        for i, (tt, a, d) in enumerate(specs)
+    ]
+
+
+def one_machine_system(exec_time=10.0, queue_limit=1, pruning=None, heuristic="MM"):
+    pet = make_deterministic_pet(np.array([[exec_time]]))
+    return ServerlessSystem(pet, heuristic, pruning=pruning, queue_limit=queue_limit, seed=0)
+
+
+class TestBatching:
+    def test_default_queue_limit(self):
+        sys = one_machine_system()
+        assert sys.cluster[0].queue_limit == 1
+
+    def test_auto_queue_limit_is_4(self):
+        pet = make_deterministic_pet(np.array([[10.0]]))
+        sys = ServerlessSystem(pet, "MM", seed=0)
+        assert sys.cluster[0].queue_limit == 4
+
+    def test_overflow_waits_in_batch_queue(self):
+        sys = one_machine_system(queue_limit=1)
+        # 3 arrivals at t≈0: one runs, one queues, one waits in batch.
+        tasks = tasks_from([(0, 0.0, 200.0), (0, 0.1, 200.0), (0, 0.2, 200.0)])
+        sys.submit_workload(tasks)
+        sys.sim.run(until=0.5)
+        assert tasks[0].status is TaskStatus.RUNNING
+        assert tasks[1].status is TaskStatus.MAPPED
+        assert tasks[2].status is TaskStatus.PENDING
+        assert sys.allocator.pending_tasks() == [tasks[2]]
+        sys.sim.run()
+        assert all(t.status is TaskStatus.COMPLETED_ON_TIME for t in tasks)
+
+    def test_completion_triggers_mapping_of_waiting_task(self):
+        sys = one_machine_system(queue_limit=1)
+        tasks = tasks_from([(0, 0.0, 200.0), (0, 0.1, 200.0), (0, 0.2, 200.0)])
+        sys.run(tasks)
+        # FCFS through the single machine: 10, 20, 30.
+        assert [t.finished_at for t in tasks] == [10.0, 20.0, 30.0]
+
+    def test_mm_prefers_fast_machine_affinity(self):
+        pet = make_deterministic_pet(np.array([[2.0, 9.0], [9.0, 2.0]]))
+        sys = ServerlessSystem(pet, "MM", seed=0)
+        tasks = tasks_from([(0, 0.0, 50.0), (1, 0.0, 50.0)])
+        sys.run(tasks)
+        assert tasks[0].machine_id == 0
+        assert tasks[1].machine_id == 1
+
+
+class TestReactiveDropInBatchQueue:
+    def test_stale_batch_tasks_reaped(self):
+        sys = one_machine_system(queue_limit=1)
+        tasks = tasks_from(
+            [(0, 0.0, 200.0), (0, 0.1, 200.0), (0, 0.2, 5.0)]  # last can never map in time
+        )
+        sys.run(tasks)
+        assert tasks[2].status is TaskStatus.DROPPED_MISSED
+        # reaped at the first mapping event after its deadline (t=10).
+        assert tasks[2].dropped_at == pytest.approx(10.0)
+
+
+class TestDeferring:
+    def test_hopeless_task_deferred_not_dispatched(self):
+        sys = one_machine_system(queue_limit=2, pruning=PruningConfig.defer_only(0.5))
+        # Two viable tasks occupy the machine; the third (deadline 12,
+        # completion ≈30) is deferred at every event, never mapped.
+        tasks = tasks_from([(0, 0.0, 200.0), (0, 0.1, 200.0), (0, 0.2, 12.0)])
+        sys.run(tasks)
+        assert tasks[2].defer_count >= 1
+        assert tasks[2].machine_id is None
+        assert tasks[2].status is TaskStatus.DROPPED_MISSED  # finalized
+        assert sys.accounting.total_defers >= 1
+
+    def test_deferred_task_eventually_maps_when_chance_improves(self):
+        pet = make_deterministic_pet(np.array([[10.0, 30.0]]))
+        sys = ServerlessSystem(
+            pet, "MM", pruning=PruningConfig.defer_only(0.5), queue_limit=1, seed=0
+        )
+        # Machine 0 is busy with task 0 until t=10.  Task 1 (deadline 25)
+        # would miss on machine 1 (exec 30) and behind task 0 on machine 0
+        # it completes at 20 ≤ 25 — viable, maps immediately.  Task 2
+        # (deadline 35) behind both completes at 30 ≤ 35 — viable.
+        tasks = tasks_from([(0, 0.0, 200.0), (0, 0.1, 25.0), (0, 0.2, 35.0)])
+        sys.run(tasks)
+        assert tasks[1].status is TaskStatus.COMPLETED_ON_TIME
+        assert tasks[2].status is TaskStatus.COMPLETED_ON_TIME
+
+    def test_defer_disabled_maps_hopeless(self):
+        sys = one_machine_system(queue_limit=2, pruning=PruningConfig.drop_only(ToggleMode.NEVER))
+        tasks = tasks_from([(0, 0.0, 200.0), (0, 0.1, 200.0), (0, 0.2, 12.0)])
+        sys.run(tasks)
+        # mapped despite being hopeless (no deferring), completes late or
+        # is reaped — but it must have been dispatched at some point.
+        assert tasks[2].mapped_at is not None
+
+
+class TestPruningEndToEnd:
+    def test_full_pruning_improves_on_time_under_oversubscription(self, pet_small):
+        from repro.workload import WorkloadSpec, generate_workload
+        from tests.conftest import fresh_tasks
+
+        spec = WorkloadSpec(num_tasks=250, time_span=70.0, num_task_types=3)
+        base_tasks = generate_workload(spec, pet_small, np.random.default_rng(3))
+
+        base = ServerlessSystem(pet_small, "MSD", seed=1)
+        r0 = base.run(fresh_tasks(base_tasks))
+        pruned = ServerlessSystem(
+            pet_small, "MSD", pruning=PruningConfig.paper_default(), seed=1
+        )
+        r1 = pruned.run(fresh_tasks(base_tasks))
+        assert r1.on_time > r0.on_time
+
+    def test_late_completions_nearly_eliminated_by_pruning(self, pet_small):
+        from repro.workload import WorkloadSpec, generate_workload
+        from tests.conftest import fresh_tasks
+
+        spec = WorkloadSpec(num_tasks=250, time_span=70.0, num_task_types=3)
+        base_tasks = generate_workload(spec, pet_small, np.random.default_rng(3))
+        base = ServerlessSystem(pet_small, "MM", seed=1)
+        r0 = base.run(fresh_tasks(base_tasks))
+        pruned = ServerlessSystem(
+            pet_small, "MM", pruning=PruningConfig.paper_default(), seed=1
+        )
+        r1 = pruned.run(fresh_tasks(base_tasks))
+        assert r1.late < r0.late
+
+    def test_proactive_drops_only_with_pruning(self, pet_small, oversub_workload):
+        from tests.conftest import fresh_tasks
+
+        base = ServerlessSystem(pet_small, "MM", seed=1)
+        r0 = base.run(fresh_tasks(oversub_workload))
+        assert r0.dropped_proactive == 0
+        pruned = ServerlessSystem(
+            pet_small, "MM", pruning=PruningConfig.paper_default(), seed=1
+        )
+        r1 = pruned.run(fresh_tasks(oversub_workload))
+        assert r1.dropped_proactive > 0
+
+
+class TestPlanConsistency:
+    def test_every_submitted_task_reaches_terminal_state(self, pet_small, oversub_workload):
+        from tests.conftest import fresh_tasks
+
+        for pruning in (None, PruningConfig.paper_default()):
+            sys = ServerlessSystem(pet_small, "MMU", pruning=pruning, seed=2)
+            sys.run(fresh_tasks(oversub_workload))
+            assert all(t.is_terminal for t in sys.tasks)
+
+    def test_conservation_of_tasks(self, pet_small, oversub_workload):
+        from tests.conftest import fresh_tasks
+
+        sys = ServerlessSystem(
+            pet_small, "MM", pruning=PruningConfig.paper_default(), seed=2
+        )
+        res = sys.run(fresh_tasks(oversub_workload))
+        assert (
+            res.on_time + res.late + res.dropped_missed + res.dropped_proactive
+            + res.unfinished
+            == res.total
+            == len(oversub_workload)
+        )

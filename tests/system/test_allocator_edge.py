@@ -1,0 +1,166 @@
+"""Edge-case tests for resource allocation wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core.accounting import Accounting
+from repro.core.config import PruningConfig
+from repro.core.pruner import Pruner
+from repro.heuristics import MinMin, MCT
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.task import Task, TaskStatus
+from repro.system.allocator import BatchAllocator, ImmediateAllocator
+from repro.system.completion import CompletionEstimator
+from repro.system.serverless import ServerlessSystem
+
+from tests.conftest import fresh_tasks, make_deterministic_pet
+
+
+def build_batch(pet, queue_limit=2, pruner=None):
+    cluster = Cluster.heterogeneous(pet.num_machine_types, queue_limit=queue_limit)
+    sim = Simulator()
+    est = CompletionEstimator(pet)
+    alloc = BatchAllocator(
+        sim,
+        cluster,
+        est,
+        heuristic=MinMin(),
+        pruner=pruner,
+        exec_sampler=lambda t, m: pet.mean(t.task_type, m.machine_type),
+    )
+    return sim, cluster, alloc
+
+
+class TestWiringGuards:
+    def test_mode_mismatch_immediate_heuristic_in_batch(self):
+        pet = make_deterministic_pet(np.array([[4.0]]))
+        cluster = Cluster.heterogeneous(1)
+        sim = Simulator()
+        est = CompletionEstimator(pet)
+        with pytest.raises(TypeError, match="BatchHeuristic"):
+            BatchAllocator(
+                sim, cluster, est, heuristic=MCT(), exec_sampler=lambda t, m: 1.0
+            )
+
+    def test_mode_mismatch_batch_heuristic_in_immediate(self):
+        pet = make_deterministic_pet(np.array([[4.0]]))
+        cluster = Cluster.heterogeneous(1)
+        sim = Simulator()
+        est = CompletionEstimator(pet)
+        with pytest.raises(TypeError, match="ImmediateHeuristic"):
+            ImmediateAllocator(
+                sim, cluster, est, heuristic=MinMin(), exec_sampler=lambda t, m: 1.0
+            )
+
+    def test_pruner_accounting_conflict(self):
+        pet = make_deterministic_pet(np.array([[4.0]]))
+        cluster = Cluster.heterogeneous(1)
+        sim = Simulator()
+        est = CompletionEstimator(pet)
+        pruner = Pruner(PruningConfig.paper_default())  # own accounting
+        with pytest.raises(ValueError, match="share"):
+            BatchAllocator(
+                sim,
+                cluster,
+                est,
+                heuristic=MinMin(),
+                pruner=pruner,
+                accounting=Accounting(),  # a different instance
+                exec_sampler=lambda t, m: 1.0,
+            )
+
+    def test_pruner_accounting_shared_ok(self):
+        pet = make_deterministic_pet(np.array([[4.0]]))
+        cluster = Cluster.heterogeneous(1)
+        sim = Simulator()
+        est = CompletionEstimator(pet)
+        pruner = Pruner(PruningConfig.paper_default())
+        alloc = BatchAllocator(
+            sim,
+            cluster,
+            est,
+            heuristic=MinMin(),
+            pruner=pruner,
+            accounting=pruner.accounting,
+            exec_sampler=lambda t, m: 1.0,
+        )
+        assert alloc.accounting is pruner.accounting
+
+
+class TestBatchEventTriggers:
+    def test_arrival_with_full_queues_does_not_map(self):
+        pet = make_deterministic_pet(np.array([[10.0]]))
+        sim, cluster, alloc = build_batch(pet, queue_limit=1)
+        # Fill: one running + one queued.
+        for i in range(2):
+            t = Task(task_id=i, task_type=0, arrival=0.0, deadline=500.0)
+            sim.schedule(0.0, lambda t=t: alloc.submit(t))
+        sim.run(until=0.0)
+        events_before = alloc.mapping_events
+        late_arrival = Task(task_id=9, task_type=0, arrival=1.0, deadline=500.0)
+        sim.schedule(1.0, lambda: alloc.submit(late_arrival))
+        sim.run(until=1.0)
+        # queues full → no mapping event fired for this arrival
+        assert alloc.mapping_events == events_before
+        assert late_arrival.status is TaskStatus.PENDING
+        sim.run()
+        assert late_arrival.status is TaskStatus.COMPLETED_ON_TIME
+
+    def test_multiple_machines_fill_in_one_event(self):
+        pet = make_deterministic_pet(np.array([[5.0, 5.0, 5.0]]))
+        sim, cluster, alloc = build_batch(pet, queue_limit=1)
+        tasks = [Task(task_id=i, task_type=0, arrival=0.0, deadline=500.0) for i in range(6)]
+        for t in tasks:
+            sim.schedule(0.0, lambda t=t: alloc.submit(t))
+        sim.run(until=0.0)
+        # 3 machines × (1 running + 1 queued) = 6 placed
+        assert all(t.status in (TaskStatus.RUNNING, TaskStatus.MAPPED) for t in tasks)
+
+
+class TestImmediatePrunerIgnoresDefer:
+    def test_defer_config_has_no_effect_in_immediate_mode(self, pet_small, small_workload):
+        """Deferring applies to the batch queue only (§IV-B); an immediate
+        allocator with a defer-enabled config must behave identically to
+        one with defer disabled."""
+        cfg_on = PruningConfig(enable_deferring=True, enable_dropping=True)
+        cfg_off = PruningConfig(enable_deferring=False, enable_dropping=True)
+        r_on = ServerlessSystem(pet_small, "MCT", pruning=cfg_on, seed=4).run(
+            fresh_tasks(small_workload)
+        )
+        r_off = ServerlessSystem(pet_small, "MCT", pruning=cfg_off, seed=4).run(
+            fresh_tasks(small_workload)
+        )
+        assert r_on.on_time == r_off.on_time
+        assert r_on.defer_decisions == r_off.defer_decisions == 0
+
+
+class TestObserverEvents:
+    def test_observer_sees_lifecycle_in_order(self):
+        pet = make_deterministic_pet(np.array([[5.0]]))
+        seen = []
+        sys = ServerlessSystem(
+            pet, "MM", seed=0, observer=lambda kind, task, time: seen.append((kind, task.task_id))
+        )
+        t = Task(task_id=0, task_type=0, arrival=0.0, deadline=50.0)
+        sys.run([t])
+        assert seen == [("arrived", 0), ("dispatched", 0), ("completed", 0)]
+
+    def test_observer_sees_defer(self):
+        pet = make_deterministic_pet(np.array([[10.0]]))
+        seen = []
+        sys = ServerlessSystem(
+            pet,
+            "MM",
+            pruning=PruningConfig.defer_only(0.5),
+            queue_limit=1,
+            seed=0,
+            observer=lambda kind, task, time: seen.append(kind),
+        )
+        tasks = [
+            Task(task_id=0, task_type=0, arrival=0.0, deadline=500.0),
+            Task(task_id=1, task_type=0, arrival=0.0, deadline=500.0),
+            Task(task_id=2, task_type=0, arrival=0.1, deadline=12.0),
+        ]
+        sys.run(tasks)
+        assert "deferred" in seen

@@ -1,0 +1,132 @@
+"""Tests for immediate-mode resource allocation (Fig. 1a)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PruningConfig, ToggleMode
+from repro.sim.task import TaskStatus
+from repro.stochastic.pmf import PMF
+from repro.stochastic.pet import PETMatrix
+from repro.system.serverless import ServerlessSystem
+from repro.sim.task import Task
+
+from tests.conftest import make_deterministic_pet
+
+
+def tasks_from(specs):
+    """specs: list of (ttype, arrival, deadline)."""
+    return [
+        Task(task_id=i, task_type=tt, arrival=a, deadline=d)
+        for i, (tt, a, d) in enumerate(specs)
+    ]
+
+
+class TestMappingOnArrival:
+    def test_tasks_map_immediately_to_met_machine(self):
+        pet = make_deterministic_pet(np.array([[2.0, 9.0], [9.0, 2.0]]))
+        sys = ServerlessSystem(pet, "MET", seed=0)
+        tasks = tasks_from([(0, 0.0, 50.0), (1, 0.0, 50.0)])
+        sys.run(tasks)
+        assert tasks[0].machine_id == 0
+        assert tasks[1].machine_id == 1
+        assert all(t.status is TaskStatus.COMPLETED_ON_TIME for t in tasks)
+
+    def test_no_batch_queue(self):
+        pet = make_deterministic_pet(np.array([[2.0, 9.0]]))
+        sys = ServerlessSystem(pet, "MCT", seed=0)
+        assert sys.allocator.pending_tasks() == []
+
+    def test_queue_unbounded_by_default(self):
+        pet = make_deterministic_pet(np.array([[5.0, 5.0]]))
+        sys = ServerlessSystem(pet, "RR", seed=0)
+        assert all(m.queue_limit is None for m in sys.cluster)
+
+    def test_completion_times_deterministic(self):
+        pet = make_deterministic_pet(np.array([[4.0, 100.0]]))
+        sys = ServerlessSystem(pet, "MET", seed=0)
+        tasks = tasks_from([(0, 0.0, 100.0), (0, 0.0, 100.0), (0, 1.0, 100.0)])
+        sys.run(tasks)
+        assert [t.finished_at for t in tasks] == [4.0, 8.0, 12.0]
+
+
+class TestReactiveDropping:
+    def test_queued_task_past_deadline_dropped_at_next_event(self):
+        pet = make_deterministic_pet(np.array([[10.0]]))
+        sys = ServerlessSystem(pet, "MCT", seed=0)
+        # Task 1 queues behind task 0 and its deadline (5) passes while
+        # task 0 runs; the completion event at t=10 reaps it.
+        tasks = tasks_from([(0, 0.0, 100.0), (0, 0.1, 5.0)])
+        sys.run(tasks)
+        assert tasks[1].status is TaskStatus.DROPPED_MISSED
+        assert tasks[1].dropped_at == pytest.approx(10.0)
+
+    def test_running_task_never_reaped(self):
+        pet = make_deterministic_pet(np.array([[10.0]]))
+        sys = ServerlessSystem(pet, "MCT", seed=0)
+        tasks = tasks_from([(0, 0.0, 5.0), (0, 1.0, 100.0)])
+        sys.run(tasks)
+        # task 0 misses its deadline mid-run but completes (late).
+        assert tasks[0].status is TaskStatus.COMPLETED_LATE
+
+
+class TestProactiveDropping:
+    def make_system(self, mode):
+        pet = make_deterministic_pet(np.array([[10.0]]))
+        return pet, ServerlessSystem(
+            pet, "MCT", pruning=PruningConfig.drop_only(mode), seed=0
+        )
+
+    def test_always_dropping_reaps_hopeless_queue_entries(self):
+        _, sys = self.make_system(ToggleMode.ALWAYS)
+        # Three stacked tasks; the third completes at ~30 vs deadline 12.
+        tasks = tasks_from([(0, 0.0, 100.0), (0, 0.5, 100.0), (0, 1.0, 12.0)])
+        sys.run(tasks)
+        assert tasks[2].status is TaskStatus.DROPPED_PROACTIVE
+        # dropped at the next mapping event after it became hopeless
+        assert tasks[2].dropped_at is not None and tasks[2].dropped_at < 12.0
+
+    def test_reactive_waits_for_a_miss(self):
+        _, sys = self.make_system(ToggleMode.REACTIVE)
+        tasks = tasks_from([(0, 0.0, 100.0), (0, 0.5, 100.0), (0, 1.0, 12.0)])
+        sys.run(tasks)
+        # No deadline was missed before task 2's own deadline, so dropping
+        # never engaged in time: it is reaped reactively instead.
+        assert tasks[2].status is TaskStatus.DROPPED_MISSED
+
+    def test_reactive_engages_after_misses(self):
+        """A miss observed at a mapping event engages dropping *at that
+        event*: the hopeless queued task is proactively dropped."""
+        _, sys = self.make_system(ToggleMode.REACTIVE)
+        tasks = tasks_from(
+            [
+                (0, 0.0, 100.0),  # runs 0–10
+                (0, 0.5, 2.0),    # reaped at t=10 → the observed miss
+                (0, 0.6, 100.0),  # starts at t=10
+                (0, 0.7, 14.0),   # queued; would start at 20 → hopeless
+            ]
+        )
+        sys.run(tasks)
+        assert tasks[1].status is TaskStatus.DROPPED_MISSED
+        assert tasks[3].status is TaskStatus.DROPPED_PROACTIVE
+        assert tasks[3].dropped_at == pytest.approx(10.0)
+
+
+class TestAccountingWiring:
+    def test_counters_match_outcomes(self):
+        pet = make_deterministic_pet(np.array([[10.0]]))
+        sys = ServerlessSystem(pet, "MCT", seed=0)
+        tasks = tasks_from([(0, 0.0, 50.0), (0, 0.1, 5.0), (0, 0.2, 100.0)])
+        sys.run(tasks)
+        acc = sys.accounting
+        assert acc.total_arrived == 3
+        assert acc.total_on_time == 2
+        assert acc.total_dropped_missed == 1
+        assert acc.total_defers == 0
+
+    def test_mapping_events_counted(self):
+        pet = make_deterministic_pet(np.array([[10.0]]))
+        sys = ServerlessSystem(pet, "MCT", seed=0)
+        tasks = tasks_from([(0, 0.0, 50.0), (0, 1.0, 50.0)])
+        sys.run(tasks)
+        # 2 arrivals + 2 completions
+        assert sys.allocator.mapping_events == 4

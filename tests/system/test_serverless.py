@@ -1,0 +1,150 @@
+"""Tests for the ServerlessSystem facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PruningConfig
+from repro.heuristics import MinMin, RoundRobin
+from repro.sim.cluster import Cluster
+from repro.sim.task import Task, TaskStatus
+from repro.stochastic.etc import ETCMatrix
+from repro.system.allocator import BatchAllocator, ImmediateAllocator
+from repro.system.serverless import DEFAULT_BATCH_QUEUE_SLOTS, ServerlessSystem
+
+from tests.conftest import fresh_tasks, make_deterministic_pet
+
+
+class TestConstruction:
+    def test_heuristic_by_name(self, pet_small):
+        sys = ServerlessSystem(pet_small, "MM", seed=0)
+        assert sys.heuristic.name == "MM"
+        assert sys.mode == "batch"
+        assert isinstance(sys.allocator, BatchAllocator)
+
+    def test_heuristic_instance(self, pet_small):
+        sys = ServerlessSystem(pet_small, RoundRobin(), seed=0)
+        assert sys.mode == "immediate"
+        assert isinstance(sys.allocator, ImmediateAllocator)
+
+    def test_auto_queue_limits(self, pet_small):
+        batch = ServerlessSystem(pet_small, "MM", seed=0)
+        assert all(m.queue_limit == DEFAULT_BATCH_QUEUE_SLOTS for m in batch.cluster)
+        imm = ServerlessSystem(pet_small, "MCT", seed=0)
+        assert all(m.queue_limit is None for m in imm.cluster)
+
+    def test_explicit_queue_limit(self, pet_small):
+        sys = ServerlessSystem(pet_small, "MM", queue_limit=7, seed=0)
+        assert all(m.queue_limit == 7 for m in sys.cluster)
+
+    def test_cluster_matches_machine_types(self, pet_small):
+        sys = ServerlessSystem(pet_small, "MM", seed=0)
+        assert len(sys.cluster) == pet_small.num_machine_types
+
+    def test_machines_per_type(self, pet_small):
+        sys = ServerlessSystem(pet_small, "MM", machines_per_type=2, seed=0)
+        assert len(sys.cluster) == 2 * pet_small.num_machine_types
+
+    def test_custom_cluster(self, pet_small):
+        cluster = Cluster.heterogeneous(pet_small.num_machine_types)
+        sys = ServerlessSystem(pet_small, "MM", cluster=cluster, seed=0)
+        assert sys.cluster is cluster
+        assert cluster[0].queue_limit == DEFAULT_BATCH_QUEUE_SLOTS
+
+    def test_pruner_shares_accounting(self, pet_small):
+        sys = ServerlessSystem(
+            pet_small, "MM", pruning=PruningConfig.paper_default(), seed=0
+        )
+        assert sys.pruner is not None
+        assert sys.pruner.accounting is sys.accounting
+
+    def test_no_pruning_no_pruner(self, pet_small):
+        sys = ServerlessSystem(pet_small, "MM", seed=0)
+        assert sys.pruner is None
+
+    def test_rejects_object_without_mode(self, pet_small):
+        with pytest.raises(TypeError, match="mode"):
+            ServerlessSystem(pet_small, object(), seed=0)  # type: ignore[arg-type]
+
+    def test_heuristic_state_reset_on_construction(self, pet_small):
+        rr = RoundRobin()
+        rr._next = 3
+        ServerlessSystem(pet_small, rr, seed=0)
+        assert rr._next == 0
+
+
+class TestRun:
+    def test_run_returns_result_over_all_tasks(self, pet_small, small_workload):
+        sys = ServerlessSystem(pet_small, "MM", seed=0)
+        res = sys.run(fresh_tasks(small_workload))
+        assert res.total == len(small_workload)
+
+    def test_deterministic_given_seed(self, pet_small, small_workload):
+        r1 = ServerlessSystem(pet_small, "MM", seed=9).run(fresh_tasks(small_workload))
+        r2 = ServerlessSystem(pet_small, "MM", seed=9).run(fresh_tasks(small_workload))
+        assert r1.on_time == r2.on_time
+        assert r1.makespan == r2.makespan
+
+    def test_seed_changes_outcome(self, pet_small, oversub_workload):
+        r1 = ServerlessSystem(pet_small, "MM", seed=1).run(fresh_tasks(oversub_workload))
+        r2 = ServerlessSystem(pet_small, "MM", seed=2).run(fresh_tasks(oversub_workload))
+        # execution-time sampling differs; outcomes should too (with
+        # overwhelming probability on 200 tasks)
+        assert (r1.on_time, r1.makespan) != (r2.on_time, r2.makespan)
+
+    def test_leftover_pending_finalized_as_dropped(self):
+        pet = make_deterministic_pet(np.array([[10.0]]))
+        sys = ServerlessSystem(
+            pet, "MM", pruning=PruningConfig.defer_only(0.5), queue_limit=1, seed=0
+        )
+        tasks = [
+            Task(task_id=0, task_type=0, arrival=0.0, deadline=200.0),
+            Task(task_id=1, task_type=0, arrival=0.0, deadline=200.0),
+            Task(task_id=2, task_type=0, arrival=0.1, deadline=12.0),  # always deferred
+        ]
+        res = sys.run(tasks)
+        assert tasks[2].status is TaskStatus.DROPPED_MISSED
+        assert res.unfinished == 0
+
+    def test_result_subset(self, pet_small, small_workload):
+        sys = ServerlessSystem(pet_small, "MM", seed=0)
+        tasks = fresh_tasks(small_workload)
+        sys.run(tasks)
+        sub = sys.result(tasks[10:-10])
+        assert sub.total == len(tasks) - 20
+
+    def test_run_until_partial(self, pet_small, small_workload):
+        sys = ServerlessSystem(pet_small, "MM", seed=0)
+        sys.submit_workload(fresh_tasks(small_workload))
+        sys.sim.run(until=10.0)
+        assert sys.sim.now == 10.0
+
+    def test_etc_model_runs_deterministically(self, pet_small, small_workload):
+        etc = ETCMatrix.from_pet(pet_small)
+        sys = ServerlessSystem(etc, "MM", seed=0)
+        res = sys.run(fresh_tasks(small_workload))
+        assert res.total == len(small_workload)
+        # with a deterministic model, every execution takes its mean
+        done = [t for t in sys.tasks if t.exec_time is not None]
+        assert all(
+            t.exec_time == pytest.approx(etc.mean(t.task_type, sys.cluster[t.machine_id].machine_type))
+            for t in done
+            if t.machine_id is not None
+        )
+
+
+class TestResultIntegrity:
+    def test_makespan_positive(self, pet_small, small_workload):
+        res = ServerlessSystem(pet_small, "MM", seed=0).run(fresh_tasks(small_workload))
+        assert res.makespan > 0
+
+    def test_machine_busy_times_recorded(self, pet_small, small_workload):
+        sys = ServerlessSystem(pet_small, "MM", seed=0)
+        res = sys.run(fresh_tasks(small_workload))
+        assert len(res.machine_busy_time) == len(sys.cluster)
+        assert sum(res.machine_busy_time) > 0
+
+    def test_tasks_property_snapshot(self, pet_small, small_workload):
+        sys = ServerlessSystem(pet_small, "MM", seed=0)
+        tasks = fresh_tasks(small_workload)
+        sys.run(tasks)
+        assert len(sys.tasks) == len(tasks)

@@ -1,0 +1,71 @@
+"""Tests for terminal chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, grouped_bars, render_figure
+from repro.experiments.report import FigureResult
+from repro.metrics.robustness import AggregateStats
+
+
+def stat(mean, ci=2.0):
+    return AggregateStats(mean_pct=mean, ci95_pct=ci, trials=3, per_trial_pct=(mean,) * 3)
+
+
+@pytest.fixture
+def grid():
+    return FigureResult(
+        figure_id="figX",
+        title="demo grid",
+        row_axis="heuristic",
+        col_axis="level",
+        rows=["MM", "MM-P"],
+        cols=["15k"],
+        cells={"MM": {"15k": stat(40.0)}, "MM-P": {"15k": stat(80.0)}},
+    )
+
+
+class TestBarChart:
+    def test_proportional_lengths(self):
+        out = bar_chart(["a", "b"], [50.0, 100.0], width=20)
+        lines = out.splitlines()
+        assert lines[1].count("█") == 20
+        assert lines[0].count("█") == 10
+
+    def test_values_printed(self):
+        out = bar_chart(["x"], [42.5])
+        assert "42.5%" in out
+
+    def test_custom_unit_and_peak(self):
+        out = bar_chart(["x"], [5.0], peak=10.0, unit="s", width=10)
+        assert "5.0s" in out
+        assert out.count("█") == 5
+
+    def test_empty(self):
+        assert "empty" in bar_chart([], [])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_zero_peak_safe(self):
+        out = bar_chart(["a"], [0.0])
+        assert "0.0" in out
+
+
+class TestGroupedBars:
+    def test_contains_all_labels(self, grid):
+        out = grouped_bars(grid)
+        for needle in ("figX", "MM", "MM-P", "level = 15k", "40.0", "80.0"):
+            assert needle in out
+
+    def test_bars_scale_to_100(self, grid):
+        out = grouped_bars(grid, width=50)
+        lines = [l for l in out.splitlines() if "|" in l]
+        mm, mmp = lines[0], lines[1]
+        assert mmp.count("█") == 40  # 80 % of 50 cells
+        assert mm.count("█") == 20
+
+    def test_render_figure_combines_chart_and_table(self, grid):
+        out = render_figure(grid)
+        assert "level = 15k" in out  # chart part
+        assert "mean ± 95% CI" in out  # table part

@@ -1,0 +1,35 @@
+"""Smoke tests: every example stays importable and syntactically valid.
+
+Each example is executed as a module (``run_name != "__main__"``), so its
+imports and top-level definitions run but ``main()`` does not — keeping
+the suite fast while catching API drift in the examples immediately.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_module_loads(path):
+    namespace = runpy.run_path(str(path), run_name="example")
+    assert "main" in namespace, f"{path.stem} must define main()"
+    assert callable(namespace["main"])
+
+
+def test_quickstart_fig2_function_runs(capsys):
+    """The quickstart's Fig. 2 walkthrough is cheap — run it for real."""
+    namespace = runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="example")
+    namespace["fig2_worked_example"]()
+    out = capsys.readouterr().out
+    assert "chance of success" in out

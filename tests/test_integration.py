@@ -1,0 +1,159 @@
+"""End-to-end integration tests: the paper's qualitative claims.
+
+These run small-but-real multi-trial experiments and assert the *shape*
+results the paper reports (§V).  They are the repository's regression
+net for the headline behaviour; exact percentages live in EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    PruningConfig,
+    ServerlessSystem,
+    WorkloadSpec,
+    generate_pet_matrix,
+    generate_workload,
+)
+from repro.core.config import ToggleMode
+from repro.workload.generator import trimmed_slice
+
+from tests.conftest import fresh_tasks
+
+# Shared mid-size setup: 12×8 paper-shaped PET, heavy oversubscription.
+PET = generate_pet_matrix(seed=2019)
+PET_HOMOG = generate_pet_matrix(seed=2019, heterogeneity="homogeneous")
+SPEC = WorkloadSpec(num_tasks=500, time_span=250.0)
+N_TRIALS = 3
+
+
+def mean_robustness(model, heuristic, pruning, spec=SPEC, trials=N_TRIALS):
+    vals = []
+    for trial in range(trials):
+        tasks = generate_workload(spec, model, np.random.default_rng(1000 + trial))
+        sys = ServerlessSystem(model, heuristic, pruning=pruning, seed=trial)
+        sys.run(tasks)
+        res = sys.result(trimmed_slice(tasks, spec.trim_count))
+        vals.append(res.robustness_pct)
+    return float(np.mean(vals))
+
+
+@pytest.mark.slow
+class TestBatchModeClaims:
+    """Fig. 9: pruning helps every batch heuristic under oversubscription,
+    most for the deadline-chasing ones (MSD/MMU)."""
+
+    def test_pruning_improves_every_batch_heuristic(self):
+        for h in ("MM", "MSD", "MMU"):
+            base = mean_robustness(PET, h, None)
+            pruned = mean_robustness(PET, h, PruningConfig.paper_default())
+            assert pruned > base, f"{h}: {pruned:.1f} <= {base:.1f}"
+
+    def test_msd_gains_more_than_mm(self):
+        gain_mm = mean_robustness(PET, "MM", PruningConfig.paper_default()) - mean_robustness(
+            PET, "MM", None
+        )
+        gain_msd = mean_robustness(PET, "MSD", PruningConfig.paper_default()) - mean_robustness(
+            PET, "MSD", None
+        )
+        assert gain_msd > gain_mm
+
+    def test_pruning_equalizes_heuristics(self):
+        """§V-D: with pruning, the robustness spread across MM/MSD/MMU
+        shrinks markedly."""
+        base = [mean_robustness(PET, h, None) for h in ("MM", "MSD", "MMU")]
+        pruned = [
+            mean_robustness(PET, h, PruningConfig.paper_default())
+            for h in ("MM", "MSD", "MMU")
+        ]
+        assert max(pruned) - min(pruned) < max(base) - min(base)
+
+
+@pytest.mark.slow
+class TestDeferringClaims:
+    """Fig. 8: deferring alone lifts batch heuristics at heavy load."""
+
+    def test_threshold_50_beats_none_for_deadline_chasers(self):
+        for h in ("MSD", "MMU"):
+            base = mean_robustness(PET, h, None)
+            defer = mean_robustness(PET, h, PruningConfig.defer_only(0.5))
+            assert defer > base, f"{h}: {defer:.1f} <= {base:.1f}"
+
+
+@pytest.mark.slow
+class TestToggleClaims:
+    """Fig. 7: reactive dropping helps immediate-mode heuristics that use
+    completion-time information (MCT/KPB/MET)."""
+
+    def test_dropping_helps_informed_immediate_heuristics(self):
+        for h in ("MCT", "KPB"):
+            base = mean_robustness(PET, h, None)
+            reactive = mean_robustness(PET, h, PruningConfig.drop_only(ToggleMode.REACTIVE))
+            assert reactive > base, f"{h}: {reactive:.1f} <= {base:.1f}"
+
+    def test_kpb_is_strongest_immediate_heuristic_with_pruning(self):
+        scores = {
+            h: mean_robustness(PET, h, PruningConfig.drop_only(ToggleMode.REACTIVE))
+            for h in ("RR", "MCT", "MET", "KPB")
+        }
+        assert scores["KPB"] >= max(scores["RR"], scores["MET"]) - 1.0
+        assert scores["KPB"] > scores["RR"]
+
+
+@pytest.mark.slow
+class TestHomogeneousClaims:
+    """Fig. 10: pruning benefits homogeneous systems comparably."""
+
+    def test_pruning_improves_every_homogeneous_heuristic(self):
+        for h in ("FCFS-RR", "EDF", "SJF"):
+            base = mean_robustness(PET_HOMOG, h, None)
+            pruned = mean_robustness(PET_HOMOG, h, PruningConfig.paper_default())
+            assert pruned > base, f"{h}: {pruned:.1f} <= {base:.1f}"
+
+
+@pytest.mark.slow
+class TestOversubscriptionScaling:
+    """§V-E/F: the benefit of pruning grows with oversubscription."""
+
+    def test_gain_grows_with_load(self):
+        light = WorkloadSpec(num_tasks=260, time_span=250.0)
+        heavy = WorkloadSpec(num_tasks=600, time_span=250.0)
+        gains = []
+        for spec in (light, heavy):
+            base = mean_robustness(PET, "MSD", None, spec=spec)
+            pruned = mean_robustness(PET, "MSD", PruningConfig.paper_default(), spec=spec)
+            gains.append(pruned - base)
+        assert gains[1] > gains[0]
+
+
+class TestFairnessClaim:
+    """§IV-D: with fairness enabled, no task type is starved outright."""
+
+    def test_fairness_reduces_worst_type_starvation(self):
+        spec = WorkloadSpec(num_tasks=500, time_span=250.0)
+        worst = {}
+        for enabled in (True, False):
+            rates = []
+            for trial in range(N_TRIALS):
+                tasks = generate_workload(spec, PET, np.random.default_rng(2000 + trial))
+                cfg = PruningConfig(enable_fairness=enabled)
+                sys = ServerlessSystem(PET, "MM", pruning=cfg, seed=trial)
+                sys.run(tasks)
+                res = sys.result()
+                rates.append(min(t.robustness for t in res.per_type.values()))
+            worst[enabled] = float(np.mean(rates))
+        # Fairness must not make the most-suffering type worse.
+        assert worst[True] >= worst[False] - 1e-6
+
+
+class TestDeterminismEndToEnd:
+    def test_full_stack_reproducible(self):
+        spec = WorkloadSpec(num_tasks=200, time_span=120.0)
+
+        def run_once():
+            tasks = generate_workload(spec, PET, np.random.default_rng(5))
+            sys = ServerlessSystem(PET, "MMU", pruning=PruningConfig.paper_default(), seed=9)
+            res = sys.run(tasks)
+            return (res.on_time, res.late, res.dropped_missed, res.dropped_proactive, res.makespan)
+
+        assert run_once() == run_once()

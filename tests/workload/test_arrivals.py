@@ -1,0 +1,114 @@
+"""Tests for arrival-time generation (constant + spiky, Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import (
+    arrival_rate_series,
+    constant_arrivals,
+    generate_type_arrivals,
+    spiky_arrivals,
+    spiky_rate_profile,
+)
+from repro.workload.spec import ArrivalPattern, WorkloadSpec
+
+
+class TestConstant:
+    def test_count_close_to_expected(self, rng):
+        arr = constant_arrivals(500, 1000.0, rng)
+        assert arr.size == pytest.approx(500, rel=0.15)
+
+    def test_within_span(self, rng):
+        arr = constant_arrivals(200, 300.0, rng)
+        assert arr.min() >= 0
+        assert arr.max() < 300.0
+
+    def test_sorted_strictly_increasing(self, rng):
+        arr = constant_arrivals(300, 500.0, rng)
+        assert np.all(np.diff(arr) > 0)
+
+    def test_zero_expected_gives_empty(self, rng):
+        assert constant_arrivals(0, 100.0, rng).size == 0
+
+    def test_gap_variance_matches_spec(self, rng):
+        """§V-B: inter-arrival variance = 10% of the mean gap."""
+        arr = constant_arrivals(20000, 40000.0, rng, variance_fraction=0.1)
+        gaps = np.diff(arr)
+        assert gaps.mean() == pytest.approx(2.0, rel=0.05)
+        assert gaps.var() == pytest.approx(0.2, rel=0.1)
+
+    def test_deterministic_with_seed(self):
+        a = constant_arrivals(100, 200.0, np.random.default_rng(5))
+        b = constant_arrivals(100, 200.0, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSpikyProfile:
+    def test_multiplier_values(self):
+        spec = WorkloadSpec(num_tasks=100, time_span=400.0, num_spikes=4)
+        mult = spiky_rate_profile(spec)
+        values = {mult(t) for t in np.linspace(0, 399.9, 2000)}
+        assert values == {1.0, spec.spike_amplitude}
+
+    def test_spike_duration_fraction(self):
+        """Spike lasts one third of the lull period (§V-B)."""
+        spec = WorkloadSpec(num_tasks=100, time_span=400.0, num_spikes=4)
+        mult = spiky_rate_profile(spec)
+        ts = np.linspace(0, 399.999, 400_000)
+        frac_spike = np.mean([mult(t) > 1.0 for t in ts])
+        # spike / period = f/(1+f) = (1/3)/(4/3) = 0.25
+        assert frac_spike == pytest.approx(0.25, abs=0.01)
+
+    def test_periodic(self):
+        spec = WorkloadSpec(num_tasks=100, time_span=400.0, num_spikes=4)
+        mult = spiky_rate_profile(spec)
+        period = spec.time_span / spec.num_spikes
+        for t in (3.0, 40.0, 77.0):
+            assert mult(t) == mult(t + period) == mult(t + 2 * period)
+
+
+class TestSpikyArrivals:
+    def test_total_count_matches_expected(self):
+        spec = WorkloadSpec(num_tasks=100, time_span=2000.0, num_spikes=4)
+        arr = spiky_arrivals(2000, spec, np.random.default_rng(3))
+        assert arr.size == pytest.approx(2000, rel=0.1)
+
+    def test_spike_windows_denser(self):
+        spec = WorkloadSpec(num_tasks=100, time_span=2000.0, num_spikes=4)
+        arr = spiky_arrivals(4000, spec, np.random.default_rng(3))
+        mult = spiky_rate_profile(spec)
+        in_spike = np.array([mult(t) > 1.0 for t in arr])
+        # 25% of time carries amplitude×lull rate → expected spike share
+        # = 3×0.25 / (3×0.25 + 0.75) = 0.5 of all arrivals.
+        assert in_spike.mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_within_span_sorted(self):
+        spec = WorkloadSpec(num_tasks=100, time_span=500.0)
+        arr = spiky_arrivals(300, spec, np.random.default_rng(3))
+        assert arr.max() < 500.0
+        assert np.all(np.diff(arr) > 0)
+
+    def test_dispatch_by_pattern(self):
+        spec_c = WorkloadSpec(num_tasks=100, time_span=500.0, pattern="constant")
+        spec_s = WorkloadSpec(num_tasks=100, time_span=500.0, pattern="spiky")
+        a = generate_type_arrivals(spec_c, 100, np.random.default_rng(1))
+        b = generate_type_arrivals(spec_s, 100, np.random.default_rng(1))
+        assert a.size > 0 and b.size > 0
+
+
+class TestRateSeries:
+    def test_shapes_and_rates(self):
+        arr = np.linspace(0, 99.9, 1000)  # uniform 10/unit
+        centers, rates = arrival_rate_series(arr, 100.0, window=10.0)
+        assert centers.size == rates.size == 10
+        np.testing.assert_allclose(rates, 10.0, rtol=0.02)
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            arrival_rate_series(np.array([1.0]), 10.0, window=0.0)
+
+    def test_spiky_series_shows_spikes(self):
+        spec = WorkloadSpec(num_tasks=100, time_span=800.0, num_spikes=4)
+        arr = spiky_arrivals(4000, spec, np.random.default_rng(7))
+        _, rates = arrival_rate_series(arr, spec.time_span, window=10.0)
+        assert rates.max() > 2.0 * np.median(rates[rates > 0])

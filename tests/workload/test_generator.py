@@ -1,0 +1,81 @@
+"""Tests for workload generation and Eq. 4 deadline assignment."""
+
+import numpy as np
+import pytest
+
+from repro.workload.generator import assign_deadlines, generate_workload, trimmed_slice
+from repro.workload.spec import WorkloadSpec
+
+
+class TestDeadlines:
+    def test_eq4_bounds(self, pet_small, rng):
+        """δ = arr + avg_i + β·avg_all with β ∈ [0.8, 2.5]."""
+        arrivals = np.array([0.0, 10.0, 20.0])
+        dls = assign_deadlines(arrivals, 1, pet_small, rng, (0.8, 2.5))
+        avg_i = pet_small.type_mean(1)
+        avg_all = pet_small.overall_mean()
+        lo = arrivals + avg_i + 0.8 * avg_all
+        hi = arrivals + avg_i + 2.5 * avg_all
+        assert np.all(dls >= lo - 1e-9)
+        assert np.all(dls <= hi + 1e-9)
+
+    def test_beta_spread(self, pet_small, rng):
+        arrivals = np.zeros(4000)
+        dls = assign_deadlines(arrivals, 0, pet_small, rng, (0.8, 2.5))
+        avg_i = pet_small.type_mean(0)
+        avg_all = pet_small.overall_mean()
+        betas = (dls - avg_i) / avg_all
+        assert betas.min() == pytest.approx(0.8, abs=0.05)
+        assert betas.max() == pytest.approx(2.5, abs=0.05)
+        assert betas.mean() == pytest.approx(1.65, abs=0.1)
+
+
+class TestGenerate:
+    def test_task_count(self, pet_small):
+        spec = WorkloadSpec(num_tasks=300, time_span=200.0, num_task_types=3)
+        tasks = generate_workload(spec, pet_small, np.random.default_rng(1))
+        assert len(tasks) == pytest.approx(300, rel=0.15)
+
+    def test_sorted_by_arrival_with_sequential_ids(self, pet_small):
+        spec = WorkloadSpec(num_tasks=200, time_span=150.0, num_task_types=3)
+        tasks = generate_workload(spec, pet_small, np.random.default_rng(1))
+        arrivals = [t.arrival for t in tasks]
+        assert arrivals == sorted(arrivals)
+        assert [t.task_id for t in tasks] == list(range(len(tasks)))
+
+    def test_types_within_model(self, pet_small):
+        spec = WorkloadSpec(num_tasks=200, time_span=150.0, num_task_types=12)
+        tasks = generate_workload(spec, pet_small, np.random.default_rng(1))
+        # spec asks for 12 types but the model only has 3
+        assert {t.task_type for t in tasks} == {0, 1, 2}
+
+    def test_types_roughly_balanced(self, pet_small):
+        spec = WorkloadSpec(num_tasks=600, time_span=400.0, num_task_types=3)
+        tasks = generate_workload(spec, pet_small, np.random.default_rng(1))
+        counts = np.bincount([t.task_type for t in tasks], minlength=3)
+        assert counts.min() > 0.25 * len(tasks)
+
+    def test_deterministic(self, pet_small):
+        spec = WorkloadSpec(num_tasks=100, time_span=80.0, num_task_types=3)
+        a = generate_workload(spec, pet_small, np.random.default_rng(4))
+        b = generate_workload(spec, pet_small, np.random.default_rng(4))
+        assert [(t.arrival, t.task_type, t.deadline) for t in a] == [
+            (t.arrival, t.task_type, t.deadline) for t in b
+        ]
+
+    def test_all_pending(self, pet_small, small_workload):
+        assert all(t.status.value == "pending" for t in small_workload)
+
+
+class TestTrim:
+    def test_trims_both_ends(self, small_workload):
+        out = trimmed_slice(small_workload, 10)
+        assert len(out) == len(small_workload) - 20
+        assert out[0] is small_workload[10]
+
+    def test_zero_trim_identity(self, small_workload):
+        assert trimmed_slice(small_workload, 0) is small_workload
+
+    def test_overtrim_rejected(self, small_workload):
+        with pytest.raises(ValueError, match="discard"):
+            trimmed_slice(small_workload, (len(small_workload) + 1) // 2)

@@ -1,0 +1,134 @@
+"""Tests for the diurnal and MMPP arrival models."""
+
+import numpy as np
+import pytest
+
+from repro.workload.models import (
+    DiurnalSpec,
+    MMPPSpec,
+    diurnal_arrivals,
+    mmpp_arrivals,
+    workload_from_arrivals,
+)
+
+
+class TestDiurnal:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalSpec(period=0.0)
+        with pytest.raises(ValueError):
+            DiurnalSpec(depth=1.0)
+        with pytest.raises(ValueError):
+            DiurnalSpec(depth=-0.1)
+
+    def test_count_matches_expectation(self):
+        rng = np.random.default_rng(3)
+        arr = diurnal_arrivals(5000, 5000.0, rng, DiurnalSpec(period=200.0))
+        assert arr.size == pytest.approx(5000, rel=0.1)
+
+    def test_within_span_sorted(self):
+        rng = np.random.default_rng(3)
+        arr = diurnal_arrivals(300, 400.0, rng)
+        assert arr.min() >= 0 and arr.max() < 400.0
+        assert np.all(np.diff(arr) > 0)
+
+    def test_zero_count(self):
+        assert diurnal_arrivals(0, 100.0, np.random.default_rng(0)).size == 0
+
+    def test_modulation_visible(self):
+        """Peaks of the sinusoid must carry more arrivals than troughs."""
+        rng = np.random.default_rng(5)
+        spec = DiurnalSpec(period=100.0, depth=0.9)
+        arr = diurnal_arrivals(20_000, 2000.0, rng, spec)
+        phase = (arr % spec.period) / spec.period
+        # sin peaks at phase 0.25, troughs at 0.75
+        peak = np.sum((phase > 0.15) & (phase < 0.35))
+        trough = np.sum((phase > 0.65) & (phase < 0.85))
+        assert peak > 2.0 * trough
+
+    def test_zero_depth_is_flat(self):
+        rng = np.random.default_rng(6)
+        spec = DiurnalSpec(period=100.0, depth=0.0)
+        arr = diurnal_arrivals(20_000, 2000.0, rng, spec)
+        counts, _ = np.histogram(arr, bins=20)
+        assert counts.std() / counts.mean() < 0.15
+
+
+class TestMMPP:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            MMPPSpec(burst_ratio=0.5)
+        with pytest.raises(ValueError):
+            MMPPSpec(mean_quiet_dwell=0.0)
+
+    def test_stationary_math(self):
+        spec = MMPPSpec(burst_ratio=5.0, mean_quiet_dwell=80.0, mean_burst_dwell=20.0)
+        assert spec.stationary_burst_fraction == pytest.approx(0.2)
+        assert spec.mean_rate_multiplier == pytest.approx(0.8 + 1.0)
+
+    def test_count_matches_expectation_long_run(self):
+        """Normalization holds in expectation; use a long span so the
+        state trajectory is close to stationary."""
+        rng = np.random.default_rng(4)
+        counts = [
+            mmpp_arrivals(2000, 20_000.0, np.random.default_rng(s)).size
+            for s in range(5)
+        ]
+        assert np.mean(counts) == pytest.approx(2000, rel=0.15)
+
+    def test_burstiness_exceeds_poisson(self):
+        """Windowed counts must be over-dispersed (variance > mean)."""
+        rng = np.random.default_rng(9)
+        arr = mmpp_arrivals(5000, 10_000.0, rng)
+        counts, _ = np.histogram(arr, bins=int(10_000 / 50))
+        assert counts.var() > 2.0 * counts.mean()
+
+    def test_within_span_sorted(self):
+        rng = np.random.default_rng(3)
+        arr = mmpp_arrivals(300, 400.0, rng)
+        if arr.size:
+            assert arr.min() >= 0 and arr.max() < 400.0
+            assert np.all(np.diff(arr) > 0)
+
+    def test_zero_count(self):
+        assert mmpp_arrivals(0, 100.0, np.random.default_rng(0)).size == 0
+
+
+class TestWorkloadBridge:
+    def test_tasks_sorted_with_eq4_deadlines(self, pet_small):
+        rng = np.random.default_rng(8)
+        arr0 = diurnal_arrivals(100, 200.0, rng)
+        arr1 = mmpp_arrivals(100, 200.0, rng)
+        tasks = workload_from_arrivals({0: arr0, 1: arr1}, pet_small, rng)
+        arrivals = [t.arrival for t in tasks]
+        assert arrivals == sorted(arrivals)
+        assert [t.task_id for t in tasks] == list(range(len(tasks)))
+        avg_all = pet_small.overall_mean()
+        for t in tasks:
+            avg_i = pet_small.type_mean(t.task_type)
+            assert t.arrival + avg_i + 0.8 * avg_all - 1e-9 <= t.deadline
+            assert t.deadline <= t.arrival + avg_i + 2.5 * avg_all + 1e-9
+
+    def test_unknown_type_rejected(self, pet_small):
+        rng = np.random.default_rng(8)
+        with pytest.raises(ValueError, match="task type"):
+            workload_from_arrivals({99: [1.0]}, pet_small, rng)
+
+    def test_empty_types_skipped(self, pet_small):
+        rng = np.random.default_rng(8)
+        tasks = workload_from_arrivals({0: [], 1: [5.0]}, pet_small, rng)
+        assert len(tasks) == 1
+
+    def test_end_to_end_simulation(self, pet_small):
+        """An MMPP workload runs through the full system."""
+        from repro import PruningConfig, ServerlessSystem
+
+        rng = np.random.default_rng(11)
+        arrivals = {
+            t: mmpp_arrivals(60, 120.0, rng) for t in range(pet_small.num_task_types)
+        }
+        tasks = workload_from_arrivals(arrivals, pet_small, rng)
+        sys = ServerlessSystem(pet_small, "MM", pruning=PruningConfig.paper_default(), seed=2)
+        res = sys.run(tasks)
+        assert res.total == len(tasks)
+        assert all(t.is_terminal for t in sys.tasks)

@@ -1,0 +1,64 @@
+"""Tests for workload specifications."""
+
+import pytest
+
+from repro.workload.spec import PAPER_TIME_SPAN, ArrivalPattern, WorkloadSpec
+
+
+class TestValidation:
+    def test_defaults(self):
+        spec = WorkloadSpec()
+        assert spec.pattern is ArrivalPattern.SPIKY
+        assert spec.num_task_types == 12
+        assert spec.beta_range == (0.8, 2.5)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(num_tasks=0),
+            dict(time_span=0.0),
+            dict(num_task_types=0),
+            dict(spike_duration_fraction=0.0),
+            dict(spike_duration_fraction=1.0),
+            dict(spike_amplitude=0.5),
+            dict(beta_range=(-1.0, 2.0)),
+            dict(beta_range=(2.0, 1.0)),
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ValueError):
+            WorkloadSpec(**kw)
+
+    def test_string_pattern_coerced(self):
+        assert WorkloadSpec(pattern="constant").pattern is ArrivalPattern.CONSTANT
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            WorkloadSpec().num_tasks = 5
+
+    def test_with_(self):
+        spec = WorkloadSpec().with_(num_tasks=77)
+        assert spec.num_tasks == 77
+
+
+class TestDerived:
+    def test_mean_arrival_rate(self):
+        spec = WorkloadSpec(num_tasks=600, time_span=300.0)
+        assert spec.mean_arrival_rate == pytest.approx(2.0)
+
+    def test_trim_count_proportional(self):
+        assert WorkloadSpec(num_tasks=1500).trim_count == 10
+        assert WorkloadSpec(num_tasks=15000).trim_count == 100
+
+    def test_trim_count_capped_at_tenth(self):
+        spec = WorkloadSpec(num_tasks=100)
+        assert spec.trim_count <= 10
+
+    def test_trim_explicit(self):
+        assert WorkloadSpec(num_tasks=1000, trim_edge_tasks=33).trim_count == 33
+
+    def test_paper_scale(self):
+        spec = WorkloadSpec.paper_scale(20000)
+        assert spec.num_tasks == 20000
+        assert spec.time_span == PAPER_TIME_SPAN
+        assert spec.trim_count == 100

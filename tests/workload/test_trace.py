@@ -1,0 +1,63 @@
+"""Tests for workload trace persistence."""
+
+import json
+
+import pytest
+
+from repro.sim.task import TaskStatus
+from repro.workload.spec import ArrivalPattern, WorkloadSpec
+from repro.workload.trace import (
+    load_trace,
+    records_to_tasks,
+    save_trace,
+    tasks_to_records,
+)
+
+
+class TestRoundTrip:
+    def test_identity_preserved(self, small_workload, tmp_path):
+        path = tmp_path / "trace.json"
+        spec = WorkloadSpec(num_tasks=120, time_span=80.0, num_task_types=3)
+        save_trace(path, small_workload, spec)
+        tasks, loaded_spec = load_trace(path)
+        assert len(tasks) == len(small_workload)
+        for a, b in zip(tasks, small_workload):
+            assert (a.task_id, a.task_type, a.arrival, a.deadline) == (
+                b.task_id,
+                b.task_type,
+                b.arrival,
+                b.deadline,
+            )
+        assert loaded_spec == spec
+
+    def test_loaded_tasks_are_fresh(self, small_workload, tmp_path):
+        """Scheduling state must not round-trip: loaded tasks are PENDING."""
+        small_workload[0].mark_mapped(0, small_workload[0].arrival)
+        path = tmp_path / "trace.json"
+        save_trace(path, small_workload)
+        tasks, spec = load_trace(path)
+        assert all(t.status is TaskStatus.PENDING for t in tasks)
+        assert spec is None
+
+    def test_records_roundtrip(self, small_workload):
+        tasks = records_to_tasks(tasks_to_records(small_workload))
+        assert len(tasks) == len(small_workload)
+
+    def test_spec_pattern_roundtrip(self, tmp_path, small_workload):
+        spec = WorkloadSpec(pattern=ArrivalPattern.CONSTANT)
+        path = tmp_path / "t.json"
+        save_trace(path, small_workload, spec)
+        _, loaded = load_trace(path)
+        assert loaded.pattern is ArrivalPattern.CONSTANT
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "tasks": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_file_is_plain_json(self, tmp_path, small_workload):
+        path = tmp_path / "t.json"
+        save_trace(path, small_workload)
+        payload = json.loads(path.read_text())
+        assert {"format_version", "spec", "tasks"} <= payload.keys()

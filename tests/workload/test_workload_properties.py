@@ -1,0 +1,76 @@
+"""Property-based tests on workload generation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stochastic.pet import generate_pet_matrix
+from repro.workload.generator import generate_workload, trimmed_slice
+from repro.workload.spec import WorkloadSpec
+
+# A module-level PET keeps hypothesis examples fast and avoids mixing
+# function-scoped pytest fixtures into @given.
+_PET = generate_pet_matrix(3, 2, seed=7, mean_range=(3.0, 8.0), samples_per_cell=200)
+
+
+@st.composite
+def specs(draw):
+    return WorkloadSpec(
+        num_tasks=draw(st.integers(min_value=20, max_value=150)),
+        time_span=draw(st.floats(min_value=30.0, max_value=200.0)),
+        num_task_types=draw(st.integers(min_value=1, max_value=4)),
+        pattern=draw(st.sampled_from(["constant", "spiky"])),
+        num_spikes=draw(st.integers(min_value=1, max_value=5)),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_arrivals_sorted_in_span_ids_sequential(spec, seed):
+    tasks = generate_workload(spec, _PET, np.random.default_rng(seed))
+    arrivals = [t.arrival for t in tasks]
+    assert arrivals == sorted(arrivals)
+    assert all(0 <= a < spec.time_span for a in arrivals)
+    assert [t.task_id for t in tasks] == list(range(len(tasks)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_eq4_deadline_bounds_hold_for_every_task(spec, seed):
+    tasks = generate_workload(spec, _PET, np.random.default_rng(seed))
+    avg_all = _PET.overall_mean()
+    lo, hi = spec.beta_range
+    for t in tasks:
+        avg_i = _PET.type_mean(t.task_type)
+        assert t.arrival + avg_i + lo * avg_all - 1e-9 <= t.deadline
+        assert t.deadline <= t.arrival + avg_i + hi * avg_all + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_task_types_limited_by_model(spec, seed):
+    tasks = generate_workload(spec, _PET, np.random.default_rng(seed))
+    assert all(0 <= t.task_type < _PET.num_task_types for t in tasks)
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_generation_is_deterministic(spec, seed):
+    a = generate_workload(spec, _PET, np.random.default_rng(seed))
+    b = generate_workload(spec, _PET, np.random.default_rng(seed))
+    assert [(t.arrival, t.task_type, t.deadline) for t in a] == [
+        (t.arrival, t.task_type, t.deadline) for t in b
+    ]
+
+
+@settings(max_examples=20, deadline=None)
+@given(specs(), st.integers(min_value=0, max_value=2**31 - 1), st.integers(0, 5))
+def test_trim_preserves_interior(spec, seed, trim):
+    tasks = generate_workload(spec, _PET, np.random.default_rng(seed))
+    if 2 * trim >= len(tasks):
+        return
+    out = trimmed_slice(tasks, trim)
+    assert len(out) == len(tasks) - 2 * trim
+    if trim and len(out):
+        assert out[0] is tasks[trim]
+        assert out[-1] is tasks[-trim - 1]
