@@ -33,6 +33,7 @@ def _run(model, pruning, tasks, *, memoize=True, seed=1):
 
 class TestMemoization:
     def test_memoized(self, benchmark, show):
+        """Incremental prefix-convolution cache (the default)."""
         sys = benchmark.pedantic(
             lambda: _run(pet_matrix(), PruningConfig.paper_default(), _workload()),
             rounds=1,
@@ -41,10 +42,28 @@ class TestMemoization:
         stats = sys.estimator.cache_stats()
         show(
             f"memoization ON : {stats['hits']} hits / {stats['misses']} misses "
-            f"({100 * stats['hits'] / max(stats['hits'] + stats['misses'], 1):.0f}% hit rate)"
+            f"({100 * stats['hits'] / max(stats['hits'] + stats['misses'], 1):.0f}% hit rate), "
+            f"{stats['convolutions']} convolutions performed / "
+            f"{stats['convolutions_avoided']} avoided, "
+            f"{stats['invalidations']} delta invalidations"
         )
-        # Queue versions churn at every dispatch, so the hit rate is far
-        # from 100 % — but each hit saves an O(queue) convolution chain.
+        assert stats["hits"] > 0
+        assert stats["convolutions_avoided"] > stats["convolutions"]
+
+    def test_keyed_seed_baseline(self, benchmark, show):
+        """The seed's whole-chain (machine, version, now) keyed cache."""
+        sys = benchmark.pedantic(
+            lambda: _run(
+                pet_matrix(), PruningConfig.paper_default(), _workload(), memoize="keyed"
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        stats = sys.estimator.cache_stats()
+        show(
+            f"memoization KEYED (seed): {stats['hits']} hits / {stats['misses']} misses, "
+            f"{stats['convolutions']} convolutions performed"
+        )
         assert stats["hits"] > 0
 
     def test_unmemoized(self, benchmark, show):
@@ -55,15 +74,51 @@ class TestMemoization:
             rounds=1,
             iterations=1,
         )
-        show("memoization OFF: every PCT chain recomputed")
+        show(
+            "memoization OFF: every PCT chain recomputed "
+            f"({sys.estimator.convolutions} convolutions)"
+        )
         assert sys.estimator.cache_hits == 0
 
     def test_results_identical(self):
-        """Memoization is a pure optimization: identical outcomes."""
-        a = _run(pet_matrix(), PruningConfig.paper_default(), _workload(), memoize=True)
-        b = _run(pet_matrix(), PruningConfig.paper_default(), _workload(), memoize=False)
-        assert a.result().on_time == b.result().on_time
-        assert a.result().dropped_proactive == b.result().dropped_proactive
+        """Memoization is a pure optimization: identical outcomes across
+        the incremental cache, the seed-style keyed cache, and no cache."""
+        runs = {
+            mode: _run(pet_matrix(), PruningConfig.paper_default(), _workload(), memoize=mode)
+            for mode in (True, "keyed", False)
+        }
+        outcomes = {
+            mode: (
+                s.result().on_time,
+                s.result().late,
+                s.result().dropped_proactive,
+                s.result().defer_decisions,
+                s.result().makespan,
+            )
+            for mode, s in runs.items()
+        }
+        assert outcomes[True] == outcomes["keyed"] == outcomes[False]
+        # And the incremental layer pays strictly fewer convolutions.
+        assert runs[True].estimator.convolutions < runs["keyed"].estimator.convolutions
+        assert runs["keyed"].estimator.convolutions <= runs[False].estimator.convolutions
+
+    def test_fig7_convolution_ratio(self, show):
+        """Acceptance: >= 3x fewer convolutions per mapping event than the
+        seed estimator on the fig7 workload (dropping engaged); see also
+        benchmarks/bench_sim.py::test_estimator_incremental which records
+        the full series in BENCH_estimator.json."""
+        from benchmarks.bench_sim import _estimator_cell
+
+        per_event = {}
+        for mode in (True, "keyed"):
+            sys, _ = _estimator_cell(mode, trial=0)
+            per_event[mode] = sys.estimator.convolutions / sys.allocator.mapping_events
+        ratio = per_event["keyed"] / per_event[True]
+        show(
+            f"fig7 convolutions/event: incremental {per_event[True]:.2f} vs "
+            f"seed {per_event['keyed']:.2f}  ->  {ratio:.2f}x fewer"
+        )
+        assert ratio >= 3.0
 
 
 class TestFairnessSweep:

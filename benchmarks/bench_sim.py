@@ -3,16 +3,30 @@
 Not tied to a paper figure — these quantify the cost of the substrate the
 evaluation runs on (event throughput, mapping-event cost), which is what
 made the paper's 30-trial × 25k-task campaigns tractable.
+
+``test_estimator_incremental`` additionally emits ``BENCH_estimator.json``
+next to this file: events/sec and convolutions per mapping event for the
+incremental prefix-convolution estimator versus the seed's keyed-memo
+estimator and a no-cache reference, on the Fig. 7 workload.  CI archives
+the file so the estimation layer's perf trajectory is tracked PR over PR.
 """
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 
-from benchmarks.conftest import BENCH_SEED
-from repro.core.config import PruningConfig
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, BENCH_TRIALS
+from repro.core.config import PruningConfig, ToggleMode
 from repro.experiments.runner import pet_matrix
+from repro.experiments.scenarios import level_spec
 from repro.sim.engine import Simulator
 from repro.system.serverless import ServerlessSystem
 from repro.workload import WorkloadSpec, generate_workload
+from repro.workload.spec import ArrivalPattern
+
+ESTIMATOR_JSON = Path(__file__).resolve().parent / "BENCH_estimator.json"
 
 
 def test_event_engine_throughput(benchmark):
@@ -50,3 +64,99 @@ def test_full_trial_with_pruning(benchmark):
         lambda: _trial(PruningConfig.paper_default()), rounds=1, iterations=1
     )
     assert sys.result().dropped_proactive >= 0
+
+
+# ----------------------------------------------------------------------
+# Estimation-layer tracking: BENCH_estimator.json
+# ----------------------------------------------------------------------
+def _estimator_cell(memoize, trial):
+    """One Fig. 7 dropping-cell trial under the given memoization mode."""
+    pet = pet_matrix()
+    spec = level_spec("15k", ArrivalPattern.SPIKY, BENCH_SCALE)
+    tasks = generate_workload(spec, pet, np.random.default_rng(BENCH_SEED + 100 * trial))
+    sys = ServerlessSystem(
+        pet,
+        "MM",
+        pruning=PruningConfig.drop_only(ToggleMode.ALWAYS),
+        memoize=memoize,
+        seed=2,
+    )
+    t0 = time.perf_counter()
+    sys.run(tasks)
+    elapsed = time.perf_counter() - t0
+    return sys, elapsed
+
+
+def test_estimator_incremental(benchmark, show):
+    """Incremental prefix-convolution estimator vs the seed estimator.
+
+    Runs the Fig. 7 workload (15k-level spiky arrivals, MM, dropping
+    engaged) under all three memoization modes, checks the simulation
+    outcomes are identical, and records events/sec plus convolutions per
+    mapping event in ``BENCH_estimator.json``.  The headline number is
+    the seed-over-incremental convolution ratio, which must stay >= 3.
+    """
+    modes = {"incremental": True, "keyed": "keyed", "naive": False}
+    totals = {
+        name: {"convolutions": 0, "avoided": 0, "events": 0, "wall_s": 0.0}
+        for name in modes
+    }
+    outcomes = {name: [] for name in modes}
+
+    def run_all_trials():
+        for trial in range(BENCH_TRIALS):
+            for name, memoize in modes.items():
+                sys, elapsed = _estimator_cell(memoize, trial)
+                r = sys.result()
+                outcomes[name].append(
+                    (r.on_time, r.late, r.dropped_missed, r.dropped_proactive, r.makespan)
+                )
+                totals[name]["convolutions"] += sys.estimator.convolutions
+                totals[name]["avoided"] += sys.estimator.convolutions_avoided
+                totals[name]["events"] += sys.allocator.mapping_events
+                totals[name]["wall_s"] += elapsed
+        return totals
+
+    benchmark.pedantic(run_all_trials, rounds=1, iterations=1)
+    avoided = totals["incremental"]["avoided"]
+
+    # The cache layers must be invisible: identical outcomes per trial.
+    assert outcomes["incremental"] == outcomes["keyed"] == outcomes["naive"]
+
+    per_event = {
+        name: t["convolutions"] / t["events"] for name, t in totals.items()
+    }
+    ratio = per_event["keyed"] / per_event["incremental"]
+    payload = {
+        "benchmark": "estimator-incremental",
+        "workload": {
+            "figure": "fig7",
+            "level": "15k",
+            "pattern": "spiky",
+            "scale": BENCH_SCALE,
+            "heuristic": "MM",
+            "pruning": "drop_only/ALWAYS",
+            "trials": BENCH_TRIALS,
+        },
+        "mapping_events": totals["incremental"]["events"],
+        "events_per_sec": {
+            name: t["events"] / t["wall_s"] if t["wall_s"] > 0 else None
+            for name, t in totals.items()
+        },
+        "convolutions": {name: t["convolutions"] for name, t in totals.items()},
+        "convolutions_per_event": per_event,
+        "convolutions_avoided_incremental": avoided,
+        "ratio_seed_over_incremental": ratio,
+        "ratio_naive_over_incremental": per_event["naive"] / per_event["incremental"],
+        "identical_outcomes": True,
+    }
+    ESTIMATOR_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    show(
+        "estimator convolutions/event: "
+        f"incremental {per_event['incremental']:.2f} | "
+        f"seed (keyed) {per_event['keyed']:.2f} | "
+        f"naive {per_event['naive']:.2f}  ->  "
+        f"{ratio:.2f}x fewer than seed (JSON: {ESTIMATOR_JSON.name})"
+    )
+    assert ratio >= 3.0, f"incremental estimator ratio regressed: {ratio:.2f}x < 3x"

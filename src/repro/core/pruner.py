@@ -80,6 +80,16 @@ class Pruner:
     # ------------------------------------------------------------------
     # Fig. 5 steps 4–6 — drop scan over machine queues.
     # ------------------------------------------------------------------
+    def _scan_skip(self, task: Task) -> bool:
+        """Hook: tasks the drop scan must never prune (subclass policy)."""
+        return False
+
+    def _scan_threshold(self, task: Task) -> float:
+        """Hook: effective pruning threshold for ``task`` (β − γ_k)."""
+        return self.fairness.effective_threshold(
+            self.config.pruning_threshold, task.task_type
+        )
+
     def drop_scan(
         self,
         cluster: Cluster,
@@ -95,9 +105,14 @@ class Pruner:
         in a way that their compound uncertainty is reduced").  Fairness
         scores update as drops are decided, exactly as the pseudo-code's
         in-loop ``γ_k ← γ_k + c``.
+
+        Each pass over a machine queue is one batched chance query
+        (:meth:`~repro.system.completion.CompletionEstimator.
+        queue_chances`); after a drop, the estimator's prefix cache
+        re-convolves only the tasks behind the dropped one, so the
+        re-scan is proportional to the shortened suffix, not the queue.
         """
         decisions: list[DropDecision] = []
-        beta = self.config.pruning_threshold
         for machine in cluster.machines:
             if not machine.queue:
                 continue
@@ -108,9 +123,9 @@ class Pruner:
             while scan_again:
                 scan_again = False
                 for task, chance in estimator.queue_chances(machine, now):
-                    if task.task_id in already_dropped:
+                    if task.task_id in already_dropped or self._scan_skip(task):
                         continue
-                    eff = self.fairness.effective_threshold(beta, task.task_type)
+                    eff = self._scan_threshold(task)
                     if chance <= eff:
                         decisions.append(DropDecision(task, machine, chance, eff))
                         already_dropped.add(task.task_id)

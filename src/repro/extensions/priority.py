@@ -76,6 +76,15 @@ class ValueAwarePruner(Pruner):
         )
 
     # ------------------------------------------------------------------
+    # The base Pruner's cumulative drop scan (batched chance queries,
+    # suffix re-convolution after each drop) is reused as-is; value
+    # awareness plugs in through the two scan hooks.
+    def _scan_skip(self, task: Task) -> bool:
+        return self._is_protected(task)
+
+    def _scan_threshold(self, task: Task) -> float:
+        return self._effective_threshold(task)
+
     def should_defer(self, task: Task, chance: float) -> bool:
         if not self.config.enable_deferring or self._is_protected(task):
             return False
@@ -83,33 +92,6 @@ class ValueAwarePruner(Pruner):
             self.defer_decisions += 1
             return True
         return False
-
-    def drop_scan(self, cluster, estimator, now):  # type: ignore[override]
-        """Same cumulative scan as the base pruner, with value-scaled
-        thresholds and priority protection."""
-        from ..core.pruner import DropDecision
-
-        decisions: list[DropDecision] = []
-        for machine in cluster.machines:
-            if not machine.queue:
-                continue
-            scan_again = True
-            already: set[int] = set()
-            while scan_again:
-                scan_again = False
-                for task, chance in estimator.queue_chances(machine, now):
-                    if task.task_id in already or self._is_protected(task):
-                        continue
-                    eff = self._effective_threshold(task)
-                    if chance <= eff:
-                        decisions.append(DropDecision(task, machine, chance, eff))
-                        already.add(task.task_id)
-                        self.fairness.note_drop(task.task_type)
-                        self.drop_decisions += 1
-                        machine.remove(task)
-                        scan_again = True
-                        break
-        return decisions
 
     # ------------------------------------------------------------------
     @staticmethod

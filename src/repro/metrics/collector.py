@@ -49,6 +49,10 @@ class SimulationResult:
     makespan: float
     per_type: Mapping[int, TypeOutcome] = field(default_factory=dict)
     machine_busy_time: tuple[float, ...] = ()
+    #: Completion-estimator counters for the trial (hits / misses /
+    #: invalidations / evictions / convolutions / convolutions_avoided) —
+    #: the estimation layer's cache efficiency is a first-class metric.
+    estimator_stats: Mapping[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -84,6 +88,7 @@ class SimulationResult:
         makespan: float = 0.0,
         defer_decisions: int = 0,
         mapping_events: int = 0,
+        estimator_stats: Mapping[str, int] | None = None,
     ) -> "SimulationResult":
         """Roll task terminal states up into one result record."""
         counts = {
@@ -134,6 +139,7 @@ class SimulationResult:
             machine_busy_time=(
                 tuple(m.busy_time for m in cluster.machines) if cluster else ()
             ),
+            estimator_stats=dict(estimator_stats) if estimator_stats else {},
         )
 
     def summary(self) -> str:

@@ -1,6 +1,6 @@
 """Discrete-event simulation substrate: engine, tasks, machines, cluster."""
 
-from .cluster import Cluster
+from .cluster import Cluster, QueueObserver
 from .engine import EventHandle, Priority, Simulator
 from .machine import Machine
 from .rng import RngStreams, stream_seed
@@ -12,6 +12,7 @@ __all__ = [
     "Priority",
     "Machine",
     "Cluster",
+    "QueueObserver",
     "Task",
     "TaskStatus",
     "TERMINAL_STATUSES",

@@ -9,11 +9,43 @@ Machine` plus convenience constructors for both layouts.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Protocol, Sequence, runtime_checkable
 
 from .machine import Machine
 
-__all__ = ["Cluster"]
+__all__ = ["Cluster", "QueueObserver"]
+
+
+@runtime_checkable
+class QueueObserver(Protocol):
+    """Structured queue-delta notifications from a :class:`Machine`.
+
+    Machines announce *what* changed instead of merely bumping a version
+    counter, so subscribers (notably the completion estimator's
+    prefix-convolution cache) can invalidate exactly the affected suffix
+    of their derived state:
+
+    * ``on_enqueue(machine, index)`` — a task was appended at queue
+      ``index`` (always the tail).  Existing prefix state stays valid.
+    * ``on_dequeue(machine, index)`` — the task at ``index`` left the
+      queue to start running (always the head today).
+    * ``on_drop(machine, index)`` — the task at ``index`` was removed
+      without running (pruner drop or deadline reap).  State derived from
+      positions ``> index`` is stale.
+    * ``on_start(machine)`` — a new task began running (the machine's
+      completion belief changed at its root).
+    * ``on_finish(machine)`` — the running task completed.
+
+    Indices refer to the queue immediately before the mutation.  Events
+    fire after the machine's own state is consistent, so observers may
+    inspect ``machine.queue``/``machine.running`` directly.
+    """
+
+    def on_enqueue(self, machine: Machine, index: int) -> None: ...
+    def on_dequeue(self, machine: Machine, index: int) -> None: ...
+    def on_drop(self, machine: Machine, index: int) -> None: ...
+    def on_start(self, machine: Machine) -> None: ...
+    def on_finish(self, machine: Machine) -> None: ...
 
 
 class Cluster:
@@ -96,3 +128,13 @@ class Cluster:
     def set_queue_limit(self, limit: Optional[int]) -> None:
         for m in self.machines:
             m.queue_limit = limit
+
+    # ------------------------------------------------------------------
+    def subscribe(self, observer: QueueObserver) -> None:
+        """Subscribe ``observer`` to queue-delta events of every machine."""
+        for m in self.machines:
+            m.subscribe(observer)
+
+    def unsubscribe(self, observer: QueueObserver) -> None:
+        for m in self.machines:
+            m.unsubscribe(observer)

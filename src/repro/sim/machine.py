@@ -20,7 +20,7 @@ from .engine import Priority, Simulator
 from .task import Task, TaskStatus
 
 if TYPE_CHECKING:  # pragma: no cover
-    pass
+    from .cluster import QueueObserver
 
 __all__ = ["Machine", "ExecutionSampler", "CompletionCallback"]
 
@@ -55,10 +55,18 @@ class Machine:
         #: system").  The resource allocator installs this to record the
         #: reactive drop; without a hook the task is still skipped.
         self.on_reap: Optional[Callable[[Task], None]] = None
-        #: Monotone counter bumped on any queue/running change; PCT chains
-        #: in :mod:`repro.system.completion` use it as a cache key (the
-        #: paper's "memorization of partial results", §V-A).
+        #: Monotone counter bumped on any queue/running change.  The
+        #: structured queue-delta notifications below carry *what* changed;
+        #: the version remains as a coarse change detector (scalar-view
+        #: cache keys, safety checks, tests).
         self.version: int = 0
+        #: Subscribed :class:`~repro.sim.cluster.QueueObserver` instances.
+        #: Each state transition is announced *after* the machine's own
+        #: state (queue/running/version) is consistent, so observers may
+        #: inspect the machine directly from their callbacks.  Indices in
+        #: enqueue/dequeue/drop events refer to the queue as it was
+        #: immediately before the mutation.
+        self.observers: list["QueueObserver"] = []
         # Cumulative busy time, for utilization/energy accounting.
         self.busy_time: float = 0.0
         self.completed_count: int = 0
@@ -95,6 +103,38 @@ class Machine:
         return self.busy_time / elapsed if elapsed > 0 else 0.0
 
     # ------------------------------------------------------------------
+    # Queue-delta notifications
+    # ------------------------------------------------------------------
+    def subscribe(self, observer: "QueueObserver") -> None:
+        """Register for queue-delta notifications (idempotent)."""
+        if observer not in self.observers:
+            self.observers.append(observer)
+
+    def unsubscribe(self, observer: "QueueObserver") -> None:
+        if observer in self.observers:
+            self.observers.remove(observer)
+
+    def _emit_enqueue(self, index: int) -> None:
+        for obs in self.observers:
+            obs.on_enqueue(self, index)
+
+    def _emit_dequeue(self, index: int) -> None:
+        for obs in self.observers:
+            obs.on_dequeue(self, index)
+
+    def _emit_drop(self, index: int) -> None:
+        for obs in self.observers:
+            obs.on_drop(self, index)
+
+    def _emit_start(self) -> None:
+        for obs in self.observers:
+            obs.on_start(self)
+
+    def _emit_finish(self) -> None:
+        for obs in self.observers:
+            obs.on_finish(self)
+
+    # ------------------------------------------------------------------
     def dispatch(
         self,
         task: Task,
@@ -113,6 +153,7 @@ class Machine:
         self.queue.append(task)
         self._task_hooks[task.task_id] = (sampler, on_complete)
         self.version += 1
+        self._emit_enqueue(len(self.queue) - 1)
         if self.running is None:
             self._start_next(sim)
 
@@ -124,19 +165,24 @@ class Machine:
                 del self.queue[idx]
                 self._task_hooks.pop(task.task_id, None)
                 self.version += 1
+                self._emit_drop(idx)
                 return True
         return False
 
     def remove_many(self, tasks: Iterable[Task]) -> int:
         wanted = {id(t) for t in tasks}
-        before = len(self.queue)
+        removed_indices = [i for i, t in enumerate(self.queue) if id(t) in wanted]
+        if not removed_indices:
+            return 0
         self.queue = [t for t in self.queue if id(t) not in wanted]
-        removed = before - len(self.queue)
-        if removed:
-            for t in tasks:
-                self._task_hooks.pop(t.task_id, None)
-            self.version += 1
-        return removed
+        for t in tasks:
+            self._task_hooks.pop(t.task_id, None)
+        self.version += 1
+        # Indices refer to the pre-removal queue, emitted in ascending
+        # order; suffix-invalidating observers only need the smallest.
+        for idx in removed_indices:
+            self._emit_drop(idx)
+        return len(removed_indices)
 
     # ------------------------------------------------------------------
     def _start_next(self, sim: Simulator) -> None:
@@ -149,6 +195,7 @@ class Machine:
             missed = self.queue.pop(0)
             self._task_hooks.pop(missed.task_id, None)
             self.version += 1
+            self._emit_drop(0)
             if self.on_reap is not None:
                 self.on_reap(missed)
         if not self.queue:
@@ -162,6 +209,8 @@ class Machine:
         self.running = task
         self.running_started_at = sim.now
         self.version += 1
+        self._emit_dequeue(0)
+        self._emit_start()
 
         def _finish() -> None:
             self._finish_running(sim, task, on_complete)
@@ -182,6 +231,7 @@ class Machine:
         self.running_started_at = None
         self._task_hooks.pop(task.task_id, None)
         self.version += 1
+        self._emit_finish()
         # Keep the machine busy before handing control to the allocator:
         # FCFS head starts immediately, then the completion callback fires
         # a mapping event that can refill the freed slot.

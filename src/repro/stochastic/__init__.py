@@ -7,11 +7,12 @@ from .pet import (
     PETMatrix,
     generate_pet_matrix,
 )
-from .pmf import DEFAULT_MAX_SUPPORT, PMF
+from .pmf import DEFAULT_MAX_SUPPORT, PMF, batch_cdf_at
 
 __all__ = [
     "PMF",
     "DEFAULT_MAX_SUPPORT",
+    "batch_cdf_at",
     "PETMatrix",
     "ETCMatrix",
     "generate_pet_matrix",

@@ -17,6 +17,15 @@ counts toward :meth:`PMF.cdf_at`.
 
 All bulk operations are vectorized NumPy (``np.convolve``, cumulative sums);
 no Python-level loops over probability bins.
+
+PMFs are treated as immutable once constructed.  That makes two cheap
+tricks safe: :meth:`PMF.shift` re-anchors a distribution *zero-copy*
+(sharing the probability array of the original), and the cumulative-sum
+array backing :meth:`PMF.cdf_at` is computed lazily once and shared across
+shifted copies.  :func:`batch_cdf_at` evaluates many PMFs at many
+deadlines in a single NumPy pass over those cached cumulative arrays —
+the substrate of the estimation layer's batched chance-of-success
+queries (see ``docs/architecture.md``).
 """
 
 from __future__ import annotations
@@ -26,7 +35,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["PMF", "DEFAULT_MAX_SUPPORT"]
+__all__ = ["PMF", "DEFAULT_MAX_SUPPORT", "batch_cdf_at"]
 
 #: Default cap on the number of finite-support bins a convolution may
 #: produce before overflow mass is folded into :attr:`PMF.tail`.
@@ -57,7 +66,7 @@ class PMF:
     the ``validate`` flag are provided.
     """
 
-    __slots__ = ("probs", "offset", "tail")
+    __slots__ = ("probs", "offset", "tail", "_cumsum")
 
     def __init__(
         self,
@@ -84,6 +93,7 @@ class PMF:
         self.probs: np.ndarray = arr
         self.offset: float = float(offset)
         self.tail: float = max(float(tail), 0.0)
+        self._cumsum: np.ndarray | None = None
         if validate:
             if np.any(self.probs < -_EPS):
                 raise ValueError("negative probability mass")
@@ -94,6 +104,28 @@ class PMF:
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
+    @classmethod
+    def _from_parts(
+        cls,
+        probs: np.ndarray,
+        offset: float,
+        tail: float,
+        cumsum: np.ndarray | None = None,
+    ) -> "PMF":
+        """Trusted constructor: no trimming, no validation, no copy.
+
+        ``probs`` must already be a trimmed 1-D float64 array (typically
+        taken straight from another PMF).  Used by :meth:`shift` and the
+        completion estimator's re-anchoring path, where the probability
+        array is shared between the source and the result.
+        """
+        pmf = object.__new__(cls)
+        pmf.probs = probs
+        pmf.offset = float(offset)
+        pmf.tail = tail
+        pmf._cumsum = cumsum
+        return pmf
+
     @classmethod
     def delta(cls, t: float) -> "PMF":
         """Point mass at time ``t`` (e.g. 'machine is free now')."""
@@ -199,6 +231,18 @@ class PMF:
         t = self.times()
         return float(np.dot((t - m) ** 2, self.probs) / self.probs.sum())
 
+    def cumulative(self) -> np.ndarray:
+        """Cached cumulative sums of :attr:`probs` (``cum[k] = P(X <= offset+k)``).
+
+        Computed lazily once; shared zero-copy across :meth:`shift` copies
+        (it depends only on the probability values, not the anchor).
+        """
+        cs = self._cumsum
+        if cs is None:
+            cs = np.cumsum(self.probs)
+            self._cumsum = cs
+        return cs
+
     def cdf_at(self, t: float) -> float:
         """``P(X <= t)``.  Tail mass never counts (it is beyond any t)."""
         if self.probs.size == 0:
@@ -207,7 +251,7 @@ class PMF:
         if k < 0:
             return 0.0
         k = min(k, self.probs.size - 1)
-        return float(self.probs[: k + 1].sum())
+        return float(self.cumulative()[k])
 
     def sf_at(self, t: float) -> float:
         """Survival function ``P(X > t)`` including tail mass."""
@@ -221,7 +265,7 @@ class PMF:
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
-        cum = np.cumsum(self.probs)
+        cum = self.cumulative()
         idx = int(np.searchsorted(cum, q - _EPS))
         if idx >= self.probs.size:
             return math.inf
@@ -231,8 +275,16 @@ class PMF:
     # Transformations
     # ------------------------------------------------------------------
     def shift(self, dt: float) -> "PMF":
-        """Translate the distribution by ``dt`` time units."""
-        return PMF(self.probs, self.offset + dt, self.tail)
+        """Translate the distribution by ``dt`` time units (zero-copy).
+
+        The probability array and cached cumulative sums are *shared*
+        with the source PMF — re-anchoring a distribution at a new
+        simulation time costs O(1), which is what makes the completion
+        estimator's time-advance re-anchoring free of convolutions.
+        """
+        if dt == 0.0:
+            return self
+        return PMF._from_parts(self.probs, self.offset + dt, self.tail, self._cumsum)
 
     def normalized(self) -> "PMF":
         total = self.total_mass
@@ -344,3 +396,34 @@ class PMF:
             f"PMF(offset={self.offset:g}, support={self.support_size}, "
             f"mass={self.finite_mass:.6f}, tail={self.tail:.6f})"
         )
+
+
+def batch_cdf_at(pmfs: Sequence[PMF], times) -> np.ndarray:
+    """Evaluate ``pmfs[i].cdf_at(times[i])`` for all ``i`` in one NumPy pass.
+
+    ``times`` may be a scalar (broadcast to every PMF) or a sequence of the
+    same length as ``pmfs``.  Returns a float64 array of chances.
+
+    The evaluation gathers each PMF's cached :meth:`PMF.cumulative` array
+    into one flat buffer and answers every query with a single fancy-index
+    operation, so a pruner scan over hundreds of (task, machine) pairs
+    costs one vector op instead of hundreds of Python-level partial sums.
+    Values are identical to per-PMF :meth:`PMF.cdf_at` calls (both read the
+    same cumulative arrays).
+    """
+    n = len(pmfs)
+    out = np.zeros(n, dtype=np.float64)
+    if n == 0:
+        return out
+    times = np.broadcast_to(np.asarray(times, dtype=np.float64), (n,))
+    lens = np.fromiter((p.probs.size for p in pmfs), dtype=np.int64, count=n)
+    offs = np.fromiter((p.offset for p in pmfs), dtype=np.float64, count=n)
+    k = np.floor(times - offs)
+    valid = (k >= 0) & (lens > 0)
+    if not valid.any():
+        return out
+    k = np.minimum(k, lens - 1).astype(np.int64)
+    starts = np.cumsum(lens) - lens
+    flat = np.concatenate([p.cumulative() for p in pmfs if p.probs.size])
+    out[valid] = flat[(starts + k)[valid]]
+    return out

@@ -70,13 +70,14 @@ class AdmissionController:
 
     # ------------------------------------------------------------------
     def best_chance(self, task: Task) -> float:
-        """Chance of success on the machine that maximizes it, now."""
+        """Chance of success on the machine that maximizes it, now.
+
+        One batched Eq. 2 query across the whole cluster
+        (:meth:`~repro.system.completion.CompletionEstimator.chances_for`).
+        """
         est = self.system.estimator
         now = self.system.sim.now
-        return max(
-            est.chance_of_success(task, machine, now)
-            for machine in self.system.cluster.machines
-        )
+        return float(est.chances_for([task], self.system.cluster.machines, now).max())
 
     def _submit(self, task: Task) -> None:
         if self.best_chance(task) < self.threshold:

@@ -222,13 +222,21 @@ class BatchAllocator(ResourceAllocator):
         # Fig. 5 steps 7–11: repeatedly plan and dispatch; deferred tasks
         # leave the eligible set for this event but stay in the batch
         # queue for the next one.
+        defer_enabled = self.pruner is not None and self.pruner.config.enable_deferring
         eligible = list(self.batch_queue)
         while eligible and self.cluster.any_free_slot():
             plan = self.heuristic.plan(eligible, self.cluster, self.estimator, now)
             if not plan:
                 break
+            if defer_enabled:
+                # One batched Eq. 2 query for the whole plan.  A dispatch
+                # inside the loop mutates its machine's queue, so chances
+                # of later placements on that machine are recomputed
+                # point-wise against the live state (version guard).
+                plan_versions = [machine.version for _, machine in plan]
+                plan_chances = self.estimator.chances_for_pairs(plan, now)
             consumed: set[int] = set()
-            for task, machine in plan:
+            for i, (task, machine) in enumerate(plan):
                 if not machine.has_free_slot:
                     # Real queue state diverged from the virtual plan
                     # (earlier dispatches filled it); leave the task for
@@ -236,8 +244,11 @@ class BatchAllocator(ResourceAllocator):
                     continue
                 consumed.add(task.task_id)
                 task.mark_mapped(machine.machine_id, now)
-                if self.pruner is not None and self.pruner.config.enable_deferring:
-                    chance = self.estimator.chance_of_success(task, machine, now)
+                if defer_enabled:
+                    if machine.version == plan_versions[i]:
+                        chance = float(plan_chances[i])
+                    else:
+                        chance = self.estimator.chance_of_success(task, machine, now)
                     if self.pruner.should_defer(task, chance):
                         task.mark_deferred()
                         self.accounting.record_defer(task)

@@ -10,10 +10,35 @@ Two views of the same machine state:
   compute chance of success (Eq. 2).
 
 The paper notes (§V-A) that repeated convolution cost is contained via
-"task grouping and memorization of partial results"; we memoize the PCT
-chain per machine keyed on ``(machine.version, now)`` — any queue change
-bumps ``version`` and naturally invalidates the chain.  The ablation bench
-``benchmarks/bench_ablation.py::test_memoization`` measures the saving.
+"task grouping and memorization of partial results".  This module keeps
+the PCT chain of every machine as an **incremental prefix-convolution
+cache**:
+
+* ``chain[0]`` is the completion belief of the running task (or a delta
+  at ``now`` when idle); ``chain[k]`` is the PCT of the k-th queued task.
+* The estimator subscribes to the machines' structured queue-delta
+  notifications (:class:`~repro.sim.cluster.QueueObserver`).  A mutation
+  at queue index ``i`` invalidates only the suffix ``chain[i+1:]`` — an
+  enqueue costs one convolution, a mid-queue drop re-convolves only the
+  tasks behind it, and untouched machines keep their whole chain.
+* Advancing simulation time does not throw the chain away: entries are
+  **re-anchored** via zero-copy offset fix-up (no convolution), replaying
+  the same float additions a from-scratch rebuild would perform so the
+  cached chain stays bit-identical to a fresh one.  Entries whose
+  truncation/trimming made them anchor-dependent fall back to real
+  convolution.
+* ``chances_for`` / ``chances_for_pairs`` / ``queue_chances`` answer a
+  pruner's whole drop/defer scan in one batched
+  :func:`~repro.stochastic.pmf.batch_cdf_at` pass.
+
+Three memoization modes are supported for ablation:
+
+* ``memoize=True`` (or ``"incremental"``) — the prefix cache above;
+* ``memoize="keyed"`` — the legacy behavior: whole chains cached per
+  ``(machine, version, now)`` in an LRU, any queue change or clock tick
+  discards all partial results (kept as the seed-estimator baseline for
+  ``benchmarks/bench_sim.py``);
+* ``memoize=False`` — every query reconvolves from scratch.
 
 A running task's completion belief is its start-anchored PCT conditioned
 on it not having finished yet (``PMF.condition_at_least(now)``); the
@@ -23,13 +48,15 @@ scalar view uses the conditioned finite mean.
 from __future__ import annotations
 
 import math
-from typing import Protocol, Sequence
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
 
 from ..sim.machine import Machine
 from ..sim.task import Task
-from ..stochastic.pmf import DEFAULT_MAX_SUPPORT, PMF
+from ..stochastic.pmf import DEFAULT_MAX_SUPPORT, PMF, batch_cdf_at
 
-__all__ = ["ExecutionModel", "CompletionEstimator"]
+__all__ = ["ExecutionModel", "CompletionEstimator", "LRUCache"]
 
 
 class ExecutionModel(Protocol):
@@ -37,6 +64,135 @@ class ExecutionModel(Protocol):
 
     def pmf(self, task_type: int, machine_type: int) -> PMF: ...
     def mean(self, task_type: int, machine_type: int) -> float: ...
+
+
+class LRUCache:
+    """A bounded mapping evicting the least-recently-*used* entry.
+
+    ``dict`` preserves insertion order; :meth:`get` re-inserts on hit so
+    the front of the dict is always the coldest entry.  Unlike the old
+    clear-everything-at-capacity policy, a full cache evicts exactly one
+    victim per insert and hot entries survive.
+    """
+
+    __slots__ = ("capacity", "evictions", "_data")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.evictions = 0
+        self._data: dict = {}
+
+    def get(self, key):
+        try:
+            value = self._data.pop(key)
+        except KeyError:
+            return None
+        self._data[key] = value
+        return value
+
+    def put(self, key, value) -> None:
+        data = self._data
+        if key in data:
+            del data[key]
+        elif len(data) >= self.capacity:
+            del data[next(iter(data))]
+            self.evictions += 1
+        data[key] = value
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+
+#: Shared single-bin probability array backing every idle-machine base
+#: (``delta(now)``).  Sharing one array gives availability PMFs of idle
+#: machines a stable identity across re-anchoring, which is what lets
+#: cached new-task PCTs survive clock ticks (see ``pct_for_new``).  PMFs
+#: are immutable by convention, so the sharing is safe.
+_DELTA_PROBS = np.ones(1, dtype=np.float64)
+_DELTA_CUMSUM = np.ones(1, dtype=np.float64)
+
+
+def _delta(t: float) -> PMF:
+    """Value-identical to ``PMF.delta(t)`` but zero-copy."""
+    return PMF._from_parts(_DELTA_PROBS, t, 0.0, _DELTA_CUMSUM)
+
+
+class _NewPct:
+    """A cached new-task PCT (``availability ⊛ PET``), re-anchorable.
+
+    Validity is keyed on the *identity* of the availability PMF's
+    probability array: chain rebuilds allocate fresh arrays, while pure
+    re-anchoring shares them, so ``avail_probs is chain[-1].probs`` says
+    exactly "same distribution up to its anchor".
+    """
+
+    __slots__ = ("avail_probs", "avail_offset", "avail_tail", "built_at", "pct", "reanchorable", "pet_offset")
+
+    def __init__(self, avail: PMF, built_at: float, pct: PMF, reanchorable: bool, pet_offset: float) -> None:
+        self.avail_probs = avail.probs
+        self.avail_offset = avail.offset
+        self.avail_tail = avail.tail
+        self.built_at = built_at
+        self.pct = pct
+        self.reanchorable = reanchorable
+        self.pet_offset = pet_offset
+
+
+class _MachineState:
+    """Incremental per-machine PCT state (the prefix-convolution cache).
+
+    ``chain`` holds the valid prefix only — invalidation truncates the
+    list.  ``pet_offsets[k]`` is the grid offset of the PET convolved at
+    step ``k+1`` and ``reanchorable[k]`` records whether that entry can be
+    re-anchored by pure offset arithmetic (no truncation fold, no trim,
+    no tail mass — see ``_extend_chain``).
+    """
+
+    __slots__ = (
+        "machine",
+        "chain",
+        "pet_offsets",
+        "reanchorable",
+        "anchor",
+        "base_sig",
+        "new_pct",
+        "version_seen",
+    )
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.chain: list[PMF] | None = None
+        self.pet_offsets: list[float] = []
+        self.reanchorable: list[bool] = []
+        self.anchor: float = math.nan
+        self.base_sig: tuple = ()
+        #: task_type -> cached availability ⊛ PET result
+        self.new_pct: dict[int, _NewPct] = {}
+        self.version_seen: int = machine.version
+
+    def reset(self) -> None:
+        self.chain = None
+        self.pet_offsets.clear()
+        self.reanchorable.clear()
+        self.anchor = math.nan
+        self.base_sig = ()
+        self.new_pct.clear()
+
+    def truncate_suffix(self, index: int) -> None:
+        """Drop chain entries derived from queue positions ``>= index``."""
+        if self.chain is not None and len(self.chain) > index + 1:
+            del self.chain[index + 1 :]
+            del self.pet_offsets[index:]
+            del self.reanchorable[index:]
+        self.new_pct.clear()
 
 
 class CompletionEstimator:
@@ -57,7 +213,12 @@ class CompletionEstimator:
         When True (default) the running task's PCT is conditioned on the
         task still being unfinished at ``now``.
     memoize:
-        Cache PCT chains per ``(machine, version, now)``.
+        ``True``/``"incremental"`` — delta-invalidated prefix cache;
+        ``"keyed"`` — legacy whole-chain LRU keyed on
+        ``(machine, version, now)``; ``False`` — no caching.
+    cache_capacity:
+        Capacity of the keyed LRU caches (scalar chains and, in keyed
+        mode, PCT chains / new-task PCTs).
     """
 
     def __init__(
@@ -66,23 +227,37 @@ class CompletionEstimator:
         *,
         horizon: float = 512.0,
         condition_running: bool = True,
-        memoize: bool = True,
+        memoize: bool | str = True,
         max_support: int = DEFAULT_MAX_SUPPORT,
         cache_capacity: int = 4096,
     ) -> None:
         if horizon <= 0:
             raise ValueError("horizon must be positive")
+        if memoize is True:
+            mode = "incremental"
+        elif memoize is False:
+            mode = "off"
+        elif memoize in ("incremental", "keyed"):
+            mode = memoize
+        else:
+            raise ValueError(f"memoize must be bool, 'incremental' or 'keyed': {memoize!r}")
         self.model = model
         self.horizon = float(horizon)
         self.condition_running = condition_running
-        self.memoize = memoize
+        self.memo_mode = mode
+        self.memoize = mode != "off"
         self.max_support = max_support
         self.cache_capacity = cache_capacity
-        self._chain_cache: dict[tuple[int, int, float], list[PMF]] = {}
-        self._scalar_cache: dict[tuple[int, int, float], list[float]] = {}
-        self._new_pct_cache: dict[tuple[int, int, float, int], PMF] = {}
+        self._scalar_cache = LRUCache(cache_capacity)
+        self._chain_cache = LRUCache(cache_capacity)  # keyed mode only
+        self._new_pct_cache = LRUCache(cache_capacity)  # keyed mode only
+        self._states: dict[int, _MachineState] = {}
+        # Stats counters (exposed through cache_stats / SimulationResult).
         self.cache_hits = 0
         self.cache_misses = 0
+        self.invalidations = 0
+        self.convolutions = 0
+        self.convolutions_avoided = 0
 
     # ------------------------------------------------------------------
     # Scalar (expected-value) view — heuristics
@@ -142,14 +317,14 @@ class CompletionEstimator:
             chain.append(t)
 
         if self.memoize:
-            self._remember(self._scalar_cache, key, chain)
+            self._scalar_cache.put(key, chain)
         return chain
 
     # ------------------------------------------------------------------
     # Probabilistic view — pruning (Eq. 1 / Eq. 2)
     # ------------------------------------------------------------------
     def _running_pct(self, machine: Machine, now: float) -> PMF:
-        """Belief over when the running task completes."""
+        """Belief over when the running task completes (no convolution)."""
         running = machine.running
         assert running is not None
         started = machine.running_started_at
@@ -168,47 +343,322 @@ class CompletionEstimator:
     def _pct_chain(self, machine: Machine, now: float) -> list[PMF]:
         """``chain[0]`` = availability after the running task (delta(now)
         when idle); ``chain[k]`` = PCT of the k-th queued task."""
-        key = (machine.machine_id, machine.version, now)
-        if self.memoize:
+        if self.memo_mode == "incremental":
+            return self._incremental_chain(machine, now)
+        if self.memo_mode == "keyed":
+            key = (machine.machine_id, machine.version, now)
             cached = self._chain_cache.get(key)
             if cached is not None:
                 self.cache_hits += 1
+                self.convolutions_avoided += len(machine.queue)
                 return cached
             self.cache_misses += 1
+            chain = self._build_chain(machine, now)
+            self._chain_cache.put(key, chain)
+            return chain
+        return self._build_chain(machine, now)
 
+    def _build_chain(self, machine: Machine, now: float) -> list[PMF]:
+        """Reference path: full Eq. 1 reconvolution of the queue."""
         base = PMF.delta(now) if machine.running is None else self._running_pct(machine, now)
         chain = [base]
         cutoff = now + self.horizon
         for queued in machine.queue:
             pet = self.model.pmf(queued.task_type, machine.machine_type)
             base = base.convolve(pet, max_support=self.max_support).truncate(cutoff)
+            self.convolutions += 1
             chain.append(base)
-
-        if self.memoize:
-            self._remember(self._chain_cache, key, chain)
         return chain
 
+    # -- incremental mode ----------------------------------------------
+    def _state_for(self, machine: Machine) -> _MachineState:
+        state = self._states.get(machine.machine_id)
+        if state is None or state.machine is not machine:
+            state = _MachineState(machine)
+            self._states[machine.machine_id] = state
+            machine.subscribe(self)
+        return state
+
+    def _incremental_chain(self, machine: Machine, now: float) -> list[PMF]:
+        state = self._state_for(machine)
+        if state.version_seen != machine.version:
+            # A mutation bypassed the notification protocol; fail safe.
+            state.reset()
+            state.version_seen = machine.version
+        qlen = len(machine.queue)
+        cutoff = now + self.horizon
+        before = self.convolutions
+
+        reused = state.chain is not None and self._rebase(state, machine, now, cutoff)
+        if not reused:
+            state.reset()
+            state.chain = [
+                _delta(now) if machine.running is None else self._running_pct(machine, now)
+            ]
+            state.base_sig = self._base_signature(machine)
+            state.anchor = now
+
+        chain = state.chain
+        assert chain is not None
+        if len(chain) > qlen + 1:  # defensive; observers should prevent this
+            state.truncate_suffix(qlen)
+        extended = len(chain) < qlen + 1
+        if extended:
+            self._extend_chain(state, machine, cutoff)
+
+        performed = self.convolutions - before
+        self.convolutions_avoided += max(qlen - performed, 0)
+        if reused and not extended and performed == 0:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        return chain
+
+    @staticmethod
+    def _base_signature(machine: Machine) -> tuple:
+        if machine.running is None:
+            return ("idle",)
+        return ("run", machine.running.task_id, machine.running_started_at)
+
+    def _rebase(self, state: _MachineState, machine: Machine, now: float, cutoff: float) -> bool:
+        """Re-anchor the cached chain to ``now``; False → rebuild needed.
+
+        For an idle machine the whole chain is anchored at the query time,
+        so the offsets are replayed with the same left-to-right additions
+        a rebuild would perform (``now + pet_0 + pet_1 + ...``).  For a
+        running machine the chain is anchored at the task's start time and
+        only the base's conditioning can change its shape; the chain is
+        kept iff the freshly conditioned base is bitwise-identical to the
+        cached one.  Entries flagged non-re-anchorable (truncated/trimmed/
+        tail-carrying) are dropped and re-convolved by ``_extend_chain``.
+        """
+        sig = self._base_signature(machine)
+        if state.base_sig != sig:
+            return False
+        chain = state.chain
+        assert chain is not None
+
+        if machine.running is None:
+            if now == state.anchor:
+                return True
+            new_chain: list[PMF] = [_delta(now)]
+            offset = now
+            keep = len(chain) - 1
+            for k in range(keep):
+                if not state.reanchorable[k]:
+                    keep = k
+                    break
+                offset = offset + state.pet_offsets[k]
+                entry = chain[k + 1]
+                moved = PMF._from_parts(entry.probs, offset, entry.tail, entry._cumsum)
+                if moved.truncate(cutoff) is not moved:
+                    keep = k
+                    break
+                new_chain.append(moved)
+            if keep < len(chain) - 1:
+                del state.pet_offsets[keep:]
+                del state.reanchorable[keep:]
+            state.chain = new_chain
+            state.anchor = now
+            return True
+
+        # Running machine: chain offsets are absolute (anchored at the
+        # start time), but conditioning may reshape the base as time
+        # passes — verify it did not.  At an unchanged `now` (repeat
+        # queries within one mapping event) nothing can have moved.
+        if now == state.anchor:
+            return True
+        fresh_base = self._running_pct(machine, now)
+        cached_base = chain[0]
+        if (
+            fresh_base.offset != cached_base.offset
+            or fresh_base.tail != cached_base.tail
+            or not (
+                fresh_base.probs is cached_base.probs
+                or np.array_equal(fresh_base.probs, cached_base.probs)
+            )
+        ):
+            return False
+        # Truncation horizons moved with `now`; keep only entries provably
+        # unaffected (no tail, finite support within the new cutoff).
+        keep = len(chain) - 1
+        for k in range(keep):
+            if not state.reanchorable[k] or chain[k + 1].max_time > cutoff:
+                keep = k
+                break
+        if keep < len(chain) - 1:
+            del chain[keep + 1 :]
+            del state.pet_offsets[keep:]
+            del state.reanchorable[keep:]
+        state.anchor = now
+        return True
+
+    def _append_pet(self, prev: PMF, pet: PMF, cutoff: float) -> PMF:
+        """``prev ⊛ pet`` truncated at ``cutoff``, counting convolutions.
+
+        A unit point mass on the left degenerates to a zero-copy shift of
+        the PET (``1.0 * p == p`` bitwise), sparing the array multiply a
+        literal ``convolve`` would perform.  Only real convolutions are
+        counted here; callers account for avoided work (a caller knows
+        its naive cost, this helper does not).
+        """
+        if (
+            prev.probs.size == 1
+            and prev.probs[0] == 1.0
+            and prev.tail == 0.0
+            and pet.tail == 0.0
+            and pet.probs.size <= self.max_support
+        ):
+            return pet.shift(prev.offset).truncate(cutoff)
+        self.convolutions += 1
+        return prev.convolve(pet, max_support=self.max_support).truncate(cutoff)
+
+    def _extend_chain(self, state: _MachineState, machine: Machine, cutoff: float) -> None:
+        """Convolve PETs for queued tasks not yet covered by the chain."""
+        chain = state.chain
+        assert chain is not None
+        while len(chain) < len(machine.queue) + 1:
+            queued = machine.queue[len(chain) - 1]
+            pet = self.model.pmf(queued.task_type, machine.machine_type)
+            prev = chain[-1]
+            nxt = self._append_pet(prev, pet, cutoff)
+            # Re-anchorable iff the convolution neither trimmed nor folded
+            # mass: offset is the plain float add and no tail appeared.
+            state.reanchorable.append(
+                nxt.tail == 0.0 and nxt.offset == prev.offset + pet.offset
+            )
+            state.pet_offsets.append(pet.offset)
+            chain.append(nxt)
+
+    # -- queue-delta notifications (QueueObserver protocol) -------------
+    def _observed(self, machine: Machine) -> _MachineState | None:
+        state = self._states.get(machine.machine_id)
+        if state is None or state.machine is not machine:
+            return None
+        state.version_seen = machine.version
+        return state
+
+    def on_enqueue(self, machine: Machine, index: int) -> None:
+        state = self._observed(machine)
+        if state is None:
+            return
+        # The existing prefix stays valid.  Better: if the enqueued task's
+        # new-task PCT was just computed against the current availability
+        # (the allocator's defer check immediately precedes dispatch), that
+        # product *is* the chain extension — promote it instead of paying
+        # the convolution again on the next query.
+        chain = state.chain
+        if chain is None:
+            return
+        if len(chain) == index + 1:
+            entry = state.new_pct.get(machine.queue[index].task_type)
+            avail = chain[-1]
+            if (
+                entry is not None
+                and entry.reanchorable
+                and entry.avail_probs is avail.probs
+                and entry.avail_offset == avail.offset
+                and entry.avail_tail == avail.tail
+            ):
+                # The next chain query's qlen-minus-performed accounting
+                # registers this as an avoided convolution.
+                chain.append(entry.pct)
+                state.pet_offsets.append(entry.pet_offset)
+                state.reanchorable.append(True)
+        state.new_pct.clear()
+        self.invalidations += 1
+
+    def on_dequeue(self, machine: Machine, index: int) -> None:
+        state = self._observed(machine)
+        if state is not None and state.chain is not None:
+            state.truncate_suffix(index)
+            self.invalidations += 1
+
+    def on_drop(self, machine: Machine, index: int) -> None:
+        state = self._observed(machine)
+        if state is not None and state.chain is not None:
+            state.truncate_suffix(index)
+            self.invalidations += 1
+
+    def on_start(self, machine: Machine) -> None:
+        state = self._observed(machine)
+        if state is not None:
+            state.reset()
+            self.invalidations += 1
+
+    def on_finish(self, machine: Machine) -> None:
+        state = self._observed(machine)
+        if state is not None:
+            state.reset()
+            self.invalidations += 1
+
+    # ------------------------------------------------------------------
     def pct_for_new(self, task_type: int, machine: Machine, now: float) -> PMF:
         """Eq. 1: PCT of a new task appended to the machine's queue.
 
-        Cached per ``(machine, version, now, task_type)`` — within one
-        mapping event every task of the same type shares this PCT, so
-        defer checks over a large batch queue cost one convolution per
-        (type, machine) instead of one per task.
+        In incremental mode the ``availability ⊛ PET`` result is cached
+        per (machine, task type) and validated by the *identity* of the
+        availability distribution: as long as the machine's chain merely
+        re-anchored in time, the cached product re-anchors with it (zero
+        convolutions).  Within one mapping event every task of the same
+        type therefore shares this PCT, and across events it survives
+        until the machine's queue actually changes.
         """
-        key = (machine.machine_id, machine.version, now, task_type)
-        if self.memoize:
+        if self.memo_mode == "incremental":
+            chain = self._pct_chain(machine, now)
+            state = self._state_for(machine)
+            avail = chain[-1]
+            cutoff = now + self.horizon
+            entry = state.new_pct.get(task_type)
+            if (
+                entry is not None
+                and entry.avail_probs is avail.probs
+                and entry.avail_tail == avail.tail
+            ):
+                if entry.reanchorable:
+                    pct = entry.pct
+                    offset = avail.offset + entry.pet_offset
+                    if pct.offset != offset:
+                        pct = PMF._from_parts(pct.probs, offset, 0.0, pct._cumsum)
+                    if pct.max_time <= cutoff:
+                        entry.pct = pct
+                        entry.avail_offset = avail.offset
+                        entry.built_at = now
+                        self.cache_hits += 1
+                        self.convolutions_avoided += 1
+                        return pct
+                elif entry.avail_offset == avail.offset and entry.built_at == now:
+                    self.cache_hits += 1
+                    self.convolutions_avoided += 1
+                    return entry.pct
+            self.cache_misses += 1
+            pet = self.model.pmf(task_type, machine.machine_type)
+            before = self.convolutions
+            pct = self._append_pet(avail, pet, cutoff)
+            if self.convolutions == before:  # zero-copy shift path
+                self.convolutions_avoided += 1
+            reanchorable = pct.tail == 0.0 and pct.offset == avail.offset + pet.offset
+            state.new_pct[task_type] = _NewPct(avail, now, pct, reanchorable, pet.offset)
+            return pct
+
+        if self.memo_mode == "keyed":
+            key = (machine.machine_id, machine.version, now, task_type)
             cached = self._new_pct_cache.get(key)
             if cached is not None:
                 self.cache_hits += 1
+                self.convolutions_avoided += 1
                 return cached
             self.cache_misses += 1
-        avail = self.availability_pct(machine, now)
+            pct = self._convolve_new(self.availability_pct(machine, now), task_type, machine, now)
+            self._new_pct_cache.put(key, pct)
+            return pct
+
+        return self._convolve_new(self.availability_pct(machine, now), task_type, machine, now)
+
+    def _convolve_new(self, avail: PMF, task_type: int, machine: Machine, now: float) -> PMF:
         pet = self.model.pmf(task_type, machine.machine_type)
-        pct = avail.convolve(pet, max_support=self.max_support).truncate(now + self.horizon)
-        if self.memoize:
-            self._remember(self._new_pct_cache, key, pct)
-        return pct
+        self.convolutions += 1
+        return avail.convolve(pet, max_support=self.max_support).truncate(now + self.horizon)
 
     def chance_of_success(self, task: Task, machine: Machine, now: float) -> float:
         """Eq. 2 for a task about to be appended to ``machine``'s queue."""
@@ -216,18 +666,61 @@ class CompletionEstimator:
 
     def queue_chances(self, machine: Machine, now: float) -> list[tuple[Task, float]]:
         """Chance of success of every *queued* task, in FCFS order — the
-        pruner's drop scan (Fig. 5 steps 4–5) consumes this."""
+        pruner's drop scan (Fig. 5 steps 4–5) consumes this.  All deadline
+        lookups happen in one :func:`batch_cdf_at` pass."""
         chain = self._pct_chain(machine, now)
-        return [
-            (task, chain[k + 1].cdf_at(task.deadline))
-            for k, task in enumerate(machine.queue)
-        ]
+        if len(chain) <= 1:
+            return []
+        chances = batch_cdf_at(chain[1:], [t.deadline for t in machine.queue])
+        return [(task, float(c)) for task, c in zip(machine.queue, chances)]
 
     # ------------------------------------------------------------------
-    def _remember(self, cache: dict, key, value) -> None:
-        if len(cache) >= self.cache_capacity:
-            cache.clear()
-        cache[key] = value
+    # Batched chance-of-success queries
+    # ------------------------------------------------------------------
+    def chances_for(
+        self, tasks: Sequence[Task], machines: Sequence[Machine], now: float
+    ) -> np.ndarray:
+        """Eq. 2 grid: chance of each task appended to each machine, now.
 
+        Returns a ``(len(tasks), len(machines))`` array.  New-task PCTs
+        are shared per (task type, machine) and every CDF lookup happens
+        in one :func:`batch_cdf_at` pass — an admission controller's or
+        pruner's whole scan is a single batched query.
+        """
+        pmfs = [
+            self.pct_for_new(task.task_type, machine, now)
+            for task in tasks
+            for machine in machines
+        ]
+        deadlines = np.repeat(
+            np.array([t.deadline for t in tasks], dtype=np.float64), len(machines)
+        )
+        return batch_cdf_at(pmfs, deadlines).reshape(len(tasks), len(machines))
+
+    def chances_for_pairs(
+        self, pairs: Iterable[tuple[Task, Machine]], now: float
+    ) -> np.ndarray:
+        """Eq. 2 for explicit (task, machine) placements, batched.
+
+        This is the allocator's defer-check query: one entry per planned
+        placement, evaluated against the machines' *current* queues.
+        """
+        pairs = list(pairs)
+        pmfs = [self.pct_for_new(task.task_type, machine, now) for task, machine in pairs]
+        return batch_cdf_at(pmfs, [task.deadline for task, _ in pairs])
+
+    # ------------------------------------------------------------------
     def cache_stats(self) -> dict[str, int]:
-        return {"hits": self.cache_hits, "misses": self.cache_misses}
+        """Hit/miss/invalidation/convolution counters for this estimator."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "invalidations": self.invalidations,
+            "evictions": (
+                self._scalar_cache.evictions
+                + self._chain_cache.evictions
+                + self._new_pct_cache.evictions
+            ),
+            "convolutions": self.convolutions,
+            "convolutions_avoided": self.convolutions_avoided,
+        }

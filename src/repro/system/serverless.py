@@ -67,6 +67,11 @@ class ServerlessSystem:
         immediate mode (the paper's setup).
     seed:
         Root seed for execution-time sampling.
+    memoize:
+        Estimator cache mode: ``True`` (incremental prefix-convolution
+        cache, the default), ``"keyed"`` (the legacy whole-chain cache,
+        kept as an ablation baseline), or ``False`` (no caching).  All
+        modes produce identical simulation results.
     """
 
     def __init__(
@@ -81,7 +86,7 @@ class ServerlessSystem:
         seed: int = 0,
         horizon: float = 512.0,
         condition_running: bool = True,
-        memoize: bool = True,
+        memoize: Union[bool, str] = True,
         observer=None,
     ) -> None:
         self.model = model
@@ -199,6 +204,7 @@ class ServerlessSystem:
             makespan=self.sim.now,
             defer_decisions=self.accounting.total_defers,
             mapping_events=self.allocator.mapping_events,
+            estimator_stats=self.estimator.cache_stats(),
         )
 
     @property

@@ -1,0 +1,141 @@
+"""Queue-delta notification protocol (Machine → QueueObserver)."""
+
+import pytest
+
+from repro.sim.cluster import Cluster, QueueObserver
+from repro.sim.engine import Simulator
+from repro.sim.machine import Machine
+from repro.sim.task import Task
+
+
+class Recorder:
+    """Records every event with the machine id and pre-mutation index."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_enqueue(self, machine, index):
+        self.events.append(("enqueue", machine.machine_id, index))
+
+    def on_dequeue(self, machine, index):
+        self.events.append(("dequeue", machine.machine_id, index))
+
+    def on_drop(self, machine, index):
+        self.events.append(("drop", machine.machine_id, index))
+
+    def on_start(self, machine):
+        self.events.append(("start", machine.machine_id))
+
+    def on_finish(self, machine):
+        self.events.append(("finish", machine.machine_id))
+
+
+def make_task(i, deadline=100.0):
+    return Task(task_id=i, task_type=0, arrival=0.0, deadline=deadline)
+
+
+def dispatch(m, sim, task, duration=5.0):
+    task.mark_mapped(m.machine_id, sim.now)
+    m.dispatch(task, sim, lambda *a: duration, lambda *a: None)
+
+
+class TestEmission:
+    def test_recorder_satisfies_protocol(self):
+        assert isinstance(Recorder(), QueueObserver)
+
+    def test_dispatch_to_idle_emits_enqueue_dequeue_start(self):
+        sim, m, rec = Simulator(), Machine(0, 0), Recorder()
+        m.subscribe(rec)
+        dispatch(m, sim, make_task(0))
+        assert rec.events == [("enqueue", 0, 0), ("dequeue", 0, 0), ("start", 0)]
+
+    def test_dispatch_to_busy_emits_enqueue_only(self):
+        sim, m, rec = Simulator(), Machine(0, 0), Recorder()
+        dispatch(m, sim, make_task(0))  # not yet subscribed
+        m.subscribe(rec)
+        dispatch(m, sim, make_task(1))
+        dispatch(m, sim, make_task(2))
+        assert rec.events == [("enqueue", 0, 0), ("enqueue", 0, 1)]
+
+    def test_completion_emits_finish_then_next_start(self):
+        sim, m, rec = Simulator(), Machine(0, 0), Recorder()
+        dispatch(m, sim, make_task(0))
+        dispatch(m, sim, make_task(1))
+        m.subscribe(rec)
+        sim.run()
+        # task 0 finishes -> head (task 1) dequeues and starts -> finishes
+        assert rec.events == [
+            ("finish", 0),
+            ("dequeue", 0, 0),
+            ("start", 0),
+            ("finish", 0),
+        ]
+
+    def test_remove_emits_drop_with_queue_index(self):
+        sim, m, rec = Simulator(), Machine(0, 0), Recorder()
+        t0, t1, t2 = make_task(0), make_task(1), make_task(2)
+        for t in (t0, t1, t2):
+            dispatch(m, sim, t)
+        m.subscribe(rec)
+        m.remove(t2)  # queue holds [t1, t2] (t0 running) -> index 1
+        assert rec.events == [("drop", 0, 1)]
+
+    def test_remove_many_emits_ascending_premutation_indices(self):
+        sim, m, rec = Simulator(), Machine(0, 0), Recorder()
+        tasks = [make_task(i) for i in range(5)]
+        for t in tasks:
+            dispatch(m, sim, t)
+        m.subscribe(rec)
+        m.remove_many([tasks[3], tasks[1]])  # queue indices 2 and 0
+        assert rec.events == [("drop", 0, 0), ("drop", 0, 2)]
+
+    def test_deadline_reap_emits_drop_at_head(self):
+        sim, m, rec = Simulator(), Machine(0, 0), Recorder()
+        dispatch(m, sim, make_task(0))
+        dispatch(m, sim, make_task(1, deadline=3.0))  # misses while queued
+        dispatch(m, sim, make_task(2))
+        m.subscribe(rec)
+        sim.run()
+        assert ("drop", 0, 0) in rec.events
+
+    def test_unsubscribe_stops_events(self):
+        sim, m, rec = Simulator(), Machine(0, 0), Recorder()
+        m.subscribe(rec)
+        m.unsubscribe(rec)
+        dispatch(m, sim, make_task(0))
+        assert rec.events == []
+
+    def test_subscribe_is_idempotent(self):
+        sim, m, rec = Simulator(), Machine(0, 0), Recorder()
+        m.subscribe(rec)
+        m.subscribe(rec)
+        dispatch(m, sim, make_task(0))
+        assert rec.events.count(("enqueue", 0, 0)) == 1
+
+
+class TestClusterSubscription:
+    def test_cluster_subscribe_covers_all_machines(self):
+        sim, rec = Simulator(), Recorder()
+        cluster = Cluster.heterogeneous(3)
+        cluster.subscribe(rec)
+        for mid in range(3):
+            dispatch(cluster[mid], sim, make_task(mid))
+        machine_ids = {e[1] for e in rec.events}
+        assert machine_ids == {0, 1, 2}
+
+    def test_cluster_unsubscribe(self):
+        sim, rec = Simulator(), Recorder()
+        cluster = Cluster.heterogeneous(2)
+        cluster.subscribe(rec)
+        cluster.unsubscribe(rec)
+        dispatch(cluster[0], sim, make_task(0))
+        assert rec.events == []
+
+    def test_version_still_bumps_alongside_events(self):
+        """The coarse version counter co-exists with structured deltas."""
+        sim, m, rec = Simulator(), Machine(0, 0), Recorder()
+        m.subscribe(rec)
+        v0 = m.version
+        dispatch(m, sim, make_task(0))
+        assert m.version > v0
+        assert len(rec.events) == 3  # enqueue + dequeue + start

@@ -1,0 +1,147 @@
+"""PMF edge cases: fractional anchors, tail conservation, grid boundaries.
+
+These pin the exact floating-point contracts the incremental estimation
+layer builds on: zero-copy shifting, cumulative-sum sharing, truncation
+folding mass into the tail without losing any, and conditioning behavior
+exactly on grid points.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stochastic.pmf import PMF, batch_cdf_at
+
+
+class TestFractionalOffsets:
+    def test_shift_by_fraction_keeps_grid_spacing(self):
+        p = PMF.from_dict({2: 0.5, 4: 0.5})
+        q = p.shift(0.25)
+        assert q.offset == 2.25
+        assert np.array_equal(q.times(), [2.25, 3.25, 4.25])  # unit grid kept
+
+    def test_shift_is_zero_copy(self):
+        p = PMF.from_dict({2: 0.5, 4: 0.5})
+        q = p.shift(1.5)
+        assert q.probs is p.probs
+
+    def test_shift_zero_returns_self(self):
+        p = PMF.from_dict({2: 0.5, 4: 0.5})
+        assert p.shift(0.0) is p
+
+    def test_shift_shares_cumulative(self):
+        p = PMF.from_dict({2: 0.5, 4: 0.5})
+        cum = p.cumulative()
+        assert p.shift(3.0).cumulative() is cum
+
+    def test_fractional_offsets_add_through_convolve(self):
+        a = PMF.from_dict({1: 0.5, 2: 0.5}).shift(0.3)
+        b = PMF.from_dict({2: 1.0}).shift(0.4)
+        c = a.convolve(b)
+        assert c.offset == pytest.approx((1 + 0.3) + (2 + 0.4))
+        # Mass is untouched by anchoring.
+        assert c.finite_mass == pytest.approx(1.0)
+
+    def test_cdf_between_fractional_grid_points(self):
+        p = PMF.from_dict({0: 0.25, 1: 0.75}).shift(0.5)
+        # grid at 0.5 and 1.5
+        assert p.cdf_at(0.49) == 0.0
+        assert p.cdf_at(0.5) == pytest.approx(0.25)
+        assert p.cdf_at(1.49) == pytest.approx(0.25)
+        assert p.cdf_at(1.5) == pytest.approx(1.0)
+
+    def test_shift_roundtrip_preserves_cdf(self):
+        p = PMF.from_dict({3: 0.2, 5: 0.8})
+        q = p.shift(7.25).shift(-7.25)
+        for t in (2.9, 3.0, 4.0, 5.0, 9.0):
+            assert q.cdf_at(t) == pytest.approx(p.cdf_at(t))
+
+
+class TestTailConservation:
+    def test_truncate_conserves_total_mass(self):
+        rng = np.random.default_rng(3)
+        p = PMF.from_samples(rng.gamma(4.0, 3.0, size=500))
+        for horizon in (p.min_time, p.min_time + 5, p.max_time - 1, p.max_time):
+            t = p.truncate(horizon)
+            assert t.total_mass == pytest.approx(p.total_mass, abs=1e-12)
+            assert t.max_time <= horizon
+
+    def test_truncate_below_support_moves_everything_to_tail(self):
+        p = PMF.from_dict({10: 0.5, 12: 0.5}, tail=0.25)
+        t = p.truncate(5.0)
+        assert t.support_size == 0
+        assert t.tail == pytest.approx(1.25)
+
+    def test_truncate_is_identity_when_within_horizon(self):
+        p = PMF.from_dict({1: 0.5, 2: 0.5})
+        assert p.truncate(100.0) is p
+
+    def test_convolve_tail_absorbs(self):
+        a = PMF.from_dict({1: 0.9}, tail=0.1)
+        b = PMF.from_dict({2: 0.8}, tail=0.2)
+        c = a.convolve(b)
+        # P(both finite) lands on the grid; everything else is tail.
+        assert c.finite_mass == pytest.approx(0.72)
+        assert c.tail == pytest.approx(1.0 - 0.72)
+        assert c.total_mass == pytest.approx(1.0)
+
+    def test_max_support_overflow_folds_into_tail(self):
+        a = PMF(np.full(100, 0.01))
+        b = PMF(np.full(100, 0.01))
+        c = a.convolve(b, max_support=50)
+        assert c.support_size <= 50
+        assert c.total_mass == pytest.approx(1.0)
+        assert c.tail > 0.0
+
+
+class TestConditionOnGridPoint:
+    def test_condition_exactly_on_support_point_keeps_it(self):
+        p = PMF.from_dict({4: 0.5, 8: 0.5})
+        c = p.condition_at_least(4.0)
+        # X >= 4 keeps the mass at 4 itself.
+        assert c.min_time == 4.0
+        assert c.probs[0] == pytest.approx(0.5)
+        assert c.total_mass == pytest.approx(1.0)
+
+    def test_condition_epsilon_past_grid_point_drops_it(self):
+        p = PMF.from_dict({4: 0.5, 8: 0.5})
+        c = p.condition_at_least(4.0 + 1e-9)
+        assert c.min_time == 8.0
+        assert c.probs[0] == pytest.approx(1.0)
+
+    def test_condition_past_support_collapses_to_delta(self):
+        p = PMF.from_dict({4: 1.0})
+        c = p.condition_at_least(9.0)
+        assert c.support_size == 1
+        assert c.min_time == 9.0
+
+    def test_condition_renormalizes_with_tail(self):
+        p = PMF.from_dict({4: 0.25, 8: 0.25}, tail=0.5)
+        c = p.condition_at_least(5.0)
+        assert c.cdf_at(8.0) == pytest.approx(0.25 / 0.75)
+        assert c.tail == pytest.approx(0.5 / 0.75)
+
+
+class TestBatchCdf:
+    def test_matches_pointwise(self):
+        rng = np.random.default_rng(11)
+        pmfs = [PMF.from_samples(rng.gamma(3.0, s, size=200)) for s in (1.0, 2.0, 5.0)]
+        pmfs.append(PMF.from_dict({}, tail=1.0))  # empty finite support
+        pmfs.append(PMF.delta(7.0).shift(0.5))
+        times = [4.0, 3.5, 100.0, 2.0, 7.5]
+        got = batch_cdf_at(pmfs, times)
+        for pmf, t, g in zip(pmfs, times, got):
+            assert g == pmf.cdf_at(t)
+
+    def test_scalar_time_broadcasts(self):
+        pmfs = [PMF.delta(1.0), PMF.delta(2.0), PMF.delta(3.0)]
+        got = batch_cdf_at(pmfs, 2.0)
+        assert got.tolist() == [1.0, 1.0, 0.0]
+
+    def test_empty_batch(self):
+        assert batch_cdf_at([], []).shape == (0,)
+
+    def test_before_support_is_zero(self):
+        got = batch_cdf_at([PMF.from_dict({5: 1.0})], [4.999])
+        assert got[0] == 0.0

@@ -171,8 +171,25 @@ class TestMemoization:
         est.availability_pct(cluster[0], 0.0)
         assert est.cache_misses > misses
 
-    def test_now_change_invalidates(self, det_env):
+    def test_now_change_reanchors_without_reconvolving(self, det_env):
+        """Advancing the clock must NOT throw the chain away: the prefix
+        cache re-anchors via offset fix-up, costing zero convolutions."""
         _, cluster, sim, est = det_env
+        put(cluster, sim, 0, 0)
+        put(cluster, sim, 0, 1)
+        est.availability_pct(cluster[0], 0.0)
+        convs = est.convolutions
+        pct = est.availability_pct(cluster[0], 1.0)
+        assert est.convolutions == convs
+        # Values still match a from-scratch estimator at the new time.
+        fresh = CompletionEstimator(est.model, memoize=False)
+        assert pct.allclose(fresh.availability_pct(cluster[0], 1.0), atol=0.0)
+
+    def test_now_change_invalidates_keyed_mode(self, det_env):
+        """The legacy keyed mode keeps the seed behavior: any clock tick
+        is a cache miss."""
+        pet, cluster, sim, _ = det_env
+        est = CompletionEstimator(pet, memoize="keyed")
         put(cluster, sim, 0, 0)
         est.availability_pct(cluster[0], 0.0)
         misses = est.cache_misses
@@ -206,18 +223,40 @@ class TestMemoization:
         )
 
     def test_cache_capacity_bounds_memory(self, det_env):
+        """Keyed caches are real LRUs: bounded size, one eviction per
+        insert once full (not the old clear-everything policy)."""
         pet, cluster, sim, _ = det_env
-        est = CompletionEstimator(pet, cache_capacity=4)
+        est = CompletionEstimator(pet, memoize="keyed", cache_capacity=4)
         put(cluster, sim, 0, 0)
         for now in range(20):
             est.availability_pct(cluster[0], float(now))
         assert len(est._chain_cache) <= 4
+        assert est._chain_cache.evictions >= 16
+
+    def test_lru_evicts_coldest_not_everything(self, det_env):
+        pet, _, _, _ = det_env
+        from repro.system.completion import LRUCache
+
+        lru = LRUCache(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.get("a") == 1  # refresh "a"; "b" is now coldest
+        lru.put("c", 3)
+        assert "b" not in lru and "a" in lru and "c" in lru
+        assert lru.evictions == 1
 
     def test_cache_stats(self, det_env):
         _, cluster, _, est = det_env
         est.availability_pct(cluster[0], 0.0)
         stats = est.cache_stats()
-        assert set(stats) == {"hits", "misses"}
+        assert set(stats) == {
+            "hits",
+            "misses",
+            "invalidations",
+            "evictions",
+            "convolutions",
+            "convolutions_avoided",
+        }
 
 
 class TestValidation:

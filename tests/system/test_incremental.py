@@ -1,0 +1,270 @@
+"""The incremental estimation layer against the from-scratch reference.
+
+The prefix-convolution cache must be *invisible*: every chance of
+success it reports has to be exactly what a full Eq. 1 reconvolution
+would produce, no matter how the machine queues mutate or time advances.
+These tests drive real simulations and hand-built scenarios, comparing
+the incremental estimator against ``memoize=False`` references with
+strict equality (not approx) — the cache replays identical float
+operations, so the values must match bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PruningConfig
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.task import Task
+from repro.stochastic.pet import PETMatrix, generate_pet_matrix
+from repro.stochastic.pmf import PMF
+from repro.system.completion import CompletionEstimator
+from repro.system.serverless import ServerlessSystem
+from repro.workload import WorkloadSpec, generate_workload
+
+
+def put(cluster, sim, machine_id, i, ttype=0, duration=10.0, deadline=1000.0):
+    t = Task(task_id=i, task_type=ttype, arrival=0.0, deadline=deadline)
+    t.mark_mapped(machine_id, sim.now)
+    cluster[machine_id].dispatch(t, sim, lambda *a: duration, lambda *a: None)
+    return t
+
+
+@pytest.fixture
+def pet():
+    """2 task types × 2 machines with non-trivial stochastic supports."""
+    return generate_pet_matrix(2, 2, seed=42, mean_range=(4.0, 9.0), samples_per_cell=150)
+
+
+def assert_chains_equal(est_inc, est_ref, cluster, now):
+    for machine in cluster.machines:
+        a = est_inc._pct_chain(machine, now)
+        b = est_ref._pct_chain(machine, now)
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert x.offset == y.offset
+            assert x.tail == y.tail
+            assert np.array_equal(x.probs, y.probs)
+
+
+class TestExactEquivalence:
+    def test_mutation_sequence_matches_reference(self, pet):
+        """Enqueues, drops, time advance, starts: every step bit-exact."""
+        cluster = Cluster.heterogeneous(2)
+        sim = Simulator()
+        inc = CompletionEstimator(pet, memoize=True)
+        ref = CompletionEstimator(pet, memoize=False)
+
+        tasks = [put(cluster, sim, 0, i, ttype=i % 2) for i in range(5)]
+        assert_chains_equal(inc, ref, cluster, 0.0)
+        # Time advances: re-anchor, no reconvolution...
+        assert_chains_equal(inc, ref, cluster, 0.7)
+        assert_chains_equal(inc, ref, cluster, 3.3)
+        # ...mid-queue drop: suffix reconvolved.
+        cluster[0].remove(tasks[2])
+        assert_chains_equal(inc, ref, cluster, 3.3)
+        # ...enqueue: one-step extension.
+        put(cluster, sim, 0, 99, ttype=1)
+        assert_chains_equal(inc, ref, cluster, 4.1)
+        # ...batch removal.
+        cluster[0].remove_many([tasks[1], tasks[4]])
+        assert_chains_equal(inc, ref, cluster, 5.9)
+
+    def test_full_simulation_outcomes_identical(self, pet):
+        """End-to-end: incremental / keyed / uncached runs are identical."""
+        spec = WorkloadSpec(num_tasks=150, time_span=80.0, num_task_types=2)
+
+        def run(mode):
+            tasks = generate_workload(spec, pet, np.random.default_rng(5))
+            system = ServerlessSystem(
+                pet, "MM", pruning=PruningConfig.paper_default(), memoize=mode, seed=9
+            )
+            system.run(tasks)
+            r = system.result()
+            return (r.on_time, r.late, r.dropped_missed, r.dropped_proactive,
+                    r.defer_decisions, r.makespan)
+
+        assert run(True) == run("keyed") == run(False)
+
+    def test_chances_identical_at_every_event(self, pet):
+        """Shadow estimator: at every task event of a live simulation the
+        incremental chances equal an uncached estimator's, exactly."""
+        spec = WorkloadSpec(num_tasks=60, time_span=40.0, num_task_types=2)
+        tasks = generate_workload(spec, pet, np.random.default_rng(8))
+        ref = CompletionEstimator(pet, memoize=False)
+        checked = {"n": 0}
+
+        def observer(event, task, now):
+            est = system.estimator
+            for machine in system.cluster.machines:
+                got = est.queue_chances(machine, now)
+                want = ref.queue_chances(machine, now)
+                assert [c for _, c in got] == [c for _, c in want]
+            probe = Task(task_id=10_000, task_type=0, arrival=now, deadline=now + 15.0)
+            grid = est.chances_for([probe], system.cluster.machines, now)
+            for j, machine in enumerate(system.cluster.machines):
+                assert grid[0, j] == ref.chance_of_success(probe, machine, now)
+            checked["n"] += 1
+
+        system = ServerlessSystem(
+            pet, "MM", pruning=PruningConfig.paper_default(), seed=3, observer=observer
+        )
+        system.run(tasks)
+        assert checked["n"] > 50
+
+
+class TestIncrementalInvalidations:
+    def test_enqueue_costs_one_convolution(self, pet):
+        cluster = Cluster.heterogeneous(1)
+        sim = Simulator()
+        est = CompletionEstimator(pet)
+        for i in range(4):
+            put(cluster, sim, 0, i)
+        est.availability_pct(cluster[0], 0.0)
+        convs = est.convolutions
+        put(cluster, sim, 0, 99)
+        est.availability_pct(cluster[0], 0.0)
+        assert est.convolutions == convs + 1
+
+    def test_mid_queue_drop_reconvolves_only_suffix(self, pet):
+        cluster = Cluster.heterogeneous(1)
+        sim = Simulator()
+        est = CompletionEstimator(pet)
+        tasks = [put(cluster, sim, 0, i) for i in range(6)]
+        est.availability_pct(cluster[0], 0.0)  # queue: tasks 1..5
+        convs = est.convolutions
+        cluster[0].remove(tasks[3])  # queue index 2 of 5
+        est.availability_pct(cluster[0], 0.0)
+        # entries behind the dropped task: positions 2, 3 (4 queued left)
+        assert est.convolutions == convs + 2
+
+    def test_untouched_machine_is_pure_hit_across_time(self, pet):
+        """While the running task's conditioning cut is unchanged (PET
+        offsets are >= 1, so nothing is ruled out before now=1), a clock
+        tick re-anchors the chain without any convolution."""
+        cluster = Cluster.heterogeneous(2)
+        sim = Simulator()
+        est = CompletionEstimator(pet)
+        for i in range(3):
+            put(cluster, sim, 0, i)
+        est.availability_pct(cluster[0], 0.0)
+        convs, hits = est.convolutions, est.cache_hits
+        est.availability_pct(cluster[0], 0.9)
+        assert est.convolutions == convs
+        assert est.cache_hits > hits
+
+    def test_conditioning_cross_rebuilds_and_matches(self, pet):
+        """Once `now` rules out early completions of the running task, the
+        base genuinely changes; the rebuild must match the reference."""
+        cluster = Cluster.heterogeneous(2)
+        sim = Simulator()
+        est = CompletionEstimator(pet)
+        for i in range(3):
+            put(cluster, sim, 0, i)
+        est.availability_pct(cluster[0], 0.0)
+        ref = CompletionEstimator(pet, memoize=False)
+        assert_chains_equal(est, ref, cluster, 6.0)
+
+    def test_defer_check_promotes_into_chain(self, pet):
+        """pct_for_new immediately followed by a dispatch of that type
+        reuses the product as the chain extension (no extra convolution)."""
+        cluster = Cluster.heterogeneous(1)
+        sim = Simulator()
+        est = CompletionEstimator(pet)
+        put(cluster, sim, 0, 0)  # running
+        put(cluster, sim, 0, 1)  # queued, keeps machine busy
+        est.pct_for_new(0, cluster[0], 0.0)
+        convs = est.convolutions
+        put(cluster, sim, 0, 2, ttype=0)  # enqueue same type at same now
+        est.availability_pct(cluster[0], 0.0)
+        assert est.convolutions == convs  # promotion, not reconvolution
+        # and the promoted chain matches the reference exactly
+        ref = CompletionEstimator(pet, memoize=False)
+        assert_chains_equal(est, ref, cluster, 0.0)
+
+    def test_empty_queue_chain(self, pet):
+        """Empty-queue machines: trivial chains, batched queries included."""
+        cluster = Cluster.heterogeneous(2)
+        sim = Simulator()
+        est = CompletionEstimator(pet)
+        # Idle machine: chain is a single delta at `now`.
+        chain = est._pct_chain(cluster[0], 5.0)
+        assert len(chain) == 1
+        assert chain[0].support_size == 1 and chain[0].min_time == 5.0
+        assert est.queue_chances(cluster[0], 5.0) == []
+        # Running task, empty queue.
+        put(cluster, sim, 1, 0)
+        chain = est._pct_chain(cluster[1], 0.0)
+        assert len(chain) == 1
+        assert est.queue_chances(cluster[1], 0.0) == []
+        # Batched grid over both still answers (uses pct_for_new).
+        probe = Task(task_id=1, task_type=0, arrival=0.0, deadline=30.0)
+        grid = est.chances_for([probe], cluster.machines, 0.0)
+        assert grid.shape == (1, 2)
+        ref = CompletionEstimator(pet, memoize=False)
+        for j, m in enumerate(cluster.machines):
+            assert grid[0, j] == ref.chance_of_success(probe, m, 0.0)
+
+
+class TestBatchedQueries:
+    def test_pairs_match_pointwise(self, pet):
+        cluster = Cluster.heterogeneous(2)
+        sim = Simulator()
+        est = CompletionEstimator(pet)
+        put(cluster, sim, 0, 0)
+        put(cluster, sim, 1, 1, ttype=1)
+        probes = [
+            Task(task_id=10 + k, task_type=k % 2, arrival=0.0, deadline=8.0 + 3 * k)
+            for k in range(4)
+        ]
+        pairs = [(t, cluster.machines[k % 2]) for k, t in enumerate(probes)]
+        got = est.chances_for_pairs(pairs, 1.0)
+        ref = CompletionEstimator(pet, memoize=False)
+        for g, (t, m) in zip(got, pairs):
+            assert g == ref.chance_of_success(t, m, 1.0)
+
+    def test_grid_shape_and_type_sharing(self, pet):
+        cluster = Cluster.heterogeneous(2)
+        est = CompletionEstimator(pet)
+        probes = [
+            Task(task_id=k, task_type=0, arrival=0.0, deadline=10.0 + k) for k in range(3)
+        ]
+        convs_before = est.convolutions + est.convolutions_avoided
+        grid = est.chances_for(probes, cluster.machines, 0.0)
+        assert grid.shape == (3, 2)
+        # Same type on the same machine shares one availability ⊛ PET
+        # product: 2 machines -> at most 2 products for 6 cells.
+        assert (est.convolutions + est.convolutions_avoided) - convs_before >= 2
+        assert est.cache_hits >= 4
+
+
+class TestModesAndStats:
+    def test_invalid_memoize_mode_rejected(self, pet):
+        with pytest.raises(ValueError):
+            CompletionEstimator(pet, memoize="turbo")
+
+    def test_memoize_strings_accepted(self, pet):
+        assert CompletionEstimator(pet, memoize="incremental").memoize
+        assert CompletionEstimator(pet, memoize="keyed").memoize
+        assert not CompletionEstimator(pet, memoize=False).memoize
+
+    def test_invalidation_counter_moves(self, pet):
+        cluster = Cluster.heterogeneous(1)
+        sim = Simulator()
+        est = CompletionEstimator(pet)
+        put(cluster, sim, 0, 0)
+        est.availability_pct(cluster[0], 0.0)  # subscribes
+        inv = est.invalidations
+        put(cluster, sim, 0, 1)
+        assert est.invalidations > inv
+
+    def test_result_carries_estimator_stats(self, pet):
+        spec = WorkloadSpec(num_tasks=40, time_span=30.0, num_task_types=2)
+        tasks = generate_workload(spec, pet, np.random.default_rng(2))
+        system = ServerlessSystem(pet, "MM", pruning=PruningConfig.paper_default(), seed=1)
+        result = system.run(tasks)
+        stats = result.estimator_stats
+        assert stats["hits"] > 0
+        assert stats["convolutions"] > 0
+        assert stats["convolutions_avoided"] > 0
+        assert stats["invalidations"] > 0
