@@ -1,0 +1,112 @@
+"""Campaign-orchestration benches: sharded figure regeneration + cache.
+
+Measures the acceptance scenario of the campaign subsystem on the Fig.
+7b grid (9 cells × N trials):
+
+* **sequential** — one process, no cache (the pre-campaign baseline);
+* **parallel** — ``--jobs``-style sharding of every (cell, trial) pair
+  across a process pool, writing the result cache;
+* **warm** — an immediate re-run served entirely from the cache.
+
+Emits ``BENCH_campaign.json`` next to this file with the wall-clock
+series, the measured speedup, and the cache hit counts; CI archives it
+so the orchestration layer's perf trajectory is tracked PR over PR.
+The parallel run must be bit-identical to the sequential one on every
+machine; the ≥2× speedup is asserted only where it is physically
+possible (≥4 cores — the acceptance criterion's environment).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.experiments.scenarios import fig7b
+from repro.experiments.campaign import ResultCache
+
+CAMPAIGN_JSON = Path(__file__).resolve().parent / "BENCH_campaign.json"
+
+#: Trials per cell — the acceptance run uses 10; the default keeps the
+#: bench in CI-friendly territory while still giving the pool 27 shards.
+CAMPAIGN_TRIALS = int(os.environ.get("BENCH_CAMPAIGN_TRIALS", "3"))
+
+#: Worker processes for the parallel leg (the acceptance run's ``--jobs 4``).
+CAMPAIGN_JOBS = int(os.environ.get("BENCH_CAMPAIGN_JOBS", "4"))
+
+#: ``BENCH_CAMPAIGN_STRICT=0`` records the speedup without gating on it —
+#: for shared CI runners where a few-second workload is noise-sensitive.
+#: The identity and cache-effectiveness asserts always apply.
+CAMPAIGN_STRICT = os.environ.get("BENCH_CAMPAIGN_STRICT", "1") != "0"
+
+
+def _fig7b(**kwargs):
+    return fig7b(
+        trials=CAMPAIGN_TRIALS, base_seed=BENCH_SEED, scale=BENCH_SCALE, **kwargs
+    )
+
+
+def test_campaign_sharding(tmp_path, show):
+    """fig7b sequentially, sharded (jobs=N), and cache-warm."""
+    t0 = time.perf_counter()
+    sequential = _fig7b()
+    sequential_s = time.perf_counter() - t0
+
+    cache = ResultCache(tmp_path / "cache")
+    t0 = time.perf_counter()
+    parallel = _fig7b(jobs=CAMPAIGN_JOBS, cache=cache)
+    parallel_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = _fig7b(jobs=CAMPAIGN_JOBS, cache=cache)
+    warm_s = time.perf_counter() - t0
+
+    # Identical metrics in all three modes — per-trial, not just means.
+    for r in sequential.rows:
+        for c in sequential.cols:
+            assert sequential.get(r, c).per_trial_pct == parallel.get(r, c).per_trial_pct
+            assert sequential.get(r, c).per_trial_pct == warm.get(r, c).per_trial_pct
+
+    total_trials = len(sequential.rows) * len(sequential.cols) * CAMPAIGN_TRIALS
+    assert cache.stats() == {"hits": total_trials, "misses": total_trials}
+
+    cores = os.cpu_count() or 1
+    speedup = sequential_s / parallel_s if parallel_s > 0 else float("inf")
+    warm_fraction = warm_s / sequential_s if sequential_s > 0 else 0.0
+    payload = {
+        "benchmark": "campaign-sharding",
+        "workload": {
+            "figure": "fig7b",
+            "scale": BENCH_SCALE,
+            "trials": CAMPAIGN_TRIALS,
+            "cells": len(sequential.rows) * len(sequential.cols),
+            "total_trials": total_trials,
+        },
+        "cpu_count": cores,
+        "jobs": CAMPAIGN_JOBS,
+        "sequential_s": sequential_s,
+        "parallel_s": parallel_s,
+        "speedup_parallel_over_sequential": speedup,
+        "warm_s": warm_s,
+        "warm_fraction_of_sequential": warm_fraction,
+        "cache": cache.stats(),
+        "identical_metrics": True,
+    }
+    CAMPAIGN_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    show(
+        f"campaign fig7b ({total_trials} trials): sequential {sequential_s:.1f}s | "
+        f"jobs={CAMPAIGN_JOBS} {parallel_s:.1f}s ({speedup:.2f}x, {cores} cores) | "
+        f"cache-warm {warm_s:.2f}s ({warm_fraction:.1%}) "
+        f"(JSON: {CAMPAIGN_JSON.name})"
+    )
+
+    # The cache must make re-runs nearly free everywhere.
+    assert warm_fraction < 0.25, (
+        f"warm re-run took {warm_fraction:.1%} of the cold run — cache not effective"
+    )
+    # The sharding speedup needs real cores to show up.
+    if cores >= 4 and CAMPAIGN_STRICT:
+        assert speedup >= 2.0, (
+            f"jobs={CAMPAIGN_JOBS} speedup {speedup:.2f}x < 2x on {cores} cores"
+        )

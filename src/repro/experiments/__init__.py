@@ -1,6 +1,25 @@
-"""Experiment harness (§V): per-figure scenarios, trial runner, CLI."""
+"""Experiment harness (§V): scenarios, trial runner, campaigns, CLI.
 
-from .report import FigureResult
+* :mod:`~repro.experiments.runner` — seeded single-cell trial execution;
+* :mod:`~repro.experiments.scenarios` — the paper's per-figure grids;
+* :mod:`~repro.experiments.campaign` — declarative sweep grids sharded
+  across a process pool with an on-disk result cache;
+* :mod:`~repro.experiments.report` — figure grids and campaign
+  summaries (text / JSON / CSV);
+* :mod:`~repro.experiments.cli` — ``python -m repro.experiments``.
+"""
+
+from .campaign import (
+    PRESETS,
+    Campaign,
+    CampaignCell,
+    ResultCache,
+    SweepGrid,
+    run_cell_trials,
+    run_cells,
+    trial_key,
+)
+from .report import CampaignRow, CampaignSummary, FigureResult
 from .runner import PET_SEED, ExperimentConfig, pet_matrix, run_experiment, run_trial
 from .scenarios import (
     ALL_FIGURES,
@@ -18,11 +37,21 @@ from .scenarios import (
 
 __all__ = [
     "FigureResult",
+    "CampaignRow",
+    "CampaignSummary",
     "ExperimentConfig",
     "run_trial",
     "run_experiment",
     "pet_matrix",
     "PET_SEED",
+    "Campaign",
+    "CampaignCell",
+    "SweepGrid",
+    "ResultCache",
+    "run_cells",
+    "run_cell_trials",
+    "trial_key",
+    "PRESETS",
     "LEVELS",
     "BASE_TIME_SPAN",
     "level_spec",

@@ -1,0 +1,832 @@
+"""Campaign orchestration: declarative sweeps, sharded across processes.
+
+The paper's evaluation is a *campaign*: dozens of (heuristic × pruning ×
+workload) cells, each averaged over 30 independent workload trials
+(§V-A, run on the LONI Queen Bee 2 cluster).  This module is the local
+equivalent — it turns a declarative :class:`SweepGrid` into experiment
+cells, shards the (cell, trial) pairs across a process pool, and caches
+every trial result on disk so interrupted or repeated campaigns resume
+instead of recomputing.
+
+Three guarantees, enforced by ``tests/experiments/test_campaign.py``:
+
+* **Seeding is preserved bit-for-bit.**  A trial's outcome depends only
+  on its :class:`~repro.experiments.runner.ExperimentConfig` and trial
+  index — :func:`~repro.experiments.runner.run_trial` derives every
+  random stream from ``(base_seed, trial)`` and rebuilds the shared PET
+  matrix deterministically from ``PET_SEED`` inside each worker — so
+  ``jobs=8`` produces *identical* per-trial results to a serial run, in
+  any completion order.
+* **The cache is content-addressed.**  Keys are a
+  :func:`~repro.sim.rng.fingerprint` of the full (config, seed, trial)
+  payload plus schema/version stamps and a digest of the ``repro``
+  source tree; any parameter *or code* change misses, any exact re-run
+  hits.
+* **Aggregation is order-independent.**  Per-cell statistics are always
+  computed over trials in index order, regardless of which worker
+  finished first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import shutil
+import time
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+import numpy
+import scipy
+
+from .. import __version__
+from ..core.config import PruningConfig, ToggleMode
+from ..metrics.collector import SimulationResult
+from ..metrics.robustness import AggregateStats, aggregate_robustness
+from ..sim.rng import fingerprint
+from ..workload.spec import ArrivalPattern, WorkloadSpec
+from .report import CampaignRow, CampaignSummary
+from .runner import ExperimentConfig, run_trial
+
+__all__ = [
+    "SweepGrid",
+    "Campaign",
+    "CampaignCell",
+    "ResultCache",
+    "run_cells",
+    "run_cell_trials",
+    "trial_key",
+    "PRESETS",
+    "DEFAULT_CACHE_DIR",
+    "CACHE_SCHEMA",
+]
+
+#: Bump on cache *format* changes (key payload / entry layout).  Code
+#: edits need no bump: a digest of the source tree is part of every key.
+CACHE_SCHEMA = 1
+
+#: Project-local default cache directory used by the CLI.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: A ``*.tmp*`` cache file older than this is an orphan of a killed
+#: write (live ones exist only for the instant before ``os.replace``).
+TMP_MAX_AGE_S = 3600.0
+
+
+# ======================================================================
+# Result cache
+# ======================================================================
+_CODE_FINGERPRINT: str | None = None
+
+
+def _code_fingerprint() -> str:
+    """Digest of every ``repro`` source file (computed once per process).
+
+    Folding this into cache keys means editing any simulation code
+    automatically invalidates prior cached trials — no stale figure can
+    be served after a behavior change.  ``CACHE_SCHEMA`` remains for
+    deliberate format bumps.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+            digest.update(path.read_bytes())
+        _CODE_FINGERPRINT = digest.hexdigest()[:16]
+    return _CODE_FINGERPRINT
+
+
+def _provenance() -> dict:
+    """What besides the config determines a trial's outcome: the cache
+    schema, the package version, the source tree, and the dependencies
+    whose RNG bit-streams back the simulation (numpy Generator streams
+    may change between feature releases; scipy backs the aggregation).
+    Any of these changing must miss rather than replay results the
+    current environment no longer reproduces."""
+    return {
+        "schema": CACHE_SCHEMA,
+        "repro": __version__,
+        "code": _code_fingerprint(),
+        "deps": {"numpy": numpy.__version__, "scipy": scipy.__version__},
+    }
+
+
+def _config_payload(config: ExperimentConfig) -> dict:
+    """Canonical, JSON-stable description of one experimental cell.
+
+    Everything that can change a trial's outcome is in here; the display
+    ``label`` and the cell's ``trials`` count (trial identity is carried
+    separately) are deliberately not.
+    """
+    spec = asdict(config.spec)
+    spec["pattern"] = config.spec.pattern.value
+    pruning = None
+    if config.pruning is not None:
+        pruning = asdict(config.pruning)
+        pruning["toggle_mode"] = config.pruning.toggle_mode.value
+    return {
+        **_provenance(),
+        "heuristic": config.heuristic,
+        "spec": spec,
+        "pruning": pruning,
+        "heterogeneity": config.heterogeneity,
+        "base_seed": config.base_seed,
+    }
+
+
+def trial_key(config: ExperimentConfig, trial: int) -> str:
+    """Content-addressed cache key of one (cell, trial) pair."""
+    return fingerprint({"cell": _config_payload(config), "trial": trial}, length=32)
+
+
+class ResultCache:
+    """On-disk store of per-trial :class:`SimulationResult` records.
+
+    Entries live in one subdirectory per *provenance* (code +
+    dependency + schema fingerprint) with one JSON file per trial,
+    named by :func:`trial_key` — so the entries another code version
+    wrote are segregated, not mixed in, and :meth:`prune_stale` can age
+    whole obsolete versions out by directory without touching a cache a
+    parallel branch/worktree is still using.  Writes go through a temp
+    file + :func:`os.replace` so a killed campaign never leaves a
+    truncated entry; unreadable entries are treated as misses and
+    overwritten.
+    """
+
+    #: Shapes of the paths this cache creates — pruning only ever
+    #: touches names matching these, so pointing ``--cache-dir`` at a
+    #: directory with other content cannot destroy it.
+    _DIR_RE = re.compile(r"[0-9a-f]{16}")
+    _TMP_RE = re.compile(r"[0-9a-f]{32}\.tmp\d+")
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self._touched = False
+
+    @property
+    def current_dir(self) -> Path:
+        """Entry directory of the current code/dependency provenance."""
+        return self.root / fingerprint(_provenance(), length=16)
+
+    def path_for(self, config: ExperimentConfig, trial: int) -> Path:
+        return self.current_dir / f"{trial_key(config, trial)}.json"
+
+    def get(self, config: ExperimentConfig, trial: int) -> Optional[SimulationResult]:
+        path = self.path_for(config, trial)
+        try:
+            payload = json.loads(path.read_text())
+            result = SimulationResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        if not self._touched:
+            # Reads don't move the directory mtime on their own; mark
+            # the provenance as in-use so an all-hits warm cache is not
+            # aged out by prune_stale.
+            self._touched = True
+            try:
+                os.utime(path.parent)
+            except OSError:
+                pass
+        return result
+
+    def put(self, config: ExperimentConfig, trial: int, result: SimulationResult) -> None:
+        path = self.path_for(config, trial)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "cell": _config_payload(config),
+            "trial": trial,
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def prune_stale(self, max_age_days: float = 7.0) -> int:
+        """Age out entries of other code/dependency versions; returns
+        the number of paths removed.
+
+        Every source edit or dependency upgrade starts a fresh
+        provenance subdirectory, so without pruning the default cache
+        would grow monotonically during iterative development.  A
+        subdirectory of a *different* provenance is removed once
+        untouched for ``max_age_days`` — recent ones survive, so
+        switching between two active branches does not destroy either
+        branch's warm cache.  Orphaned ``*.tmp*`` files from killed
+        writes are removed once stale by :data:`TMP_MAX_AGE_S` — never
+        younger, because a concurrent campaign's in-flight atomic write
+        owns its tmp file for the instant before ``os.replace``.  The
+        CLI prunes on every cache-enabled run.
+        """
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        now = time.time()
+        cutoff = now - max_age_days * 86400.0
+        tmp_cutoff = now - TMP_MAX_AGE_S
+        current = self.current_dir.name
+
+        def _reap_tmp(candidates) -> int:
+            reaped = 0
+            for tmp in candidates:
+                if (
+                    self._TMP_RE.fullmatch(tmp.name)
+                    and tmp.is_file()
+                    and tmp.stat().st_mtime < tmp_cutoff
+                ):
+                    tmp.unlink()
+                    reaped += 1
+            return reaped
+
+        for path in self.root.iterdir():
+            try:
+                # Only names this cache itself creates are eligible —
+                # an unrelated directory handed in as --cache-dir is
+                # left alone.
+                if path.is_dir() and self._DIR_RE.fullmatch(path.name):
+                    # Read the mtime first: reaping a tmp file below
+                    # refreshes it, which would grant a dead directory
+                    # another full age period.
+                    dir_mtime = path.stat().st_mtime
+                    removed += _reap_tmp(path.glob("*.tmp*"))
+                    if path.name != current and dir_mtime < cutoff:
+                        shutil.rmtree(path)
+                        removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache({str(self.root)!r}, hits={self.hits}, misses={self.misses})"
+
+
+# ======================================================================
+# Sharded trial executor
+# ======================================================================
+def run_cell_trials(
+    configs: Sequence[ExperimentConfig],
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> list[list[SimulationResult]]:
+    """Run every trial of every cell; returns per-cell trial lists.
+
+    Cache lookups happen first; only missing (cell, trial) pairs are
+    executed.  With ``jobs > 1`` the misses are sharded across a
+    :class:`~concurrent.futures.ProcessPoolExecutor` — trials are
+    independently seeded, so results are identical to a serial run.
+    Each result is written to the cache the moment its worker finishes,
+    which is what lets an interrupted campaign resume.
+    """
+    configs = list(configs)
+    results: dict[tuple[int, int], SimulationResult] = {}
+    todo: list[tuple[int, int]] = []
+    for ci, cfg in enumerate(configs):
+        for t in range(cfg.trials):
+            hit = cache.get(cfg, t) if cache is not None else None
+            if hit is not None:
+                results[ci, t] = hit
+            else:
+                todo.append((ci, t))
+
+    if jobs is not None and jobs > 1 and len(todo) > 1:
+        first_error: BaseException | None = None
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(run_trial, configs[ci], t): (ci, t) for ci, t in todo
+            }
+            try:
+                for future in as_completed(futures):
+                    ci, t = futures[future]
+                    # A failing trial must not discard its siblings:
+                    # every completed result is cached before the error
+                    # is allowed to propagate, so a resumed campaign
+                    # re-runs only the genuinely missing trials.
+                    try:
+                        results[ci, t] = future.result()
+                    except Exception as exc:
+                        if cache is None:
+                            # Nothing preserves the siblings' work —
+                            # fail fast rather than compute results
+                            # that will be discarded anyway.
+                            raise
+                        if first_error is None:
+                            first_error = exc
+                        continue
+                    if cache is not None:
+                        cache.put(configs[ci], t, results[ci, t])
+            except BaseException:
+                # Interrupt or cache-write failure: drop the queued
+                # trials instead of running them only to discard them.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+        if first_error is not None:
+            raise first_error
+    else:
+        for ci, t in todo:
+            results[ci, t] = run_trial(configs[ci], t)
+            if cache is not None:
+                cache.put(configs[ci], t, results[ci, t])
+
+    return [
+        [results[ci, t] for t in range(cfg.trials)] for ci, cfg in enumerate(configs)
+    ]
+
+
+def run_cells(
+    configs: Sequence[ExperimentConfig],
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> list[AggregateStats]:
+    """Run and aggregate every cell (the figure scenarios' entry point)."""
+    return [
+        aggregate_robustness(trials)
+        for trials in run_cell_trials(configs, jobs=jobs, cache=cache)
+    ]
+
+
+# ======================================================================
+# Declarative sweep grids
+# ======================================================================
+def _strict_bool(value) -> bool:
+    """Only real booleans — ``bool("false")`` is True, which would
+    silently run the opposite configuration."""
+    if not isinstance(value, bool):
+        raise ValueError(f"expected true/false, got {value!r}")
+    return value
+
+
+def _resolve_pruning(entry) -> tuple[str, Optional[PruningConfig]]:
+    """Resolve one grid ``pruning`` entry to (label, config).
+
+    Accepted forms::
+
+        "none"                         baseline, no pruning mechanism
+        "paper"                        PruningConfig.paper_default()
+        "defer-only"                   Fig. 8 setting at the 50% threshold
+        "drop-only"                    Fig. 7 reactive-Toggle setting
+        {"threshold": 0.75,            fully explicit variant; every key
+         "toggle": "reactive",         is optional and defaults to the
+         "defer": true, "drop": true,  paper values; "label" overrides
+         "fairness": true,             the derived name
+         "label": "P75"}
+    """
+    if entry is None or entry == "none":
+        return "base", None
+    if entry == "paper":
+        return "P", PruningConfig.paper_default()
+    if entry == "defer-only":
+        return "D50", PruningConfig.defer_only()
+    if entry == "drop-only":
+        return "T", PruningConfig.drop_only()
+    if isinstance(entry, Mapping):
+        # Only keys actually present are passed through — the paper
+        # defaults live in PruningConfig alone, never duplicated here.
+        converters = {
+            "threshold": ("pruning_threshold", float),
+            "toggle": ("toggle_mode", ToggleMode),
+            "dropping_toggle": ("dropping_toggle", int),
+            "fairness_factor": ("fairness_factor", float),
+            "defer": ("enable_deferring", _strict_bool),
+            "drop": ("enable_dropping", _strict_bool),
+            "fairness": ("enable_fairness", _strict_bool),
+        }
+        allowed = set(converters) | {"label"}
+        unknown = set(entry) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown pruning keys {sorted(unknown)}; allowed: {sorted(allowed)}"
+            )
+        kwargs = {
+            field: convert(entry[key])
+            for key, (field, convert) in converters.items()
+            if key in entry
+        }
+        config = PruningConfig(**kwargs)
+        label = entry.get("label")
+        if not label:
+            label = f"P{int(round(config.pruning_threshold * 100))}"
+            if config.toggle_mode is not ToggleMode.REACTIVE:
+                label += f"-{config.toggle_mode.value}"
+            # Non-default switches must be visible, or two distinct
+            # variants would collide on the same derived label.
+            if not config.enable_deferring:
+                label += "-nodefer"
+            if not config.enable_dropping:
+                label += "-nodrop"
+            if not config.enable_fairness:
+                label += "-nofair"
+        return str(label), config
+    raise ValueError(f"unrecognized pruning entry: {entry!r}")
+
+
+def _resolve_level(entry, pattern: ArrivalPattern, scale: float) -> tuple[str, WorkloadSpec]:
+    """Resolve one grid ``levels`` entry to (name, WorkloadSpec).
+
+    A string names a predefined oversubscription level (``"15k"``,
+    ``"20k"``, ``"25k"`` — the paper's arrival-rate ratios); a mapping
+    specifies a custom workload (``num_tasks``/``time_span`` plus any
+    :class:`~repro.workload.spec.WorkloadSpec` field, and an optional
+    ``name``).
+    """
+    from .scenarios import level_spec  # deferred: scenarios imports this module
+
+    if isinstance(entry, str):
+        return entry, level_spec(entry, pattern, scale)
+    if isinstance(entry, Mapping):
+        fields = dict(entry)
+        allowed = set(WorkloadSpec.__dataclass_fields__) - {"pattern"} | {"name"}
+        unknown = set(fields) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown level keys {sorted(unknown)}; allowed: {sorted(allowed)}"
+            )
+        explicit_name = fields.pop("name", None)
+        fields.setdefault("num_tasks", 300)
+        fields.setdefault("time_span", 200.0)
+        # JSON producers emit 40 as 40.0; the count fields feed RNG
+        # stream names and cache keys, so 40.0 must mean exactly 40.
+        for key in ("num_tasks", "num_task_types", "num_spikes", "trim_edge_tasks"):
+            value = fields.get(key)
+            if isinstance(value, float):
+                if not value.is_integer():
+                    raise ValueError(f"level {key} must be an integer, got {value!r}")
+                fields[key] = int(value)
+        spec = WorkloadSpec(pattern=pattern, **fields).scaled(scale)
+        if "num_spikes" in fields and spec.num_spikes != fields["num_spikes"]:
+            # An explicitly pinned spike count survives scaling.
+            spec = spec.with_(num_spikes=fields["num_spikes"])
+        # Derived names use the post-scale count — it's what actually runs.
+        name = str(explicit_name) if explicit_name else f"{spec.num_tasks}t"
+        return name, spec
+    raise ValueError(f"unrecognized level entry: {entry!r}")
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A declarative parameter grid that expands to experiment cells.
+
+    The cross product of ``heuristics × levels × patterns ×
+    heterogeneity × pruning`` defines the campaign's cells; ``trials``,
+    ``base_seed`` and ``scale`` apply to every cell.  Grids are plain
+    data — build them in code, load them with :meth:`from_json`, or pick
+    a named :meth:`preset`.
+    """
+
+    name: str = "campaign"
+    heuristics: tuple = ("MM",)
+    levels: tuple = ("15k",)
+    patterns: tuple = ("spiky",)
+    heterogeneity: tuple = ("inconsistent",)
+    pruning: tuple = ("none", "paper")
+    trials: int = 10
+    base_seed: int = 42
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        for fname in ("heuristics", "levels", "patterns", "heterogeneity", "pruning"):
+            value = getattr(self, fname)
+            if isinstance(value, (str, Mapping)):
+                value = (value,)
+            try:
+                # Copy mapping entries so a caller mutating one afterwards
+                # (or a shared source like PRESETS) can't corrupt the grid.
+                value = tuple(dict(v) if isinstance(v, Mapping) else v for v in value)
+            except TypeError:
+                raise ValueError(
+                    f"{fname} must be a list of entries, got {value!r}"
+                ) from None
+            if not value:
+                raise ValueError(f"{fname} must not be empty")
+            object.__setattr__(self, fname, value)
+        # JSON producers don't distinguish 2 from 2.0 — coerce integral
+        # floats here so the mistake doesn't surface as an opaque
+        # TypeError deep in the executor.
+        for fname in ("trials", "base_seed"):
+            value = getattr(self, fname)
+            if not isinstance(value, int):
+                if isinstance(value, float) and value.is_integer():
+                    object.__setattr__(self, fname, int(value))
+                else:
+                    raise ValueError(f"{fname} must be an integer, got {value!r}")
+        if self.trials <= 0:
+            raise ValueError("trials must be positive")
+        if not isinstance(self.scale, (int, float)) or isinstance(self.scale, bool):
+            raise ValueError(f"scale must be a number, got {self.scale!r}")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        return (
+            len(self.heuristics)
+            * len(self.levels)
+            * len(self.patterns)
+            * len(self.heterogeneity)
+            * len(self.pruning)
+        )
+
+    @property
+    def total_trials(self) -> int:
+        return self.num_cells * self.trials
+
+    def expand(self) -> list["CampaignCell"]:
+        """The grid's cells, in deterministic cross-product order.
+
+        Every axis is validated here, so a typo'd grid fails before any
+        trial runs instead of mid-campaign inside a worker.
+        """
+        from ..heuristics import ALL_HEURISTICS
+
+        # Normalize to registry spelling: "mm" and "MM" are the same
+        # experiment and must share one cache identity and label.
+        heuristics = []
+        for name in self.heuristics:
+            key = str(name).upper().replace("_", "-")
+            if key not in ALL_HEURISTICS:
+                raise ValueError(
+                    f"unknown heuristic {name!r}; choose from {sorted(ALL_HEURISTICS)}"
+                )
+            heuristics.append(key)
+        kinds = ("inconsistent", "consistent", "homogeneous")
+        for kind in self.heterogeneity:
+            if kind not in kinds:
+                raise ValueError(
+                    f"unknown heterogeneity kind {kind!r}; choose from {list(kinds)}"
+                )
+        # Resolve each axis once — a level/pruning entry's meaning does
+        # not depend on the combination it lands in (levels only on
+        # pattern and scale).
+        pruning_variants = [_resolve_pruning(entry) for entry in self.pruning]
+        specs = {
+            (pattern_name, li): _resolve_level(
+                entry, ArrivalPattern(pattern_name), self.scale
+            )
+            for pattern_name in self.patterns
+            for li, entry in enumerate(self.levels)
+        }
+        cells: list[CampaignCell] = []
+        for heuristic in heuristics:
+            for li, _level_entry in enumerate(self.levels):
+                for pattern_name in self.patterns:
+                    pattern = ArrivalPattern(pattern_name)
+                    level, spec = specs[pattern_name, li]
+                    for het in self.heterogeneity:
+                        for plabel, pconfig in pruning_variants:
+                            label = f"{heuristic}/{plabel}@{level}/{pattern.value}/{het}"
+                            config = ExperimentConfig(
+                                heuristic=heuristic,
+                                spec=spec,
+                                pruning=pconfig,
+                                heterogeneity=het,
+                                trials=self.trials,
+                                base_seed=self.base_seed,
+                                label=label,
+                            )
+                            cells.append(
+                                CampaignCell(
+                                    config=config,
+                                    level=level,
+                                    pattern=pattern.value,
+                                    pruning_label=plabel,
+                                )
+                            )
+        _check_unique_labels(
+            cells,
+            "give the colliding pruning entries explicit 'label' keys "
+            "(or level entries explicit 'name' keys)",
+        )
+        return cells
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "heuristics": list(self.heuristics),
+            "levels": [
+                dict(lv) if isinstance(lv, Mapping) else lv for lv in self.levels
+            ],
+            "patterns": list(self.patterns),
+            "heterogeneity": list(self.heterogeneity),
+            "pruning": [
+                dict(p) if isinstance(p, Mapping) else p for p in self.pruning
+            ],
+            "trials": self.trials,
+            "base_seed": self.base_seed,
+            "scale": self.scale,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SweepGrid":
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"sweep grid must be a JSON object, got {type(payload).__name__}"
+            )
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown sweep-grid keys: {sorted(unknown)}")
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "SweepGrid":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise ValueError(f"cannot read grid file {path}: {exc}") from exc
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ValueError(f"grid file {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    @classmethod
+    def preset(cls, name: str) -> "SweepGrid":
+        """A named preset grid (see :data:`PRESETS`)."""
+        if name not in PRESETS:
+            raise KeyError(f"unknown preset {name!r}; choose from {sorted(PRESETS)}")
+        return cls.from_dict(PRESETS[name])
+
+    @classmethod
+    def load(cls, source: str | Path) -> "SweepGrid":
+        """Preset name or path to a grid JSON file — the CLI's resolver."""
+        if isinstance(source, str) and source in PRESETS:
+            return cls.preset(source)
+        path = Path(source)
+        if path.exists():
+            return cls.from_json(path)
+        raise ValueError(
+            f"{source!r} is neither a preset ({sorted(PRESETS)}) nor a grid file"
+        )
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One expanded grid cell: the runnable config plus its grid coordinates."""
+
+    config: ExperimentConfig
+    level: str
+    pattern: str
+    pruning_label: str
+
+
+def _check_unique_labels(cells: Sequence["CampaignCell"], hint: str) -> None:
+    """Summaries/CSV key on the label; colliding cells would be silently
+    indistinguishable downstream."""
+    counts = Counter(c.config.display_label for c in cells)
+    duplicates = sorted(label for label, n in counts.items() if n > 1)
+    if duplicates:
+        raise ValueError(f"duplicate cell labels {duplicates}; {hint}")
+
+
+# ======================================================================
+# The campaign itself
+# ======================================================================
+class Campaign:
+    """A set of experiment cells executed as one sharded, cached run.
+
+    Typical use::
+
+        grid = SweepGrid(heuristics=("MM", "MSD"), levels=("15k", "25k"))
+        summary = Campaign.from_grid(grid).run(jobs=8, cache=ResultCache(".repro_cache"))
+        print(summary.to_text())
+    """
+
+    def __init__(self, cells: Sequence[CampaignCell], *, name: str = "campaign") -> None:
+        self.cells = list(cells)
+        self.name = name
+
+    @classmethod
+    def from_grid(cls, grid: SweepGrid) -> "Campaign":
+        return cls(grid.expand(), name=grid.name)
+
+    @classmethod
+    def from_configs(
+        cls, configs: Sequence[ExperimentConfig], *, name: str = "campaign"
+    ) -> "Campaign":
+        """Wrap ad-hoc :class:`ExperimentConfig` s (grid coordinates are
+        derived from each config)."""
+        cells = [
+            CampaignCell(
+                config=c,
+                level=f"{c.spec.num_tasks}t",
+                pattern=c.spec.pattern.value,
+                pruning_label="base" if c.pruning is None else "P",
+            )
+            for c in configs
+        ]
+        _check_unique_labels(cells, "give the configs distinct 'label' values")
+        return cls(cells, name=name)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        jobs: int | None = None,
+        cache: ResultCache | None = None,
+    ) -> CampaignSummary:
+        """Execute every (cell, trial) pair and aggregate per cell."""
+        t0 = time.perf_counter()
+        hits0 = cache.hits if cache is not None else 0
+        misses0 = cache.misses if cache is not None else 0
+        per_cell = run_cell_trials(
+            [cell.config for cell in self.cells], jobs=jobs, cache=cache
+        )
+        rows = [
+            CampaignRow(
+                label=cell.config.display_label,
+                heuristic=cell.config.heuristic,
+                level=cell.level,
+                pattern=cell.pattern,
+                heterogeneity=cell.config.heterogeneity,
+                pruning=cell.pruning_label,
+                stats=aggregate_robustness(trials),
+            )
+            for cell, trials in zip(self.cells, per_cell)
+        ]
+        return CampaignSummary(
+            name=self.name,
+            rows=rows,
+            wall_s=time.perf_counter() - t0,
+            jobs=jobs or 1,
+            cache_hits=(cache.hits - hits0) if cache is not None else 0,
+            cache_misses=(cache.misses - misses0) if cache is not None else 0,
+        )
+
+
+# ======================================================================
+# Preset grids
+# ======================================================================
+#: Named sweep grids.  ``smoke`` is the CI preset (seconds, not minutes);
+#: the others mirror the paper's figure campaigns and compose with
+#: ``--scale`` / ``--trials`` overrides from the CLI.
+PRESETS: dict[str, dict] = {
+    "smoke": {
+        "name": "smoke",
+        "heuristics": ["MM"],
+        "levels": [
+            {"name": "tiny", "num_tasks": 120, "time_span": 80.0, "num_task_types": 4}
+        ],
+        "patterns": ["spiky"],
+        "pruning": ["none", "paper"],
+        "trials": 2,
+        "base_seed": 7,
+    },
+    "fig7b": {
+        "name": "fig7b",
+        "heuristics": ["MM", "MSD", "MMU"],
+        "levels": ["15k"],
+        "patterns": ["spiky"],
+        "pruning": [
+            "none",
+            {"label": "drop-always", "toggle": "always", "defer": False},
+            "drop-only",
+        ],
+        "trials": 10,
+    },
+    "thresholds": {
+        "name": "thresholds",
+        "heuristics": ["MM", "MSD", "MMU"],
+        "levels": ["25k"],
+        "patterns": ["spiky"],
+        "pruning": [
+            "none",
+            {"label": "D25", "threshold": 0.25, "toggle": "never", "drop": False},
+            {"label": "D50", "threshold": 0.5, "toggle": "never", "drop": False},
+            {"label": "D75", "threshold": 0.75, "toggle": "never", "drop": False},
+        ],
+        "trials": 10,
+    },
+    "oversub": {
+        "name": "oversub",
+        "heuristics": ["MM", "MSD", "MMU"],
+        "levels": ["15k", "20k", "25k"],
+        "patterns": ["spiky"],
+        "pruning": ["none", "paper"],
+        "trials": 10,
+    },
+    "heterogeneity": {
+        "name": "heterogeneity",
+        "heuristics": ["MM"],
+        "levels": ["15k", "25k"],
+        "patterns": ["spiky", "constant"],
+        "heterogeneity": ["inconsistent", "consistent", "homogeneous"],
+        "pruning": ["none", "paper"],
+        "trials": 10,
+    },
+}

@@ -1,24 +1,35 @@
-"""Command-line interface: regenerate any figure of the paper.
+"""Command-line interface: regenerate figures, run scenario sweeps.
 
 Usage::
 
-    python -m repro.experiments fig7b --trials 10
+    python -m repro.experiments fig7b --trials 10 --jobs 4
     python -m repro.experiments fig9b --trials 30 --paper-scale
     python -m repro.experiments all --trials 5 --json-dir results/
+    python -m repro.experiments sweep oversub --jobs 8
+    python -m repro.experiments sweep my_grid.json --json-dir results/
 
 ``--paper-scale`` stretches workloads ~16.7× at constant arrival rate,
 matching the paper's 15k–25k task counts and ~3000-unit span.
+
+``sweep`` takes a preset name (``smoke``, ``fig7b``, ``thresholds``,
+``oversub``, ``heterogeneity``) or a path to a grid JSON file — see
+``docs/experiments.md`` for the schema.  ``--jobs N`` shards trials
+across N worker processes for both figures and sweeps; results are
+cached under ``.repro_cache/`` (disable with ``--no-cache``) so
+re-runs and interrupted campaigns resume instead of recomputing.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import re
 import sys
 import time
 from pathlib import Path
 
-from ..workload.spec import ArrivalPattern
 from . import scenarios
+from .campaign import DEFAULT_CACHE_DIR, PRESETS, Campaign, ResultCache, SweepGrid
 from .report import FigureResult
 
 __all__ = ["main", "build_parser"]
@@ -26,26 +37,51 @@ __all__ = ["main", "build_parser"]
 #: scale factor matching the paper's trace length (15000 tasks / 900).
 PAPER_SCALE = 15000 / scenarios.LEVELS["15k"]
 
+#: Run-time defaults for figure commands.  The parser defaults are
+#: ``None`` sentinels so a sweep can tell "not given" (grid values win)
+#: from an explicit ``--trials 10`` (user wins).
+_DEFAULT_TRIALS = 10
+_DEFAULT_SEED = 42
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Argument parser for ``python -m repro.experiments``."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the figures of the probabilistic task "
-        "pruning paper (IPDPS-W 2019).",
+        "pruning paper (IPDPS-W 2019), or run declarative scenario sweeps.",
     )
     parser.add_argument(
         "figure",
-        choices=sorted(scenarios.ALL_FIGURES) + ["all", "headline"],
-        help="which figure to regenerate",
+        choices=sorted(scenarios.ALL_FIGURES) + ["all", "headline", "sweep"],
+        help="which figure to regenerate, or 'sweep' to run a campaign",
     )
-    parser.add_argument("--trials", type=int, default=10, help="workload trials per cell")
-    parser.add_argument("--seed", type=int, default=42, help="base seed")
+    parser.add_argument(
+        "grid",
+        nargs="?",
+        default=None,
+        help="for 'sweep': a preset name "
+        f"({', '.join(sorted(PRESETS))}) or a grid JSON path",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help=f"workload trials per cell (default: {_DEFAULT_TRIALS}, "
+        "or the sweep grid's own value)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help=f"base seed (default: {_DEFAULT_SEED}, or the sweep grid's own value)",
+    )
     parser.add_argument(
         "--scale",
         type=float,
-        default=1.0,
-        help="workload size multiplier at constant arrival rate",
+        default=None,
+        help="workload size multiplier at constant arrival rate "
+        "(default: 1.0, or the sweep grid's own value)",
     )
     parser.add_argument(
         "--paper-scale",
@@ -53,10 +89,24 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"use the paper's full trace size (scale ≈ {PAPER_SCALE:.1f})",
     )
     parser.add_argument(
+        "--jobs",
+        "-j",
         "--processes",
         type=int,
         default=None,
-        help="worker processes for parallel trials (default: serial)",
+        dest="jobs",
+        help="worker processes sharding (cell, trial) pairs (default: serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=Path(DEFAULT_CACHE_DIR),
+        help="per-trial result cache directory (re-runs resume from it)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this run",
     )
     parser.add_argument(
         "--chart",
@@ -67,29 +117,109 @@ def build_parser() -> argparse.ArgumentParser:
         "--json-dir",
         type=Path,
         default=None,
-        help="directory to also write <figure>.json result grids into",
+        help="directory to also write <figure>.json result grids "
+        "(and campaign JSON/CSV summaries) into",
     )
     return parser
 
 
-def _run_one(name: str, args: argparse.Namespace) -> FigureResult | str:
+def _cache_from(args: argparse.Namespace) -> ResultCache | None:
+    if args.no_cache:
+        return None
+    cache = ResultCache(args.cache_dir)
+    # Entries from other code/dependency versions can never hit again;
+    # dropping them here keeps the default cache dir from growing
+    # monotonically across edits.
+    cache.prune_stale()
+    return cache
+
+
+def _figure_scale(args: argparse.Namespace) -> float:
+    if args.paper_scale:
+        return PAPER_SCALE
+    return 1.0 if args.scale is None else args.scale
+
+
+def _run_one(name: str, args: argparse.Namespace, cache: ResultCache | None) -> FigureResult | str:
     fn = scenarios.ALL_FIGURES[name]
-    scale = PAPER_SCALE if args.paper_scale else args.scale
+    trials = _DEFAULT_TRIALS if args.trials is None else args.trials
+    seed = _DEFAULT_SEED if args.seed is None else args.seed
     if name == "fig6":
-        return fn(base_seed=args.seed, scale=scale)
+        return fn(base_seed=seed, scale=_figure_scale(args))
     return fn(
-        trials=args.trials,
-        base_seed=args.seed,
-        scale=scale,
-        processes=args.processes,
+        trials=trials,
+        base_seed=seed,
+        scale=_figure_scale(args),
+        jobs=args.jobs,
+        cache=cache,
     )
 
 
+def _run_sweep(args: argparse.Namespace) -> int:
+    if args.grid is None:
+        print(
+            "sweep needs a grid: a preset "
+            f"({', '.join(sorted(PRESETS))}) or a JSON path",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        grid = SweepGrid.load(args.grid)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    overrides = {}
+    if args.trials is not None:
+        overrides["trials"] = args.trials
+    if args.seed is not None:
+        overrides["base_seed"] = args.seed
+    if args.paper_scale:
+        overrides["scale"] = PAPER_SCALE
+    elif args.scale is not None:
+        overrides["scale"] = args.scale
+    try:
+        if overrides:
+            grid = dataclasses.replace(grid, **overrides)
+        # expand() is where grid *content* errors surface (bad axis
+        # values, colliding labels) — same clean exit as load errors.
+        # KeyError covers unknown level names from level_spec.
+        campaign = Campaign.from_grid(grid)
+    except (ValueError, KeyError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(str(message), file=sys.stderr)
+        return 2
+
+    summary = campaign.run(jobs=args.jobs, cache=_cache_from(args))
+    print(summary.to_text())
+    if args.json_dir is not None:
+        # Grid names are unconstrained user input — keep them out of
+        # path semantics when building the output filename.
+        safe_name = re.sub(r"[^\w.-]", "_", summary.name) or "campaign"
+        json_path = args.json_dir / f"campaign-{safe_name}.json"
+        summary.save_json(json_path)
+        summary.save_csv(json_path.with_suffix(".csv"))
+        print(f"[written: {json_path} + .csv]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Regenerate the requested figure(s); returns a process exit code."""
+    """Run the requested figure(s) or sweep; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.figure != "sweep" and args.grid is not None:
+        print(
+            f"unexpected argument {args.grid!r}: grids only apply to 'sweep' "
+            f"(did you mean: sweep {args.grid}?)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.figure == "sweep" and args.chart:
+        print("--chart applies to figure grids, not sweeps", file=sys.stderr)
+        return 2
     if args.json_dir is not None:
         args.json_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.figure == "sweep":
+        return _run_sweep(args)
 
     if args.figure == "headline":
         names = ["fig9b", "fig10b"]
@@ -98,10 +228,11 @@ def main(argv: list[str] | None = None) -> int:
     else:
         names = [args.figure]
 
+    cache = _cache_from(args)
     results: dict[str, FigureResult] = {}
     for name in names:
         t0 = time.time()
-        out = _run_one(name, args)
+        out = _run_one(name, args, cache)
         elapsed = time.time() - t0
         if isinstance(out, FigureResult):
             results[name] = out

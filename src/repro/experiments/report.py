@@ -1,21 +1,32 @@
-"""Figure/table reporting: the rows the paper's figures plot.
+"""Figure/table and campaign reporting.
 
-Every scenario in :mod:`repro.experiments.scenarios` returns a
-:class:`FigureResult` — a labelled grid of robustness statistics that
-prints as an aligned text table (the textual equivalent of the paper's
-bar/line charts) and serializes to JSON for EXPERIMENTS.md bookkeeping.
+Two result containers live here:
+
+* :class:`FigureResult` — a labelled grid of robustness statistics, one
+  per paper figure.  Every scenario in
+  :mod:`repro.experiments.scenarios` returns one; it prints as an
+  aligned text table (the textual equivalent of the paper's bar/line
+  charts) and serializes to JSON.
+* :class:`CampaignSummary` — the flat per-cell record of a
+  :class:`~repro.experiments.campaign.Campaign` run: one
+  :class:`CampaignRow` per experimental cell plus run-level bookkeeping
+  (wall-clock, worker count, cache hits/misses).  Serializes to both
+  JSON and CSV for downstream analysis.
 """
 
 from __future__ import annotations
 
+import csv
+import io
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Sequence
 
+from ..metrics.compare import PairedComparison, compare_paired_stats
 from ..metrics.robustness import AggregateStats
 
-__all__ = ["FigureResult"]
+__all__ = ["FigureResult", "CampaignRow", "CampaignSummary"]
 
 
 @dataclass
@@ -100,3 +111,166 @@ class FigureResult:
             for col in self.cols:
                 best = max(best, self.improvement(row, pruned, col))
         return best
+
+
+# ======================================================================
+# Campaign-level reporting
+# ======================================================================
+@dataclass(frozen=True)
+class CampaignRow:
+    """One experimental cell of a campaign, with its aggregated outcome."""
+
+    label: str           #: unique cell id, e.g. ``"MM/P@15k/spiky/inconsistent"``
+    heuristic: str
+    level: str           #: oversubscription level name (``"15k"`` …)
+    pattern: str         #: arrival pattern (``"spiky"`` / ``"constant"``)
+    heterogeneity: str
+    pruning: str         #: pruning-variant label (``"base"``, ``"P"``, ``"D75"`` …)
+    stats: AggregateStats
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "heuristic": self.heuristic,
+            "level": self.level,
+            "pattern": self.pattern,
+            "heterogeneity": self.heterogeneity,
+            "pruning": self.pruning,
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CampaignRow":
+        return cls(
+            label=payload["label"],
+            heuristic=payload["heuristic"],
+            level=payload["level"],
+            pattern=payload["pattern"],
+            heterogeneity=payload["heterogeneity"],
+            pruning=payload["pruning"],
+            stats=AggregateStats.from_dict(payload["stats"]),
+        )
+
+
+#: CSV column order of a campaign summary (stable — downstream notebooks
+#: key on these names).
+CAMPAIGN_CSV_FIELDS = (
+    "label",
+    "heuristic",
+    "level",
+    "pattern",
+    "heterogeneity",
+    "pruning",
+    "trials",
+    "mean_pct",
+    "ci95_pct",
+)
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregated outcome of one campaign run.
+
+    ``rows`` holds one :class:`CampaignRow` per cell in grid-expansion
+    order; run-level bookkeeping records how the campaign executed
+    (worker count, wall-clock, result-cache hits/misses), so a summary
+    read back from disk documents its own provenance.
+    """
+
+    name: str
+    rows: list[CampaignRow]
+    wall_s: float = 0.0
+    jobs: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    # ------------------------------------------------------------------
+    def get(self, label: str) -> AggregateStats:
+        """Stats of the cell with the given label (exact match)."""
+        for row in self.rows:
+            if row.label == label:
+                return row.stats
+        raise KeyError(f"no campaign cell labelled {label!r}")
+
+    @property
+    def labels(self) -> list[str]:
+        return [row.label for row in self.rows]
+
+    def compare(self, base_label: str, variant_label: str) -> PairedComparison:
+        """Paired significance test between two cells (same seeds/spec)."""
+        return compare_paired_stats(self.get(base_label), self.get(variant_label))
+
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Aligned per-cell table plus the run-level footer."""
+        width = max(24, *(len(r.label) + 2 for r in self.rows)) if self.rows else 24
+        lines = [
+            f"campaign {self.name}: {len(self.rows)} cells",
+            "",
+            "cell".ljust(width) + "robustness (% on time, mean ± 95% CI)",
+        ]
+        for row in self.rows:
+            lines.append(
+                row.label.ljust(width)
+                + f"{row.stats.mean_pct:5.1f} ± {row.stats.ci95_pct:4.1f}"
+                + f"   (n={row.stats.trials})"
+            )
+        lines += [
+            "",
+            f"[{self.jobs} worker(s), {self.wall_s:.1f}s wall; "
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses]",
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "rows": [row.to_dict() for row in self.rows],
+            "wall_s": self.wall_s,
+            "jobs": self.jobs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CampaignSummary":
+        return cls(
+            name=payload["name"],
+            rows=[CampaignRow.from_dict(r) for r in payload["rows"]],
+            wall_s=float(payload.get("wall_s", 0.0)),
+            jobs=int(payload.get("jobs", 1)),
+            cache_hits=int(payload.get("cache_hits", 0)),
+            cache_misses=int(payload.get("cache_misses", 0)),
+        )
+
+    def save_json(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "CampaignSummary":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """Flat per-cell CSV (columns: ``CAMPAIGN_CSV_FIELDS``)."""
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=CAMPAIGN_CSV_FIELDS, lineterminator="\n")
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(
+                {
+                    "label": row.label,
+                    "heuristic": row.heuristic,
+                    "level": row.level,
+                    "pattern": row.pattern,
+                    "heterogeneity": row.heterogeneity,
+                    "pruning": row.pruning,
+                    "trials": row.stats.trials,
+                    "mean_pct": f"{row.stats.mean_pct:.6f}",
+                    "ci95_pct": f"{row.stats.ci95_pct:.6f}",
+                }
+            )
+        return buf.getvalue()
+
+    def save_csv(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_csv())

@@ -41,8 +41,14 @@ PET_SEED = 2019
 
 @lru_cache(maxsize=8)
 def pet_matrix(heterogeneity: str = "inconsistent", seed: int = PET_SEED) -> PETMatrix:
-    """The shared 12×8 PET matrix for a heterogeneity kind (cached)."""
-    return generate_pet_matrix(seed=seed, heterogeneity=heterogeneity)
+    """The shared 12×8 PET matrix for a heterogeneity kind (cached).
+
+    The returned object is *shared by every caller in the process* (and
+    rebuilt identically inside each campaign worker), so it is frozen:
+    its ``means`` array and row structure are read-only — mutate a copy
+    (e.g. ``restricted_to_machines``) if you need a variant.
+    """
+    return generate_pet_matrix(seed=seed, heterogeneity=heterogeneity).freeze()
 
 
 @dataclass(frozen=True)
@@ -98,21 +104,29 @@ def run_trial(config: ExperimentConfig, trial: int) -> SimulationResult:
 
 
 def run_experiment(
-    config: ExperimentConfig, processes: int | None = None
+    config: ExperimentConfig,
+    processes: int | None = None,
+    *,
+    jobs: int | None = None,
+    cache=None,
 ) -> AggregateStats:
     """Run all trials of one cell and aggregate robustness.
 
     Trials are independent (seeded separately), so they parallelize
     embarrassingly — the paper ran its 30-trial campaigns on the LONI
-    Queen Bee 2 cluster; ``processes > 1`` is the local equivalent, using
-    a process pool (simulation is pure Python, so threads would serialize
-    on the GIL).  ``processes=None`` runs serially.
-    """
-    if processes is not None and processes > 1 and config.trials > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    Queen Bee 2 cluster; ``jobs > 1`` is the local equivalent, using a
+    process pool (simulation is pure Python, so threads would serialize
+    on the GIL).  ``jobs=None`` runs serially; ``processes`` is the same
+    knob under its pre-campaign name, kept for compatibility.  ``cache``
+    is an optional :class:`~repro.experiments.campaign.ResultCache`.
 
-        with ProcessPoolExecutor(max_workers=processes) as pool:
-            results = list(pool.map(run_trial, [config] * config.trials, range(config.trials)))
-    else:
-        results = [run_trial(config, t) for t in range(config.trials)]
+    This is the single-cell convenience wrapper over the campaign
+    executor (:func:`~repro.experiments.campaign.run_cell_trials`) —
+    multi-cell sweeps should go through
+    :class:`~repro.experiments.campaign.Campaign` so one worker pool
+    spans all cells.
+    """
+    from .campaign import run_cell_trials  # deferred: campaign imports this module
+
+    results = run_cell_trials([config], jobs=jobs or processes, cache=cache)[0]
     return aggregate_robustness(results)

@@ -4,7 +4,7 @@ Each ``figN`` function regenerates the data behind one figure of the
 paper's evaluation and returns a :class:`~repro.experiments.report.
 FigureResult` whose rows/columns mirror the figure's axes.
 
-Scale calibration (see DESIGN.md §5): the paper runs 15k/20k/25k tasks
+Scale calibration (see docs/experiments.md): the paper runs 15k/20k/25k tasks
 over ~3000 time units against eight SPECint-profiled machines.  Our PET
 means are synthetic, so absolute counts are not transferable; what defines
 the regime is the *oversubscription ratio* — offered load over cluster
@@ -23,11 +23,13 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..core.config import PruningConfig, ToggleMode
+from ..metrics.robustness import AggregateStats
 from ..sim.rng import stream_seed
 from ..workload.arrivals import arrival_rate_series, generate_type_arrivals
 from ..workload.spec import ArrivalPattern, WorkloadSpec
+from .campaign import ResultCache, run_cells
 from .report import FigureResult
-from .runner import ExperimentConfig, pet_matrix, run_experiment
+from .runner import ExperimentConfig, pet_matrix
 
 __all__ = [
     "LEVELS",
@@ -63,15 +65,13 @@ def level_spec(
     """Workload spec of one oversubscription level at a given scale."""
     if level not in LEVELS:
         raise KeyError(f"unknown level {level!r}; choose from {sorted(LEVELS)}")
-    if scale <= 0:
-        raise ValueError("scale must be positive")
-    span = BASE_TIME_SPAN * scale
-    return WorkloadSpec(
-        num_tasks=max(int(LEVELS[level] * scale), 10),
-        time_span=span,
+    base = WorkloadSpec(
+        num_tasks=LEVELS[level],
+        time_span=BASE_TIME_SPAN,
         pattern=pattern,
-        num_spikes=max(int(round(span / SPIKE_PERIOD)), 1),
+        num_spikes=max(int(round(BASE_TIME_SPAN / SPIKE_PERIOD)), 1),
     )
+    return base.scaled(scale)
 
 
 def _grid(
@@ -84,11 +84,19 @@ def _grid(
     cell: Callable[[str, str], ExperimentConfig],
     notes: str = "",
     processes: int | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> FigureResult:
-    cells = {
-        r: {c: run_experiment(cell(r, c), processes=processes) for c in cols}
-        for r in rows
-    }
+    # One executor pass over the whole grid: every (row, col, trial)
+    # triple lands in the same worker pool, so parallelism is bounded by
+    # total trial count, not by the trials of one cell at a time.
+    pairs = [(r, c) for r in rows for c in cols]
+    stats = run_cells(
+        [cell(r, c) for r, c in pairs], jobs=jobs or processes, cache=cache
+    )
+    cells: dict[str, dict[str, AggregateStats]] = {r: {} for r in rows}
+    for (r, c), stat in zip(pairs, stats):
+        cells[r][c] = stat
     return FigureResult(
         figure_id=figure_id,
         title=title,
@@ -154,7 +162,15 @@ _TOGGLE_COLS = {
 }
 
 
-def fig7a(*, trials: int = 10, base_seed: int = 42, scale: float = 1.0, processes: int | None = None) -> FigureResult:
+def fig7a(
+    *,
+    trials: int = 10,
+    base_seed: int = 42,
+    scale: float = 1.0,
+    processes: int | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> FigureResult:
     """Toggle impact on immediate-mode heuristics (spiky, 15k-equivalent)."""
     spec = level_spec("15k", ArrivalPattern.SPIKY, scale)
     return _grid(
@@ -172,10 +188,20 @@ def fig7a(*, trials: int = 10, base_seed: int = 42, scale: float = 1.0, processe
             base_seed=base_seed,
         ),
         processes=processes,
+        jobs=jobs,
+        cache=cache,
     )
 
 
-def fig7b(*, trials: int = 10, base_seed: int = 42, scale: float = 1.0, processes: int | None = None) -> FigureResult:
+def fig7b(
+    *,
+    trials: int = 10,
+    base_seed: int = 42,
+    scale: float = 1.0,
+    processes: int | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> FigureResult:
     """Toggle impact on batch-mode heuristics (spiky, 15k-equivalent)."""
     spec = level_spec("15k", ArrivalPattern.SPIKY, scale)
     return _grid(
@@ -193,13 +219,23 @@ def fig7b(*, trials: int = 10, base_seed: int = 42, scale: float = 1.0, processe
             base_seed=base_seed,
         ),
         processes=processes,
+        jobs=jobs,
+        cache=cache,
     )
 
 
 # ----------------------------------------------------------------------
 # Fig. 8 — task deferring threshold sweep (batch-mode, heavy load).
 # ----------------------------------------------------------------------
-def fig8(*, trials: int = 10, base_seed: int = 42, scale: float = 1.0, processes: int | None = None) -> FigureResult:
+def fig8(
+    *,
+    trials: int = 10,
+    base_seed: int = 42,
+    scale: float = 1.0,
+    processes: int | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> FigureResult:
     """Deferring-only pruning threshold sweep (spiky, 25k-equivalent)."""
     spec = level_spec("25k", ArrivalPattern.SPIKY, scale)
     thresholds = {"0%": None, "25%": 0.25, "50%": 0.5, "75%": 0.75}
@@ -224,6 +260,8 @@ def fig8(*, trials: int = 10, base_seed: int = 42, scale: float = 1.0, processes
         cell,
         notes="0% threshold = no pruning (the paper's baseline bar).",
         processes=processes,
+        jobs=jobs,
+        cache=cache,
     )
 
 
@@ -237,6 +275,8 @@ def fig9(
     base_seed: int = 42,
     scale: float = 1.0,
     processes: int | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> FigureResult:
     """Pruning (defer + reactive drop) vs baseline across oversubscription
     levels — Fig. 9a (constant) / Fig. 9b (spiky)."""
@@ -263,6 +303,8 @@ def fig9(
         list(LEVELS),
         cell,
         processes=processes,
+        jobs=jobs,
+        cache=cache,
     )
 
 
@@ -276,6 +318,8 @@ def fig10(
     base_seed: int = 42,
     scale: float = 1.0,
     processes: int | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> FigureResult:
     """Pruning on homogeneous-system heuristics — Fig. 10a/10b."""
     sub = "a" if pattern is ArrivalPattern.CONSTANT else "b"
@@ -302,6 +346,8 @@ def fig10(
         list(LEVELS),
         cell,
         processes=processes,
+        jobs=jobs,
+        cache=cache,
     )
 
 

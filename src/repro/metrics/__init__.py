@@ -1,7 +1,7 @@
 """Robustness metrics and cross-trial aggregation (§V-A)."""
 
 from .collector import SimulationResult, TypeOutcome
-from .compare import PairedComparison, compare_paired
+from .compare import PairedComparison, compare_paired, compare_paired_stats
 from .robustness import AggregateStats, aggregate_robustness, confidence_interval
 
 __all__ = [
@@ -12,4 +12,5 @@ __all__ = [
     "confidence_interval",
     "PairedComparison",
     "compare_paired",
+    "compare_paired_stats",
 ]

@@ -33,6 +33,20 @@ class TypeOutcome:
         """On-time completion ratio within this type (0 when empty)."""
         return self.on_time / self.total if self.total else 0.0
 
+    def to_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "on_time": self.on_time,
+            "late": self.late,
+            "dropped_missed": self.dropped_missed,
+            "dropped_proactive": self.dropped_proactive,
+            "unfinished": self.unfinished,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TypeOutcome":
+        return cls(**{k: int(v) for k, v in payload.items()})
+
 
 @dataclass(frozen=True)
 class SimulationResult:
@@ -140,6 +154,49 @@ class SimulationResult:
                 tuple(m.busy_time for m in cluster.machines) if cluster else ()
             ),
             estimator_stats=dict(estimator_stats) if estimator_stats else {},
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Round-trippable plain-dict form (the campaign cache's on-disk
+        format).  ``from_dict(to_dict())`` reproduces the result exactly:
+        counters are ints, times are floats, and key order is stable."""
+        return {
+            "total": self.total,
+            "on_time": self.on_time,
+            "late": self.late,
+            "dropped_missed": self.dropped_missed,
+            "dropped_proactive": self.dropped_proactive,
+            "unfinished": self.unfinished,
+            "defer_decisions": self.defer_decisions,
+            "mapping_events": self.mapping_events,
+            "makespan": self.makespan,
+            "per_type": {str(k): v.to_dict() for k, v in self.per_type.items()},
+            "machine_busy_time": list(self.machine_busy_time),
+            "estimator_stats": dict(self.estimator_stats),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SimulationResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            total=int(payload["total"]),
+            on_time=int(payload["on_time"]),
+            late=int(payload["late"]),
+            dropped_missed=int(payload["dropped_missed"]),
+            dropped_proactive=int(payload["dropped_proactive"]),
+            unfinished=int(payload["unfinished"]),
+            defer_decisions=int(payload["defer_decisions"]),
+            mapping_events=int(payload["mapping_events"]),
+            makespan=float(payload["makespan"]),
+            per_type={
+                int(k): TypeOutcome.from_dict(v)
+                for k, v in payload.get("per_type", {}).items()
+            },
+            machine_busy_time=tuple(float(b) for b in payload.get("machine_busy_time", ())),
+            estimator_stats={
+                k: int(v) for k, v in payload.get("estimator_stats", {}).items()
+            },
         )
 
     def summary(self) -> str:

@@ -16,9 +16,9 @@ import numpy as np
 from scipy import stats
 
 from .collector import SimulationResult
-from .robustness import confidence_interval
+from .robustness import AggregateStats, confidence_interval
 
-__all__ = ["PairedComparison", "compare_paired"]
+__all__ = ["PairedComparison", "compare_paired", "compare_paired_stats"]
 
 
 @dataclass(frozen=True)
@@ -61,14 +61,40 @@ def compare_paired(
     order (the runner's seeding discipline guarantees this when both used
     the same ``base_seed`` and spec).
     """
-    if len(baseline) != len(variant):
+    return _compare_pcts(
+        [r.robustness_pct for r in baseline],
+        [r.robustness_pct for r in variant],
+        confidence,
+    )
+
+
+def compare_paired_stats(
+    baseline: AggregateStats,
+    variant: AggregateStats,
+    confidence: float = 0.95,
+) -> PairedComparison:
+    """Paired comparison straight from two cells' aggregated statistics.
+
+    :class:`~repro.metrics.robustness.AggregateStats` retains the
+    per-trial robustness series, so two cells of a finished campaign can
+    be significance-tested without re-running any trial — as long as both
+    cells used the same ``base_seed`` and workload spec (the seeding
+    discipline that makes their trials paired).
+    """
+    return _compare_pcts(baseline.per_trial_pct, variant.per_trial_pct, confidence)
+
+
+def _compare_pcts(
+    a_pcts: Sequence[float], b_pcts: Sequence[float], confidence: float
+) -> PairedComparison:
+    if len(a_pcts) != len(b_pcts):
         raise ValueError(
-            f"trial counts differ: {len(baseline)} baseline vs {len(variant)} variant"
+            f"trial counts differ: {len(a_pcts)} baseline vs {len(b_pcts)} variant"
         )
-    if not baseline:
+    if not len(a_pcts):
         raise ValueError("no trials to compare")
-    a = np.array([r.robustness_pct for r in baseline])
-    b = np.array([r.robustness_pct for r in variant])
+    a = np.asarray(a_pcts, dtype=np.float64)
+    b = np.asarray(b_pcts, dtype=np.float64)
     deltas = b - a
     mean, half = confidence_interval(deltas, confidence)
     if len(deltas) < 2 or np.allclose(deltas, deltas[0]):

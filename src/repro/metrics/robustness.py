@@ -53,6 +53,36 @@ class AggregateStats:
     def __str__(self) -> str:
         return f"{self.mean_pct:.1f} ± {self.ci95_pct:.1f} % (n={self.trials})"
 
+    def to_dict(self) -> dict:
+        """JSON-ready form used by campaign summaries and figure grids."""
+        return {
+            "mean_pct": self.mean_pct,
+            "ci95_pct": self.ci95_pct,
+            "trials": self.trials,
+            "per_trial_pct": list(self.per_trial_pct),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AggregateStats":
+        """Inverse of :meth:`to_dict`.
+
+        ``per_trial_pct`` is required and must have ``trials`` entries —
+        a truncated payload would otherwise build an object that only
+        fails later, deep inside a paired comparison.
+        """
+        trials = int(payload["trials"])
+        per_trial = tuple(float(p) for p in payload["per_trial_pct"])
+        if len(per_trial) != trials:
+            raise ValueError(
+                f"per_trial_pct has {len(per_trial)} entries for {trials} trials"
+            )
+        return cls(
+            mean_pct=float(payload["mean_pct"]),
+            ci95_pct=float(payload["ci95_pct"]),
+            trials=trials,
+            per_trial_pct=per_trial,
+        )
+
 
 def aggregate_robustness(
     results: Sequence[SimulationResult], confidence: float = 0.95

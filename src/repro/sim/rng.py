@@ -9,17 +9,32 @@ consumer never perturbs the draws seen by existing ones.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import zlib
 
 import numpy as np
 
-__all__ = ["RngStreams", "stream_seed"]
+__all__ = ["RngStreams", "stream_seed", "fingerprint"]
 
 
 def stream_seed(root_seed: int, name: str) -> np.random.SeedSequence:
     """Derive a stable :class:`~numpy.random.SeedSequence` for ``name``."""
     tag = zlib.crc32(name.encode("utf-8"))
     return np.random.SeedSequence(entropy=(int(root_seed) & 0xFFFFFFFFFFFFFFFF, tag))
+
+
+def fingerprint(payload, length: int = 20) -> str:
+    """Stable hex digest of a JSON-serializable payload.
+
+    The digest is independent of dict insertion order and of the Python
+    process (no ``PYTHONHASHSEED`` dependence), so it can name on-disk
+    artifacts — the campaign result cache keys every trial on the
+    fingerprint of its (config, seed) payload.  Non-JSON values are
+    stringified via ``default=str`` (enums, paths).
+    """
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:length]
 
 
 class RngStreams:

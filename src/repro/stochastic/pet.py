@@ -5,8 +5,8 @@ eight physical machines and, for each (task type, machine type) pair,
 histogramming 500 samples of a Gamma distribution whose mean comes from the
 benchmark timing and whose shape is drawn uniformly from ``[1, 20]``
 (§V-B).  We follow the identical recipe; only the source of the mean matrix
-differs (synthetic, seeded — see DESIGN.md substitution table), because the
-original SPECint timings are not published.
+differs (synthetic, seeded), because the original SPECint timings are not
+published.
 
 Heterogeneity terminology (§I):
 
@@ -114,6 +114,26 @@ class PETMatrix:
         """
         value = self.pmf(task_type, machine_type).sample(rng)
         return max(float(value), 1e-9)
+
+    # ------------------------------------------------------------------
+    def freeze(self) -> "PETMatrix":
+        """Make this matrix read-only; returns ``self``.
+
+        Shared instances (``repro.experiments.runner.pet_matrix`` hands
+        the *same* cached object to every experiment) must not be
+        mutable: a caller writing into ``means``, reshuffling a row, or
+        poking a cell PMF's probability array would silently corrupt
+        every later experiment in the process.  Freezing turns ``pmfs``
+        into nested tuples and marks the ``means`` array and every
+        cell's ``probs`` array non-writable, so such writes raise
+        instead.
+        """
+        self.pmfs = tuple(tuple(row) for row in self.pmfs)  # type: ignore[assignment]
+        self.means.setflags(write=False)
+        for row in self.pmfs:
+            for cell in row:
+                cell.probs.setflags(write=False)
+        return self
 
     # ------------------------------------------------------------------
     def is_homogeneous(self, atol: float = 1e-9) -> bool:

@@ -93,6 +93,25 @@ class WorkloadSpec:
     def with_(self, **changes) -> "WorkloadSpec":
         return replace(self, **changes)
 
+    def scaled(self, scale: float) -> "WorkloadSpec":
+        """Stretch the workload at constant arrival rate.
+
+        The single scaling policy shared by named oversubscription
+        levels and custom sweep levels: task count and span grow
+        together (so tasks/unit is unchanged), the spike count grows
+        with the span (so the spike *period* — the Fig. 6 regime — is
+        preserved), and at least 10 tasks / 1 spike remain.
+        """
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if scale == 1.0:
+            return self
+        return self.with_(
+            num_tasks=max(int(self.num_tasks * scale), 10),
+            time_span=self.time_span * scale,
+            num_spikes=max(int(round(self.num_spikes * scale)), 1),
+        )
+
     @classmethod
     def paper_scale(cls, num_tasks: int = 15000, **overrides) -> "WorkloadSpec":
         """Full-size trial: 15k/20k/25k tasks over ~3000 time units."""

@@ -29,6 +29,16 @@ class TestPetMatrix:
         assert pet.num_task_types == 12
         assert pet.num_machine_types == 8
 
+    def test_shared_matrix_is_read_only(self):
+        """Regression: the lru-cached matrix is shared by every
+        experiment in the process — writes must raise, not silently
+        corrupt all later experiments."""
+        pet = pet_matrix()
+        with pytest.raises(ValueError):
+            pet.means[0, 0] = 0.0
+        with pytest.raises((AttributeError, TypeError)):
+            pet.pmfs[0][0] = None  # tuples reject item assignment
+
 
 class TestTrialWorkloads:
     def test_same_trial_same_tasks(self):

@@ -141,3 +141,43 @@ class TestValidation:
     def test_means_autocomputed(self):
         pet = PETMatrix([[PMF.delta(4.0), PMF.delta(6.0)]])
         np.testing.assert_allclose(pet.means, [[4.0, 6.0]])
+
+
+class TestFreeze:
+    def test_means_read_only(self):
+        pet = generate_pet_matrix(3, 2, seed=5).freeze()
+        with pytest.raises(ValueError):
+            pet.means[0, 0] = 99.0
+
+    def test_rows_immutable(self):
+        pet = generate_pet_matrix(3, 2, seed=5).freeze()
+        assert isinstance(pet.pmfs, tuple)
+        with pytest.raises((AttributeError, TypeError)):
+            pet.pmfs[0].append(PMF.delta(1.0))
+
+    def test_cell_probability_arrays_read_only(self):
+        """The shared-matrix guarantee must reach the PMFs themselves —
+        a writable probs array would corrupt later experiments (and,
+        via the result cache, persist the corruption to disk)."""
+        pet = generate_pet_matrix(3, 2, seed=5).freeze()
+        with pytest.raises(ValueError):
+            pet.pmf(0, 0).probs[0] = 0.0
+        # frozen cells still convolve/sample (results are new arrays)
+        out = pet.pmf(0, 0) * pet.pmf(1, 1)
+        assert out.probs.flags.writeable
+
+    def test_freeze_returns_self_and_reads_still_work(self):
+        pet = generate_pet_matrix(3, 2, seed=5)
+        assert pet.freeze() is pet
+        assert pet.mean(0, 0) > 0
+        assert pet.pmf(2, 1).total_mass > 0
+        assert list(pet.best_machines(0)) == sorted(
+            range(2), key=lambda m: pet.mean(0, m)
+        )
+
+    def test_restricted_copy_of_frozen_is_writable(self):
+        pet = generate_pet_matrix(3, 2, seed=5).freeze()
+        original = pet.mean(0, 0)
+        sub = pet.restricted_to_machines([0])
+        sub.means[0, 0] = -1.0  # the copy is independent
+        assert pet.mean(0, 0) == original

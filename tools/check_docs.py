@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Documentation checks: runnable examples and intra-repo links.
+
+Two passes over ``README.md`` and ``docs/*.md``:
+
+* **Examples** — every fenced ``python`` block is executed: blocks
+  containing ``>>>`` prompts run under :mod:`doctest` (expected output
+  is verified); prompt-less blocks are compiled for syntax.  Fenced
+  ``json`` blocks must parse.  Each block is self-contained (fresh
+  namespace), so examples never depend on document order.
+* **Links** — every relative markdown link target must exist on disk
+  (anchors are stripped; ``http(s)``/``mailto`` links are skipped).
+
+Run directly (CI's docs job)::
+
+    python tools/check_docs.py
+
+or through pytest (``tests/test_docs.py``), which is part of tier-1.
+"""
+
+from __future__ import annotations
+
+import doctest
+import io
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Doc examples import `repro`; make the src layout importable even when
+# the package is not installed (plain checkout, CI before `pip install`).
+_SRC = REPO_ROOT / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+_FENCE_RE = re.compile(r"^```([\w+-]*)\s*$")
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: Path = REPO_ROOT) -> list[Path]:
+    """The documentation set under check."""
+    files = [root / "README.md"]
+    files += sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def fenced_blocks(text: str) -> list[tuple[str, int, str]]:
+    """All fenced code blocks as ``(language, start_line, body)``.
+
+    Raises ``ValueError`` on an unclosed fence — silently dropping the
+    partial block (and everything after it) would let broken examples
+    pass the checks.
+    """
+    blocks: list[tuple[str, int, str]] = []
+    lang: str | None = None
+    start = 0
+    body: list[str] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _FENCE_RE.match(line.strip())
+        if match and lang is None:
+            lang, start, body = match.group(1).lower(), lineno + 1, []
+        elif line.strip() == "```" and lang is not None:
+            blocks.append((lang, start, "\n".join(body) + "\n"))
+            lang = None
+        elif lang is not None:
+            body.append(line)
+    if lang is not None:
+        raise ValueError(f"unclosed code fence opened before line {start}")
+    return blocks
+
+
+def _run_doctest_block(path: Path, lineno: int, body: str) -> list[str]:
+    parser = doctest.DocTestParser()
+    test = parser.get_doctest(
+        body, globs={}, name=f"{path.name}:{lineno}", filename=str(path), lineno=lineno
+    )
+    out = io.StringIO()
+    runner = doctest.DocTestRunner(verbose=False, optionflags=doctest.ELLIPSIS)
+    results = runner.run(test, out=out.write)
+    if results.failed:
+        return [f"{path}:{lineno}: doctest failed\n{out.getvalue()}"]
+    return []
+
+
+def check_examples(path: Path) -> list[str]:
+    """Errors from executing the file's fenced ``python``/``json`` blocks."""
+    errors: list[str] = []
+    try:
+        blocks = fenced_blocks(path.read_text())
+    except ValueError as exc:
+        return [f"{path}: {exc}"]
+    for lang, lineno, body in blocks:
+        if lang in ("python", "py", "pycon"):
+            if ">>>" in body:
+                errors += _run_doctest_block(path, lineno, body)
+            else:
+                try:
+                    compile(body, f"{path}:{lineno}", "exec")
+                except SyntaxError as exc:
+                    errors.append(f"{path}:{lineno}: syntax error in example: {exc}")
+        elif lang == "json":
+            try:
+                json.loads(body)
+            except ValueError as exc:
+                errors.append(f"{path}:{lineno}: invalid JSON block: {exc}")
+    return errors
+
+
+def check_links(path: Path) -> list[str]:
+    """Errors for relative links whose targets do not exist."""
+    errors: list[str] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for target in _LINK_RE.findall(line):
+            if target.startswith(_SKIP_SCHEMES):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = [Path(p) for p in (argv or [])] or doc_files()
+    errors: list[str] = []
+    checked = 0
+    for path in paths:
+        errors += check_examples(path)
+        errors += check_links(path)
+        checked += 1
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} file(s): {'FAIL' if errors else 'ok'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
