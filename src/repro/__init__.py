@@ -39,7 +39,7 @@ from .metrics import (
     aggregate_robustness,
     confidence_interval,
 )
-from .sim import Cluster, Machine, RngStreams, Simulator, Task, TaskStatus
+from .sim import Cluster, DynamicsSpec, Machine, RngStreams, Simulator, Task, TaskStatus
 from .stochastic import ETCMatrix, PETMatrix, PMF, generate_pet_matrix
 from .system import CompletionEstimator, ServerlessSystem
 from .workload import (
@@ -67,6 +67,7 @@ __all__ = [
     "Task",
     "TaskStatus",
     "RngStreams",
+    "DynamicsSpec",
     # heuristics
     "make_heuristic",
     "ALL_HEURISTICS",

@@ -36,6 +36,9 @@ EVENT_KINDS = (
     "completed",
     "dropped_missed",
     "dropped_proactive",
+    # Cluster dynamics: a machine failure/drain evicted the task and it
+    # re-entered admission.
+    "requeued",
 )
 
 

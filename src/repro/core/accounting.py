@@ -33,6 +33,7 @@ class TypeCounters:
     dropped_missed: int = 0
     dropped_proactive: int = 0
     deferred: int = 0  #: defer decisions (a task may be deferred many times)
+    requeued: int = 0  #: churn evictions readmitted (failures/drains)
 
     @property
     def dropped(self) -> int:
@@ -58,6 +59,7 @@ class Accounting:
         self.total_dropped_missed = 0
         self.total_dropped_proactive = 0
         self.total_defers = 0
+        self.total_requeues = 0
 
     def _type(self, task: Task) -> TypeCounters:
         c = self.per_type.get(task.task_type)
@@ -98,6 +100,12 @@ class Accounting:
     def record_defer(self, task: Task) -> None:
         self._type(task).deferred += 1
         self.total_defers += 1
+
+    def record_requeue(self, task: Task) -> None:
+        """A machine failure/drain evicted the task and it re-entered
+        admission (not a miss: the task is still live)."""
+        self._type(task).requeued += 1
+        self.total_requeues += 1
 
     # ------------------------------------------------------------------
     # Mapping-event horizon (consumed by Toggle and Fairness).

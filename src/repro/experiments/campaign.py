@@ -48,8 +48,10 @@ from .. import __version__
 from ..core.config import PruningConfig, ToggleMode
 from ..metrics.collector import SimulationResult
 from ..metrics.robustness import AggregateStats, aggregate_robustness
+from ..sim.dynamics import DynamicsSpec
 from ..sim.rng import fingerprint
 from ..workload.spec import ArrivalPattern, WorkloadSpec
+from ..workload.trace import StatMemo, trace_spec
 from .report import CampaignRow, CampaignSummary
 from .runner import ExperimentConfig, run_trial
 
@@ -68,7 +70,9 @@ __all__ = [
 
 #: Bump on cache *format* changes (key payload / entry layout).  Code
 #: edits need no bump: a digest of the source tree is part of every key.
-CACHE_SCHEMA = 1
+#: v2: key payload gained ``dynamics`` (cluster churn) and, for trace
+#: replay, a content digest of the replayed file.
+CACHE_SCHEMA = 2
 
 #: Project-local default cache directory used by the CLI.
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -118,6 +122,35 @@ def _provenance() -> dict:
     }
 
 
+#: Content digests per trace file; trial_key calls this once per
+#: (cell, trial), so without the memo a 30-trial cell would hash the
+#: same unchanged file 30 times.
+_TRACE_DIGESTS = StatMemo(capacity=64)
+
+
+def _trace_digest(path: str) -> str:
+    """Content digest of a replayed trace file.
+
+    The spec only names the *path*; editing the file in place must miss
+    the cache rather than replay results of the old contents (the digest
+    memo is keyed on the file's stat signature, so an edit re-hashes).
+    A missing file digests to a sentinel — the subsequent run fails
+    loudly in the worker, and the sentinel never collides with real
+    contents.
+    """
+    sig = StatMemo.signature(path)
+    if sig is None:
+        return "missing"
+    digest = _TRACE_DIGESTS.get(sig)
+    if digest is None:
+        try:
+            digest = hashlib.sha256(Path(path).read_bytes()).hexdigest()[:16]
+        except OSError:
+            return "missing"
+        _TRACE_DIGESTS.put(sig, digest)
+    return digest
+
+
 def _config_payload(config: ExperimentConfig) -> dict:
     """Canonical, JSON-stable description of one experimental cell.
 
@@ -131,14 +164,18 @@ def _config_payload(config: ExperimentConfig) -> dict:
     if config.pruning is not None:
         pruning = asdict(config.pruning)
         pruning["toggle_mode"] = config.pruning.toggle_mode.value
-    return {
+    payload = {
         **_provenance(),
         "heuristic": config.heuristic,
         "spec": spec,
         "pruning": pruning,
         "heterogeneity": config.heterogeneity,
         "base_seed": config.base_seed,
+        "dynamics": asdict(config.dynamics) if config.dynamics is not None else None,
     }
+    if config.spec.pattern is ArrivalPattern.TRACE:
+        payload["trace_digest"] = _trace_digest(config.spec.trace_path)
+    return payload
 
 
 def trial_key(config: ExperimentConfig, trial: int) -> str:
@@ -434,6 +471,67 @@ def _resolve_pruning(entry) -> tuple[str, Optional[PruningConfig]]:
     raise ValueError(f"unrecognized pruning entry: {entry!r}")
 
 
+def _resolve_dynamics(entry) -> tuple[str, Optional[DynamicsSpec]]:
+    """Resolve one grid ``dynamics`` entry to (label, spec).
+
+    Accepted forms::
+
+        "none" / None                  static cluster (the paper's setup)
+        "churn"                        3 failures at the DynamicsSpec
+                                       default downtime (mean 60.0)
+        {"failures": 3,                fully explicit variant; every key is
+         "mean_downtime": 40.0,        optional and defaults to the
+         "scale_up": 1,                DynamicsSpec values; "label"
+         "scale_down": 1,              overrides the derived name
+         "window": [0.05, 0.85],
+         "min_online": 1,
+         "label": "churn3"}
+    """
+    if entry is None or entry == "none":
+        return "static", None
+    if entry == "churn":
+        return "churn", DynamicsSpec(failures=3)
+    if isinstance(entry, Mapping):
+        fields = dict(entry)
+        label = fields.pop("label", None)
+        allowed = set(DynamicsSpec.__dataclass_fields__)
+        unknown = set(fields) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown dynamics keys {sorted(unknown)}; allowed: "
+                f"{sorted(allowed | {'label'})}"
+            )
+        if "window" in fields:
+            fields["window"] = tuple(float(v) for v in fields["window"])
+        for key in ("failures", "scale_up", "scale_down", "min_online"):
+            value = fields.get(key)
+            if isinstance(value, float):
+                if not value.is_integer():
+                    raise ValueError(f"dynamics {key} must be an integer, got {value!r}")
+                fields[key] = int(value)
+        spec = DynamicsSpec(**fields)
+        if spec.is_static:
+            # All-zero event counts are the static cluster: same cell
+            # identity (label and cache key) as the "none" entry, so the
+            # grid cannot silently double-compute identical cells.
+            return str(label) if label else "static", None
+        if not label:
+            parts = []
+            if spec.failures:
+                parts.append(f"f{spec.failures}")
+                if spec.mean_downtime != DynamicsSpec.mean_downtime:
+                    # Distinct downtimes are distinct scenarios; without
+                    # this the derived labels would collide.
+                    parts.append(f"d{spec.mean_downtime:g}")
+            if spec.scale_up:
+                parts.append(f"up{spec.scale_up}")
+            if spec.scale_down:
+                parts.append(f"down{spec.scale_down}")
+            label = "dyn-" + "-".join(parts) if parts else "static"
+        return str(label), spec
+    raise ValueError(f"unrecognized dynamics entry: {entry!r}")
+
+
 def _resolve_level(entry, pattern: ArrivalPattern, scale: float) -> tuple[str, WorkloadSpec]:
     """Resolve one grid ``levels`` entry to (name, WorkloadSpec).
 
@@ -441,12 +539,29 @@ def _resolve_level(entry, pattern: ArrivalPattern, scale: float) -> tuple[str, W
     ``"20k"``, ``"25k"`` — the paper's arrival-rate ratios); a mapping
     specifies a custom workload (``num_tasks``/``time_span`` plus any
     :class:`~repro.workload.spec.WorkloadSpec` field, and an optional
-    ``name``).
+    ``name``); a mapping with a ``trace`` key replays a recorded CSV/JSON
+    trace (``{"trace": "traces/foo.csv", "name": "foo"}`` — the spec is
+    derived from the file, the grid's pattern axis does not apply).
     """
     from .scenarios import level_spec  # deferred: scenarios imports this module
 
     if isinstance(entry, str):
         return entry, level_spec(entry, pattern, scale)
+    if isinstance(entry, Mapping) and "trace" in entry:
+        fields = dict(entry)
+        path = str(fields.pop("trace"))
+        name = fields.pop("name", None)
+        trim = fields.pop("trim_edge_tasks", None)
+        if fields:
+            raise ValueError(
+                f"unknown trace-level keys {sorted(fields)}; allowed: "
+                f"['trace', 'name', 'trim_edge_tasks']"
+            )
+        try:
+            spec = trace_spec(path, trim_edge_tasks=trim)
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"cannot load trace level {path!r}: {exc}") from exc
+        return str(name) if name else Path(path).stem, spec
     if isinstance(entry, Mapping):
         fields = dict(entry)
         allowed = set(WorkloadSpec.__dataclass_fields__) - {"pattern"} | {"name"}
@@ -481,10 +596,10 @@ class SweepGrid:
     """A declarative parameter grid that expands to experiment cells.
 
     The cross product of ``heuristics × levels × patterns ×
-    heterogeneity × pruning`` defines the campaign's cells; ``trials``,
-    ``base_seed`` and ``scale`` apply to every cell.  Grids are plain
-    data — build them in code, load them with :meth:`from_json`, or pick
-    a named :meth:`preset`.
+    heterogeneity × pruning × dynamics`` defines the campaign's cells;
+    ``trials``, ``base_seed`` and ``scale`` apply to every cell.  Grids
+    are plain data — build them in code, load them with
+    :meth:`from_json`, or pick a named :meth:`preset`.
     """
 
     name: str = "campaign"
@@ -493,12 +608,20 @@ class SweepGrid:
     patterns: tuple = ("spiky",)
     heterogeneity: tuple = ("inconsistent",)
     pruning: tuple = ("none", "paper")
+    dynamics: tuple = ("none",)
     trials: int = 10
     base_seed: int = 42
     scale: float = 1.0
 
     def __post_init__(self) -> None:
-        for fname in ("heuristics", "levels", "patterns", "heterogeneity", "pruning"):
+        for fname in (
+            "heuristics",
+            "levels",
+            "patterns",
+            "heterogeneity",
+            "pruning",
+            "dynamics",
+        ):
             value = getattr(self, fname)
             if isinstance(value, (str, Mapping)):
                 value = (value,)
@@ -533,12 +656,20 @@ class SweepGrid:
     # ------------------------------------------------------------------
     @property
     def num_cells(self) -> int:
+        # Trace levels replay a fixed file, so expand() emits them once
+        # instead of once per pattern — count them the same way.
+        trace_levels = sum(
+            1
+            for entry in self.levels
+            if isinstance(entry, Mapping) and "trace" in entry
+        )
+        synthetic_levels = len(self.levels) - trace_levels
         return (
             len(self.heuristics)
-            * len(self.levels)
-            * len(self.patterns)
+            * (synthetic_levels * len(self.patterns) + trace_levels)
             * len(self.heterogeneity)
             * len(self.pruning)
+            * len(self.dynamics)
         )
 
     @property
@@ -569,10 +700,27 @@ class SweepGrid:
                 raise ValueError(
                     f"unknown heterogeneity kind {kind!r}; choose from {list(kinds)}"
                 )
-        # Resolve each axis once — a level/pruning entry's meaning does
-        # not depend on the combination it lands in (levels only on
-        # pattern and scale).
+        if "trace" in self.patterns:
+            # "trace" is not a generator: it only describes trace levels
+            # (which carry it implicitly).  Resolving it against a
+            # synthetic level would surface a confusing WorkloadSpec
+            # error from deep inside the library.
+            synthetic = [
+                entry
+                for entry in self.levels
+                if not (isinstance(entry, Mapping) and "trace" in entry)
+            ]
+            if synthetic:
+                raise ValueError(
+                    f"pattern 'trace' applies only to trace levels, but the "
+                    f"grid has synthetic level(s) {synthetic!r}; give levels "
+                    f'as {{"trace": "path.csv"}} mappings or drop the pattern'
+                )
+        # Resolve each axis once — a level/pruning/dynamics entry's
+        # meaning does not depend on the combination it lands in (levels
+        # only on pattern and scale).
         pruning_variants = [_resolve_pruning(entry) for entry in self.pruning]
+        dynamics_variants = [_resolve_dynamics(entry) for entry in self.dynamics]
         specs = {
             (pattern_name, li): _resolve_level(
                 entry, ArrivalPattern(pattern_name), self.scale
@@ -583,33 +731,48 @@ class SweepGrid:
         cells: list[CampaignCell] = []
         for heuristic in heuristics:
             for li, _level_entry in enumerate(self.levels):
-                for pattern_name in self.patterns:
-                    pattern = ArrivalPattern(pattern_name)
+                for pi, pattern_name in enumerate(self.patterns):
                     level, spec = specs[pattern_name, li]
+                    # Trace levels replay a fixed file — the pattern axis
+                    # does not apply to them, so emit each trace cell
+                    # once instead of duplicating it per pattern.
+                    if spec.pattern is ArrivalPattern.TRACE and pi > 0:
+                        continue
+                    # Trace levels carry their own pattern; labels and
+                    # summary rows report what actually runs.
+                    pattern_label = spec.pattern.value
                     for het in self.heterogeneity:
                         for plabel, pconfig in pruning_variants:
-                            label = f"{heuristic}/{plabel}@{level}/{pattern.value}/{het}"
-                            config = ExperimentConfig(
-                                heuristic=heuristic,
-                                spec=spec,
-                                pruning=pconfig,
-                                heterogeneity=het,
-                                trials=self.trials,
-                                base_seed=self.base_seed,
-                                label=label,
-                            )
-                            cells.append(
-                                CampaignCell(
-                                    config=config,
-                                    level=level,
-                                    pattern=pattern.value,
-                                    pruning_label=plabel,
+                            for dlabel, dspec in dynamics_variants:
+                                label = (
+                                    f"{heuristic}/{plabel}@{level}"
+                                    f"/{pattern_label}/{het}"
                                 )
-                            )
+                                if dspec is not None:
+                                    label += f"/{dlabel}"
+                                config = ExperimentConfig(
+                                    heuristic=heuristic,
+                                    spec=spec,
+                                    pruning=pconfig,
+                                    heterogeneity=het,
+                                    trials=self.trials,
+                                    base_seed=self.base_seed,
+                                    label=label,
+                                    dynamics=dspec,
+                                )
+                                cells.append(
+                                    CampaignCell(
+                                        config=config,
+                                        level=level,
+                                        pattern=pattern_label,
+                                        pruning_label=plabel,
+                                        dynamics_label=dlabel,
+                                    )
+                                )
         _check_unique_labels(
             cells,
-            "give the colliding pruning entries explicit 'label' keys "
-            "(or level entries explicit 'name' keys)",
+            "give the colliding pruning/dynamics entries explicit 'label' "
+            "keys (or level entries explicit 'name' keys)",
         )
         return cells
 
@@ -625,6 +788,9 @@ class SweepGrid:
             "heterogeneity": list(self.heterogeneity),
             "pruning": [
                 dict(p) if isinstance(p, Mapping) else p for p in self.pruning
+            ],
+            "dynamics": [
+                dict(d) if isinstance(d, Mapping) else d for d in self.dynamics
             ],
             "trials": self.trials,
             "base_seed": self.base_seed,
@@ -683,6 +849,7 @@ class CampaignCell:
     level: str
     pattern: str
     pruning_label: str
+    dynamics_label: str = "static"
 
 
 def _check_unique_labels(cells: Sequence["CampaignCell"], hint: str) -> None:
@@ -727,6 +894,7 @@ class Campaign:
                 level=f"{c.spec.num_tasks}t",
                 pattern=c.spec.pattern.value,
                 pruning_label="base" if c.pruning is None else "P",
+                dynamics_label="static" if c.dynamics is None else "dyn",
             )
             for c in configs
         ]
@@ -755,6 +923,7 @@ class Campaign:
                 pattern=cell.pattern,
                 heterogeneity=cell.config.heterogeneity,
                 pruning=cell.pruning_label,
+                dynamics=cell.dynamics_label,
                 stats=aggregate_robustness(trials),
             )
             for cell, trials in zip(self.cells, per_cell)
@@ -828,5 +997,51 @@ PRESETS: dict[str, dict] = {
         "heterogeneity": ["inconsistent", "consistent", "homogeneous"],
         "pruning": ["none", "paper"],
         "trials": 10,
+    },
+    # ------------------------------------------------------------------
+    # Scenario-dynamics presets (beyond the paper's static clusters).
+    # ------------------------------------------------------------------
+    # Machine churn: the same workload on a static cluster vs one that
+    # loses (and recovers) machines mid-run — oversubscription *caused*
+    # by capacity loss rather than load alone.
+    "churn": {
+        "name": "churn",
+        "heuristics": ["MM"],
+        "levels": [
+            {"name": "tiny", "num_tasks": 160, "time_span": 100.0, "num_task_types": 6}
+        ],
+        "patterns": ["spiky"],
+        "pruning": ["none", "paper"],
+        "dynamics": [
+            "none",
+            {"label": "churn", "failures": 2, "mean_downtime": 25.0},
+            {"label": "elastic", "failures": 1, "mean_downtime": 20.0,
+             "scale_up": 1, "scale_down": 1},
+        ],
+        "trials": 3,
+        "base_seed": 11,
+    },
+    # Bursty load: periodic spikes (the paper) vs random MMPP bursts vs
+    # inhomogeneous-Poisson spikes at the same offered load.
+    "bursty": {
+        "name": "bursty",
+        "heuristics": ["MM", "MSD"],
+        "levels": ["20k"],
+        "patterns": ["spiky", "bursty", "poisson"],
+        "pruning": ["none", "paper"],
+        "trials": 5,
+    },
+    # Trace replay: recorded arrival traces (CSV) instead of synthetic
+    # generators.  Paths are repo-relative — run from the checkout root.
+    "trace": {
+        "name": "trace",
+        "heuristics": ["MM"],
+        "levels": [
+            {"trace": "examples/traces/bursty_small.csv", "name": "bursty-small"},
+            {"trace": "examples/traces/steady_small.csv", "name": "steady-small"},
+        ],
+        "patterns": ["trace"],
+        "pruning": ["none", "paper"],
+        "trials": 3,
     },
 }

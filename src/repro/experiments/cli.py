@@ -12,8 +12,10 @@ Usage::
 matching the paper's 15k–25k task counts and ~3000-unit span.
 
 ``sweep`` takes a preset name (``smoke``, ``fig7b``, ``thresholds``,
-``oversub``, ``heterogeneity``) or a path to a grid JSON file — see
-``docs/experiments.md`` for the schema.  ``--jobs N`` shards trials
+``oversub``, ``heterogeneity``, ``churn``, ``bursty``, ``trace``) or a
+path to a grid JSON file — see ``docs/experiments.md`` for the schema.
+The ``trace`` preset replays repo-relative CSV traces, so run it from
+the checkout root.  ``--jobs N`` shards trials
 across N worker processes for both figures and sweeps; results are
 cached under ``.repro_cache/`` (disable with ``--no-cache``) so
 re-runs and interrupted campaigns resume instead of recomputing.

@@ -123,10 +123,11 @@ class CampaignRow:
     label: str           #: unique cell id, e.g. ``"MM/P@15k/spiky/inconsistent"``
     heuristic: str
     level: str           #: oversubscription level name (``"15k"`` …)
-    pattern: str         #: arrival pattern (``"spiky"`` / ``"constant"``)
+    pattern: str         #: arrival pattern (``"spiky"`` / ``"constant"`` …)
     heterogeneity: str
     pruning: str         #: pruning-variant label (``"base"``, ``"P"``, ``"D75"`` …)
     stats: AggregateStats
+    dynamics: str = "static"  #: cluster-dynamics label (``"static"``, ``"churn"`` …)
 
     def to_dict(self) -> dict:
         return {
@@ -136,6 +137,7 @@ class CampaignRow:
             "pattern": self.pattern,
             "heterogeneity": self.heterogeneity,
             "pruning": self.pruning,
+            "dynamics": self.dynamics,
             "stats": self.stats.to_dict(),
         }
 
@@ -148,6 +150,8 @@ class CampaignRow:
             pattern=payload["pattern"],
             heterogeneity=payload["heterogeneity"],
             pruning=payload["pruning"],
+            # Pre-dynamics summaries lack the field: they ran static.
+            dynamics=payload.get("dynamics", "static"),
             stats=AggregateStats.from_dict(payload["stats"]),
         )
 
@@ -161,6 +165,7 @@ CAMPAIGN_CSV_FIELDS = (
     "pattern",
     "heterogeneity",
     "pruning",
+    "dynamics",
     "trials",
     "mean_pct",
     "ci95_pct",
@@ -265,6 +270,7 @@ class CampaignSummary:
                     "pattern": row.pattern,
                     "heterogeneity": row.heterogeneity,
                     "pruning": row.pruning,
+                    "dynamics": row.dynamics,
                     "trials": row.stats.trials,
                     "mean_pct": f"{row.stats.mean_pct:.6f}",
                     "ci95_pct": f"{row.stats.ci95_pct:.6f}",

@@ -27,6 +27,7 @@ import numpy as np
 from ..core.config import PruningConfig
 from ..metrics.collector import SimulationResult
 from ..metrics.robustness import AggregateStats, aggregate_robustness
+from ..sim.dynamics import DynamicsSpec
 from ..sim.rng import stream_seed
 from ..stochastic.pet import PETMatrix, generate_pet_matrix
 from ..system.serverless import ServerlessSystem
@@ -53,7 +54,8 @@ def pet_matrix(heterogeneity: str = "inconsistent", seed: int = PET_SEED) -> PET
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """One experimental cell: a (heuristic, pruning, workload) triple."""
+    """One experimental cell: a (heuristic, pruning, workload) triple,
+    optionally under cluster dynamics (churn/elastic scaling)."""
 
     heuristic: str
     spec: WorkloadSpec
@@ -62,6 +64,9 @@ class ExperimentConfig:
     trials: int = 10
     base_seed: int = 42
     label: str = ""
+    #: ``None`` → the paper's static cluster; a spec → machine
+    #: failure/recovery/scaling events, deterministic per (config, trial).
+    dynamics: Optional[DynamicsSpec] = None
 
     @property
     def display_label(self) -> str:
@@ -97,6 +102,7 @@ def run_trial(config: ExperimentConfig, trial: int) -> SimulationResult:
         config.heuristic,
         pruning=config.pruning,
         seed=config.base_seed * 100_003 + trial,
+        dynamics=config.dynamics,
     )
     system.run(tasks)
     evaluated = trimmed_slice(tasks, config.spec.trim_count)

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.config import PruningConfig, ToggleMode
 from ..metrics.robustness import AggregateStats
+from ..sim.dynamics import DynamicsSpec
 from ..sim.rng import stream_seed
 from ..workload.arrivals import arrival_rate_series, generate_type_arrivals
 from ..workload.spec import ArrivalPattern, WorkloadSpec
@@ -41,6 +42,7 @@ __all__ = [
     "fig8",
     "fig9",
     "fig10",
+    "churn_impact",
     "headline_summary",
     "ALL_FIGURES",
 ]
@@ -352,6 +354,63 @@ def fig10(
 
 
 # ----------------------------------------------------------------------
+# Beyond the paper: pruning under machine churn (cluster dynamics).
+# ----------------------------------------------------------------------
+def churn_impact(
+    *,
+    trials: int = 10,
+    base_seed: int = 42,
+    scale: float = 1.0,
+    processes: int | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> FigureResult:
+    """Pruning vs baseline when oversubscription is *caused* by churn.
+
+    The paper's transient-oversubscription claim, stress-tested: the same
+    20k-equivalent spiky workload runs on a static cluster and on
+    clusters that lose machines mid-run (in-flight and queued work is
+    requeued through admission; failed machines recover after an
+    exponential downtime).  Not a figure of the paper — a scenario the
+    ROADMAP's "as many scenarios as you can imagine" axis adds.
+    """
+    spec = level_spec("20k", ArrivalPattern.SPIKY, scale)
+    downtime = spec.time_span / 12.0
+    dynamics = {
+        "static": None,
+        "light churn": DynamicsSpec(failures=2, mean_downtime=downtime),
+        "heavy churn": DynamicsSpec(failures=5, mean_downtime=2.0 * downtime),
+    }
+    heuristics = ["MM", "MSD"]
+    rows = heuristics + [h + "-P" for h in heuristics]
+
+    def cell(r: str, c: str) -> ExperimentConfig:
+        pruned = r.endswith("-P")
+        return ExperimentConfig(
+            heuristic=r.removesuffix("-P"),
+            spec=spec,
+            pruning=PruningConfig.paper_default() if pruned else None,
+            dynamics=dynamics[c],
+            trials=trials,
+            base_seed=base_seed,
+        )
+
+    return _grid(
+        "churn",
+        "Pruning mechanism under machine churn (spiky, 20k-equivalent)",
+        "heuristic (-P = with pruning)",
+        "cluster dynamics",
+        rows,
+        list(dynamics),
+        cell,
+        notes="failures kill in-flight work; victims requeue through admission",
+        processes=processes,
+        jobs=jobs,
+        cache=cache,
+    )
+
+
+# ----------------------------------------------------------------------
 def headline_summary(
     fig9_result: FigureResult, fig10_result: FigureResult
 ) -> str:
@@ -380,4 +439,5 @@ ALL_FIGURES: dict[str, Callable] = {
     "fig9b": lambda **kw: fig9(ArrivalPattern.SPIKY, **kw),
     "fig10a": lambda **kw: fig10(ArrivalPattern.CONSTANT, **kw),
     "fig10b": lambda **kw: fig10(ArrivalPattern.SPIKY, **kw),
+    "churn": churn_impact,
 }

@@ -67,6 +67,14 @@ class SimulationResult:
     #: invalidations / evictions / convolutions / convolutions_avoided) —
     #: the estimation layer's cache efficiency is a first-class metric.
     estimator_stats: Mapping[str, int] = field(default_factory=dict)
+    #: Cluster-churn counters (failures / recoveries / scale_ups /
+    #: scale_downs / skipped / evicted / requeued / interrupted) from
+    #: the dynamics driver; empty for the paper's static clusters.
+    #: ``evicted`` counts tasks churn pulled off machines; ``requeued``
+    #: the subset that re-entered admission.  The remainder was dropped
+    #: at readmission — reactively on already-passed deadlines, or
+    #: proactively by an admission gate when one is installed.
+    dynamics_stats: Mapping[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -87,6 +95,11 @@ class SimulationResult:
         """Fraction of tasks that did not complete on time."""
         return 1.0 - self.robustness
 
+    @property
+    def requeues(self) -> int:
+        """Churn-evicted task readmissions (0 on static clusters)."""
+        return int(self.dynamics_stats.get("requeued", 0))
+
     def utilization(self) -> tuple[float, ...]:
         if self.makespan <= 0:
             return tuple(0.0 for _ in self.machine_busy_time)
@@ -103,6 +116,7 @@ class SimulationResult:
         defer_decisions: int = 0,
         mapping_events: int = 0,
         estimator_stats: Mapping[str, int] | None = None,
+        dynamics_stats: Mapping[str, int] | None = None,
     ) -> "SimulationResult":
         """Roll task terminal states up into one result record."""
         counts = {
@@ -154,6 +168,7 @@ class SimulationResult:
                 tuple(m.busy_time for m in cluster.machines) if cluster else ()
             ),
             estimator_stats=dict(estimator_stats) if estimator_stats else {},
+            dynamics_stats=dict(dynamics_stats) if dynamics_stats else {},
         )
 
     # ------------------------------------------------------------------
@@ -174,6 +189,7 @@ class SimulationResult:
             "per_type": {str(k): v.to_dict() for k, v in self.per_type.items()},
             "machine_busy_time": list(self.machine_busy_time),
             "estimator_stats": dict(self.estimator_stats),
+            "dynamics_stats": dict(self.dynamics_stats),
         }
 
     @classmethod
@@ -197,13 +213,22 @@ class SimulationResult:
             estimator_stats={
                 k: int(v) for k, v in payload.get("estimator_stats", {}).items()
             },
+            dynamics_stats={
+                k: int(v) for k, v in payload.get("dynamics_stats", {}).items()
+            },
         )
 
     def summary(self) -> str:
         """One-line human-readable summary."""
-        return (
+        line = (
             f"{self.on_time}/{self.total} on time ({self.robustness_pct:.1f}%), "
             f"{self.late} late, {self.dropped_missed} reactive drops, "
             f"{self.dropped_proactive} proactive drops, "
             f"{self.defer_decisions} defers"
         )
+        if self.dynamics_stats:
+            line += (
+                f", {self.dynamics_stats.get('failures', 0)} failures"
+                f"/{self.requeues} requeues"
+            )
+        return line

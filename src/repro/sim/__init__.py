@@ -1,6 +1,7 @@
 """Discrete-event simulation substrate: engine, tasks, machines, cluster."""
 
 from .cluster import Cluster, QueueObserver
+from .dynamics import ClusterDynamics, DynamicsSpec
 from .engine import EventHandle, Priority, Simulator
 from .machine import Machine
 from .rng import RngStreams, stream_seed
@@ -13,6 +14,8 @@ __all__ = [
     "Machine",
     "Cluster",
     "QueueObserver",
+    "DynamicsSpec",
+    "ClusterDynamics",
     "Task",
     "TaskStatus",
     "TERMINAL_STATUSES",

@@ -39,6 +39,16 @@ class QueueObserver(Protocol):
     Indices refer to the queue immediately before the mutation.  Events
     fire after the machine's own state is consistent, so observers may
     inspect ``machine.queue``/``machine.running`` directly.
+
+    Cluster dynamics added two *optional* events, dispatched by name so
+    observers written against the original five-method protocol keep
+    working (and the completion estimator additionally fail-safes on the
+    machine ``version`` counter):
+
+    * ``on_offline(machine)`` — the machine failed or was drained; its
+      queue (and on failure, its running task) is gone.  All state
+      derived from the machine is stale.
+    * ``on_online(machine)`` — the machine recovered, empty.
     """
 
     def on_enqueue(self, machine: Machine, index: int) -> None: ...
@@ -59,6 +69,9 @@ class Cluster:
             raise ValueError(f"duplicate machine ids: {ids}")
         self.machines: list[Machine] = list(machines)
         self._by_id = {m.machine_id: m for m in machines}
+        # Observers registered at the cluster level, so machines added
+        # later (elastic scale-up) inherit every subscription.
+        self._observers: list[QueueObserver] = []
 
     # ------------------------------------------------------------------
     @classmethod
@@ -115,6 +128,27 @@ class Cluster:
     def any_free_slot(self) -> bool:
         return any(m.has_free_slot for m in self.machines)
 
+    def online_machines(self) -> list[Machine]:
+        """Machines currently accepting work (not failed/drained)."""
+        return [m for m in self.machines if m.online]
+
+    def add_machine(self, machine: Machine) -> None:
+        """Elastic scale-up: append a new machine to the cluster.
+
+        The machine inherits every cluster-level observer subscription.
+        Machine ids stay unique and positional metrics (busy-time tuples)
+        simply grow — ids of existing machines never shift.
+        """
+        if machine.machine_id in self._by_id:
+            raise ValueError(f"duplicate machine id {machine.machine_id}")
+        self.machines.append(machine)
+        self._by_id[machine.machine_id] = machine
+        for obs in self._observers:
+            machine.subscribe(obs)
+
+    def next_machine_id(self) -> int:
+        return max(m.machine_id for m in self.machines) + 1
+
     def total_queued(self) -> int:
         return sum(m.queue_length for m in self.machines)
 
@@ -131,10 +165,15 @@ class Cluster:
 
     # ------------------------------------------------------------------
     def subscribe(self, observer: QueueObserver) -> None:
-        """Subscribe ``observer`` to queue-delta events of every machine."""
+        """Subscribe ``observer`` to queue-delta events of every machine
+        (including machines added later via :meth:`add_machine`)."""
+        if observer not in self._observers:
+            self._observers.append(observer)
         for m in self.machines:
             m.subscribe(observer)
 
     def unsubscribe(self, observer: QueueObserver) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
         for m in self.machines:
             m.unsubscribe(observer)

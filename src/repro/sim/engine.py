@@ -35,6 +35,11 @@ class Priority:
     """
 
     COMPLETION = 0
+    #: Cluster-dynamics events (failure/recovery/scaling): after the
+    #: completions of the same instant — work finished at ``t`` counts —
+    #: but before arrivals, so a task arriving at ``t`` sees the post-churn
+    #: cluster it would actually be admitted into.
+    DYNAMICS = 5
     ARRIVAL = 10
     MAPPING = 20
     DEFAULT = 50

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
-from .engine import Priority, Simulator
+from .engine import EventHandle, Priority, Simulator
 from .task import Task, TaskStatus
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -49,6 +49,11 @@ class Machine:
         self.queue: list[Task] = []
         self.running: Task | None = None
         self.running_started_at: float | None = None
+        #: Cluster-dynamics state: an offline machine (failed or drained
+        #: for scale-down) accepts no dispatches and reports zero free
+        #: slots, so every heuristic skips it without special-casing.
+        self.online: bool = True
+        self._finish_handle: EventHandle | None = None
         #: Optional hook invoked when the machine skips a queued task whose
         #: deadline already passed while picking its next task (§II: "a
         #: task that is past its deadline must be dropped from the
@@ -86,10 +91,16 @@ class Machine:
 
     @property
     def has_free_slot(self) -> bool:
-        """Whether the FCFS queue can accept one more mapped task."""
+        """Whether the FCFS queue can accept one more mapped task.
+        Always False while offline."""
+        if not self.online:
+            return False
         return self.queue_limit is None or len(self.queue) < self.queue_limit
 
     def free_slots(self) -> int | None:
+        """Remaining queue slots (``None`` = unbounded, ``0`` if offline)."""
+        if not self.online:
+            return 0
         if self.queue_limit is None:
             return None
         return self.queue_limit - len(self.queue)
@@ -134,6 +145,22 @@ class Machine:
         for obs in self.observers:
             obs.on_finish(self)
 
+    # The offline/online events post-date the original QueueObserver
+    # protocol; they are dispatched by name so observers written against
+    # the five-method protocol keep working unchanged (the completion
+    # estimator additionally guards on ``version`` and fails safe).
+    def _emit_offline(self) -> None:
+        for obs in self.observers:
+            handler = getattr(obs, "on_offline", None)
+            if handler is not None:
+                handler(self)
+
+    def _emit_online(self) -> None:
+        for obs in self.observers:
+            handler = getattr(obs, "on_online", None)
+            if handler is not None:
+                handler(self)
+
     # ------------------------------------------------------------------
     def dispatch(
         self,
@@ -148,6 +175,8 @@ class Machine:
                 f"task {task.task_id} dispatched to machine {self.machine_id} "
                 f"in state {task.status} (mapped to {task.machine_id})"
             )
+        if not self.online:
+            raise RuntimeError(f"machine {self.machine_id} is offline")
         if not self.has_free_slot:
             raise RuntimeError(f"machine {self.machine_id} queue is full")
         self.queue.append(task)
@@ -185,9 +214,67 @@ class Machine:
         return len(removed_indices)
 
     # ------------------------------------------------------------------
+    # Cluster dynamics: failure, graceful drain, recovery.
+    # ------------------------------------------------------------------
+    def fail(self, sim: Simulator) -> tuple[Task | None, list[Task]]:
+        """Abrupt machine failure: the running task is killed (its partial
+        work is lost), queued tasks are evicted, and the machine goes
+        offline.  Returns ``(interrupted_running_task, evicted_queue)``
+        — both still in their pre-failure task states; the caller (the
+        dynamics driver) requeues them through allocator admission.
+
+        The elapsed slice of the interrupted task counts as busy time:
+        the machine *was* occupied, the work just produced nothing.
+        """
+        if not self.online:
+            raise RuntimeError(f"machine {self.machine_id} is already offline")
+        interrupted = self.running
+        if interrupted is not None:
+            if self._finish_handle is not None:
+                sim.cancel(self._finish_handle)
+                self._finish_handle = None
+            assert self.running_started_at is not None
+            self.busy_time += sim.now - self.running_started_at
+            self.running = None
+            self.running_started_at = None
+        evicted = list(self.queue)
+        self.queue.clear()
+        self._task_hooks.clear()
+        self.online = False
+        self.version += 1
+        self._emit_offline()
+        return interrupted, evicted
+
+    def drain(self) -> list[Task]:
+        """Graceful scale-down: stop accepting work, evict the queue, let
+        the running task (if any) finish normally.  Returns the evicted
+        queued tasks for readmission."""
+        if not self.online:
+            raise RuntimeError(f"machine {self.machine_id} is already offline")
+        evicted = list(self.queue)
+        self.queue.clear()
+        for task in evicted:
+            self._task_hooks.pop(task.task_id, None)
+        self.online = False
+        self.version += 1
+        self._emit_offline()
+        return evicted
+
+    def recover(self) -> None:
+        """Bring a failed/drained machine back online, empty."""
+        if self.online:
+            raise RuntimeError(f"machine {self.machine_id} is already online")
+        self.online = True
+        self.version += 1
+        self._emit_online()
+
+    # ------------------------------------------------------------------
     def _start_next(self, sim: Simulator) -> None:
         if self.running is not None:
             raise RuntimeError(f"machine {self.machine_id} already running")
+        if not self.online:
+            # A drained machine's last completion must not restart work.
+            return
         # Reactive dropping at the machine level: never *start* a task
         # whose deadline has already passed — there is no value in
         # executing it (§II).
@@ -215,7 +302,9 @@ class Machine:
         def _finish() -> None:
             self._finish_running(sim, task, on_complete)
 
-        sim.schedule_in(exec_time, _finish, priority=Priority.COMPLETION)
+        self._finish_handle = sim.schedule_in(
+            exec_time, _finish, priority=Priority.COMPLETION
+        )
 
     def _finish_running(
         self,
@@ -229,6 +318,7 @@ class Machine:
         self.completed_count += 1
         self.running = None
         self.running_started_at = None
+        self._finish_handle = None
         self._task_hooks.pop(task.task_id, None)
         self.version += 1
         self._emit_finish()

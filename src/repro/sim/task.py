@@ -22,8 +22,9 @@ class TaskStatus(enum.Enum):
     State machine::
 
         PENDING ──map──▶ MAPPED ──start──▶ RUNNING ──finish──▶ COMPLETED_*
-           │  ▲             │
+           │  ▲             │                  │
            │  └──defer──────┘ (batch mode pulls a virtual mapping back)
+           │  ▲─requeue─────┴──────────────────┘ (machine failure/drain)
            └/│───drop──▶ DROPPED_*
     """
 
@@ -72,6 +73,7 @@ class Task:
     finished_at: float | None = None
     dropped_at: float | None = None
     defer_count: int = 0             #: how many mapping events pulled it back
+    requeue_count: int = 0           #: machine failures/drains that evicted it
     exec_time: float | None = None   #: actual (sampled) execution duration
     # Extension hooks (repro.extensions): monetary value / priority class.
     value: float = 1.0
@@ -126,6 +128,26 @@ class Task:
         self.machine_id = None
         self.mapped_at = None
         self.defer_count += 1
+
+    def mark_requeued(self) -> None:
+        """Machine churn evicted this task: back to PENDING for readmission.
+
+        Unlike :meth:`mark_deferred` (a scheduling decision on a MAPPED
+        task), requeueing also covers RUNNING tasks whose machine failed
+        mid-execution — the partial work is lost and the task restarts
+        from scratch if remapped (§II tasks are independent/idempotent).
+        """
+        if self.status not in (TaskStatus.MAPPED, TaskStatus.RUNNING):
+            raise RuntimeError(
+                f"task {self.task_id}: requeue from {self.status}, "
+                f"expected MAPPED or RUNNING"
+            )
+        self.status = TaskStatus.PENDING
+        self.machine_id = None
+        self.mapped_at = None
+        self.started_at = None
+        self.exec_time = None
+        self.requeue_count += 1
 
     def mark_running(self, now: float, exec_time: float) -> None:
         if self.status is not TaskStatus.MAPPED:

@@ -64,31 +64,78 @@ class AdmissionController:
         self.threshold = threshold
         self.stats = AdmissionStats()
         self.rejected_tasks: list[Task] = []
-        # Intercept the allocator's submit.
+        # Intercept the allocator's admission paths: arrivals (submit)
+        # and churn-victim readmissions (requeue) face the same gate —
+        # otherwise a cluster failure would smuggle low-chance tasks past
+        # the threshold that just rejected identical fresh arrivals.
         self._inner_submit = system.allocator.submit
         system.allocator.submit = self._submit  # type: ignore[method-assign]
+        self._inner_requeue = system.allocator.requeue
+        system.allocator.requeue = self._requeue  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     def best_chance(self, task: Task) -> float:
         """Chance of success on the machine that maximizes it, now.
 
         One batched Eq. 2 query across the whole cluster
-        (:meth:`~repro.system.completion.CompletionEstimator.chances_for`).
+        (:meth:`~repro.system.completion.CompletionEstimator.chances_for`),
+        restricted to online machines — an offline machine cannot run
+        anything, whatever its (stale) queue belief says.
         """
         est = self.system.estimator
         now = self.system.sim.now
-        return float(est.chances_for([task], self.system.cluster.machines, now).max())
+        machines = self.system.cluster.online_machines()
+        if not machines:
+            return 0.0
+        return float(est.chances_for([task], machines, now).max())
+
+    def _reject(self, task: Task) -> None:
+        task.mark_dropped(self.system.sim.now, proactive=True)
+        self.system.accounting.record_drop(task)
+        self.stats.rejected += 1
+        self.rejected_tasks.append(task)
+        # Gate drops are task outcomes like any other: routing them
+        # through the allocator's observer stream keeps timelines — and
+        # the dynamics makespan tracker — complete.
+        self.system.allocator._notify("dropped_proactive", task)
 
     def _submit(self, task: Task) -> None:
         if self.best_chance(task) < self.threshold:
-            task.mark_dropped(self.system.sim.now, proactive=True)
             self.system.accounting.record_arrival(task)
-            self.system.accounting.record_drop(task)
-            self.stats.rejected += 1
-            self.rejected_tasks.append(task)
+            self._reject(task)
             return
         self.stats.admitted += 1
         self._inner_submit(task)
+
+    def _requeue(self, tasks) -> int:
+        """Churn victims re-face the gate (arrival accounting not
+        repeated — they already arrived once).
+
+        Deadline-expired victims bypass the gate and flow through to the
+        allocator, which drops them *reactively* — the same
+        classification an ungated system gives them; gating them here
+        would misfile deadline misses under proactive drops.  The gate
+        itself is one batched Eq. 2 grid over all live victims.
+        """
+        now = self.system.sim.now
+        tasks = list(tasks)
+        live = [t for t in tasks if not now > t.deadline]
+        machines = self.system.cluster.online_machines()
+        best: dict[int, float] = {}
+        if live and machines:
+            grid = self.system.estimator.chances_for(live, machines, now)
+            best = {id(t): float(c) for t, c in zip(live, grid.max(axis=1))}
+        passed: list[Task] = []
+        for task in tasks:
+            if now > task.deadline:
+                passed.append(task)  # reactive drop inside requeue
+                continue
+            if best.get(id(task), 0.0) < self.threshold:
+                self._reject(task)
+                continue
+            self.stats.admitted += 1
+            passed.append(task)
+        return self._inner_requeue(passed)
 
     # ------------------------------------------------------------------
     def run(self, tasks, **kwargs):

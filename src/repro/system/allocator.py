@@ -16,7 +16,7 @@ which is the mechanism's headline "pluggability" property.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from ..core.accounting import Accounting
 from ..core.pruner import Pruner
@@ -68,6 +68,49 @@ class ResourceAllocator(abc.ABC):
         task.mark_dropped(self.sim.now, proactive=False)
         self.accounting.record_drop(task)
         self._notify("dropped_missed", task)
+
+    # ------------------------------------------------------------------
+    # Cluster-dynamics admission (the DynamicsHost protocol).
+    # ------------------------------------------------------------------
+    def adopt_machine(self, machine: Machine) -> None:
+        """Wire an elastically added machine into this allocator."""
+        machine.on_reap = self._on_machine_reap
+
+    def kick(self) -> None:
+        """Fire a mapping event outside the arrival/completion triggers —
+        used when cluster capacity changes (recovery, scale-up)."""
+        self._mapping_event(arriving=None)
+
+    def requeue(self, tasks: Sequence[Task]) -> int:
+        """Readmit tasks evicted by machine churn (already PENDING again).
+
+        This is the same admission gate arrivals pass through: a victim
+        whose deadline has already passed is dropped reactively (§II —
+        there is no value in remapping it), everything else re-enters the
+        mode's queue and competes at the next mapping event.  Returns the
+        number actually readmitted (evictions minus immediate drops).
+        """
+        now = self.sim.now
+        readmitted = 0
+        for task in tasks:
+            if now > task.deadline:
+                task.mark_dropped(now, proactive=False)
+                self.accounting.record_drop(task)
+                self._notify("dropped_missed", task)
+                continue
+            self.accounting.record_requeue(task)
+            self._notify("requeued", task)
+            self._readmit(task)
+            readmitted += 1
+        self._after_requeue(readmitted)
+        return readmitted
+
+    def _after_requeue(self, readmitted: int) -> None:
+        """Hook after a churn-victim batch re-entered admission."""
+
+    def _readmit(self, task: Task) -> None:
+        """Mode-specific re-entry of one churn victim."""
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -157,25 +200,47 @@ class ImmediateAllocator(ResourceAllocator):
                 f"{type(heuristic).__name__}"
             )
         self.heuristic = heuristic
+        #: Churn victims parked between _readmit and _after_requeue.
+        self._requeue_buffer: list[Task] = []
 
     def submit(self, task: Task) -> None:
         self.accounting.record_arrival(task)
         self._notify("arrived", task)
         self._mapping_event(arriving=task)
 
+    def _readmit(self, task: Task) -> None:
+        # No arrival queue to park victims in; they are remapped in one
+        # shared mapping event once the whole batch is in (_after_requeue):
+        # a per-victim event would repeat the cluster-wide reactive/
+        # pruning passes k times at the same instant and count k mapping
+        # events where batch mode counts one.
+        self._requeue_buffer.append(task)
+
+    def _after_requeue(self, readmitted: int) -> None:
+        victims, self._requeue_buffer = self._requeue_buffer, []
+        if victims:
+            self._run_mapping_event(victims)
+
     def pending_tasks(self) -> list[Task]:
         return []
 
     def _mapping_event(self, arriving: Optional[Task]) -> None:
+        self._run_mapping_event([] if arriving is None else [arriving])
+
+    def _run_mapping_event(self, to_map: list[Task]) -> None:
+        """One Fig. 5 mapping event, placing every task in ``to_map``
+        (one arrival, or a whole churn-requeue batch)."""
         self.mapping_events += 1
         self._reactive_drop_pass()
         self._pruning_prologue()
-        if arriving is not None and not arriving.is_terminal:
+        for task in to_map:
+            if task.is_terminal:
+                continue
             machine = self.heuristic.select_machine(
-                arriving, self.cluster, self.estimator, self.sim.now
+                task, self.cluster, self.estimator, self.sim.now
             )
-            arriving.mark_mapped(machine.machine_id, self.sim.now)
-            self._dispatch(arriving, machine)
+            task.mark_mapped(machine.machine_id, self.sim.now)
+            self._dispatch(task, machine)
 
 
 class BatchAllocator(ResourceAllocator):
@@ -204,6 +269,15 @@ class BatchAllocator(ResourceAllocator):
 
     def pending_tasks(self) -> list[Task]:
         return list(self.batch_queue)
+
+    def _readmit(self, task: Task) -> None:
+        # Victims pool in the batch queue like any unmapped task; one
+        # mapping event fires for the whole requeue batch (below).
+        self.batch_queue.append(task)
+
+    def _after_requeue(self, readmitted: int) -> None:
+        if readmitted and self.cluster.any_free_slot():
+            self._mapping_event(arriving=None)
 
     def _pending_deadline_missed(self, now: float) -> list[Task]:
         missed = [t for t in self.batch_queue if now > t.deadline]

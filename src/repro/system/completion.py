@@ -592,6 +592,20 @@ class CompletionEstimator:
             state.reset()
             self.invalidations += 1
 
+    def on_offline(self, machine: Machine) -> None:
+        """Machine failed/drained: its queue (and possibly its running
+        task) vanished wholesale — no suffix survives."""
+        state = self._observed(machine)
+        if state is not None:
+            state.reset()
+            self.invalidations += 1
+
+    def on_online(self, machine: Machine) -> None:
+        state = self._observed(machine)
+        if state is not None:
+            state.reset()
+            self.invalidations += 1
+
     # ------------------------------------------------------------------
     def pct_for_new(self, task_type: int, machine: Machine, now: float) -> PMF:
         """Eq. 1: PCT of a new task appended to the machine's queue.

@@ -29,6 +29,7 @@ from ..core.pruner import Pruner
 from ..heuristics.base import BatchHeuristic, ImmediateHeuristic
 from ..heuristics.registry import make_heuristic
 from ..sim.cluster import Cluster
+from ..sim.dynamics import ClusterDynamics, DynamicsSpec
 from ..sim.engine import Priority, Simulator
 from ..sim.machine import Machine
 from ..sim.rng import RngStreams
@@ -72,6 +73,12 @@ class ServerlessSystem:
         cache, the default), ``"keyed"`` (the legacy whole-chain cache,
         kept as an ablation baseline), or ``False`` (no caching).  All
         modes produce identical simulation results.
+    dynamics:
+        ``None`` → the paper's static cluster; a
+        :class:`~repro.sim.dynamics.DynamicsSpec` → machine failures,
+        recoveries and elastic scaling are scheduled over the workload
+        span from the root seed's ``"dynamics"`` stream (deterministic
+        per seed), with churn victims requeued through admission.
     """
 
     def __init__(
@@ -87,6 +94,7 @@ class ServerlessSystem:
         horizon: float = 512.0,
         condition_running: bool = True,
         memoize: Union[bool, str] = True,
+        dynamics: Optional[DynamicsSpec] = None,
         observer=None,
     ) -> None:
         self.model = model
@@ -147,6 +155,33 @@ class ServerlessSystem:
                 exec_sampler=sampler,
                 observer=observer,
             )
+        self.dynamics: Optional[ClusterDynamics] = (
+            ClusterDynamics(
+                dynamics,
+                self.sim,
+                self.cluster,
+                self.allocator,
+                self.rngs.stream("dynamics"),
+            )
+            if dynamics is not None
+            else None
+        )
+        self._last_outcome_at: float = 0.0
+        if self.dynamics is not None:
+            # A recovery scheduled past the last task outcome is a no-op
+            # that still advances the clock; makespan must mean "when the
+            # work ended", not "when the last event fired" — so track the
+            # time of the last task outcome through the observer stream.
+            inner_observer = self.allocator.observer
+
+            def _track_outcome(event: str, task: Task, time: float) -> None:
+                if event in ("completed", "dropped_missed", "dropped_proactive"):
+                    if time > self._last_outcome_at:
+                        self._last_outcome_at = time
+                if inner_observer is not None:
+                    inner_observer(event, task, time)
+
+            self.allocator.observer = _track_outcome
         self._submitted: list[Task] = []
 
     # ------------------------------------------------------------------
@@ -159,7 +194,16 @@ class ServerlessSystem:
 
     # ------------------------------------------------------------------
     def submit_workload(self, tasks: Sequence[Task]) -> None:
-        """Schedule arrival events for a workload trial."""
+        """Schedule arrival events for a workload trial.
+
+        The first submission also installs the cluster-dynamics schedule
+        (if any): churn events are placed inside the workload's arrival
+        span, so the schedule is a pure function of (spec, workload,
+        seed) — the property that keeps parallel sweeps bit-identical.
+        """
+        if self.dynamics is not None and not self.dynamics.installed:
+            span = max((t.arrival for t in tasks), default=0.0)
+            self.dynamics.install(span)
         for task in tasks:
             self._submitted.append(task)
             self.sim.schedule(
@@ -193,6 +237,21 @@ class ServerlessSystem:
                 task.mark_dropped(self.sim.now, proactive=False)
                 self.accounting.record_drop(task)
 
+    def _makespan(self) -> float:
+        """When the work ended.
+
+        On a static cluster the event queue drains exactly when the last
+        task outcome lands, so this is ``sim.now``.  Under dynamics, a
+        recovery scheduled beyond the last outcome (e.g. a long downtime
+        outlasting the whole workload) is a no-op that still advances
+        the clock — reporting it as makespan would deflate every
+        utilization figure, so the dynamics path uses the tracked last
+        task outcome instead.
+        """
+        if self.dynamics is None or self._last_outcome_at <= 0.0:
+            return self.sim.now
+        return self._last_outcome_at
+
     # ------------------------------------------------------------------
     def result(self, tasks: Sequence[Task] | None = None) -> SimulationResult:
         """Aggregate outcomes — optionally over a subset (e.g. the
@@ -201,10 +260,11 @@ class ServerlessSystem:
         return SimulationResult.from_tasks(
             universe,
             cluster=self.cluster,
-            makespan=self.sim.now,
+            makespan=self._makespan(),
             defer_decisions=self.accounting.total_defers,
             mapping_events=self.allocator.mapping_events,
             estimator_stats=self.estimator.cache_stats(),
+            dynamics_stats=self.dynamics.stats() if self.dynamics else None,
         )
 
     @property

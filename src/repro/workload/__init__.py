@@ -2,8 +2,11 @@
 
 from .arrivals import (
     arrival_rate_series,
+    bursty_arrivals,
     constant_arrivals,
     generate_type_arrivals,
+    inhomogeneous_poisson_arrivals,
+    poisson_arrivals,
     spiky_arrivals,
     spiky_rate_profile,
 )
@@ -16,7 +19,16 @@ from .models import (
     workload_from_arrivals,
 )
 from .spec import PAPER_TIME_SPAN, ArrivalPattern, WorkloadSpec
-from .trace import load_trace, records_to_tasks, save_trace, tasks_to_records
+from .trace import (
+    load_any_trace,
+    load_csv_trace,
+    load_trace,
+    records_to_tasks,
+    save_csv_trace,
+    save_trace,
+    tasks_to_records,
+    trace_spec,
+)
 
 __all__ = [
     "WorkloadSpec",
@@ -28,6 +40,9 @@ __all__ = [
     "constant_arrivals",
     "spiky_arrivals",
     "spiky_rate_profile",
+    "inhomogeneous_poisson_arrivals",
+    "poisson_arrivals",
+    "bursty_arrivals",
     "generate_type_arrivals",
     "arrival_rate_series",
     "DiurnalSpec",
@@ -37,6 +52,10 @@ __all__ = [
     "workload_from_arrivals",
     "save_trace",
     "load_trace",
+    "save_csv_trace",
+    "load_csv_trace",
+    "load_any_trace",
+    "trace_spec",
     "tasks_to_records",
     "records_to_tasks",
 ]

@@ -11,6 +11,15 @@ sits at the lull level except during a spike window of
 number of tasks matches the spec (so constant and spiky workloads of the
 same ``num_tasks`` impose the same aggregate load — the paper compares
 them at equal oversubscription levels).
+
+Beyond the paper's pair, this module generates inhomogeneous Poisson
+arrivals by thinning (:func:`inhomogeneous_poisson_arrivals`, usable with
+arbitrary rate profiles), a Poisson variant of the spiky profile
+(:func:`poisson_arrivals`), and Markov-modulated bursty arrivals
+(:func:`bursty_arrivals`); trace replay is handled whole-workload in
+:mod:`repro.workload.trace`/:func:`~repro.workload.generator.
+generate_workload`.  Every generator is normalized so the expected total
+count matches the spec — patterns are compared at equal offered load.
 """
 
 from __future__ import annotations
@@ -26,6 +35,9 @@ __all__ = [
     "constant_arrivals",
     "spiky_arrivals",
     "spiky_rate_profile",
+    "inhomogeneous_poisson_arrivals",
+    "poisson_arrivals",
+    "bursty_arrivals",
     "generate_type_arrivals",
     "arrival_rate_series",
 ]
@@ -124,6 +136,96 @@ def spiky_arrivals(
     return np.asarray(times)
 
 
+def inhomogeneous_poisson_arrivals(
+    rate_fn: Callable[[float], float],
+    rate_max: float,
+    time_span: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Inhomogeneous Poisson process by thinning (Lewis–Shedler; cf.
+    Hohmann's IPPP treatment) for an *arbitrary* rate profile.
+
+    Candidate points are drawn from a homogeneous Poisson process at
+    ``rate_max`` and each is accepted with probability
+    ``rate_fn(t) / rate_max`` — so the accepted stream has exactly the
+    intensity ``rate_fn``.  The thinning bound is enforced, not assumed:
+    a profile exceeding ``rate_max`` anywhere a candidate lands raises
+    ``ValueError`` (silently exceeding it would quietly under-sample the
+    peaks, which is precisely the regime these scenarios probe).
+    """
+    if rate_max <= 0:
+        raise ValueError("rate_max must be positive")
+    if time_span <= 0:
+        raise ValueError("time_span must be positive")
+    times = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / rate_max)
+        if t >= time_span:
+            break
+        rate = rate_fn(t)
+        if rate < 0:
+            raise ValueError(f"rate_fn({t}) = {rate} is negative")
+        if rate > rate_max * (1.0 + 1e-12):
+            raise ValueError(
+                f"thinning bound exceeded: rate_fn({t}) = {rate} > rate_max = {rate_max}"
+            )
+        if rng.random() <= rate / rate_max:
+            times.append(t)
+    return np.asarray(times)
+
+
+def poisson_arrivals(
+    expected_count: float,
+    spec: WorkloadSpec,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Arrival times of one task type under the POISSON pattern.
+
+    The rate profile is the spec's spiky multiplier (so POISSON and SPIKY
+    impose the same time-varying *mean* load) but the counting process is
+    a true inhomogeneous Poisson — index of dispersion 1 instead of the
+    Gamma gap process's ``variance_fraction``.  ``spike_amplitude = 1``
+    degenerates to a homogeneous Poisson process.
+    """
+    if expected_count <= 0:
+        return np.empty(0)
+    multiplier = spiky_rate_profile(spec)
+    base_rate = expected_count / (spec.time_span * _mean_multiplier(spec))
+    return inhomogeneous_poisson_arrivals(
+        lambda t: base_rate * multiplier(t),
+        base_rate * spec.spike_amplitude,
+        spec.time_span,
+        rng,
+    )
+
+
+def bursty_arrivals(
+    expected_count: float,
+    spec: WorkloadSpec,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Arrival times of one task type under the BURSTY (MMPP) pattern.
+
+    A two-state Markov-modulated Poisson process: burst onsets are
+    *random* (exponential dwells) rather than SPIKY's periodic spikes,
+    so trials disagree about when the overload hits — the transient-
+    oversubscription regime the pruning mechanism targets.  Normalized
+    so the expected total count matches ``expected_count``.
+    """
+    from .models import MMPPSpec, mmpp_arrivals  # deferred: models imports us
+
+    if expected_count <= 0:
+        return np.empty(0)
+    mean_cycle = spec.time_span / spec.burst_cycles
+    mmpp = MMPPSpec(
+        burst_ratio=spec.burst_amplitude,
+        mean_quiet_dwell=(1.0 - spec.burst_fraction) * mean_cycle,
+        mean_burst_dwell=spec.burst_fraction * mean_cycle,
+    )
+    return mmpp_arrivals(expected_count, spec.time_span, rng, mmpp)
+
+
 def generate_type_arrivals(
     spec: WorkloadSpec, expected_count: float, rng: np.random.Generator
 ) -> np.ndarray:
@@ -134,6 +236,15 @@ def generate_type_arrivals(
             spec.time_span,
             rng,
             variance_fraction=spec.variance_fraction,
+        )
+    if spec.pattern is ArrivalPattern.POISSON:
+        return poisson_arrivals(expected_count, spec, rng)
+    if spec.pattern is ArrivalPattern.BURSTY:
+        return bursty_arrivals(expected_count, spec, rng)
+    if spec.pattern is ArrivalPattern.TRACE:
+        raise ValueError(
+            "trace workloads replay recorded tasks; generate_workload "
+            "loads them whole instead of sampling per-type arrivals"
         )
     return spiky_arrivals(expected_count, spec, rng)
 

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..sim.task import Task
 from .arrivals import generate_type_arrivals
-from .spec import WorkloadSpec
+from .spec import ArrivalPattern, WorkloadSpec
 
 __all__ = ["DurationModel", "generate_workload", "trimmed_slice", "assign_deadlines"]
 
@@ -55,7 +55,31 @@ def generate_workload(
     The expected task count is split evenly across the spec's task types
     (capped at the model's type count); actual counts vary stochastically
     with the arrival process, as in the paper.
+
+    ``pattern="trace"`` replays the recorded tasks from
+    ``spec.trace_path`` instead of sampling: arrivals, deadlines and ids
+    come from the file verbatim (``rng`` is untouched, so replay trials
+    differ only in execution-time sampling downstream).
     """
+    if spec.pattern is ArrivalPattern.TRACE:
+        from .trace import replay_tasks  # deferred: trace imports spec
+
+        tasks = replay_tasks(spec.trace_path)
+        if len(tasks) != spec.num_tasks:
+            raise ValueError(
+                f"trace {spec.trace_path!r} holds {len(tasks)} tasks but the "
+                f"spec says {spec.num_tasks}; build replay specs with "
+                f"repro.workload.trace.trace_spec so metrics (trim windows, "
+                f"oversubscription labels) describe the file"
+            )
+        bad = [t.task_type for t in tasks if t.task_type >= model.num_task_types]
+        if bad:
+            raise ValueError(
+                f"trace {spec.trace_path!r} uses task type {max(bad)} but the "
+                f"model only has {model.num_task_types} types"
+            )
+        return tasks
+
     num_types = min(spec.num_task_types, model.num_task_types)
     if num_types <= 0:
         raise ValueError("no task types available")

@@ -25,6 +25,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..sim.task import Task
+from .arrivals import inhomogeneous_poisson_arrivals
 from .generator import DurationModel, assign_deadlines
 
 __all__ = [
@@ -90,19 +91,17 @@ def _thinned_poisson(
     time_span: float,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    """Inhomogeneous Poisson sampling by thinning against the peak rate."""
+    """Inhomogeneous Poisson sampling by thinning against the peak rate.
+
+    Thin wrapper over the shared, bound-checked primitive in
+    :func:`~repro.workload.arrivals.inhomogeneous_poisson_arrivals`.
+    """
     peak_rate = base_rate * peak_multiplier
     if peak_rate <= 0:
         return np.empty(0)
-    times = []
-    t = 0.0
-    while True:
-        t += rng.exponential(1.0 / peak_rate)
-        if t >= time_span:
-            break
-        if rng.random() <= multiplier_at(t) / peak_multiplier:
-            times.append(t)
-    return np.asarray(times)
+    return inhomogeneous_poisson_arrivals(
+        lambda t: base_rate * multiplier_at(t), peak_rate, time_span, rng
+    )
 
 
 def diurnal_arrivals(

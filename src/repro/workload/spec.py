@@ -32,6 +32,14 @@ PAPER_TIME_SPAN = 3000.0
 class ArrivalPattern(enum.Enum):
     CONSTANT = "constant"
     SPIKY = "spiky"
+    #: Inhomogeneous Poisson (thinning) under the spiky rate profile —
+    #: the same mean load as SPIKY but with true Poisson dispersion.
+    POISSON = "poisson"
+    #: Two-state Markov-modulated Poisson process (random burst onsets
+    #: with exponential dwell times, unlike SPIKY's periodic spikes).
+    BURSTY = "bursty"
+    #: Replay a recorded trace (CSV/JSON) instead of generating arrivals.
+    TRACE = "trace"
 
 
 @dataclass(frozen=True)
@@ -52,6 +60,14 @@ class WorkloadSpec:
     num_spikes: int = 4
     #: Deadline slack multiplier range for Eq. 4's β.
     beta_range: tuple[float, float] = (0.8, 2.5)
+    #: BURSTY pattern: burst-state rate relative to the quiet rate.
+    burst_amplitude: float = 5.0
+    #: BURSTY pattern: long-run fraction of time spent in the burst state.
+    burst_fraction: float = 0.2
+    #: BURSTY pattern: expected quiet→burst cycles across the span.
+    burst_cycles: float = 8.0
+    #: TRACE pattern: path of the trace to replay (CSV or JSON trace).
+    trace_path: str = ""
     #: Tasks trimmed from each end of the trace when computing metrics
     #: ("the first and last 100 tasks … are removed from the data").
     #: ``None`` scales the paper's 100 with workload size.
@@ -73,6 +89,18 @@ class WorkloadSpec:
         lo, hi = self.beta_range
         if lo < 0 or hi < lo:
             raise ValueError(f"invalid beta_range {self.beta_range}")
+        if self.burst_amplitude < 1:
+            raise ValueError("burst_amplitude must be >= 1")
+        if not 0 < self.burst_fraction < 1:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        if self.burst_cycles <= 0:
+            raise ValueError("burst_cycles must be positive")
+        if self.pattern is ArrivalPattern.TRACE and not self.trace_path:
+            raise ValueError(
+                "pattern 'trace' needs trace_path (build specs with "
+                "repro.workload.trace.trace_spec to keep num_tasks/time_span "
+                "consistent with the file)"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -106,6 +134,8 @@ class WorkloadSpec:
             raise ValueError("scale must be positive")
         if scale == 1.0:
             return self
+        if self.pattern is ArrivalPattern.TRACE:
+            raise ValueError("trace workloads replay a fixed file and cannot be scaled")
         return self.with_(
             num_tasks=max(int(self.num_tasks * scale), 10),
             time_span=self.time_span * scale,

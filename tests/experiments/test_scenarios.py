@@ -90,6 +90,7 @@ class TestGrids:
             "fig9b",
             "fig10a",
             "fig10b",
+            "churn",
         }
 
 

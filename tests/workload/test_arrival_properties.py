@@ -1,0 +1,189 @@
+"""Property-based tests for every arrival generator.
+
+Four invariants, for each of constant / spiky / poisson / bursty (plus
+the raw thinning primitive):
+
+* arrivals are sorted and strictly inside ``[0, time_span)``;
+* the generator conserves the offered load — the expected total count
+  matches the spec within statistical tolerance;
+* the same seed reproduces the same arrivals bit-for-bit;
+* the thinning bound is enforced, never silently exceeded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.arrivals import (
+    bursty_arrivals,
+    constant_arrivals,
+    generate_type_arrivals,
+    inhomogeneous_poisson_arrivals,
+    poisson_arrivals,
+    spiky_arrivals,
+)
+from repro.workload.spec import ArrivalPattern, WorkloadSpec
+
+GENERATED_PATTERNS = ["constant", "spiky", "poisson", "bursty"]
+
+
+@st.composite
+def specs(draw):
+    return WorkloadSpec(
+        num_tasks=draw(st.integers(min_value=30, max_value=200)),
+        time_span=draw(st.floats(min_value=40.0, max_value=300.0)),
+        num_task_types=draw(st.integers(min_value=1, max_value=4)),
+        pattern=draw(st.sampled_from(GENERATED_PATTERNS)),
+        num_spikes=draw(st.integers(min_value=1, max_value=5)),
+        spike_amplitude=draw(st.floats(min_value=1.0, max_value=6.0)),
+        burst_amplitude=draw(st.floats(min_value=1.0, max_value=8.0)),
+        burst_fraction=draw(st.floats(min_value=0.05, max_value=0.6)),
+        burst_cycles=draw(st.floats(min_value=1.0, max_value=10.0)),
+    )
+
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs(), seeds)
+def test_arrivals_sorted_and_inside_span(spec, seed):
+    arr = generate_type_arrivals(spec, 50.0, np.random.default_rng(seed))
+    assert np.all(np.diff(arr) >= 0)
+    assert np.all(arr >= 0)
+    assert np.all(arr < spec.time_span)
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs(), seeds)
+def test_seed_determinism(spec, seed):
+    a = generate_type_arrivals(spec, 40.0, np.random.default_rng(seed))
+    b = generate_type_arrivals(spec, 40.0, np.random.default_rng(seed))
+    assert np.array_equal(a, b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(specs())
+def test_empty_for_nonpositive_expected_count(spec):
+    rng = np.random.default_rng(0)
+    assert generate_type_arrivals(spec, 0.0, rng).size == 0
+    assert generate_type_arrivals(spec, -3.0, rng).size == 0
+
+
+@pytest.mark.parametrize("pattern", GENERATED_PATTERNS)
+def test_rate_conservation_within_tolerance(pattern):
+    """Averaged over many independent trials, every generator delivers the
+    expected count — patterns are compared at equal offered load."""
+    spec = WorkloadSpec(
+        num_tasks=100, time_span=200.0, num_task_types=2, pattern=pattern
+    )
+    expected = 120.0
+    rng = np.random.default_rng(12345)
+    reps = 60
+    total = sum(
+        generate_type_arrivals(spec, expected, rng).size for _ in range(reps)
+    )
+    mean = total / reps
+    # 60 reps of a count with std <= ~sqrt(3·mean) (MMPP overdispersion):
+    # a 5-sigma band around the target is ~±12, use ±15% of 120 = ±18.
+    assert abs(mean - expected) < 0.15 * expected, (
+        f"{pattern}: mean count {mean:.1f} vs expected {expected}"
+    )
+
+
+class TestThinningPrimitive:
+    def test_bound_violation_raises(self):
+        with pytest.raises(ValueError, match="thinning bound exceeded"):
+            inhomogeneous_poisson_arrivals(
+                lambda t: 10.0, 5.0, 100.0, np.random.default_rng(0)
+            )
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ValueError, match="negative"):
+            inhomogeneous_poisson_arrivals(
+                lambda t: -1.0, 5.0, 100.0, np.random.default_rng(0)
+            )
+
+    def test_nonpositive_rate_max_raises(self):
+        with pytest.raises(ValueError, match="rate_max"):
+            inhomogeneous_poisson_arrivals(
+                lambda t: 1.0, 0.0, 100.0, np.random.default_rng(0)
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, st.floats(min_value=0.2, max_value=5.0))
+    def test_rate_at_bound_keeps_every_candidate(self, seed, rate):
+        """rate_fn == rate_max must accept every candidate: thinning
+        with a tight bound degenerates to the homogeneous process, so
+        the output equals the candidate stream exactly."""
+        out = inhomogeneous_poisson_arrivals(
+            lambda t: rate, rate, 60.0, np.random.default_rng(seed)
+        )
+        replay = np.random.default_rng(seed)
+        candidates = []
+        t = 0.0
+        while True:
+            t += replay.exponential(1.0 / rate)
+            if t >= 60.0:
+                break
+            replay.random()  # the acceptance draw, always < rate/rate_max = 1
+            candidates.append(t)
+        assert np.array_equal(out, np.asarray(candidates))
+
+    def test_zero_rate_profile_yields_nothing(self):
+        out = inhomogeneous_poisson_arrivals(
+            lambda t: 0.0, 2.0, 80.0, np.random.default_rng(3)
+        )
+        assert out.size == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seeds)
+def test_poisson_amplitude_one_is_homogeneous(seed):
+    """POISSON with amplitude 1 has a flat profile: every candidate is
+    accepted, so the arrival count equals the candidate count of a plain
+    Poisson process at the base rate."""
+    spec = WorkloadSpec(
+        num_tasks=100,
+        time_span=100.0,
+        pattern=ArrivalPattern.POISSON,
+        spike_amplitude=1.0,
+    )
+    out = poisson_arrivals(80.0, spec, np.random.default_rng(seed))
+    assert np.all(np.diff(out) >= 0)
+    assert np.all((out >= 0) & (out < spec.time_span))
+
+
+def test_trace_pattern_rejected_by_type_dispatch():
+    spec = WorkloadSpec(
+        num_tasks=10, time_span=10.0, pattern="trace", trace_path="x.csv"
+    )
+    with pytest.raises(ValueError, match="replay"):
+        generate_type_arrivals(spec, 5.0, np.random.default_rng(0))
+
+
+def test_generator_functions_match_dispatch():
+    """generate_type_arrivals must route each pattern to its generator."""
+    rng_seed = 77
+    for pattern, fn in [
+        (ArrivalPattern.SPIKY, spiky_arrivals),
+        (ArrivalPattern.POISSON, poisson_arrivals),
+        (ArrivalPattern.BURSTY, bursty_arrivals),
+    ]:
+        spec = WorkloadSpec(num_tasks=60, time_span=50.0, pattern=pattern)
+        via_dispatch = generate_type_arrivals(
+            spec, 30.0, np.random.default_rng(rng_seed)
+        )
+        direct = fn(30.0, spec, np.random.default_rng(rng_seed))
+        assert np.array_equal(via_dispatch, direct)
+    spec = WorkloadSpec(num_tasks=60, time_span=50.0, pattern="constant")
+    assert np.array_equal(
+        generate_type_arrivals(spec, 30.0, np.random.default_rng(rng_seed)),
+        constant_arrivals(
+            30.0, spec.time_span, np.random.default_rng(rng_seed),
+            variance_fraction=spec.variance_fraction,
+        ),
+    )

@@ -1,16 +1,22 @@
-"""Tests for workload trace persistence."""
+"""Tests for workload trace persistence (JSON v1/v2 + CSV replay)."""
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.sim.task import TaskStatus
+from repro.workload.generator import generate_workload
 from repro.workload.spec import ArrivalPattern, WorkloadSpec
 from repro.workload.trace import (
+    load_any_trace,
+    load_csv_trace,
     load_trace,
     records_to_tasks,
+    save_csv_trace,
     save_trace,
     tasks_to_records,
+    trace_spec,
 )
 
 
@@ -61,3 +67,189 @@ class TestRoundTrip:
         save_trace(path, small_workload)
         payload = json.loads(path.read_text())
         assert {"format_version", "spec", "tasks"} <= payload.keys()
+        assert payload["format_version"] == 2
+
+
+class TestFormatCompatibility:
+    """Format v1 → v2: new spec fields, old files keep loading."""
+
+    _V2_ONLY = ("burst_amplitude", "burst_fraction", "burst_cycles", "trace_path")
+
+    def _as_v1(self, tmp_path, tasks, spec):
+        """Write a v2 trace, strip it down to a faithful v1 file."""
+        path = tmp_path / "v2.json"
+        save_trace(path, tasks, spec)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 1
+        for field in self._V2_ONLY:
+            payload["spec"].pop(field)
+        v1_path = tmp_path / "v1.json"
+        v1_path.write_text(json.dumps(payload))
+        return v1_path
+
+    def test_v1_file_loads_with_default_new_fields(self, tmp_path, small_workload):
+        spec = WorkloadSpec(num_tasks=120, time_span=80.0, num_task_types=3)
+        v1_path = self._as_v1(tmp_path, small_workload, spec)
+        tasks, loaded = load_trace(v1_path)
+        assert len(tasks) == len(small_workload)
+        # The v1 spec describes the same workload: new fields take their
+        # defaults, which is exactly what v1-era generation used.
+        assert loaded == spec
+
+    def test_v2_spec_round_trips_new_fields(self, tmp_path, small_workload):
+        spec = WorkloadSpec(
+            num_tasks=120,
+            time_span=80.0,
+            num_task_types=3,
+            pattern=ArrivalPattern.BURSTY,
+            burst_amplitude=4.0,
+            burst_fraction=0.3,
+            burst_cycles=5.0,
+        )
+        path = tmp_path / "t.json"
+        save_trace(path, small_workload, spec)
+        _, loaded = load_trace(path)
+        assert loaded == spec
+
+
+class TestRecordValidation:
+    def test_missing_key_raises_with_record_index(self):
+        records = [
+            {"id": 0, "type": 1, "arrival": 1.0, "deadline": 5.0},
+            {"id": 1, "type": 1, "arrival": 2.0},
+        ]
+        with pytest.raises(ValueError, match=r"record #1.*deadline"):
+            records_to_tasks(records)
+
+    def test_non_mapping_record_raises(self):
+        with pytest.raises(ValueError, match="not a mapping"):
+            records_to_tasks([["not", "a", "dict"]])
+
+    def test_non_numeric_field_raises(self):
+        with pytest.raises(ValueError, match="record #0 is invalid"):
+            records_to_tasks([{"id": "x", "type": 0, "arrival": 1.0, "deadline": 2.0}])
+
+    def test_non_finite_arrival_raises(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            records_to_tasks(
+                [{"id": 0, "type": 0, "arrival": float("nan"), "deadline": float("nan")}]
+            )
+
+    def test_deadline_before_arrival_raises(self):
+        with pytest.raises(ValueError, match="invalid"):
+            records_to_tasks([{"id": 0, "type": 0, "arrival": 5.0, "deadline": 1.0}])
+
+    def test_negative_task_type_raises(self):
+        # -1 would silently index the PET matrix from the end.
+        with pytest.raises(ValueError, match="negative task type"):
+            records_to_tasks([{"id": 0, "type": -1, "arrival": 1.0, "deadline": 5.0}])
+
+    def test_fractional_type_raises_instead_of_truncating(self):
+        # int(2.9) would silently replay type 2.
+        with pytest.raises(ValueError, match="non-integer type"):
+            records_to_tasks([{"id": 0, "type": 2.9, "arrival": 1.0, "deadline": 5.0}])
+        with pytest.raises(ValueError, match="non-integer id"):
+            records_to_tasks([{"id": 0.5, "type": 1, "arrival": 1.0, "deadline": 5.0}])
+        # Integral floats (JSON's 2.0) are fine.
+        tasks = records_to_tasks([{"id": 0.0, "type": 2.0, "arrival": 1.0, "deadline": 5.0}])
+        assert tasks[0].task_type == 2
+
+
+class TestCsvTraces:
+    def test_round_trip_bitexact(self, tmp_path, small_workload):
+        path = tmp_path / "t.csv"
+        save_csv_trace(path, small_workload)
+        loaded = load_csv_trace(path)
+        assert [
+            (t.task_id, t.task_type, t.arrival, t.deadline) for t in loaded
+        ] == [
+            (t.task_id, t.task_type, t.arrival, t.deadline) for t in small_workload
+        ]
+        assert all(t.status is TaskStatus.PENDING for t in loaded)
+
+    def test_columns_in_any_order_extra_ignored(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(
+            "deadline,tenant,arrival,id,type\n"
+            "9.5,acme,1.0,7,2\n"
+            "4.0,acme,0.5,3,0\n"
+        )
+        tasks = load_csv_trace(path)
+        # Sorted by (arrival, id); the tenant column is ignored.
+        assert [(t.task_id, t.arrival) for t in tasks] == [(3, 0.5), (7, 1.0)]
+
+    def test_missing_column_raises(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("id,type,arrival\n1,0,1.0\n")
+        with pytest.raises(ValueError, match="missing column.*deadline"):
+            load_csv_trace(path)
+
+    def test_duplicate_id_raises(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(
+            "id,type,arrival,deadline\n1,0,1.0,5.0\n1,0,2.0,6.0\n"
+        )
+        with pytest.raises(ValueError, match="duplicate task id 1"):
+            load_csv_trace(path)
+
+    def test_load_any_trace_dispatches_on_extension(self, tmp_path, small_workload):
+        csv_path, json_path = tmp_path / "t.csv", tmp_path / "t.json"
+        save_csv_trace(csv_path, small_workload)
+        save_trace(json_path, small_workload)
+        assert len(load_any_trace(csv_path)) == len(small_workload)
+        assert len(load_any_trace(json_path)) == len(small_workload)
+
+    def test_json_replay_gets_same_ordering_hygiene_as_csv(self, tmp_path):
+        # An external JSON trace grouped by type, not by arrival time.
+        payload = {
+            "format_version": 2,
+            "spec": None,
+            "tasks": [
+                {"id": 7, "type": 1, "arrival": 9.0, "deadline": 20.0},
+                {"id": 3, "type": 0, "arrival": 1.0, "deadline": 8.0},
+            ],
+        }
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(payload))
+        assert [t.task_id for t in load_any_trace(path)] == [3, 7]
+        payload["tasks"].append({"id": 3, "type": 0, "arrival": 2.0, "deadline": 9.0})
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="duplicate task id 3"):
+            load_any_trace(path)
+
+
+class TestTraceReplay:
+    def test_trace_spec_describes_the_file(self, tmp_path, small_workload):
+        path = tmp_path / "t.csv"
+        save_csv_trace(path, small_workload)
+        spec = trace_spec(path)
+        assert spec.pattern is ArrivalPattern.TRACE
+        assert spec.num_tasks == len(small_workload)
+        assert spec.time_span > max(t.arrival for t in small_workload)
+
+    def test_generate_workload_replays_exactly(self, tmp_path, small_workload, pet_small):
+        path = tmp_path / "t.csv"
+        save_csv_trace(path, small_workload)
+        replayed = generate_workload(
+            trace_spec(path), pet_small, np.random.default_rng(0)
+        )
+        assert [(t.task_id, t.arrival, t.deadline) for t in replayed] == [
+            (t.task_id, t.arrival, t.deadline) for t in small_workload
+        ]
+
+    def test_count_mismatch_raises(self, tmp_path, small_workload, pet_small):
+        path = tmp_path / "t.csv"
+        save_csv_trace(path, small_workload)
+        bad = trace_spec(path).with_(num_tasks=3)
+        with pytest.raises(ValueError, match="holds.*tasks"):
+            generate_workload(bad, pet_small, np.random.default_rng(0))
+
+    def test_trace_spec_requires_path(self):
+        with pytest.raises(ValueError, match="trace_path"):
+            WorkloadSpec(num_tasks=5, time_span=5.0, pattern="trace")
+
+    def test_trace_spec_cannot_scale(self, tmp_path, small_workload):
+        path = tmp_path / "t.csv"
+        save_csv_trace(path, small_workload)
+        with pytest.raises(ValueError, match="cannot be scaled"):
+            trace_spec(path).scaled(2.0)

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Regenerate the golden-trace regression fixtures and example traces.
+
+Produces (all deterministic — fixed seeds, no wall-clock input):
+
+* ``examples/traces/*.csv`` — small recorded traces the ``trace`` sweep
+  preset replays;
+* ``tests/golden/cases.json`` — the manifest of golden scenarios;
+* ``tests/golden/<name>.trace.json`` — the workload trace each scenario
+  replays (format v2);
+* ``tests/golden/<name>.expected.json`` — the exact
+  ``SimulationResult.to_dict()`` the replay must reproduce.
+
+``tests/test_golden.py`` replays every case and diffs the result
+*exactly*, so any refactor that shifts schedules — event ordering, RNG
+stream consumption, estimator behavior with side effects — fails loudly
+instead of silently changing every figure.
+
+Run after an *intentional* behavior change, then review the fixture
+diff like any other code change::
+
+    python tools/make_golden.py
+    git diff tests/golden examples/traces
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = REPO_ROOT / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.config import PruningConfig  # noqa: E402
+from repro.experiments.runner import pet_matrix  # noqa: E402
+from repro.sim.dynamics import DynamicsSpec  # noqa: E402
+from repro.system.serverless import ServerlessSystem  # noqa: E402
+from repro.workload.generator import generate_workload  # noqa: E402
+from repro.workload.spec import WorkloadSpec  # noqa: E402
+from repro.workload.trace import save_csv_trace, save_trace  # noqa: E402
+
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+TRACES_DIR = REPO_ROOT / "examples" / "traces"
+
+#: The golden scenarios: one static, one churn, one bursty workload.
+#: ``trace_seed`` generates the workload; everything else configures the
+#: replaying system exactly as tests/test_golden.py rebuilds it.
+CASES = [
+    {
+        "name": "static_mm_pruned",
+        "spec": {
+            "num_tasks": 120,
+            "time_span": 80.0,
+            "num_task_types": 6,
+            "pattern": "spiky",
+        },
+        "trace_seed": 20260701,
+        "heuristic": "MM",
+        "pruning": "paper",
+        "dynamics": None,
+        "seed": 123,
+    },
+    {
+        "name": "churn_mm_pruned",
+        "spec": {
+            "num_tasks": 140,
+            "time_span": 90.0,
+            "num_task_types": 6,
+            "pattern": "spiky",
+        },
+        "trace_seed": 20260702,
+        "heuristic": "MM",
+        "pruning": "paper",
+        "dynamics": {
+            "failures": 2,
+            "mean_downtime": 15.0,
+            "scale_up": 1,
+            "scale_down": 1,
+        },
+        "seed": 77,
+    },
+    {
+        "name": "bursty_mct_baseline",
+        "spec": {
+            "num_tasks": 130,
+            "time_span": 85.0,
+            "num_task_types": 6,
+            "pattern": "bursty",
+        },
+        "trace_seed": 20260703,
+        "heuristic": "MCT",
+        "pruning": None,
+        "dynamics": {"failures": 1, "mean_downtime": 0.0},
+        "seed": 9,
+    },
+]
+
+#: The example traces the ``trace`` sweep preset replays.
+EXAMPLE_TRACES = [
+    (
+        "bursty_small.csv",
+        {
+            "num_tasks": 150,
+            "time_span": 100.0,
+            "num_task_types": 6,
+            "pattern": "bursty",
+        },
+        20260710,
+    ),
+    (
+        "steady_small.csv",
+        {
+            "num_tasks": 150,
+            "time_span": 100.0,
+            "num_task_types": 6,
+            "pattern": "constant",
+        },
+        20260711,
+    ),
+]
+
+
+def run_case(case: dict, tasks) -> dict:
+    """Replay one golden case — the exact recipe tests/test_golden.py uses."""
+    pet = pet_matrix("inconsistent")
+    system = ServerlessSystem(
+        pet,
+        case["heuristic"],
+        pruning=PruningConfig.paper_default() if case["pruning"] == "paper" else None,
+        seed=case["seed"],
+        dynamics=DynamicsSpec(**case["dynamics"]) if case["dynamics"] else None,
+    )
+    return system.run(tasks).to_dict()
+
+
+def main() -> int:
+    pet = pet_matrix("inconsistent")
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    TRACES_DIR.mkdir(parents=True, exist_ok=True)
+
+    for filename, spec_fields, seed in EXAMPLE_TRACES:
+        spec = WorkloadSpec(**spec_fields)
+        tasks = generate_workload(spec, pet, np.random.default_rng(seed))
+        save_csv_trace(TRACES_DIR / filename, tasks)
+        print(f"wrote {TRACES_DIR / filename} ({len(tasks)} tasks)")
+
+    manifest = []
+    for case in CASES:
+        spec = WorkloadSpec(**case["spec"])
+        tasks = generate_workload(spec, pet, np.random.default_rng(case["trace_seed"]))
+        trace_path = GOLDEN_DIR / f"{case['name']}.trace.json"
+        save_trace(trace_path, tasks, spec)
+        expected = run_case(case, tasks)
+        expected_path = GOLDEN_DIR / f"{case['name']}.expected.json"
+        expected_path.write_text(json.dumps(expected, indent=2, sort_keys=True) + "\n")
+        manifest.append({k: v for k, v in case.items() if k not in ("spec", "trace_seed")})
+        print(f"wrote {trace_path} + expected ({len(tasks)} tasks)")
+
+    (GOLDEN_DIR / "cases.json").write_text(json.dumps(manifest, indent=2) + "\n")
+    print(f"wrote {GOLDEN_DIR / 'cases.json'} ({len(manifest)} cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
