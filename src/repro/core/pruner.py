@@ -106,34 +106,49 @@ class Pruner:
         scores update as drops are decided, exactly as the pseudo-code's
         in-loop ``γ_k ← γ_k + c``.
 
-        Each pass over a machine queue is one batched chance query
+        The whole cluster's opening pass is **one** batched chance query
         (:meth:`~repro.system.completion.CompletionEstimator.
-        queue_chances`); after a drop, the estimator's prefix cache
-        re-convolves only the tasks behind the dropped one, so the
-        re-scan is proportional to the shortened suffix, not the queue.
+        cluster_queue_chances`).  After a drop at queue index ``i`` the
+        scan *resumes from ``i``*: only the suffix behind the dropped
+        task is re-queried (:meth:`~repro.system.completion.
+        CompletionEstimator.queue_chances_suffix`), matching the
+        estimator's suffix-only re-convolution.  Tasks in front of a
+        drop are never re-examined — their PCTs are untouched by a drop
+        behind them, and within one scan effective thresholds only
+        *decrease* (``note_drop`` raises γ_k), so a survivor stays a
+        survivor; the resumed scan is decision-for-decision identical to
+        a restart-from-front rescan at a fraction of the work.
         """
         decisions: list[DropDecision] = []
-        for machine in cluster.machines:
-            if not machine.queue:
-                continue
-            # Recompute the chain after each drop on this machine so that
-            # survivors are judged with the shortened queue.
-            scan_again = True
-            already_dropped: set[int] = set()
-            while scan_again:
-                scan_again = False
-                for task, chance in estimator.queue_chances(machine, now):
-                    if task.task_id in already_dropped or self._scan_skip(task):
-                        continue
-                    eff = self._scan_threshold(task)
-                    if chance <= eff:
-                        decisions.append(DropDecision(task, machine, chance, eff))
-                        already_dropped.add(task.task_id)
-                        self.fairness.note_drop(task.task_type)
-                        self.drop_decisions += 1
-                        machine.remove(task)  # shortens the chain for the re-scan
-                        scan_again = True
-                        break
+        machines = [m for m in cluster.machines if m.queue]
+        if not machines:
+            return decisions
+        all_chances = estimator.cluster_queue_chances(machines, now)
+        for machine, chances in zip(machines, all_chances):
+            tasks = list(machine.queue)
+            idx = 0
+            base = 0  # queue index of chances[0]; the scan never looks back
+            while idx < len(tasks):
+                task = tasks[idx]
+                if self._scan_skip(task):
+                    idx += 1
+                    continue
+                chance = float(chances[idx - base])
+                eff = self._scan_threshold(task)
+                if chance <= eff:
+                    decisions.append(DropDecision(task, machine, chance, eff))
+                    self.fairness.note_drop(task.task_type)
+                    self.drop_decisions += 1
+                    machine.remove(task)  # invalidates only the chain suffix
+                    del tasks[idx]
+                    if idx >= len(tasks):
+                        break  # dropped the tail: nothing behind to re-judge
+                    # Survivors behind the drop shifted onto index `idx`;
+                    # re-query their chances against the shortened chain.
+                    chances = estimator.queue_chances_suffix(machine, now, start=idx)
+                    base = idx
+                else:
+                    idx += 1
         return decisions
 
     # ------------------------------------------------------------------

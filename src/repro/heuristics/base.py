@@ -134,20 +134,22 @@ class TwoPhaseBatchHeuristic(BatchHeuristic):
         )
         if not np.any(slots > 0):
             return []
-        avail = np.array(
-            [estimator.expected_available(m, now) for m in machines], dtype=np.float64
-        )
+        avail = estimator.cluster_expected_available(machines, now)
         exec_means = _exec_mean_matrix(tasks, machines, estimator)
         deadlines = np.fromiter((t.deadline for t in tasks), dtype=np.float64, count=len(tasks))
         active = np.ones(len(tasks), dtype=bool)
 
         plan: Plan = []
+        # The completion matrix is built once; each virtual assignment
+        # only moves one machine's availability, so the loop refreshes
+        # that single column in place instead of rebuilding (T, M) —
+        # values (and argmin tie-breaks) are identical to a rebuild.
+        completion = np.where(slots[None, :] > 0, avail[None, :] + exec_means, np.inf)
+        task_ids = np.arange(len(tasks))
         while np.any(active) and np.any(slots > 0):
             # Phase 1: best machine (min expected completion) per task.
-            completion = avail[None, :] + exec_means  # (T, M)
-            completion = np.where(slots[None, :] > 0, completion, np.inf)
             best_m = np.argmin(completion, axis=1)
-            best_completion = completion[np.arange(len(tasks)), best_m]
+            best_completion = completion[task_ids, best_m]
             best_completion = np.where(active, best_completion, np.inf)
             if not np.any(np.isfinite(best_completion)):
                 break
@@ -157,6 +159,7 @@ class TwoPhaseBatchHeuristic(BatchHeuristic):
             plan.append((tasks[w], machines[m]))
             avail[m] += exec_means[w, m]
             slots[m] -= 1
+            completion[:, m] = avail[m] + exec_means[:, m] if slots[m] > 0 else np.inf
             active[w] = False
         return plan
 

@@ -54,9 +54,7 @@ class _SortedAssign(BatchHeuristic):
         )
         if not np.any(slots > 0):
             return []
-        avail = np.array(
-            [estimator.expected_available(m, now) for m in machines], dtype=np.float64
-        )
+        avail = estimator.cluster_expected_available(machines, now)
         exec_means = _exec_mean_matrix(tasks, machines, estimator)
         order = self.sort_indices(tasks, exec_means)
 

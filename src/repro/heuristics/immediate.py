@@ -79,16 +79,17 @@ class MCT(ImmediateHeuristic):
     def select_machine(
         self, task: Task, cluster: Cluster, estimator: CompletionEstimator, now: float
     ) -> Machine:
-        best, best_c = None, math.inf
-        for machine in cluster.machines:
-            if not machine.has_free_slot:
-                continue
-            c = estimator.expected_completion(task.task_type, machine, now)
-            if c < best_c:
-                best, best_c = machine, c
-        if best is None:
+        candidates = [m for m in cluster.machines if m.has_free_slot]
+        if not candidates:
             raise RuntimeError("no machine with a free slot")
-        return best
+        # One cluster-wide scalar query; ties resolve to the first machine,
+        # matching the sequential strict-< scan this replaces.
+        completion = estimator.cluster_expected_available(candidates, now) + np.fromiter(
+            (estimator.model.mean(task.task_type, m.machine_type) for m in candidates),
+            dtype=np.float64,
+            count=len(candidates),
+        )
+        return candidates[int(np.argmin(completion))]
 
 
 class KPB(ImmediateHeuristic):
@@ -117,14 +118,11 @@ class KPB(ImmediateHeuristic):
         )
         keep = max(1, math.ceil(self.k * len(candidates)))
         best_idx = np.argsort(execs, kind="stable")[:keep]
-        best, best_c = None, math.inf
-        for i in best_idx:
-            machine = candidates[int(i)]
-            c = estimator.expected_completion(task.task_type, machine, now)
-            if c < best_c:
-                best, best_c = machine, c
-        assert best is not None
-        return best
+        shortlist = [candidates[int(i)] for i in best_idx]
+        # One cluster-wide scalar query over the k-percent shortlist; ties
+        # resolve to the earliest-sorted machine like the scan it replaces.
+        completion = estimator.cluster_expected_available(shortlist, now) + execs[best_idx]
+        return shortlist[int(np.argmin(completion))]
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"KPB(k={self.k})"

@@ -26,6 +26,13 @@ shifted copies.  :func:`batch_cdf_at` evaluates many PMFs at many
 deadlines in a single NumPy pass over those cached cumulative arrays —
 the substrate of the estimation layer's batched chance-of-success
 queries (see ``docs/architecture.md``).
+
+Because anchors travel through chains of float additions, CDF queries
+apply a relative grid-boundary tolerance (:data:`CDF_REL_EPS`): a
+deadline epsilon-below a grid point counts that bin's mass, keeping
+chance of success invariant under algebraically-equivalent shift chains.
+:class:`BufferArena` supplies pooled storage for the completion
+estimator's convolution hot path (:meth:`PMF.convolve_truncated`).
 """
 
 from __future__ import annotations
@@ -35,13 +42,38 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["PMF", "DEFAULT_MAX_SUPPORT", "batch_cdf_at"]
+__all__ = [
+    "PMF",
+    "DEFAULT_MAX_SUPPORT",
+    "CDF_REL_EPS",
+    "CDF_TOL_CAP",
+    "BufferArena",
+    "batch_cdf_at",
+]
 
 #: Default cap on the number of finite-support bins a convolution may
 #: produce before overflow mass is folded into :attr:`PMF.tail`.
 DEFAULT_MAX_SUPPORT = 4096
 
 _EPS = 1e-12
+
+#: Relative tolerance for grid-boundary CDF queries.  A deadline within
+#: ``CDF_REL_EPS * max(1, |t|, |offset|)`` *below* a grid point counts
+#: that bin's mass: anchors accumulate float error through chained
+#: zero-copy :meth:`PMF.shift` re-anchoring, and without the tolerance a
+#: deadline that lands epsilon short of a grid point (e.g. ``1.2999999``
+#: against a bin at ``1.3``) silently loses the whole bin — enough to
+#: flip a task across the pruning threshold β nondeterministically with
+#: respect to algebraically identical schedules.
+CDF_REL_EPS = 1e-7
+
+#: Absolute ceiling on the grid-boundary tolerance.  The grid spacing is
+#: a fixed 1 time unit, so a purely relative window would swallow whole
+#: bins once simulation times reach ``1/CDF_REL_EPS``; capping at a
+#: thousandth of a bin keeps the window microscopic against the grid
+#: while still dwarfing accumulated shift-chain float error (~1e-16
+#: relative) at any realistic clock value.
+CDF_TOL_CAP = 1e-3
 
 
 class PMF:
@@ -66,7 +98,7 @@ class PMF:
     the ``validate`` flag are provided.
     """
 
-    __slots__ = ("probs", "offset", "tail", "_cumsum")
+    __slots__ = ("probs", "offset", "tail", "_cumsum", "_mass")
 
     def __init__(
         self,
@@ -94,6 +126,7 @@ class PMF:
         self.offset: float = float(offset)
         self.tail: float = max(float(tail), 0.0)
         self._cumsum: np.ndarray | None = None
+        self._mass: float | None = None
         if validate:
             if np.any(self.probs < -_EPS):
                 raise ValueError("negative probability mass")
@@ -124,6 +157,7 @@ class PMF:
         pmf.offset = float(offset)
         pmf.tail = tail
         pmf._cumsum = cumsum
+        pmf._mass = None
         return pmf
 
     @classmethod
@@ -179,11 +213,17 @@ class PMF:
     @property
     def total_mass(self) -> float:
         """Finite mass plus tail mass (1.0 for a normalized PMF)."""
-        return float(self.probs.sum()) + self.tail
+        return self.finite_mass + self.tail
 
     @property
     def finite_mass(self) -> float:
-        return float(self.probs.sum())
+        """Cached lazily: PMFs are immutable, and the estimation layer's
+        convolution hot path re-reads the mass of the same PET objects
+        thousands of times per trial."""
+        mass = self._mass
+        if mass is None:
+            mass = self._mass = float(self.probs.sum())
+        return mass
 
     @property
     def support_size(self) -> int:
@@ -244,10 +284,18 @@ class PMF:
         return cs
 
     def cdf_at(self, t: float) -> float:
-        """``P(X <= t)``.  Tail mass never counts (it is beyond any t)."""
+        """``P(X <= t)``.  Tail mass never counts (it is beyond any t).
+
+        Grid-boundary tolerance: a query within a relative epsilon
+        *below* a grid point (``CDF_REL_EPS``, scaled by the magnitudes
+        of ``t`` and the anchor) counts that bin's mass, so chance of
+        success is invariant under algebraically-equivalent ``shift``
+        chains whose anchors differ only by accumulated float error.
+        """
         if self.probs.size == 0:
             return 0.0
-        k = math.floor(t - self.offset)
+        tol = min(CDF_REL_EPS * max(1.0, abs(t), abs(self.offset)), CDF_TOL_CAP)
+        k = math.floor(t - self.offset + tol)
         if k < 0:
             return 0.0
         k = min(k, self.probs.size - 1)
@@ -284,7 +332,9 @@ class PMF:
         """
         if dt == 0.0:
             return self
-        return PMF._from_parts(self.probs, self.offset + dt, self.tail, self._cumsum)
+        out = PMF._from_parts(self.probs, self.offset + dt, self.tail, self._cumsum)
+        out._mass = self._mass  # same probability array, same mass
+        return out
 
     def normalized(self) -> "PMF":
         total = self.total_mass
@@ -361,6 +411,62 @@ class PMF:
             return NotImplemented
         return self.convolve(other)
 
+    def convolve_truncated(
+        self,
+        other: "PMF",
+        *,
+        cutoff: float,
+        max_support: int = DEFAULT_MAX_SUPPORT,
+        arena: "BufferArena | None" = None,
+    ) -> "PMF":
+        """``(self ⊛ other).truncate(cutoff)`` without intermediate objects.
+
+        Value-identical (bit-for-bit) to :meth:`convolve` followed by
+        :meth:`truncate`, but built for the estimation layer's hot path:
+        no intermediate PMF is constructed, trimming is replaced by O(1)
+        endpoint checks (the convolution of trimmed, non-negative inputs
+        can only need trimming when an endpoint product underflows to
+        zero — in that rare case this falls back to the reference path),
+        and the cumulative-sum cache is populated eagerly, into ``arena``
+        storage when one is supplied, because every chain entry is about
+        to be cdf-queried anyway.
+        """
+        fx, fy = self.finite_mass, other.finite_mass
+        tail = self.total_mass * other.total_mass - fx * fy
+        if self.probs.size == 0 or other.probs.size == 0:
+            return PMF(np.zeros(0), self.offset + other.offset, tail)
+        tail = max(tail, 0.0)  # the reference path's constructor clamp
+        if self.probs.size == 1:
+            probs = other.probs * float(self.probs[0])
+        elif other.probs.size == 1:
+            probs = self.probs * float(other.probs[0])
+        else:
+            probs = np.convolve(self.probs, other.probs)
+        offset = self.offset + other.offset
+        if probs[0] == 0.0 or probs[-1] == 0.0:
+            # Endpoint underflow: defer to the trimming constructor so the
+            # result stays bit-identical to the reference path.
+            out = PMF(probs, offset, tail)
+            if out.probs.size > max_support:
+                overflow = float(out.probs[max_support:].sum())
+                out = PMF(out.probs[:max_support], out.offset, out.tail + overflow)
+            return out.truncate(cutoff)
+        if probs.size > max_support:
+            tail = tail + float(probs[max_support:].sum())
+            probs = probs[:max_support]
+            if probs[-1] == 0.0:
+                return PMF(probs, offset, tail).truncate(cutoff)
+        if offset + probs.size - 1 > cutoff:
+            keep = int(math.floor(cutoff - offset)) + 1
+            if keep <= 0:
+                return PMF(np.zeros(0), offset, tail + float(probs.sum()))
+            tail = tail + float(probs[keep:].sum())
+            probs = probs[:keep]
+            if probs[-1] == 0.0:
+                return PMF(probs, offset, tail)
+        cumsum = arena.cumsum(probs) if arena is not None else None
+        return PMF._from_parts(probs, offset, tail, cumsum)
+
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
@@ -398,32 +504,112 @@ class PMF:
         )
 
 
-def batch_cdf_at(pmfs: Sequence[PMF], times) -> np.ndarray:
+class BufferArena:
+    """Reusable float64 storage for the estimation layer's hot loops.
+
+    Two allocation disciplines behind one object:
+
+    * :meth:`cumsum` / :meth:`take` — a *bump allocator*: exact-size views
+      are sliced out of large preallocated blocks, so thousands of small
+      cumulative-sum caches cost a handful of real allocations.  Views
+      keep their block alive; a block is reclaimed by the garbage
+      collector once every view into it has died (there is no manual
+      free, hence no use-after-free hazard for PMFs that escape).
+    * :meth:`scratch` — a single growable scratch buffer for *transient*
+      work (the flat gather of a batched chance query).  The caller must
+      consume the returned view before the next ``scratch`` call; the
+      single-threaded simulator makes that discipline trivial.
+    """
+
+    __slots__ = ("block_size", "_block", "_cursor", "_scratch", "blocks_allocated")
+
+    def __init__(self, block_size: int = 1 << 16) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+        self._block: np.ndarray | None = None
+        self._cursor = 0
+        self._scratch = np.empty(0, dtype=np.float64)
+        self.blocks_allocated = 0
+
+    def take(self, n: int) -> np.ndarray:
+        """An uninitialized float64 view of length ``n`` from the arena."""
+        if n > self.block_size:
+            # Oversized requests get their own dedicated allocation.
+            self.blocks_allocated += 1
+            return np.empty(n, dtype=np.float64)
+        if self._block is None or self._cursor + n > self.block_size:
+            self._block = np.empty(self.block_size, dtype=np.float64)
+            self._cursor = 0
+            self.blocks_allocated += 1
+        view = self._block[self._cursor : self._cursor + n]
+        self._cursor += n
+        return view
+
+    def cumsum(self, probs: np.ndarray) -> np.ndarray:
+        """``np.cumsum(probs)`` computed into arena storage."""
+        out = self.take(probs.size)
+        np.cumsum(probs, out=out)
+        return out
+
+    def scratch(self, n: int) -> np.ndarray:
+        """A transient scratch view of length ``n`` (reused across calls)."""
+        if self._scratch.size < n:
+            self._scratch = np.empty(max(n, 256, self._scratch.size * 2), dtype=np.float64)
+        return self._scratch[:n]
+
+
+def batch_cdf_at(pmfs: Sequence[PMF], times, index=None, *, arena=None) -> np.ndarray:
     """Evaluate ``pmfs[i].cdf_at(times[i])`` for all ``i`` in one NumPy pass.
 
     ``times`` may be a scalar (broadcast to every PMF) or a sequence of the
     same length as ``pmfs``.  Returns a float64 array of chances.
+
+    ``index`` (optional) decouples queries from distributions: when given,
+    query ``i`` evaluates ``pmfs[index[i]].cdf_at(times[i])``, so a grid of
+    N queries over M << N *distinct* PMFs gathers each cumulative array
+    once — the substrate of the estimator's deduplicated cluster-wide
+    chance queries.  ``arena`` (optional :class:`BufferArena`) hosts the
+    transient flat gather in the arena's reusable scratch buffer instead
+    of a fresh allocation; the buffer is consumed before the call returns.
 
     The evaluation gathers each PMF's cached :meth:`PMF.cumulative` array
     into one flat buffer and answers every query with a single fancy-index
     operation, so a pruner scan over hundreds of (task, machine) pairs
     costs one vector op instead of hundreds of Python-level partial sums.
     Values are identical to per-PMF :meth:`PMF.cdf_at` calls (both read the
-    same cumulative arrays).
+    same cumulative arrays), including the ``CDF_REL_EPS`` grid-boundary
+    tolerance: deadlines within a relative epsilon below a grid point
+    count that bin's mass.
     """
-    n = len(pmfs)
+    m = len(pmfs)
+    n = m if index is None else len(index)
     out = np.zeros(n, dtype=np.float64)
-    if n == 0:
+    if n == 0 or m == 0:
         return out
     times = np.broadcast_to(np.asarray(times, dtype=np.float64), (n,))
-    lens = np.fromiter((p.probs.size for p in pmfs), dtype=np.int64, count=n)
-    offs = np.fromiter((p.offset for p in pmfs), dtype=np.float64, count=n)
-    k = np.floor(times - offs)
+    lens = np.fromiter((p.probs.size for p in pmfs), dtype=np.int64, count=m)
+    offs = np.fromiter((p.offset for p in pmfs), dtype=np.float64, count=m)
+    starts = np.cumsum(lens) - lens
+    if index is not None:
+        index = np.asarray(index, dtype=np.int64)
+        lens = lens[index]
+        offs = offs[index]
+        starts = starts[index]
+    tol = np.minimum(
+        CDF_REL_EPS * np.maximum(1.0, np.maximum(np.abs(times), np.abs(offs))),
+        CDF_TOL_CAP,
+    )
+    k = np.floor(times - offs + tol)
     valid = (k >= 0) & (lens > 0)
     if not valid.any():
         return out
     k = np.minimum(k, lens - 1).astype(np.int64)
-    starts = np.cumsum(lens) - lens
-    flat = np.concatenate([p.cumulative() for p in pmfs if p.probs.size])
+    chunks = [p.cumulative() for p in pmfs if p.probs.size]
+    if arena is not None:
+        total = sum(c.size for c in chunks)
+        flat = np.concatenate(chunks, out=arena.scratch(total))
+    else:
+        flat = np.concatenate(chunks)
     out[valid] = flat[(starts + k)[valid]]
     return out

@@ -27,9 +27,19 @@ cache**:
   cached chain stays bit-identical to a fresh one.  Entries whose
   truncation/trimming made them anchor-dependent fall back to real
   convolution.
-* ``chances_for`` / ``chances_for_pairs`` / ``queue_chances`` answer a
-  pruner's whole drop/defer scan in one batched
-  :func:`~repro.stochastic.pmf.batch_cdf_at` pass.
+* ``cluster_queue_chances`` / ``chances_for`` / ``chances_for_pairs`` /
+  ``queue_chances`` answer a pruner's or allocator's whole cluster-wide
+  scan in one batched :func:`~repro.stochastic.pmf.batch_cdf_at` pass —
+  grid queries deduplicate distinct (task type, machine) pairs before
+  any distribution work, ``queue_chances(start=i)`` resumes a drop scan
+  from the drop index, and ``cluster_expected_available`` is the scalar
+  mirror for the batch heuristics' phase 1.
+* Chain extensions run through the allocation-lean
+  :meth:`~repro.stochastic.pmf.PMF.convolve_truncated` fast path with
+  cumulative sums placed in a :class:`~repro.stochastic.pmf.BufferArena`,
+  and the running task's base records how it depends on ``now`` so
+  re-validation is integer arithmetic, not a rebuilt-and-compared PMF
+  (see ``docs/architecture.md`` → "the mapping-event hot path").
 
 Three memoization modes are supported for ablation:
 
@@ -54,7 +64,8 @@ import numpy as np
 
 from ..sim.machine import Machine
 from ..sim.task import Task
-from ..stochastic.pmf import DEFAULT_MAX_SUPPORT, PMF, batch_cdf_at
+from ..stochastic.pmf import DEFAULT_MAX_SUPPORT, PMF, BufferArena, batch_cdf_at
+from ..stochastic.pmf import _EPS as _PMF_EPS
 
 __all__ = ["ExecutionModel", "CompletionEstimator", "LRUCache"]
 
@@ -119,6 +130,9 @@ class LRUCache:
 _DELTA_PROBS = np.ones(1, dtype=np.float64)
 _DELTA_CUMSUM = np.ones(1, dtype=np.float64)
 
+#: Shared empty chance array for machines with empty queues.
+_EMPTY_CHANCES = np.zeros(0, dtype=np.float64)
+
 
 def _delta(t: float) -> PMF:
     """Value-identical to ``PMF.delta(t)`` but zero-copy."""
@@ -163,8 +177,19 @@ class _MachineState:
         "reanchorable",
         "anchor",
         "base_sig",
+        "base_kind",
+        "base_cut",
+        "base_src_offset",
+        "release_mean",
         "new_pct",
         "version_seen",
+        "chain_epoch",
+        "chances",
+        "chances_version",
+        "chances_epoch",
+        "scalar_chain",
+        "scalar_version",
+        "scalar_release",
     )
 
     def __init__(self, machine: Machine) -> None:
@@ -174,6 +199,31 @@ class _MachineState:
         self.reanchorable: list[bool] = []
         self.anchor: float = math.nan
         self.base_sig: tuple = ()
+        #: Bumped whenever the chain's *contents* change (rebuild, trim,
+        #: extend, re-anchor): queued-task chances can only move when
+        #: either the version or this epoch does, which is what lets a
+        #: cluster scan reuse last event's chance arrays for machines
+        #: nothing touched.
+        self.chain_epoch: int = 0
+        self.chances: np.ndarray | None = None
+        self.chances_version: int = -1
+        self.chances_epoch: int = -1
+        #: Scalar (expected-value) chain cache for the incremental mode;
+        #: valid for one (machine.version, release time) pair.
+        self.scalar_chain: list[float] | None = None
+        self.scalar_version: int = -1
+        self.scalar_release: float = math.nan
+        #: How the base (chain[0]) depends on the query time: "idle" —
+        #: re-anchored by offset replay; "uncut" — the shifted PET,
+        #: conditioning was a no-op; "interior" — conditioned at grid
+        #: index ``base_cut``; "tdep" — shape depends on ``now`` itself
+        #: (collapsed belief or truncation-clipped), rebuild on any tick.
+        self.base_kind: str = "idle"
+        self.base_cut: int = 0
+        self.base_src_offset: float = math.nan
+        #: Cached ``chain[0].finite_mean()`` for the scalar view; valid
+        #: exactly as long as the base itself (None = not computed).
+        self.release_mean: float | None = None
         #: task_type -> cached availability ⊛ PET result
         self.new_pct: dict[int, _NewPct] = {}
         self.version_seen: int = machine.version
@@ -184,6 +234,11 @@ class _MachineState:
         self.reanchorable.clear()
         self.anchor = math.nan
         self.base_sig = ()
+        self.base_kind = "idle"
+        self.base_cut = 0
+        self.base_src_offset = math.nan
+        self.release_mean = None
+        self.chain_epoch += 1
         self.new_pct.clear()
 
     def truncate_suffix(self, index: int) -> None:
@@ -192,6 +247,7 @@ class _MachineState:
             del self.chain[index + 1 :]
             del self.pet_offsets[index:]
             del self.reanchorable[index:]
+            self.chain_epoch += 1
         self.new_pct.clear()
 
 
@@ -252,12 +308,16 @@ class CompletionEstimator:
         self._chain_cache = LRUCache(cache_capacity)  # keyed mode only
         self._new_pct_cache = LRUCache(cache_capacity)  # keyed mode only
         self._states: dict[int, _MachineState] = {}
+        #: Pooled storage for chain-entry cumulative sums and batched-query
+        #: gathers (see :class:`~repro.stochastic.pmf.BufferArena`).
+        self._arena = BufferArena()
         # Stats counters (exposed through cache_stats / SimulationResult).
         self.cache_hits = 0
         self.cache_misses = 0
         self.invalidations = 0
         self.convolutions = 0
         self.convolutions_avoided = 0
+        self.chance_evaluations = 0
 
     # ------------------------------------------------------------------
     # Scalar (expected-value) view — heuristics
@@ -266,6 +326,18 @@ class CompletionEstimator:
         """Expected time the machine finishes everything currently queued."""
         chain = self._scalar_chain(machine, now)
         return chain[-1]
+
+    def cluster_expected_available(
+        self, machines: Sequence[Machine], now: float
+    ) -> np.ndarray:
+        """Scalar availability of every machine in one array — phase 1 of
+        the batch heuristics' virtual-queue planner consumes this (the
+        cluster-wide face of the scalar view)."""
+        return np.fromiter(
+            (self._scalar_chain(m, now)[-1] for m in machines),
+            dtype=np.float64,
+            count=len(machines),
+        )
 
     def expected_release(self, machine: Machine, now: float) -> float:
         """Expected time the *running* task (if any) finishes."""
@@ -290,9 +362,18 @@ class CompletionEstimator:
     def _scalar_chain(self, machine: Machine, now: float) -> list[float]:
         """``chain[0]`` = expected release of the running task (or ``now``
         if idle); ``chain[k]`` = expected completion of the k-th queued
-        task.  The last entry is the expected availability."""
-        key = (machine.machine_id, machine.version, now)
-        if self.memoize:
+        task.  The last entry is the expected availability.
+
+        Incremental mode caches the chain on the machine state, keyed on
+        ``(version, release time)``: the queue part of the chain is a
+        pure function of those two, so the cache survives clock ticks as
+        long as the running task's conditioned release mean does (an
+        O(1) field compare instead of LRU bookkeeping).  The other modes
+        keep the keyed LRU.
+        """
+        incremental = self.memo_mode == "incremental"
+        if not incremental and self.memoize:
+            key = (machine.machine_id, machine.version, now)
             cached = self._scalar_cache.get(key)
             if cached is not None:
                 self.cache_hits += 1
@@ -306,19 +387,67 @@ class CompletionEstimator:
             started = machine.running_started_at
             assert started is not None
             if self.condition_running:
-                t = self._running_pct(machine, now).finite_mean()
+                t = self._release_mean(machine, now)
                 if math.isnan(t):
                     t = now
             else:
                 t = max(now, started + run_mean)
+
+        state: _MachineState | None = None
+        if incremental:
+            state = self._state_for(machine)
+            if (
+                state.scalar_chain is not None
+                and state.scalar_version == machine.version
+                and state.scalar_release == t
+            ):
+                self.cache_hits += 1
+                return state.scalar_chain
+            self.cache_misses += 1
+
         chain = [t]
         for queued in machine.queue:
             t = t + self.model.mean(queued.task_type, machine.machine_type)
             chain.append(t)
 
-        if self.memoize:
+        if state is not None:
+            state.scalar_chain = chain
+            state.scalar_version = machine.version
+            state.scalar_release = chain[0]
+        elif self.memoize:
             self._scalar_cache.put(key, chain)
         return chain
+
+    def _release_mean(self, machine: Machine, now: float) -> float:
+        """Conditioned expected release of the running task.
+
+        Reuses the incremental chain's base when it is provably current
+        (same conditioning cut, truncation untouched): the scalar view
+        then costs a cached float instead of rebuilding the conditioned
+        PCT.  When no current base exists, one is *established* in the
+        machine state — a later probabilistic query on the same machine
+        starts from it instead of rebuilding.  The returned value is
+        identical to the reference computation either way.
+        """
+        if self.memo_mode != "incremental":
+            return self._running_pct(machine, now).finite_mean()
+        state = self._state_for(machine)
+        if state.version_seen != machine.version:
+            state.reset()
+            state.version_seen = machine.version
+        sig = self._base_signature(machine)
+        if not (
+            state.chain
+            and state.base_sig == sig
+            and (now == state.anchor or self._base_still_valid(state, now))
+        ):
+            state.reset()
+            state.chain = [self._build_base(state, machine, now)]
+            state.base_sig = sig
+            state.anchor = now
+        if state.release_mean is None:
+            state.release_mean = state.chain[0].finite_mean()
+        return state.release_mean
 
     # ------------------------------------------------------------------
     # Probabilistic view — pruning (Eq. 1 / Eq. 2)
@@ -393,7 +522,7 @@ class CompletionEstimator:
         if not reused:
             state.reset()
             state.chain = [
-                _delta(now) if machine.running is None else self._running_pct(machine, now)
+                _delta(now) if machine.running is None else self._build_base(state, machine, now)
             ]
             state.base_sig = self._base_signature(machine)
             state.anchor = now
@@ -459,6 +588,7 @@ class CompletionEstimator:
                 del state.pet_offsets[keep:]
                 del state.reanchorable[keep:]
             state.chain = new_chain
+            state.chain_epoch += 1
             state.anchor = now
             return True
 
@@ -466,18 +596,12 @@ class CompletionEstimator:
         # start time), but conditioning may reshape the base as time
         # passes — verify it did not.  At an unchanged `now` (repeat
         # queries within one mapping event) nothing can have moved.
+        # The check is pure arithmetic against the facts recorded when
+        # the base was built (`_build_base`): no fresh conditioned PCT is
+        # constructed just to be compared and thrown away.
         if now == state.anchor:
             return True
-        fresh_base = self._running_pct(machine, now)
-        cached_base = chain[0]
-        if (
-            fresh_base.offset != cached_base.offset
-            or fresh_base.tail != cached_base.tail
-            or not (
-                fresh_base.probs is cached_base.probs
-                or np.array_equal(fresh_base.probs, cached_base.probs)
-            )
-        ):
+        if not self._base_still_valid(state, now):
             return False
         # Truncation horizons moved with `now`; keep only entries provably
         # unaffected (no tail, finite support within the new cutoff).
@@ -490,8 +614,71 @@ class CompletionEstimator:
             del chain[keep + 1 :]
             del state.pet_offsets[keep:]
             del state.reanchorable[keep:]
+            state.chain_epoch += 1
         state.anchor = now
         return True
+
+    def _build_base(self, state: _MachineState, machine: Machine, now: float) -> PMF:
+        """The running-machine base, recording how it depends on ``now``.
+
+        Bit-identical to :meth:`_running_pct` (same operations, same
+        order); additionally classifies the result so `_rebase` can
+        decide validity at a later query time by arithmetic alone:
+
+        * ``"uncut"`` — conditioning was a no-op (``now`` at or before
+          the belief's support); stays valid while that holds.
+        * ``"interior"`` — mass below ``now`` was removed at grid index
+          ``base_cut``; stays valid while the cut index is unchanged.
+        * ``"tdep"`` — the belief collapsed to a delta/tail at ``now``
+          or truncation clipped it: its very shape tracks the clock, so
+          any new ``now`` forces a rebuild.
+        """
+        running = machine.running
+        assert running is not None
+        started = machine.running_started_at
+        assert started is not None
+        pet = self.model.pmf(running.task_type, machine.machine_type)
+        src_offset = pet.offset + started
+        pct = pet.shift(started)
+        kind, cut = "uncut", 0
+        if self.condition_running:
+            if pct.probs.size == 0:
+                kind = "tdep"
+            else:
+                cut = int(math.ceil(now - src_offset))
+                if cut <= 0:
+                    kind = "uncut"
+                elif cut < pct.probs.size:
+                    # Mirror condition_at_least's collapse check: when the
+                    # kept mass vanishes the belief collapses to delta(now)
+                    # — a shape that tracks the clock, not the cut index.
+                    total = float(pct.probs[cut:].sum()) + pct.tail
+                    kind = "interior" if total > _PMF_EPS else "tdep"
+                else:
+                    kind = "tdep"
+            pct = pct.condition_at_least(now)
+        truncated = pct.truncate(now + self.horizon)
+        if truncated is not pct:
+            kind = "tdep"
+        state.base_kind = kind
+        state.base_cut = cut
+        state.base_src_offset = src_offset
+        return truncated
+
+    def _base_still_valid(self, state: _MachineState, now: float) -> bool:
+        """Whether the cached running-machine base equals a fresh build
+        at ``now`` — decided from the recorded base facts, no PMF built."""
+        if now < state.anchor:  # simulation time is monotone; fail safe
+            return False
+        kind = state.base_kind
+        if kind == "tdep":
+            return False
+        if not self.condition_running:
+            return True  # unclipped, unconditioned: time-independent
+        cut = int(math.ceil(now - state.base_src_offset))
+        if kind == "uncut":
+            return cut <= 0
+        return cut == state.base_cut  # "interior"
 
     def _append_pet(self, prev: PMF, pet: PMF, cutoff: float) -> PMF:
         """``prev ⊛ pet`` truncated at ``cutoff``, counting convolutions.
@@ -501,6 +688,11 @@ class CompletionEstimator:
         literal ``convolve`` would perform.  Only real convolutions are
         counted here; callers account for avoided work (a caller knows
         its naive cost, this helper does not).
+
+        The real convolutions go through the allocation-lean
+        :meth:`~repro.stochastic.pmf.PMF.convolve_truncated` fast path,
+        with cumulative sums landing in the estimator's buffer arena —
+        bit-identical to ``convolve(...).truncate(...)``.
         """
         if (
             prev.probs.size == 1
@@ -511,12 +703,15 @@ class CompletionEstimator:
         ):
             return pet.shift(prev.offset).truncate(cutoff)
         self.convolutions += 1
-        return prev.convolve(pet, max_support=self.max_support).truncate(cutoff)
+        return prev.convolve_truncated(
+            pet, cutoff=cutoff, max_support=self.max_support, arena=self._arena
+        )
 
     def _extend_chain(self, state: _MachineState, machine: Machine, cutoff: float) -> None:
         """Convolve PETs for queued tasks not yet covered by the chain."""
         chain = state.chain
         assert chain is not None
+        state.chain_epoch += 1
         while len(chain) < len(machine.queue) + 1:
             queued = machine.queue[len(chain) - 1]
             pet = self.model.pmf(queued.task_type, machine.machine_type)
@@ -565,6 +760,7 @@ class CompletionEstimator:
                 chain.append(entry.pct)
                 state.pet_offsets.append(entry.pet_offset)
                 state.reanchorable.append(True)
+                state.chain_epoch += 1
         state.new_pct.clear()
         self.invalidations += 1
 
@@ -678,38 +874,180 @@ class CompletionEstimator:
         """Eq. 2 for a task about to be appended to ``machine``'s queue."""
         return self.pct_for_new(task.task_type, machine, now).cdf_at(task.deadline)
 
-    def queue_chances(self, machine: Machine, now: float) -> list[tuple[Task, float]]:
-        """Chance of success of every *queued* task, in FCFS order — the
-        pruner's drop scan (Fig. 5 steps 4–5) consumes this.  All deadline
-        lookups happen in one :func:`batch_cdf_at` pass."""
+    def queue_chances(
+        self, machine: Machine, now: float, start: int = 0
+    ) -> list[tuple[Task, float]]:
+        """Chance of success of queued tasks from index ``start`` on, in
+        FCFS order — the pruner's drop scan (Fig. 5 steps 4–5) consumes
+        this.  All deadline lookups happen in one :func:`batch_cdf_at`
+        pass; after a drop at index ``i`` the scan re-queries only
+        ``start=i`` (the suffix the drop invalidated), so post-drop work
+        scales with the tasks behind the dropped one, not the queue."""
+        chances = self.queue_chances_suffix(machine, now, start)
+        return [
+            (task, float(c)) for task, c in zip(machine.queue[start:], chances)
+        ]
+
+    def queue_chances_suffix(
+        self, machine: Machine, now: float, start: int = 0
+    ) -> np.ndarray:
+        """Raw ndarray variant of :meth:`queue_chances` (no tuple boxing)."""
         chain = self._pct_chain(machine, now)
-        if len(chain) <= 1:
-            return []
-        chances = batch_cdf_at(chain[1:], [t.deadline for t in machine.queue])
-        return [(task, float(c)) for task, c in zip(machine.queue, chances)]
+        count = len(chain) - 1 - start
+        if count <= 0:
+            return _EMPTY_CHANCES
+        queue = machine.queue
+        self.chance_evaluations += count
+        if count <= 4:
+            # Batch machinery costs more than it saves on a short suffix;
+            # scalar cdf_at reads the same cumulative arrays with the
+            # same boundary tolerance, so values are identical.
+            return np.array(
+                [chain[start + 1 + i].cdf_at(queue[start + i].deadline) for i in range(count)],
+                dtype=np.float64,
+            )
+        deadlines = np.fromiter(
+            (queue[i].deadline for i in range(start, len(queue))),
+            dtype=np.float64,
+            count=count,
+        )
+        return batch_cdf_at(chain[start + 1 :], deadlines, arena=self._arena)
 
     # ------------------------------------------------------------------
-    # Batched chance-of-success queries
+    # Batched chance-of-success queries (the cluster-wide pipeline)
     # ------------------------------------------------------------------
+    def cluster_queue_chances(
+        self, machines: Sequence[Machine], now: float
+    ) -> list[np.ndarray]:
+        """Chances of every queued task on every machine, one NumPy pass.
+
+        The cluster-wide face of :meth:`queue_chances`: all machines'
+        PCT chains are gathered into a single flat cumulative buffer and
+        every deadline in the cluster is answered by one fancy-index
+        operation.  Returns one chance array per machine, aligned with
+        its FCFS queue — a pruner's whole cluster scan is one query
+        instead of a per-machine loop.
+
+        Machines whose chain survived since the previous scan untouched
+        (same ``machine.version``, same chain epoch) reuse last scan's
+        chance array outright: a chance can only move when the queue or
+        the chain's distributions do, so per-event evaluation work
+        tracks the machines an event actually mutated, not the cluster.
+        """
+        results: list[np.ndarray | None] = [None] * len(machines)
+        fresh: list[tuple[int, _MachineState | None]] = []
+        pmfs: list[PMF] = []
+        counts: list[int] = []
+        deadlines: list[float] = []
+        for i, machine in enumerate(machines):
+            state = self._states.get(machine.machine_id)
+            if state is not None and self._chances_still_current(state, machine, now):
+                self.cache_hits += 1
+                results[i] = state.chances
+                continue
+            chain = self._pct_chain(machine, now)
+            queued = len(chain) - 1
+            if queued == 0:
+                results[i] = _EMPTY_CHANCES
+                continue
+            if state is None:
+                state = self._states.get(machine.machine_id)
+            if state is None or state.machine is not machine:
+                state = None
+            elif (
+                state.chances is not None
+                and state.chances_version == machine.version
+                and state.chances_epoch == state.chain_epoch
+            ):
+                results[i] = state.chances
+                continue
+            fresh.append((i, state))
+            counts.append(queued)
+            pmfs.extend(chain[1:])
+            deadlines.extend(t.deadline for t in machine.queue)
+        if fresh:
+            self.chance_evaluations += len(deadlines)
+            flat = batch_cdf_at(
+                pmfs, np.asarray(deadlines, dtype=np.float64), arena=self._arena
+            )
+            pos = 0
+            for (i, state), c in zip(fresh, counts):
+                chances = flat[pos : pos + c]
+                pos += c
+                results[i] = chances
+                if state is not None:
+                    state.chances = chances
+                    state.chances_version = machines[i].version
+                    state.chances_epoch = state.chain_epoch
+        return results  # type: ignore[return-value]
+
+    def _chances_still_current(
+        self, state: _MachineState, machine: Machine, now: float
+    ) -> bool:
+        """Whether last scan's cached chance array is provably what a
+        fresh chain walk would produce at ``now`` — without walking it.
+
+        Requires (incremental mode): the queue untouched since the cache
+        was filled (``machine.version``), the chain untouched
+        (``chain_epoch``), the running-task base still valid at ``now``
+        by the recorded arithmetic facts, and every chain entry
+        re-anchorable (an entry that was truncated against an older
+        horizon would be re-convolved wider by a fresh walk).  Chance
+        values depend only on the entries' distributions and the fixed
+        deadlines, so under these conditions the cached array is exact.
+        """
+        if (
+            state.machine is not machine
+            or state.chances is None
+            or state.chances_version != machine.version
+            or state.chances_epoch != state.chain_epoch
+            or state.version_seen != machine.version
+        ):
+            return False
+        chain = state.chain
+        if chain is None or len(chain) != len(machine.queue) + 1:
+            return False
+        if machine.running is None:
+            # An idle machine's chain re-anchors with every clock tick.
+            return now == state.anchor
+        if now != state.anchor and not self._base_still_valid(state, now):
+            return False
+        return all(state.reanchorable)
+
     def chances_for(
         self, tasks: Sequence[Task], machines: Sequence[Machine], now: float
     ) -> np.ndarray:
         """Eq. 2 grid: chance of each task appended to each machine, now.
 
-        Returns a ``(len(tasks), len(machines))`` array.  New-task PCTs
-        are shared per (task type, machine) and every CDF lookup happens
-        in one :func:`batch_cdf_at` pass — an admission controller's or
-        pruner's whole scan is a single batched query.
+        Returns a ``(len(tasks), len(machines))`` array.  The grid is
+        deduplicated before any distribution work happens: a new-task PCT
+        is computed once per *distinct* (task type, machine) pair across
+        the whole cluster, and every CDF lookup happens in one indexed
+        :func:`batch_cdf_at` pass — an admission controller's or
+        allocator's whole scan is a single batched query.
         """
-        pmfs = [
-            self.pct_for_new(task.task_type, machine, now)
-            for task in tasks
-            for machine in machines
-        ]
+        pmfs: list[PMF] = []
+        uniq: dict[tuple[int, int], int] = {}
+        index = np.empty(len(tasks) * len(machines), dtype=np.int64)
+        pos = 0
+        for task in tasks:
+            ttype = task.task_type
+            for machine in machines:
+                key = (ttype, machine.machine_id)
+                slot = uniq.get(key)
+                if slot is None:
+                    slot = uniq[key] = len(pmfs)
+                    pmfs.append(self.pct_for_new(ttype, machine, now))
+                index[pos] = slot
+                pos += 1
         deadlines = np.repeat(
-            np.array([t.deadline for t in tasks], dtype=np.float64), len(machines)
+            np.fromiter((t.deadline for t in tasks), dtype=np.float64, count=len(tasks)),
+            len(machines),
         )
-        return batch_cdf_at(pmfs, deadlines).reshape(len(tasks), len(machines))
+        self.chance_evaluations += index.size
+        return batch_cdf_at(pmfs, deadlines, index, arena=self._arena).reshape(
+            len(tasks), len(machines)
+        )
 
     def chances_for_pairs(
         self, pairs: Iterable[tuple[Task, Machine]], now: float
@@ -717,11 +1055,25 @@ class CompletionEstimator:
         """Eq. 2 for explicit (task, machine) placements, batched.
 
         This is the allocator's defer-check query: one entry per planned
-        placement, evaluated against the machines' *current* queues.
+        placement, evaluated against the machines' *current* queues,
+        deduplicated per distinct (task type, machine) pair like
+        :meth:`chances_for`.
         """
         pairs = list(pairs)
-        pmfs = [self.pct_for_new(task.task_type, machine, now) for task, machine in pairs]
-        return batch_cdf_at(pmfs, [task.deadline for task, _ in pairs])
+        pmfs: list[PMF] = []
+        uniq: dict[tuple[int, int], int] = {}
+        index = np.empty(len(pairs), dtype=np.int64)
+        deadlines = np.empty(len(pairs), dtype=np.float64)
+        for pos, (task, machine) in enumerate(pairs):
+            key = (task.task_type, machine.machine_id)
+            slot = uniq.get(key)
+            if slot is None:
+                slot = uniq[key] = len(pmfs)
+                pmfs.append(self.pct_for_new(task.task_type, machine, now))
+            index[pos] = slot
+            deadlines[pos] = task.deadline
+        self.chance_evaluations += index.size
+        return batch_cdf_at(pmfs, deadlines, index, arena=self._arena)
 
     # ------------------------------------------------------------------
     def cache_stats(self) -> dict[str, int]:
@@ -737,4 +1089,5 @@ class CompletionEstimator:
             ),
             "convolutions": self.convolutions,
             "convolutions_avoided": self.convolutions_avoided,
+            "chance_evaluations": self.chance_evaluations,
         }

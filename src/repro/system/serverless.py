@@ -166,7 +166,13 @@ class ServerlessSystem:
             if dynamics is not None
             else None
         )
-        self._last_outcome_at: float = 0.0
+        #: Time of the last task outcome (completion or drop), ``None``
+        #: until one happens.  ``None`` — not ``0.0`` — matters: an
+        #: outcome *at* time zero (a deadline-missed drop in the very
+        #: first mapping event) is a real last-work timestamp, and
+        #: conflating it with "no outcome yet" made `_makespan` fall back
+        #: to the dynamics-inflated ``sim.now``.
+        self._last_outcome_at: float | None = None
         if self.dynamics is not None:
             # A recovery scheduled past the last task outcome is a no-op
             # that still advances the clock; makespan must mean "when the
@@ -176,7 +182,7 @@ class ServerlessSystem:
 
             def _track_outcome(event: str, task: Task, time: float) -> None:
                 if event in ("completed", "dropped_missed", "dropped_proactive"):
-                    if time > self._last_outcome_at:
+                    if self._last_outcome_at is None or time > self._last_outcome_at:
                         self._last_outcome_at = time
                 if inner_observer is not None:
                     inner_observer(event, task, time)
@@ -245,11 +251,16 @@ class ServerlessSystem:
         recovery scheduled beyond the last outcome (e.g. a long downtime
         outlasting the whole workload) is a no-op that still advances
         the clock — reporting it as makespan would deflate every
-        utilization figure, so the dynamics path uses the tracked last
-        task outcome instead.
+        utilization figure, so the dynamics path reports the last event
+        that did work: the tracked last task outcome, even when that
+        outcome (or every outcome) landed at time zero.  A dynamics
+        trial in which no task ever reached an outcome did no work at
+        all — makespan 0.0, never the drained clock.
         """
-        if self.dynamics is None or self._last_outcome_at <= 0.0:
+        if self.dynamics is None:
             return self.sim.now
+        if self._last_outcome_at is None:
+            return 0.0
         return self._last_outcome_at
 
     # ------------------------------------------------------------------

@@ -108,6 +108,98 @@ class TestDropScan:
         assert borderline in cluster[0].queue
 
 
+class TestSuffixResume:
+    """The drop scan resumes from the drop index: post-drop re-evaluation
+    covers only the tasks *behind* the dropped one (ISSUE 4)."""
+
+    def _env(self):
+        pet = make_deterministic_pet(np.array([[10.0]]))
+        cluster = Cluster.heterogeneous(1)
+        return pet, cluster, Simulator(), CompletionEstimator(pet)
+
+    def test_evaluations_scale_with_suffix_not_queue(self):
+        """Queue of 10 with one hopeless task at index 8: the scan costs
+        one cluster pass (10 evaluations) plus one 1-task suffix
+        re-query — not a 9-task restart from the queue front."""
+        _, cluster, sim, est = self._env()
+        queue_task(cluster, sim, 0, deadline=1000.0)  # running
+        for i in range(8):  # indices 0..7: completes by 20..90, all viable
+            queue_task(cluster, sim, 1 + i, deadline=1000.0)
+        queue_task(cluster, sim, 9, deadline=30.0)    # index 8: ~100 >> 30
+        queue_task(cluster, sim, 10, deadline=1000.0)  # index 9: viable
+        pruner = Pruner(PruningConfig.paper_default())
+        before = est.chance_evaluations
+        decisions = pruner.drop_scan(cluster, est, now=0.0)
+        assert [d.task.task_id for d in decisions] == [9]
+        evaluated = est.chance_evaluations - before
+        # 10 queued tasks in the opening cluster pass + the 1-task suffix
+        # behind the drop.  The restart-from-front rescan this replaces
+        # would have paid 10 + 9.
+        assert evaluated == 10 + 1
+
+    def test_front_to_back_cascade_still_quadratic_when_all_drop(self):
+        """When every task is hopeless the suffix *is* the rest of the
+        queue — re-evaluation after each drop is genuine work, not
+        rescan waste."""
+        _, cluster, sim, est = self._env()
+        queue_task(cluster, sim, 0, deadline=1000.0)  # running
+        for i in range(5):
+            queue_task(cluster, sim, 1 + i, deadline=5.0)  # all hopeless
+        pruner = Pruner(PruningConfig.paper_default())
+        before = est.chance_evaluations
+        decisions = pruner.drop_scan(cluster, est, now=0.0)
+        assert len(decisions) == 5
+        assert est.chance_evaluations - before == 5 + 4 + 3 + 2 + 1
+
+    def test_resume_matches_restart_from_front_decisions(self):
+        """Decision-for-decision identity with the restart-from-front
+        reference rescan, on a randomized multi-machine setup."""
+        rng = np.random.default_rng(7)
+        for trial in range(20):
+            means = rng.uniform(3.0, 12.0, size=(3, 2))
+            configs = []
+            for _ in range(2):  # build two identical worlds
+                pet = make_deterministic_pet(means)
+                cluster = Cluster.heterogeneous(2)
+                sim = Simulator()
+                est = CompletionEstimator(pet)
+                configs.append((cluster, sim, est))
+            layout = [
+                (
+                    int(rng.integers(0, 2)),       # machine
+                    int(rng.integers(0, 3)),       # task type
+                    float(rng.uniform(5.0, 80.0)),  # deadline
+                )
+                for _ in range(int(rng.integers(4, 14)))
+            ]
+            for cluster, sim, _ in configs:
+                for tid, (m, tt, dl) in enumerate(layout):
+                    t = Task(task_id=tid, task_type=tt, arrival=0.0, deadline=dl)
+                    t.mark_mapped(m, 0.0)
+                    cluster[m].dispatch(t, sim, lambda *a: 5.0, lambda *a: None)
+
+            suffix_pruner = Pruner(PruningConfig.paper_default())
+            got = suffix_pruner.drop_scan(configs[0][0], configs[0][2], now=0.0)
+
+            # Reference: the pre-ISSUE-4 restart-from-front rescan.
+            ref_pruner = Pruner(PruningConfig.paper_default())
+            cluster, _, est = configs[1]
+            want = []
+            for machine in cluster.machines:
+                scan_again = bool(machine.queue)
+                while scan_again:
+                    scan_again = False
+                    for task, chance in est.queue_chances(machine, 0.0):
+                        eff = ref_pruner._scan_threshold(task)
+                        if chance <= eff:
+                            want.append((task.task_id, chance, eff))
+                            ref_pruner.fairness.note_drop(task.task_type)
+                            machine.remove(task)
+                            scan_again = True
+                            break
+            assert [(d.task.task_id, d.chance, d.effective_threshold) for d in got] == want
+
+
 class TestDeferDecision:
     def test_defers_below_threshold(self):
         pruner = Pruner(PruningConfig.paper_default())

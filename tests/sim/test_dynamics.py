@@ -281,6 +281,39 @@ class TestDynamicsDriver:
         assert result.makespan <= system.sim.now
         assert any(u > 0.3 for u in result.utilization())
 
+    def test_all_tasks_dropped_trial_reports_zero_makespan(self, pet_small):
+        """ISSUE 4 audit: a dynamics trial in which *no task ever reaches
+        an outcome* (everything is finalized as a drop after the event
+        queue drains) must report makespan 0.0 — not the drained clock,
+        which only reflects arrival/churn bookkeeping, not work."""
+        # queue_limit=0 means no machine ever has a free slot: arrivals
+        # pool in the batch queue forever, no mapping event ever fires,
+        # and a permanent failure (mean_downtime=0) never kicks one.
+        dyn = DynamicsSpec(failures=1, mean_downtime=0.0)
+        system = ServerlessSystem(
+            pet_small, "MM", seed=5, dynamics=dyn, queue_limit=0
+        )
+        tasks = [_task(i, arrival=float(i), deadline=float(i) + 1.0) for i in range(4)]
+        result = system.run(tasks)
+        assert result.total == 4
+        assert result.dropped_missed == 4  # every task dropped, none ran
+        assert system.sim.now > 0.0
+        assert result.makespan == 0.0
+
+    def test_outcome_at_time_zero_is_a_real_makespan(self, pet_small):
+        """An outcome at exactly t=0.0 is a real last-work timestamp; the
+        pre-fix 0.0 sentinel conflated it with "no outcome yet" and fell
+        back to the dynamics-inflated drained clock."""
+        dyn = DynamicsSpec(failures=1, mean_downtime=0.0)
+        system = ServerlessSystem(
+            pet_small, "MM", seed=5, dynamics=dyn, queue_limit=0
+        )
+        probe = _task(0, arrival=0.0, deadline=0.0)
+        system.allocator.observer("dropped_missed", probe, 0.0)
+        system.run([_task(1, arrival=3.0, deadline=4.0)])
+        assert system.sim.now >= 3.0
+        assert system.result().makespan == 0.0
+
     def test_admission_controller_gates_requeued_victims(self, pet_small, oversub_workload):
         from repro.system.admission import AdmissionController
 

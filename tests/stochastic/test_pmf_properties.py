@@ -11,7 +11,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.stochastic.pmf import PMF
+from repro.stochastic.pmf import CDF_REL_EPS, PMF, batch_cdf_at
 
 # ----------------------------------------------------------------------
 # Strategies
@@ -160,8 +160,45 @@ def test_from_samples_mass_and_support(samples):
     assert p.max_time <= math.floor(max(samples))
 
 
+# ----------------------------------------------------------------------
+# Grid-boundary tolerance: shift-chain invariance
+# ----------------------------------------------------------------------
+@given(
+    normalized_pmfs,
+    st.lists(
+        st.floats(min_value=-8.0, max_value=8.0, allow_nan=False), min_size=1, max_size=6
+    ),
+    st.integers(min_value=-2, max_value=40),
+)
+def test_chance_invariant_under_equivalent_shift_chains(p, deltas, k):
+    """Chance of success is invariant under algebraically-equivalent
+    ``shift`` chains: applying the deltas one by one accumulates float
+    error in the anchor, applying their (sequential) sum does not — yet
+    grid-point queries must answer identically, because the pruning
+    threshold comparison may not depend on how a PMF reached its anchor.
+    """
+    chained = p
+    total = 0.0
+    for d in deltas:
+        chained = chained.shift(d)
+        total += d
+    direct = p.shift(total)
+    # Probe on the chained anchor's grid and on the direct anchor's grid;
+    # both views of the same algebraic distribution must agree.
+    for t in (chained.offset + k, direct.offset + k):
+        assert chained.cdf_at(t) == direct.cdf_at(t)
+        assert chained.sf_at(t) == direct.sf_at(t)
+    got = batch_cdf_at([chained, direct], [chained.offset + k, direct.offset + k])
+    assert got[0] == got[1]
+
+
 @given(st.floats(min_value=0.0, max_value=1000.0))
 def test_delta_cdf_step(t):
+    """The step is sharp *outside* the grid-boundary tolerance: queries
+    within ``CDF_REL_EPS`` (relative) below the grid point count the bin
+    (anchor float error must not flip chances), anything farther does
+    not."""
     d = PMF.delta(t)
     assert d.cdf_at(t) == 1.0
-    assert d.cdf_at(t - 1e-6) == 0.0
+    assert d.cdf_at(t - 1e-3) == 0.0
+    assert d.cdf_at(t - 0.5 * CDF_REL_EPS * max(1.0, t)) == 1.0

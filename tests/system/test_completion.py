@@ -256,6 +256,7 @@ class TestMemoization:
             "evictions",
             "convolutions",
             "convolutions_avoided",
+            "chance_evaluations",
         }
 
 

@@ -47,7 +47,87 @@ def assert_chains_equal(est_inc, est_ref, cluster, now):
             assert np.array_equal(x.probs, y.probs)
 
 
+class TestClusterWideQueries:
+    """The cluster-wide pipeline must be a pure batching of the
+    per-machine queries: same values, any memoize mode."""
+
+    def _loaded_cluster(self, pet, mode):
+        cluster = Cluster.heterogeneous(2)
+        sim = Simulator()
+        est = CompletionEstimator(pet, memoize=mode)
+        for i in range(5):
+            put(cluster, sim, i % 2, i, ttype=i % 2, deadline=12.0 + 6 * i)
+        return cluster, est
+
+    @pytest.mark.parametrize("mode", [True, "keyed", False])
+    def test_cluster_queue_chances_matches_per_machine(self, pet, mode):
+        cluster, est = self._loaded_cluster(pet, mode)
+        per_machine = [
+            [c for _, c in est.queue_chances(m, 0.0)] for m in cluster.machines
+        ]
+        got = est.cluster_queue_chances(cluster.machines, 0.0)
+        assert [list(map(float, g)) for g in got] == per_machine
+
+    @pytest.mark.parametrize("mode", [True, "keyed", False])
+    def test_queue_chances_start_is_suffix_of_full(self, pet, mode):
+        cluster, est = self._loaded_cluster(pet, mode)
+        machine = cluster[0]
+        full = est.queue_chances(machine, 0.0)
+        for start in range(len(machine.queue) + 1):
+            part = est.queue_chances(machine, 0.0, start=start)
+            assert part == full[start:]
+            raw = est.queue_chances_suffix(machine, 0.0, start=start)
+            assert [float(c) for c in raw] == [c for _, c in part]
+
+    @pytest.mark.parametrize("mode", [True, "keyed", False])
+    def test_chances_for_pairs_dedupe_matches_pointwise(self, pet, mode):
+        cluster, est = self._loaded_cluster(pet, mode)
+        probes = [
+            Task(task_id=100 + k, task_type=k % 2, arrival=0.0, deadline=10.0 + 3 * k)
+            for k in range(6)
+        ]
+        # Duplicated (type, machine) pairs on purpose.
+        pairs = [(t, cluster.machines[k % 2]) for k, t in enumerate(probes)]
+        got = est.chances_for_pairs(pairs, 0.0)
+        want = [est.chance_of_success(t, m, 0.0) for t, m in pairs]
+        assert [float(c) for c in got] == want
+
+    def test_cluster_expected_available_matches_per_machine(self, pet):
+        cluster, est = self._loaded_cluster(pet, True)
+        got = est.cluster_expected_available(cluster.machines, 2.5)
+        want = [est.expected_available(m, 2.5) for m in cluster.machines]
+        assert got.tolist() == want
+
+    def test_cluster_query_identical_across_modes(self, pet):
+        results = {}
+        for mode in (True, "keyed", False):
+            cluster, est = self._loaded_cluster(pet, mode)
+            results[str(mode)] = [
+                list(map(float, g))
+                for g in est.cluster_queue_chances(cluster.machines, 1.5)
+            ]
+        assert results["True"] == results["keyed"] == results["False"]
+
+
 class TestExactEquivalence:
+    def test_collapsed_conditioning_is_not_reused(self):
+        """A running-task belief whose conditioning collapses to
+        ``delta(now)`` (kept mass below the epsilon floor) tracks the
+        clock itself — the cached base must be rebuilt at every new
+        ``now``, not reused because the cut index happens to match."""
+        pmf = PMF([1.0 - 1e-13, 1e-13])
+        pet = PETMatrix([[pmf]], np.array([[pmf.finite_mean()]]))
+        cluster = Cluster.heterogeneous(1)
+        sim = Simulator()
+        inc = CompletionEstimator(pet, memoize=True)
+        ref = CompletionEstimator(pet, memoize=False)
+        put(cluster, sim, 0, 0, duration=1.0)
+        for now in (0.5, 0.9):
+            assert inc.expected_release(cluster[0], now) == ref.expected_release(
+                cluster[0], now
+            )
+            assert_chains_equal(inc, ref, cluster, now)
+
     def test_mutation_sequence_matches_reference(self, pet):
         """Enqueues, drops, time advance, starts: every step bit-exact."""
         cluster = Cluster.heterogeneous(2)
@@ -233,9 +313,13 @@ class TestBatchedQueries:
         grid = est.chances_for(probes, cluster.machines, 0.0)
         assert grid.shape == (3, 2)
         # Same type on the same machine shares one availability ⊛ PET
-        # product: 2 machines -> at most 2 products for 6 cells.
-        assert (est.convolutions + est.convolutions_avoided) - convs_before >= 2
-        assert est.cache_hits >= 4
+        # product: 2 machines -> exactly 2 products for 6 cells (the grid
+        # deduplicates (task type, machine) pairs before any PCT work).
+        assert (est.convolutions + est.convolutions_avoided) - convs_before == 2
+        # A repeat query re-anchors the shared products out of the cache.
+        grid2 = est.chances_for(probes, cluster.machines, 0.0)
+        assert np.array_equal(grid, grid2)
+        assert est.cache_hits >= 2
 
 
 class TestModesAndStats:

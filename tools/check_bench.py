@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Benchmark smoke gate: the mapping-event pipeline may not regress.
+
+Runs the estimator benchmark (``benchmarks/bench_sim.py``'s measurement
+core) on a *reduced* Fig. 7 workload and compares it against the
+committed ``benchmarks/BENCH_estimator.json``:
+
+* ``identical_outcomes`` must be true — the cache/pipeline layers are
+  correctness-invisible, whatever the hardware;
+* the *incremental-over-naive* events/sec ratio must not fall more than
+  ``--max-regression`` (default 20 %) below the committed payload's
+  ratio.  Both modes are measured in the same fresh run, so runner
+  hardware cancels out — the gate tracks the pipeline's relative
+  advantage (what the code controls), not the runner's absolute speed.
+
+Absolute events/sec for both runs are printed for the record.  The
+workload is reduced in *trials* (default 1 vs the committed 2), not in
+scale: per-event economics depend on queue depths, so only a same-scale
+run produces a comparable ratio.
+
+Run directly (CI's bench-smoke job)::
+
+    python tools/check_bench.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_SRC = REPO_ROOT / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+BASELINE = REPO_ROOT / "benchmarks" / "BENCH_estimator.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=BASELINE, help="committed BENCH_estimator.json"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload scale (default: the committed payload's scale, so rates compare)",
+    )
+    parser.add_argument("--trials", type=int, default=1, help="trials per mode")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=float(os.environ.get("BENCH_SMOKE_MAX_REGRESSION", "0.2")),
+        help=(
+            "allowed fractional drop of the incremental-over-naive events/sec "
+            "ratio vs the committed payload's ratio (default 0.2)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    from benchmarks.bench_sim import run_estimator_bench
+
+    baseline = json.loads(args.baseline.read_text())
+    base_eps = baseline["events_per_sec"]
+    base_ratio = base_eps["incremental"] / base_eps["naive"]
+    scale = args.scale if args.scale is not None else baseline["workload"]["scale"]
+
+    fresh = run_estimator_bench(trials=args.trials, scale=scale, json_path=None)
+    fresh_eps = fresh["events_per_sec"]
+    fresh_ratio = fresh_eps["incremental"] / fresh_eps["naive"]
+
+    print(
+        f"bench smoke: scale={scale} trials={args.trials} — incremental "
+        f"{fresh_eps['incremental']:.0f} events/s, naive {fresh_eps['naive']:.0f}; "
+        f"pipeline advantage {fresh_ratio:.2f}x vs committed {base_ratio:.2f}x, "
+        f"identical_outcomes={fresh['identical_outcomes']}"
+    )
+
+    if not fresh["identical_outcomes"]:
+        print(
+            "FAIL: memoization modes diverged — the estimation layers are "
+            "no longer correctness-invisible.",
+            file=sys.stderr,
+        )
+        return 1
+    floor = (1.0 - args.max_regression) * base_ratio
+    if fresh_ratio < floor:
+        print(
+            f"FAIL: incremental-over-naive events/sec ratio {fresh_ratio:.2f}x "
+            f"fell below the {floor:.2f}x floor ({args.max_regression:.0%} under "
+            f"the committed {base_ratio:.2f}x).",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
