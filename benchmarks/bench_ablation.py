@@ -10,7 +10,7 @@
 import numpy as np
 import pytest
 
-from benchmarks.conftest import BENCH_SEED, show  # noqa: F401 (fixture re-export)
+from benchmarks.conftest import show
 from repro.core.config import PruningConfig
 from repro.experiments.runner import pet_matrix
 from repro.stochastic.etc import ETCMatrix

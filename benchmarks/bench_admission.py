@@ -8,7 +8,6 @@ better machine frees up (§IV-B's argument for deferment).
 
 import numpy as np
 
-from benchmarks.conftest import BENCH_SEED
 from repro.core.config import PruningConfig
 from repro.experiments.runner import pet_matrix
 from repro.system.admission import AdmissionController

@@ -1,0 +1,242 @@
+"""Adaptive-pruning control-plane benchmark → ``BENCH_control.json``.
+
+The claim under test (ISSUE 5 acceptance): on a bursty oversubscription
+sweep, a feedback controller started at the paper's default β = 0.5
+*recovers* at least the on-time completion of the best static β in the
+paper's own threshold grid {0.25, 0.5, 0.75} — without anyone running
+that sweep — while beating the worst static β materially.
+
+The sweep is three oversubscription levels of one MMPP (bursty) workload
+family: quiet stretches around the 15k-equivalent load with 8× bursts.
+Under these (paper-default) deadlines the robustness response to β is
+monotone-saturating: every burst pushes the best operating point above
+the static grid's top, which is exactly the regime where a fixed β is
+wrong for part of the run and a miss-rate-driven controller is not.
+
+Everything is deterministic (fixed seeds, pure-function controllers), so
+the comparison is hardware-independent and safe to gate in CI; ``jobs``
+only changes wall-clock, never outcomes.  The payload shape is validated
+against the committed artifact by ``tools/check_bench.py``.
+
+Run directly to regenerate the artifact::
+
+    python benchmarks/bench_control.py --jobs 4
+
+or through pytest (asserts, no artifact rewrite)::
+
+    python -m pytest benchmarks/bench_control.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Direct-script convenience (CI and pytest install the package; a plain
+# checkout runs `python benchmarks/bench_control.py` without it).
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.config import ControllerConfig, PruningConfig  # noqa: E402
+from repro.experiments.campaign import run_cell_trials  # noqa: E402
+from repro.experiments.runner import ExperimentConfig  # noqa: E402
+from repro.metrics.robustness import aggregate_robustness  # noqa: E402
+from repro.workload.spec import WorkloadSpec  # noqa: E402
+
+CONTROL_JSON = Path(__file__).resolve().parent / "BENCH_control.json"
+
+#: Oversubscription levels: task count over the fixed 150-unit span.
+LEVELS = {"mild": 320, "heavy": 400, "extreme": 480}
+
+#: The paper's Fig. 8 threshold grid, run as static β settings.
+STATIC_GRID = (0.25, 0.5, 0.75)
+
+#: The adaptive contender: an asymmetric hysteresis ratchet.  Misses
+#: (late completions + reactive drops) push β up fast — work that burned
+#: capacity and still failed means pruning is too lax — and β relaxes
+#: only when the miss EWMA is pinned at zero.  Started at the paper
+#: default β = 0.5.
+ADAPTIVE = ControllerConfig(
+    kind="hysteresis",
+    low=0.0,
+    high=0.1,
+    step=0.25,
+    cooldown=2,
+    window=3,
+    beta_min=0.25,
+    beta_max=0.95,
+)
+
+TRIALS = 5
+BASE_SEED = 42
+
+#: "Materially better than the worst static β" — the assertion margin in
+#: robustness percentage points (the measured gap is ~8 pp).
+MATERIAL_MARGIN_PP = 2.0
+
+
+def _spec(num_tasks: int) -> WorkloadSpec:
+    return WorkloadSpec(
+        num_tasks=num_tasks,
+        time_span=150.0,
+        num_task_types=8,
+        pattern="bursty",
+        burst_amplitude=8.0,
+        burst_fraction=0.15,
+        burst_cycles=4.0,
+    )
+
+
+def _variants() -> dict[str, PruningConfig]:
+    variants = {
+        f"P{int(beta * 100)}": PruningConfig(pruning_threshold=beta)
+        for beta in STATIC_GRID
+    }
+    variants["adaptive"] = PruningConfig(
+        pruning_threshold=0.5, controller=ADAPTIVE
+    )
+    return variants
+
+
+def run_control_bench(
+    *,
+    trials: int = TRIALS,
+    jobs: int | None = None,
+    json_path: Path | None = CONTROL_JSON,
+) -> dict:
+    """Run the sweep and return (optionally write) the payload."""
+    variants = _variants()
+    configs, keys = [], []
+    for vname, pruning in variants.items():
+        for lname, num_tasks in LEVELS.items():
+            configs.append(
+                ExperimentConfig(
+                    heuristic="MM",
+                    spec=_spec(num_tasks),
+                    pruning=pruning,
+                    trials=trials,
+                    base_seed=BASE_SEED,
+                    label=f"{vname}@{lname}",
+                )
+            )
+            keys.append((vname, lname))
+
+    per_variant: dict[str, dict] = {v: {"per_level": {}} for v in variants}
+    pooled: dict[str, list[float]] = {v: [] for v in variants}
+    for (vname, lname), cell_trials in zip(keys, run_cell_trials(configs, jobs=jobs)):
+        agg = aggregate_robustness(cell_trials)
+        per_variant[vname]["per_level"][lname] = {
+            "mean_pct": agg.mean_pct,
+            "ci95_pct": agg.ci95_pct,
+            "trials": agg.trials,
+        }
+        pooled[vname].extend(agg.per_trial_pct)
+    for vname in variants:
+        per_variant[vname]["pooled_mean_pct"] = sum(pooled[vname]) / len(pooled[vname])
+
+    statics = {v: per_variant[v]["pooled_mean_pct"] for v in variants if v != "adaptive"}
+    best_static = max(statics, key=statics.get)
+    worst_static = min(statics, key=statics.get)
+    adaptive_mean = per_variant["adaptive"]["pooled_mean_pct"]
+    payload = {
+        "benchmark": "control",
+        "workload": {
+            "pattern": "bursty",
+            "time_span": 150.0,
+            "num_task_types": 8,
+            "burst_amplitude": 8.0,
+            "burst_fraction": 0.15,
+            "burst_cycles": 4.0,
+            "levels": dict(LEVELS),
+            "trials": trials,
+            "base_seed": BASE_SEED,
+            "heuristic": "MM",
+        },
+        "static_grid": list(STATIC_GRID),
+        "controller": {
+            "kind": ADAPTIVE.kind,
+            "low": ADAPTIVE.low,
+            "high": ADAPTIVE.high,
+            "step": ADAPTIVE.step,
+            "cooldown": ADAPTIVE.cooldown,
+            "window": ADAPTIVE.window,
+            "beta_min": ADAPTIVE.beta_min,
+            "beta_max": ADAPTIVE.beta_max,
+            "initial_beta": 0.5,
+        },
+        "results": per_variant,
+        "comparison": {
+            "best_static": best_static,
+            "best_static_pct": statics[best_static],
+            "worst_static": worst_static,
+            "worst_static_pct": statics[worst_static],
+            "adaptive_pct": adaptive_mean,
+            "adaptive_minus_best_pp": adaptive_mean - statics[best_static],
+            "adaptive_minus_worst_pp": adaptive_mean - statics[worst_static],
+        },
+    }
+    if json_path is not None:
+        json_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def check_payload(payload: dict) -> None:
+    """The acceptance gates (shared by the pytest entry and __main__)."""
+    cmp = payload["comparison"]
+    assert cmp["adaptive_pct"] >= cmp["best_static_pct"] - 1e-9, (
+        f"adaptive {cmp['adaptive_pct']:.2f}% fell below the best static "
+        f"β ({cmp['best_static']}: {cmp['best_static_pct']:.2f}%)"
+    )
+    assert cmp["adaptive_pct"] > cmp["worst_static_pct"] + MATERIAL_MARGIN_PP, (
+        f"adaptive {cmp['adaptive_pct']:.2f}% is not materially above the "
+        f"worst static β ({cmp['worst_static']}: {cmp['worst_static_pct']:.2f}%)"
+    )
+
+
+def test_adaptive_recovers_best_static():
+    """Deterministic gate: the hysteresis controller, started at the
+    paper default, matches-or-beats the best static β of the paper's
+    threshold grid and clears the worst by a material margin."""
+    payload = run_control_bench(jobs=2, json_path=None)
+    check_payload(payload)
+    # The run must match the committed artifact (same seeds, pure
+    # controllers ⇒ hardware-independent robustness numbers).
+    if CONTROL_JSON.exists():
+        committed = json.loads(CONTROL_JSON.read_text())
+        assert committed["comparison"] == payload["comparison"], (
+            "BENCH_control.json is stale — regenerate with "
+            "`python benchmarks/bench_control.py`"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trials", type=int, default=TRIALS)
+    parser.add_argument("--jobs", "-j", type=int, default=None)
+    parser.add_argument(
+        "--json", type=Path, default=CONTROL_JSON, help="output artifact path"
+    )
+    args = parser.parse_args(argv)
+    payload = run_control_bench(trials=args.trials, jobs=args.jobs, json_path=args.json)
+    cmp = payload["comparison"]
+    print(
+        f"bench control: adaptive {cmp['adaptive_pct']:.2f}% | best static "
+        f"{cmp['best_static']} {cmp['best_static_pct']:.2f}% "
+        f"({cmp['adaptive_minus_best_pp']:+.2f} pp) | worst static "
+        f"{cmp['worst_static']} {cmp['worst_static_pct']:.2f}% "
+        f"({cmp['adaptive_minus_worst_pp']:+.2f} pp)"
+    )
+    if args.trials == TRIALS:
+        check_payload(payload)
+        print("control gates OK")
+    else:
+        print("(non-default trial count: gates skipped, artifact recorded)")
+    print(f"[written: {args.json}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,8 +19,10 @@ Public API layers
 """
 
 from .analysis import TimelineRecorder
+from .control import ControllerDriver, ControlSignals, Setpoints, make_controller
 from .core import (
     Accounting,
+    ControllerConfig,
     FairnessTracker,
     Pruner,
     PruningConfig,
@@ -76,10 +78,16 @@ __all__ = [
     "HOMOGENEOUS_HEURISTICS",
     # core
     "PruningConfig",
+    "ControllerConfig",
     "ToggleMode",
     "Pruner",
     "Accounting",
     "FairnessTracker",
+    # control plane
+    "ControlSignals",
+    "Setpoints",
+    "ControllerDriver",
+    "make_controller",
     # system
     "ServerlessSystem",
     "CompletionEstimator",

@@ -44,7 +44,7 @@ def bar_chart(
     if not labels:
         return "(empty chart)"
     peak = peak if peak is not None else max(max(values), 1e-9)
-    label_w = max(len(str(l)) for l in labels)
+    label_w = max(len(str(label)) for label in labels)
     lines = []
     for label, value in zip(labels, values):
         lines.append(

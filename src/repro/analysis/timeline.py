@@ -17,10 +17,8 @@ Usage::
 
 from __future__ import annotations
 
-import bisect
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable
 
 import numpy as np
 

@@ -1,0 +1,50 @@
+"""Adaptive pruning control plane: feedback controllers for β/α.
+
+The paper evaluates its pruning mechanism at *fixed* β (pruning
+threshold) and α (dropping Toggle); its Fig. 7/8 sweeps show the best
+setting depends on the oversubscription level.  This subsystem closes
+the loop at runtime: controllers observe per-mapping-event
+:class:`ControlSignals` snapshots (miss/drop rates, queue depths, mean
+chance of success, per-type sufferage) and emit setpoint updates into a
+shared :class:`Setpoints` cell that the
+:class:`~repro.core.pruner.Pruner` and reactive Toggle read live.
+
+Everything is deterministic by construction: setpoints are a pure
+function of the :class:`~repro.core.config.ControllerConfig` and the
+observed simulation state — never wall-clock or global RNG — so
+campaign caching and parallel-vs-serial byte-identity are preserved.
+See ``docs/architecture.md`` (control plane) for the signal flow.
+"""
+
+from .controllers import (
+    Controller,
+    HysteresisController,
+    ScheduleController,
+    StaticController,
+    TargetSuccessController,
+)
+from .driver import ControllerDriver
+from .registry import (
+    CONTROLLERS,
+    make_controller,
+    make_driver,
+    parse_controller_spec,
+    resolve_controller,
+)
+from .signals import ControlSignals, Setpoints
+
+__all__ = [
+    "ControlSignals",
+    "Setpoints",
+    "Controller",
+    "StaticController",
+    "ScheduleController",
+    "HysteresisController",
+    "TargetSuccessController",
+    "ControllerDriver",
+    "CONTROLLERS",
+    "make_controller",
+    "make_driver",
+    "parse_controller_spec",
+    "resolve_controller",
+]

@@ -1,0 +1,234 @@
+"""Feedback controllers for the pruning threshold β and Toggle α.
+
+The paper fixes β and α per experiment; its own Fig. 7/8 sweeps show the
+best setting depends on the oversubscription level, which under
+time-varying arrivals changes *within* a run.  Each controller here maps
+a stream of :class:`~repro.control.signals.ControlSignals` snapshots to
+setpoint updates, under one hard contract:
+
+**Determinism.**  A controller's output is a pure function of its
+:class:`~repro.core.config.ControllerConfig` and the snapshots it has
+observed — never wall-clock time, global RNG, or any state outside the
+instance.  That keeps campaign cache keys sound (config identifies
+behavior) and parallel-vs-serial sweeps byte-identical.
+
+``update`` returns the desired ``(β, α)`` pair, or ``None`` for "no
+opinion this tick" (the driver keeps the current setpoints).  Returning
+the *current* values is also a no-op — the driver only records actual
+changes.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..core.config import ControllerConfig, PruningConfig
+from .signals import ControlSignals
+
+__all__ = [
+    "Controller",
+    "StaticController",
+    "ScheduleController",
+    "HysteresisController",
+    "TargetSuccessController",
+]
+
+
+class Controller(abc.ABC):
+    """One β/α policy observing mapping-event snapshots."""
+
+    #: Registry key; also the label in ``controller_stats``.
+    name: str = "controller"
+
+    def __init__(self, config: ControllerConfig, base: PruningConfig) -> None:
+        self.config = config
+        self.base = base
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def update(self, signals: ControlSignals) -> tuple[float, int] | None:
+        """Desired ``(β, α)`` for this mapping event (``None`` = keep)."""
+
+    def at_time(self, now: float) -> tuple[float, int] | None:
+        """Setpoints implied by time alone (time-triggered controllers).
+
+        Fired by the simulator at :meth:`breakpoints` between mapping
+        events so a scheduled change lands promptly even during quiet
+        stretches; event-driven controllers return ``None``.
+        """
+        return None
+
+    def breakpoints(self) -> tuple[float, ...]:
+        """Times at which :meth:`at_time` should be consulted (config-pure)."""
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.config.kind!r})"
+
+
+class StaticController(Controller):
+    """The default: β/α frozen at the config values.
+
+    Attaching it explicitly is bit-identical to attaching no controller
+    at all — the setpoints never move — but turns on control-plane
+    telemetry (``controller_stats``/``fairness_stats`` on the result).
+    """
+
+    name = "static"
+
+    def update(self, signals: ControlSignals) -> tuple[float, int] | None:
+        return None
+
+
+class ScheduleController(Controller):
+    """Piecewise-constant β(t) (and optionally α(t)) schedules.
+
+    Setpoints are a pure function of (config, t): the last breakpoint at
+    or before ``t`` wins; before the first breakpoint the
+    :class:`~repro.core.config.PruningConfig` constants apply.  Because
+    nothing is learned from observations, a schedule composes with the
+    campaign cache exactly like a static config does.
+    """
+
+    name = "schedule"
+
+    def _value_at(self, points: tuple, now: float, default: float) -> float:
+        value = default
+        for t, v in points:
+            if t > now:
+                break
+            value = v
+        return value
+
+    def setpoints_at(self, now: float) -> tuple[float, int]:
+        beta = self._value_at(self.config.schedule, now, self.base.pruning_threshold)
+        alpha = self._value_at(
+            self.config.alpha_schedule, now, float(self.base.dropping_toggle)
+        )
+        return beta, int(alpha)
+
+    def update(self, signals: ControlSignals) -> tuple[float, int] | None:
+        return self.setpoints_at(signals.now)
+
+    def at_time(self, now: float) -> tuple[float, int] | None:
+        return self.setpoints_at(now)
+
+    def breakpoints(self) -> tuple[float, ...]:
+        times = {t for t, _ in self.config.schedule}
+        times |= {t for t, _ in self.config.alpha_schedule}
+        return tuple(sorted(times))
+
+
+class HysteresisController(Controller):
+    """Step β between bounds when the miss rate crosses bands.
+
+    An EWMA (gain ``2 / (window + 1)``) of the per-tick deadline-miss
+    rate is compared against the ``low``..``high`` dead-band:
+
+    * above ``high`` → oversubscribed → β steps *up* by ``step`` (prune
+      harder, shed doomed work), clamped to ``beta_max``;
+    * below ``low`` → headroom → β steps *down* (give borderline tasks a
+      chance), clamped to ``beta_min``;
+    * inside the band → hold (the dead-band is what prevents chatter).
+
+    After a move the controller stays quiet for ``cooldown`` ticks so the
+    plant can respond before being judged again.  With ``adapt_alpha``
+    the Toggle α additionally drops to 0 (most reactive) while above the
+    band and returns to the config value below it.
+    """
+
+    name = "hysteresis"
+
+    def __init__(self, config: ControllerConfig, base: PruningConfig) -> None:
+        super().__init__(config, base)
+        self.beta = min(max(base.pruning_threshold, config.beta_min), config.beta_max)
+        self.alpha = base.dropping_toggle
+        self._ewma: float | None = None
+        self._cooldown_left = 0
+        self._last_misses = 0
+        self._last_outcomes = 0
+
+    def update(self, signals: ControlSignals) -> tuple[float, int] | None:
+        d_misses = signals.misses - self._last_misses
+        d_outcomes = signals.outcomes - self._last_outcomes
+        self._last_misses = signals.misses
+        self._last_outcomes = signals.outcomes
+        if d_outcomes > 0:
+            rate = d_misses / d_outcomes
+            gain = 2.0 / (self.config.window + 1)
+            self._ewma = rate if self._ewma is None else (
+                (1.0 - gain) * self._ewma + gain * rate
+            )
+        if self._ewma is None:
+            return None
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            return self.beta, self.alpha
+        if self._ewma > self.config.high:
+            self.beta = min(self.beta + self.config.step, self.config.beta_max)
+            if self.config.adapt_alpha:
+                self.alpha = 0
+            self._cooldown_left = self.config.cooldown
+        elif self._ewma < self.config.low:
+            self.beta = max(self.beta - self.config.step, self.config.beta_min)
+            if self.config.adapt_alpha:
+                self.alpha = self.base.dropping_toggle
+            self._cooldown_left = self.config.cooldown
+        return self.beta, self.alpha
+
+
+class TargetSuccessController(Controller):
+    """Successive-approximation search for the β meeting a success target.
+
+    Every ``settle`` ticks the on-time rate observed over the window
+    just ended is compared to ``target`` and the bracket
+    [``beta_min``, ``beta_max``] is halved around β, exactly like a
+    guided binary search:
+
+    * rate below target → pruning is too lax (capacity wasted on doomed
+      tasks) → move β into the upper half-bracket;
+    * rate at/above target → try relaxing → move β into the lower
+      half-bracket.
+
+    Windows with no outcomes extend rather than vote, so quiet stretches
+    never collapse the bracket on no evidence.  Once the bracket
+    converges (width below 2 % of the β range) it re-opens to
+    [``beta_min``, ``beta_max``] around the current β, so the search can
+    follow a load level that moved after convergence.
+    """
+
+    name = "target-success"
+
+    def __init__(self, config: ControllerConfig, base: PruningConfig) -> None:
+        super().__init__(config, base)
+        self.beta = min(max(base.pruning_threshold, config.beta_min), config.beta_max)
+        self._lo = config.beta_min
+        self._hi = config.beta_max
+        self._ticks = 0
+        self._window_on_time = 0
+        self._window_outcomes = 0
+
+    def update(self, signals: ControlSignals) -> tuple[float, int] | None:
+        self._ticks += 1
+        if self._ticks < self.config.settle:
+            return None
+        window_on_time = signals.on_time - self._window_on_time
+        window_outcomes = signals.outcomes - self._window_outcomes
+        if window_outcomes <= 0:
+            return None  # nothing landed; let the window keep growing
+        self._ticks = 0
+        self._window_on_time = signals.on_time
+        self._window_outcomes = signals.outcomes
+        rate = window_on_time / window_outcomes
+        if rate < self.config.target:
+            self._lo = self.beta
+            self.beta = 0.5 * (self.beta + self._hi)
+        else:
+            self._hi = self.beta
+            self.beta = 0.5 * (self._lo + self.beta)
+        if self._hi - self._lo < 0.02 * (self.config.beta_max - self.config.beta_min):
+            # Converged: re-open the bracket so the search can track a
+            # load level that shifts later in the run.
+            self._lo = self.config.beta_min
+            self._hi = self.config.beta_max
+        return self.beta, self.base.dropping_toggle

@@ -1,0 +1,79 @@
+"""The controller driver: ticks, setpoint actuation, telemetry.
+
+The driver sits between the simulation and a
+:class:`~repro.control.controllers.Controller`:
+
+* the :class:`~repro.core.pruner.Pruner` calls :meth:`tick` once per
+  mapping event (Fig. 5 step 0, before fairness/toggle/drop-scan so the
+  event's own decisions already use the fresh setpoints);
+* the simulator fires :meth:`time_tick` at a schedule controller's
+  breakpoints (``Priority.CONTROL`` events) so β(t) changes land even
+  during quiet stretches;
+* every *change* is clamped (β ∈ [0, 1], α ≥ 0), applied to the shared
+  :class:`~repro.control.signals.Setpoints`, and recorded in the
+  trajectory that :meth:`stats` reports as ``controller_stats``.
+"""
+
+from __future__ import annotations
+
+from .controllers import Controller
+from .signals import ControlSignals, Setpoints
+
+__all__ = ["ControllerDriver"]
+
+
+class ControllerDriver:
+    """Owns the controller ↔ setpoints loop for one simulation run."""
+
+    def __init__(self, controller: Controller, setpoints: Setpoints) -> None:
+        self.controller = controller
+        self.setpoints = setpoints
+        self.ticks = 0
+        self.time_ticks = 0
+        self.updates = 0
+        self.initial = (setpoints.beta, setpoints.alpha)
+        #: Applied setpoint changes as ``[time, β, α]`` rows (JSON-ready).
+        self.trajectory: list[list[float]] = []
+
+    # ------------------------------------------------------------------
+    def tick(self, signals: ControlSignals) -> None:
+        """One mapping-event observation → possibly new setpoints."""
+        self.ticks += 1
+        self._apply(self.controller.update(signals), signals.now)
+
+    def time_tick(self, now: float) -> None:
+        """A scheduled (time-triggered) consultation between events."""
+        self.time_ticks += 1
+        self._apply(self.controller.at_time(now), now)
+
+    def breakpoints(self) -> tuple[float, ...]:
+        return self.controller.breakpoints()
+
+    # ------------------------------------------------------------------
+    def _apply(self, out: tuple[float, int] | None, now: float) -> None:
+        if out is None:
+            return
+        candidate = Setpoints(beta=float(out[0]), alpha=int(out[1]))
+        candidate.clamp()
+        if (
+            candidate.beta == self.setpoints.beta
+            and candidate.alpha == self.setpoints.alpha
+        ):
+            return
+        self.setpoints.beta = candidate.beta
+        self.setpoints.alpha = candidate.alpha
+        self.updates += 1
+        self.trajectory.append([float(now), candidate.beta, float(candidate.alpha)])
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-ready ``controller_stats`` payload (round-trip stable)."""
+        return {
+            "controller": self.controller.name,
+            "ticks": self.ticks,
+            "time_ticks": self.time_ticks,
+            "updates": self.updates,
+            "initial": [float(self.initial[0]), float(self.initial[1])],
+            "final": [float(self.setpoints.beta), float(self.setpoints.alpha)],
+            "trajectory": [list(row) for row in self.trajectory],
+        }

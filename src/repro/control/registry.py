@@ -1,0 +1,195 @@
+"""Controller registry: names → classes, plus spec parsing.
+
+Mirrors the heuristics registry: every controller is reachable by a
+stable name so sweep grids, the CLI, and golden-case manifests can name
+one declaratively.
+
+Three spellings resolve to a :class:`~repro.core.config.ControllerConfig`:
+
+* a bare name — ``"hysteresis"`` (all defaults);
+* a CLI/grid spec string — ``"hysteresis:low=0.05,high=0.3,step=0.1"``
+  or ``"schedule:0=0.25,120=0.75"`` (schedule pairs are ``t=β``);
+* a mapping — ``{"kind": "target-success", "target": 0.6}``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..core.config import CONTROLLER_KINDS, ControllerConfig, PruningConfig
+from .controllers import (
+    Controller,
+    HysteresisController,
+    ScheduleController,
+    StaticController,
+    TargetSuccessController,
+)
+from .driver import ControllerDriver
+from .signals import Setpoints
+
+__all__ = [
+    "CONTROLLERS",
+    "make_controller",
+    "make_driver",
+    "parse_controller_spec",
+    "resolve_controller",
+]
+
+#: kind → controller class (keys match :data:`CONTROLLER_KINDS`).
+CONTROLLERS: dict[str, type[Controller]] = {
+    "static": StaticController,
+    "schedule": ScheduleController,
+    "hysteresis": HysteresisController,
+    "target-success": TargetSuccessController,
+}
+assert set(CONTROLLERS) == set(CONTROLLER_KINDS)
+
+#: ControllerConfig fields a spec string / mapping may set, with their
+#: scalar converters (schedules are handled separately).
+_FIELD_TYPES = {
+    "low": float,
+    "high": float,
+    "step": float,
+    "cooldown": int,
+    "window": int,
+    "adapt_alpha": bool,
+    "beta_min": float,
+    "beta_max": float,
+    "target": float,
+    "settle": int,
+}
+
+
+def make_controller(config: ControllerConfig, base: PruningConfig) -> Controller:
+    """Instantiate the controller a config names."""
+    return CONTROLLERS[config.kind](config, base)
+
+
+def make_driver(
+    config: Optional[ControllerConfig],
+    base: PruningConfig,
+    setpoints: Setpoints,
+) -> Optional[ControllerDriver]:
+    """Build the driver for a pruning config (``None`` → no control plane)."""
+    if config is None:
+        return None
+    return ControllerDriver(make_controller(config, base), setpoints)
+
+
+def _convert(key: str, raw: str):
+    if key not in _FIELD_TYPES:
+        raise ValueError(
+            f"unknown controller parameter {key!r}; allowed: {sorted(_FIELD_TYPES)}"
+        )
+    kind = _FIELD_TYPES[key]
+    if kind is bool:
+        lowered = raw.strip().lower()
+        if lowered in ("true", "1", "yes"):
+            return True
+        if lowered in ("false", "0", "no"):
+            return False
+        raise ValueError(f"controller parameter {key} expects true/false, got {raw!r}")
+    try:
+        return kind(raw)
+    except ValueError as exc:
+        raise ValueError(f"controller parameter {key}={raw!r}: {exc}") from exc
+
+
+def parse_controller_spec(spec: str) -> ControllerConfig:
+    """Parse a ``kind[:k=v,...]`` spec string (the CLI's ``--controller``).
+
+    The schedule kind takes ``t=β`` pairs instead of named parameters
+    (``"schedule:0=0.25,120=0.75"``); append named α breakpoints with an
+    ``alpha@t=value`` spelling (``"schedule:0=0.3,alpha@60=2"``).
+    """
+    spec = spec.strip()
+    if not spec:
+        raise ValueError("empty controller spec")
+    kind, _, rest = spec.partition(":")
+    kind = kind.strip()
+    if kind not in CONTROLLERS:
+        raise ValueError(
+            f"unknown controller {kind!r}; choose from {sorted(CONTROLLERS)}"
+        )
+    kwargs: dict = {}
+    schedule: list[tuple[float, float]] = []
+    alpha_schedule: list[tuple[float, float]] = []
+    if rest.strip():
+        for item in rest.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, eq, value = item.partition("=")
+            if not eq:
+                raise ValueError(f"controller spec item {item!r} is not key=value")
+            key = key.strip()
+            value = value.strip()
+            if kind == "schedule":
+                try:
+                    if key.startswith("alpha@"):
+                        alpha_schedule.append((float(key[len("alpha@"):]), float(value)))
+                    else:
+                        schedule.append((float(key), float(value)))
+                    continue
+                except ValueError as exc:
+                    raise ValueError(
+                        f"schedule breakpoint {item!r} is not t=beta "
+                        f"(or alpha@t=value): {exc}"
+                    ) from exc
+            kwargs[key] = _convert(key, value)
+    if kind == "schedule":
+        kwargs["schedule"] = tuple(sorted(schedule))
+        kwargs["alpha_schedule"] = tuple(sorted(alpha_schedule))
+    return ControllerConfig(kind=kind, **kwargs)
+
+
+def resolve_controller(entry) -> tuple[str, Optional[ControllerConfig]]:
+    """Resolve one grid ``controller`` entry to ``(label, config)``.
+
+    Accepted forms::
+
+        "none" / None                  no control plane (the default)
+        "static" / "hysteresis" / ...  a registered kind with defaults
+        "hysteresis:high=0.3"          a spec string (see parse_controller_spec)
+        "hysteresis:high=0.4,label=hot"  spec string with an explicit label,
+                                       so two tunings of one kind can share
+                                       a grid axis without colliding
+        {"kind": "schedule",           fully explicit variant; "label"
+         "schedule": [[0, 0.25],       overrides the derived name
+          [120, 0.75]],
+         "label": "ramp"}
+    """
+    if entry is None or entry == "none":
+        return "", None
+    if isinstance(entry, str):
+        # Pull a label= item out before parsing — it names the grid cell,
+        # it is not a controller parameter.
+        label = None
+        kind, sep, rest = entry.partition(":")
+        if sep:
+            params = []
+            for item in rest.split(","):
+                key, eq, value = item.partition("=")
+                if eq and key.strip() == "label":
+                    label = value.strip()
+                else:
+                    params.append(item)
+            entry = kind + (":" + ",".join(params) if params else "")
+        config = parse_controller_spec(entry)
+        return label or config.kind, config
+    if isinstance(entry, Mapping):
+        fields = dict(entry)
+        label = fields.pop("label", None)
+        allowed = set(ControllerConfig.__dataclass_fields__)
+        unknown = set(fields) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown controller keys {sorted(unknown)}; allowed: "
+                f"{sorted(allowed | {'label'})}"
+            )
+        for key in ("schedule", "alpha_schedule"):
+            if key in fields:
+                fields[key] = tuple(tuple(point) for point in fields[key])
+        config = ControllerConfig(**fields)
+        return str(label) if label else config.kind, config
+    raise ValueError(f"unrecognized controller entry: {entry!r}")

@@ -1,13 +1,14 @@
 """The paper's contribution: probabilistic task pruning (§IV)."""
 
 from .accounting import Accounting, TypeCounters
-from .config import PruningConfig, ToggleMode
+from .config import ControllerConfig, PruningConfig, ToggleMode
 from .fairness import FairnessTracker
 from .pruner import DropDecision, Pruner
 from .toggle import AlwaysDrop, NeverDrop, ReactiveToggle, Toggle, make_toggle
 
 __all__ = [
     "PruningConfig",
+    "ControllerConfig",
     "ToggleMode",
     "Accounting",
     "TypeCounters",

@@ -16,7 +16,7 @@ a completion after the deadline; both signal oversubscription.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..sim.task import Task, TaskStatus
 

@@ -10,14 +10,116 @@ The service provider tunes the pruning mechanism through this object:
   α = 0, i.e. "at least one missed task").
 * ``fairness_factor`` (c) — per-event sufferage-score step (§IV-D);
   default 0.05 per §V-A.
+* ``controller`` — optional :class:`ControllerConfig` attaching a runtime
+  control plane (:mod:`repro.control`) that adapts β/α to observed load;
+  ``None`` (the default) keeps the paper's static setpoints.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
+from typing import Optional
 
-__all__ = ["PruningConfig", "ToggleMode"]
+__all__ = ["PruningConfig", "ToggleMode", "ControllerConfig", "CONTROLLER_KINDS"]
+
+#: Registered controller kinds (the :mod:`repro.control` registry keys).
+CONTROLLER_KINDS = ("static", "schedule", "hysteresis", "target-success")
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Declarative spec of one β/α feedback controller (:mod:`repro.control`).
+
+    One flat record covers every registered kind — only the fields the
+    chosen ``kind`` reads matter; the rest keep their defaults.  Keeping
+    the config a plain frozen dataclass (no callables, no live state)
+    is what makes controller setpoints a pure function of config +
+    observed simulation state: campaign cache keys stay sound and
+    parallel sweeps stay bit-identical to serial ones.
+
+    Fields by kind
+    --------------
+    ``static``
+        No knobs — β/α frozen at the :class:`PruningConfig` values
+        (bit-identical to running without a controller, but with
+        controller/fairness telemetry collected).
+    ``schedule``
+        ``schedule`` — piecewise-constant β(t) as ``((t, β), ...)``
+        breakpoints, and optionally ``alpha_schedule`` as
+        ``((t, α), ...)``.  Before the first breakpoint the
+        :class:`PruningConfig` values apply.
+    ``hysteresis``
+        Step β between ``beta_min``/``beta_max`` by ``step`` when the
+        EWMA deadline-miss rate leaves the ``low``..``high`` dead-band,
+        with ``cooldown`` quiet ticks between moves and EWMA gain
+        ``2 / (window + 1)``.  ``adapt_alpha`` additionally drops α to 0
+        while the miss rate is above the band.
+    ``target-success``
+        Successive-approximation search driving the windowed on-time
+        rate toward ``target``: every ``settle`` ticks the observed rate
+        halves the bracket [``beta_min``, ``beta_max``] around β.
+    """
+
+    kind: str = "static"
+    # -- schedule ------------------------------------------------------
+    schedule: tuple = ()
+    alpha_schedule: tuple = ()
+    # -- hysteresis ----------------------------------------------------
+    low: float = 0.05
+    high: float = 0.25
+    step: float = 0.1
+    cooldown: int = 8
+    window: int = 8
+    adapt_alpha: bool = False
+    # -- shared bounds / target-success --------------------------------
+    beta_min: float = 0.05
+    beta_max: float = 0.95
+    target: float = 0.5
+    settle: int = 16
+
+    def __post_init__(self) -> None:
+        if self.kind not in CONTROLLER_KINDS:
+            raise ValueError(
+                f"unknown controller kind {self.kind!r}; choose from {CONTROLLER_KINDS}"
+            )
+        for name in ("schedule", "alpha_schedule"):
+            points = tuple(
+                (float(t), float(v)) for t, v in getattr(self, name)
+            )
+            if any(t < 0.0 for t, _ in points):
+                raise ValueError(f"{name} breakpoint times must be >= 0")
+            if list(points) != sorted(points, key=lambda p: p[0]):
+                raise ValueError(f"{name} breakpoints must be in ascending time order")
+            object.__setattr__(self, name, points)
+        if self.kind == "schedule" and not (self.schedule or self.alpha_schedule):
+            raise ValueError("schedule controller needs at least one breakpoint")
+        if not 0.0 <= self.beta_min <= self.beta_max <= 1.0:
+            raise ValueError(
+                f"need 0 <= beta_min <= beta_max <= 1, got "
+                f"[{self.beta_min}, {self.beta_max}]"
+            )
+        if not 0.0 <= self.low <= self.high <= 1.0:
+            raise ValueError(f"need 0 <= low <= high <= 1, got [{self.low}, {self.high}]")
+        if self.step <= 0.0:
+            raise ValueError(f"step must be positive, got {self.step}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        for name in ("cooldown", "window", "settle"):
+            value = getattr(self, name)
+            # JSON producers emit 8 as 8.0; these count ticks, so coerce
+            # integral floats and reject the rest.
+            if isinstance(value, float):
+                if not value.is_integer():
+                    raise ValueError(f"{name} must be an integer, got {value!r}")
+                object.__setattr__(self, name, int(value))
+                value = int(value)
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+
+    def with_(self, **changes) -> "ControllerConfig":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **changes)
 
 
 class ToggleMode(enum.Enum):
@@ -41,6 +143,10 @@ class PruningConfig:
     enable_dropping: bool = True
     #: Disable the Fairness module entirely (sufferage scores frozen at 0).
     enable_fairness: bool = True
+    #: Optional runtime control plane adapting β/α to observed load
+    #: (``None`` → the paper's static setpoints, bit-identical pre-PR-5
+    #: behavior and result payloads).
+    controller: Optional[ControllerConfig] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.pruning_threshold <= 1.0:
@@ -53,6 +159,10 @@ class PruningConfig:
             raise ValueError(f"fairness_factor must be >= 0, got {self.fairness_factor}")
         if isinstance(self.toggle_mode, str):
             object.__setattr__(self, "toggle_mode", ToggleMode(self.toggle_mode))
+        if isinstance(self.controller, dict):
+            # Round-tripping through dataclasses.asdict (the campaign
+            # cache payload) flattens the nested config to a mapping.
+            object.__setattr__(self, "controller", ControllerConfig(**self.controller))
 
     # Convenience presets -------------------------------------------------
     @classmethod

@@ -14,6 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+# Only the dependency-free signals module is imported at module level:
+# the registry imports the controllers, which import core.config — a
+# cycle if resolved while ``repro.control`` itself is mid-import.
+from ..control.signals import ControlSignals, Setpoints
 from ..sim.cluster import Cluster
 from ..sim.machine import Machine
 from ..sim.task import Task
@@ -57,10 +61,72 @@ class Pruner:
         self.fairness = FairnessTracker(
             config.fairness_factor, enabled=config.enable_fairness
         )
-        self.toggle: Toggle = make_toggle(config)
+        #: Live β/α.  Without a controller these stay the frozen config
+        #: constants (bit-identical to pre-control-plane behavior); with
+        #: one, the driver moves them as load is observed.
+        self.setpoints = Setpoints(
+            beta=config.pruning_threshold, alpha=config.dropping_toggle
+        )
+        self.toggle: Toggle = make_toggle(config, self.setpoints)
+        # Deferred import: breaks the core ↔ control module cycle (see
+        # the module-level import note above).
+        from ..control.registry import make_driver
+
+        #: The control plane (``None`` unless ``config.controller`` is set).
+        self.driver = make_driver(config.controller, config, self.setpoints)
         # Decision tallies (for ablation/analysis).
         self.drop_decisions = 0
         self.defer_decisions = 0
+
+    # ------------------------------------------------------------------
+    # Fig. 5 step 0 (beyond the paper) — controller tick.
+    # ------------------------------------------------------------------
+    def control_tick(
+        self,
+        cluster: Cluster,
+        estimator: "CompletionEstimator",
+        now: float,
+        *,
+        mapping_events: int,
+        batch_queued: int = 0,
+    ) -> None:
+        """Feed the control plane one mapping-event snapshot (no-op when
+        no controller is configured).
+
+        Runs *before* fairness/toggle/drop-scan so the event's own
+        decisions already use the fresh setpoints, and before the
+        accounting horizon flush so ``misses_since_last_event`` is the
+        same signal the Toggle sees.
+        """
+        if self.driver is None:
+            return
+        acc = self.accounting
+        queued = 0
+        running = 0
+        for machine in cluster.machines:
+            queued += len(machine.queue)
+            if machine.running is not None:
+                running += 1
+        self.driver.tick(
+            ControlSignals(
+                now=now,
+                mapping_events=mapping_events,
+                misses_since_last_event=acc.misses_since_last_event,
+                arrived=acc.total_arrived,
+                on_time=acc.total_on_time,
+                late=acc.total_late,
+                dropped_missed=acc.total_dropped_missed,
+                dropped_proactive=acc.total_dropped_proactive,
+                defers=acc.total_defers,
+                queued=queued,
+                batch_queued=batch_queued,
+                running=running,
+                mean_chance=estimator.observed_mean_chance(),
+                sufferage=self.fairness.scores(),
+                beta=self.setpoints.beta,
+                alpha=self.setpoints.alpha,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Fig. 5 step 2 — fairness update from completions since last event.
@@ -85,9 +151,13 @@ class Pruner:
         return False
 
     def _scan_threshold(self, task: Task) -> float:
-        """Hook: effective pruning threshold for ``task`` (β − γ_k)."""
+        """Hook: effective pruning threshold for ``task`` (β − γ_k).
+
+        β is the *live* setpoint — the frozen config constant unless a
+        controller moved it; fairness offsets apply on top either way.
+        """
         return self.fairness.effective_threshold(
-            self.config.pruning_threshold, task.task_type
+            self.setpoints.beta, task.task_type
         )
 
     def drop_scan(
@@ -159,7 +229,7 @@ class Pruner:
         if not self.config.enable_deferring:
             return False
         eff = self.fairness.effective_threshold(
-            self.config.pruning_threshold, task.task_type
+            self.setpoints.beta, task.task_type
         )
         if chance <= eff:
             self.defer_decisions += 1

@@ -15,9 +15,13 @@ Three policies cover the paper's Fig. 7 scenarios:
 from __future__ import annotations
 
 import abc
+from typing import TYPE_CHECKING, Optional
 
 from .accounting import Accounting
 from .config import PruningConfig, ToggleMode
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..control.signals import Setpoints
 
 __all__ = ["Toggle", "NeverDrop", "AlwaysDrop", "ReactiveToggle", "make_toggle"]
 
@@ -45,12 +49,25 @@ class AlwaysDrop(Toggle):
 
 
 class ReactiveToggle(Toggle):
-    """Engage dropping when misses since the last event exceed α."""
+    """Engage dropping when misses since the last event exceed α.
 
-    def __init__(self, alpha: int = 0) -> None:
+    α is read through the live :class:`~repro.control.signals.Setpoints`
+    when one is bound (the control plane's actuation point); a bare
+    ``ReactiveToggle(alpha=n)`` keeps the paper's frozen constant.
+    """
+
+    def __init__(self, alpha: int = 0, *, setpoints: "Optional[Setpoints]" = None) -> None:
         if alpha < 0:
             raise ValueError("alpha must be >= 0")
-        self.alpha = alpha
+        self._alpha = alpha
+        self._setpoints = setpoints
+
+    @property
+    def alpha(self) -> int:
+        """The live α (the frozen constant when no setpoints are bound)."""
+        if self._setpoints is not None:
+            return self._setpoints.alpha
+        return self._alpha
 
     def dropping_engaged(self, accounting: Accounting) -> bool:
         return accounting.misses_since_last_event > self.alpha
@@ -59,10 +76,17 @@ class ReactiveToggle(Toggle):
         return f"ReactiveToggle(alpha={self.alpha})"
 
 
-def make_toggle(config: PruningConfig) -> Toggle:
-    """Build the Toggle implied by a :class:`PruningConfig`."""
+def make_toggle(
+    config: PruningConfig, setpoints: "Optional[Setpoints]" = None
+) -> Toggle:
+    """Build the Toggle implied by a :class:`PruningConfig`.
+
+    ``setpoints`` binds the reactive Toggle's α to the control plane's
+    live value; without it (or for never/always policies, which have no
+    α) the config constant applies.
+    """
     if not config.enable_dropping or config.toggle_mode is ToggleMode.NEVER:
         return NeverDrop()
     if config.toggle_mode is ToggleMode.ALWAYS:
         return AlwaysDrop()
-    return ReactiveToggle(alpha=config.dropping_toggle)
+    return ReactiveToggle(alpha=config.dropping_toggle, setpoints=setpoints)

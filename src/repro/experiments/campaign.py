@@ -45,6 +45,7 @@ import numpy
 import scipy
 
 from .. import __version__
+from ..control.registry import resolve_controller
 from ..core.config import PruningConfig, ToggleMode
 from ..metrics.collector import SimulationResult
 from ..metrics.robustness import AggregateStats, aggregate_robustness
@@ -72,7 +73,10 @@ __all__ = [
 #: edits need no bump: a digest of the source tree is part of every key.
 #: v2: key payload gained ``dynamics`` (cluster churn) and, for trace
 #: replay, a content digest of the replayed file.
-CACHE_SCHEMA = 2
+#: v3: the pruning payload gained the nested ``controller`` config
+#: (adaptive β/α control plane) and cached results may carry
+#: ``controller_stats``/``fairness_stats``.
+CACHE_SCHEMA = 3
 
 #: Project-local default cache directory used by the CLI.
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -596,10 +600,15 @@ class SweepGrid:
     """A declarative parameter grid that expands to experiment cells.
 
     The cross product of ``heuristics × levels × patterns ×
-    heterogeneity × pruning × dynamics`` defines the campaign's cells;
-    ``trials``, ``base_seed`` and ``scale`` apply to every cell.  Grids
-    are plain data — build them in code, load them with
-    :meth:`from_json`, or pick a named :meth:`preset`.
+    heterogeneity × pruning × dynamics × controller`` defines the
+    campaign's cells; ``trials``, ``base_seed`` and ``scale`` apply to
+    every cell.  Grids are plain data — build them in code, load them
+    with :meth:`from_json`, or pick a named :meth:`preset`.
+
+    The ``controller`` axis attaches an adaptive β/α control plane
+    (:mod:`repro.control`) to each *pruned* variant; baseline cells
+    (``pruning: "none"``) have nothing to control, so they are emitted
+    exactly once instead of once per controller entry.
     """
 
     name: str = "campaign"
@@ -609,6 +618,7 @@ class SweepGrid:
     heterogeneity: tuple = ("inconsistent",)
     pruning: tuple = ("none", "paper")
     dynamics: tuple = ("none",)
+    controller: tuple = ("none",)
     trials: int = 10
     base_seed: int = 42
     scale: float = 1.0
@@ -621,6 +631,7 @@ class SweepGrid:
             "heterogeneity",
             "pruning",
             "dynamics",
+            "controller",
         ):
             value = getattr(self, fname)
             if isinstance(value, (str, Mapping)):
@@ -664,11 +675,19 @@ class SweepGrid:
             if isinstance(entry, Mapping) and "trace" in entry
         )
         synthetic_levels = len(self.levels) - trace_levels
+        # Baseline pruning entries have no β/α to control: expand()
+        # emits them once, not once per controller entry.
+        base_pruning = sum(
+            1 for entry in self.pruning if entry is None or entry == "none"
+        )
+        pruning_variants = (
+            base_pruning + (len(self.pruning) - base_pruning) * len(self.controller)
+        )
         return (
             len(self.heuristics)
             * (synthetic_levels * len(self.patterns) + trace_levels)
             * len(self.heterogeneity)
-            * len(self.pruning)
+            * pruning_variants
             * len(self.dynamics)
         )
 
@@ -716,11 +735,15 @@ class SweepGrid:
                     f"grid has synthetic level(s) {synthetic!r}; give levels "
                     f'as {{"trace": "path.csv"}} mappings or drop the pattern'
                 )
-        # Resolve each axis once — a level/pruning/dynamics entry's
-        # meaning does not depend on the combination it lands in (levels
-        # only on pattern and scale).
+        # Resolve each axis once — a level/pruning/dynamics/controller
+        # entry's meaning does not depend on the combination it lands in
+        # (levels only on pattern and scale).
         pruning_variants = [_resolve_pruning(entry) for entry in self.pruning]
         dynamics_variants = [_resolve_dynamics(entry) for entry in self.dynamics]
+        try:
+            controller_variants = [resolve_controller(entry) for entry in self.controller]
+        except ValueError as exc:
+            raise ValueError(f"controller axis: {exc}") from exc
         specs = {
             (pattern_name, li): _resolve_level(
                 entry, ArrivalPattern(pattern_name), self.scale
@@ -743,36 +766,53 @@ class SweepGrid:
                     pattern_label = spec.pattern.value
                     for het in self.heterogeneity:
                         for plabel, pconfig in pruning_variants:
-                            for dlabel, dspec in dynamics_variants:
-                                label = (
-                                    f"{heuristic}/{plabel}@{level}"
-                                    f"/{pattern_label}/{het}"
+                            for ci, (clabel, cconfig) in enumerate(controller_variants):
+                                # Baseline cells have no β/α to control:
+                                # emit them once (with the axis's first
+                                # entry slot), not once per controller.
+                                if pconfig is None and ci > 0:
+                                    continue
+                                if pconfig is None:
+                                    variant, vlabel = None, plabel
+                                elif cconfig is None:
+                                    variant, vlabel = pconfig, plabel
+                                else:
+                                    variant = pconfig.with_(controller=cconfig)
+                                    vlabel = f"{plabel}+{clabel}"
+                                controller_label = (
+                                    "" if variant is None or cconfig is None else clabel
                                 )
-                                if dspec is not None:
-                                    label += f"/{dlabel}"
-                                config = ExperimentConfig(
-                                    heuristic=heuristic,
-                                    spec=spec,
-                                    pruning=pconfig,
-                                    heterogeneity=het,
-                                    trials=self.trials,
-                                    base_seed=self.base_seed,
-                                    label=label,
-                                    dynamics=dspec,
-                                )
-                                cells.append(
-                                    CampaignCell(
-                                        config=config,
-                                        level=level,
-                                        pattern=pattern_label,
-                                        pruning_label=plabel,
-                                        dynamics_label=dlabel,
+                                for dlabel, dspec in dynamics_variants:
+                                    label = (
+                                        f"{heuristic}/{vlabel}@{level}"
+                                        f"/{pattern_label}/{het}"
                                     )
-                                )
+                                    if dspec is not None:
+                                        label += f"/{dlabel}"
+                                    config = ExperimentConfig(
+                                        heuristic=heuristic,
+                                        spec=spec,
+                                        pruning=variant,
+                                        heterogeneity=het,
+                                        trials=self.trials,
+                                        base_seed=self.base_seed,
+                                        label=label,
+                                        dynamics=dspec,
+                                    )
+                                    cells.append(
+                                        CampaignCell(
+                                            config=config,
+                                            level=level,
+                                            pattern=pattern_label,
+                                            pruning_label=vlabel,
+                                            dynamics_label=dlabel,
+                                            controller_label=controller_label,
+                                        )
+                                    )
         _check_unique_labels(
             cells,
-            "give the colliding pruning/dynamics entries explicit 'label' "
-            "keys (or level entries explicit 'name' keys)",
+            "give the colliding pruning/dynamics/controller entries explicit "
+            "'label' keys (or level entries explicit 'name' keys)",
         )
         return cells
 
@@ -791,6 +831,9 @@ class SweepGrid:
             ],
             "dynamics": [
                 dict(d) if isinstance(d, Mapping) else d for d in self.dynamics
+            ],
+            "controller": [
+                dict(c) if isinstance(c, Mapping) else c for c in self.controller
             ],
             "trials": self.trials,
             "base_seed": self.base_seed,
@@ -850,6 +893,8 @@ class CampaignCell:
     pattern: str
     pruning_label: str
     dynamics_label: str = "static"
+    #: Controller-axis label ("" = no control plane attached).
+    controller_label: str = ""
 
 
 def _check_unique_labels(cells: Sequence["CampaignCell"], hint: str) -> None:
@@ -895,6 +940,11 @@ class Campaign:
                 pattern=c.spec.pattern.value,
                 pruning_label="base" if c.pruning is None else "P",
                 dynamics_label="static" if c.dynamics is None else "dyn",
+                controller_label=(
+                    ""
+                    if c.pruning is None or c.pruning.controller is None
+                    else c.pruning.controller.kind
+                ),
             )
             for c in configs
         ]
@@ -924,6 +974,14 @@ class Campaign:
                 heterogeneity=cell.config.heterogeneity,
                 pruning=cell.pruning_label,
                 dynamics=cell.dynamics_label,
+                controller=cell.controller_label,
+                # Mean over trials of the largest final sufferage score —
+                # 0.0 when fairness telemetry was not collected.
+                max_sufferage=(
+                    sum(r.max_sufferage for r in trials) / len(trials)
+                    if trials
+                    else 0.0
+                ),
                 stats=aggregate_robustness(trials),
             )
             for cell, trials in zip(self.cells, per_cell)
@@ -1029,6 +1087,29 @@ PRESETS: dict[str, dict] = {
         "levels": ["20k"],
         "patterns": ["spiky", "bursty", "poisson"],
         "pruning": ["none", "paper"],
+        "trials": 5,
+    },
+    # Adaptive pruning: the same bursty oversubscribed workload under a
+    # grid of static β settings vs the feedback controllers — the
+    # scenario family the control plane (repro.control) opens.  The
+    # bench gate (benchmarks/bench_control.py) runs the same comparison
+    # standalone and asserts adaptive ≥ best static β.
+    "adaptive": {
+        "name": "adaptive",
+        "heuristics": ["MM"],
+        "levels": ["20k"],
+        "patterns": ["bursty"],
+        "pruning": [
+            "none",
+            {"label": "P30", "threshold": 0.3},
+            {"label": "P50", "threshold": 0.5},
+            {"label": "P70", "threshold": 0.7},
+        ],
+        "controller": [
+            "none",
+            "hysteresis",
+            "target-success",
+        ],
         "trials": 5,
     },
     # Trace replay: recorded arrival traces (CSV) instead of synthetic

@@ -12,8 +12,9 @@ Usage::
 matching the paper's 15k–25k task counts and ~3000-unit span.
 
 ``sweep`` takes a preset name (``smoke``, ``fig7b``, ``thresholds``,
-``oversub``, ``heterogeneity``, ``churn``, ``bursty``, ``trace``) or a
-path to a grid JSON file — see ``docs/experiments.md`` for the schema.
+``oversub``, ``heterogeneity``, ``churn``, ``bursty``, ``adaptive``,
+``trace``) or a path to a grid JSON file — see ``docs/experiments.md``
+for the schema.
 The ``trace`` preset replays repo-relative CSV traces, so run it from
 the checkout root.  ``--jobs N`` shards trials
 across N worker processes for both figures and sweeps; results are
@@ -91,6 +92,31 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"use the paper's full trace size (scale ≈ {PAPER_SCALE:.1f})",
     )
     parser.add_argument(
+        "--pruning-threshold",
+        type=float,
+        default=None,
+        help="override β for every pruned cell of a figure "
+        "(default: each scenario's own value; baseline cells unaffected)",
+    )
+    parser.add_argument(
+        "--toggle-alpha",
+        type=int,
+        default=None,
+        help="override the dropping Toggle α for every pruned cell of a "
+        "figure (default: each scenario's own value)",
+    )
+    parser.add_argument(
+        "--controller",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="attach a β/α feedback controller: a kind "
+        "(static, schedule, hysteresis, target-success) optionally with "
+        "parameters, e.g. 'hysteresis:low=0.05,high=0.3' or "
+        "'schedule:0=0.3,120=0.7'.  For figures it attaches to every "
+        "pruned cell; for sweeps it replaces the grid's controller axis",
+    )
+    parser.add_argument(
         "--jobs",
         "-j",
         "--processes",
@@ -142,11 +168,21 @@ def _figure_scale(args: argparse.Namespace) -> float:
     return 1.0 if args.scale is None else args.scale
 
 
+def _parse_controller(args: argparse.Namespace):
+    """``--controller`` spec → ControllerConfig (``None`` when absent)."""
+    if args.controller is None:
+        return None
+    from ..control.registry import parse_controller_spec
+
+    return parse_controller_spec(args.controller)
+
+
 def _run_one(name: str, args: argparse.Namespace, cache: ResultCache | None) -> FigureResult | str:
     fn = scenarios.ALL_FIGURES[name]
     trials = _DEFAULT_TRIALS if args.trials is None else args.trials
     seed = _DEFAULT_SEED if args.seed is None else args.seed
     if name == "fig6":
+        # Fig. 6 plots the arrival pattern itself — no pruning to override.
         return fn(base_seed=seed, scale=_figure_scale(args))
     return fn(
         trials=trials,
@@ -154,6 +190,9 @@ def _run_one(name: str, args: argparse.Namespace, cache: ResultCache | None) -> 
         scale=_figure_scale(args),
         jobs=args.jobs,
         cache=cache,
+        pruning_threshold=args.pruning_threshold,
+        toggle_alpha=args.toggle_alpha,
+        controller=_parse_controller(args),
     )
 
 
@@ -179,6 +218,11 @@ def _run_sweep(args: argparse.Namespace) -> int:
         overrides["scale"] = PAPER_SCALE
     elif args.scale is not None:
         overrides["scale"] = args.scale
+    if args.controller is not None:
+        # Replace the grid's controller axis with the one requested —
+        # the spec string is validated at expand() time like any other
+        # axis entry.
+        overrides["controller"] = (args.controller,)
     try:
         if overrides:
             grid = dataclasses.replace(grid, **overrides)
@@ -217,6 +261,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.figure == "sweep" and args.chart:
         print("--chart applies to figure grids, not sweeps", file=sys.stderr)
         return 2
+    if args.figure == "sweep" and (
+        args.pruning_threshold is not None or args.toggle_alpha is not None
+    ):
+        print(
+            "--pruning-threshold/--toggle-alpha apply to figures; in a sweep, "
+            "set β/α per pruning entry in the grid JSON",
+            file=sys.stderr,
+        )
+        return 2
+    if args.figure != "sweep" and args.controller is not None:
+        # Fail on a bad spec before any trial runs.
+        try:
+            _parse_controller(args)
+        except ValueError as exc:
+            print(f"--controller: {exc}", file=sys.stderr)
+            return 2
     if args.json_dir is not None:
         args.json_dir.mkdir(parents=True, exist_ok=True)
 

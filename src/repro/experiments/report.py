@@ -21,7 +21,7 @@ import io
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from ..metrics.compare import PairedComparison, compare_paired_stats
 from ..metrics.robustness import AggregateStats
@@ -128,6 +128,10 @@ class CampaignRow:
     pruning: str         #: pruning-variant label (``"base"``, ``"P"``, ``"D75"`` …)
     stats: AggregateStats
     dynamics: str = "static"  #: cluster-dynamics label (``"static"``, ``"churn"`` …)
+    controller: str = ""      #: β/α controller label ("" = no control plane)
+    #: Mean (over trials) of the largest final per-type sufferage score —
+    #: the fairness module's pressure gauge; 0.0 when telemetry was off.
+    max_sufferage: float = 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -138,6 +142,8 @@ class CampaignRow:
             "heterogeneity": self.heterogeneity,
             "pruning": self.pruning,
             "dynamics": self.dynamics,
+            "controller": self.controller,
+            "max_sufferage": self.max_sufferage,
             "stats": self.stats.to_dict(),
         }
 
@@ -152,12 +158,16 @@ class CampaignRow:
             pruning=payload["pruning"],
             # Pre-dynamics summaries lack the field: they ran static.
             dynamics=payload.get("dynamics", "static"),
+            # Pre-control-plane summaries lack these: no controller ran
+            # and fairness telemetry was not collected.
+            controller=payload.get("controller", ""),
+            max_sufferage=float(payload.get("max_sufferage", 0.0)),
             stats=AggregateStats.from_dict(payload["stats"]),
         )
 
 
 #: CSV column order of a campaign summary (stable — downstream notebooks
-#: key on these names).
+#: key on these names; new columns are appended, never inserted).
 CAMPAIGN_CSV_FIELDS = (
     "label",
     "heuristic",
@@ -169,6 +179,8 @@ CAMPAIGN_CSV_FIELDS = (
     "trials",
     "mean_pct",
     "ci95_pct",
+    "controller",
+    "max_sufferage",
 )
 
 
@@ -274,6 +286,8 @@ class CampaignSummary:
                     "trials": row.stats.trials,
                     "mean_pct": f"{row.stats.mean_pct:.6f}",
                     "ci95_pct": f"{row.stats.ci95_pct:.6f}",
+                    "controller": row.controller,
+                    "max_sufferage": f"{row.max_sufferage:.6f}",
                 }
             )
         return buf.getvalue()

@@ -17,12 +17,12 @@ the paper's trace length).
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Optional
+import dataclasses
+from typing import Callable
 
 import numpy as np
 
-from ..core.config import PruningConfig, ToggleMode
+from ..core.config import ControllerConfig, PruningConfig, ToggleMode
 from ..metrics.robustness import AggregateStats
 from ..sim.dynamics import DynamicsSpec
 from ..sim.rng import stream_seed
@@ -76,6 +76,32 @@ def level_spec(
     return base.scaled(scale)
 
 
+def _apply_pruning_overrides(
+    config: ExperimentConfig,
+    pruning_threshold: float | None,
+    toggle_alpha: int | None,
+    controller: ControllerConfig | None,
+) -> ExperimentConfig:
+    """Re-run a figure cell at non-default β/α (CLI override support).
+
+    Baseline cells (no pruning mechanism) are untouched — the overrides
+    change how pruning prunes, they never *add* pruning, so a figure's
+    baseline-vs-pruned contrast stays meaningful.
+    """
+    if config.pruning is None:
+        return config
+    changes = {}
+    if pruning_threshold is not None:
+        changes["pruning_threshold"] = pruning_threshold
+    if toggle_alpha is not None:
+        changes["dropping_toggle"] = toggle_alpha
+    if controller is not None:
+        changes["controller"] = controller
+    if not changes:
+        return config
+    return dataclasses.replace(config, pruning=config.pruning.with_(**changes))
+
+
 def _grid(
     figure_id: str,
     title: str,
@@ -88,13 +114,23 @@ def _grid(
     processes: int | None = None,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    pruning_threshold: float | None = None,
+    toggle_alpha: int | None = None,
+    controller: ControllerConfig | None = None,
 ) -> FigureResult:
     # One executor pass over the whole grid: every (row, col, trial)
     # triple lands in the same worker pool, so parallelism is bounded by
     # total trial count, not by the trials of one cell at a time.
     pairs = [(r, c) for r in rows for c in cols]
     stats = run_cells(
-        [cell(r, c) for r, c in pairs], jobs=jobs or processes, cache=cache
+        [
+            _apply_pruning_overrides(
+                cell(r, c), pruning_threshold, toggle_alpha, controller
+            )
+            for r, c in pairs
+        ],
+        jobs=jobs or processes,
+        cache=cache,
     )
     cells: dict[str, dict[str, AggregateStats]] = {r: {} for r in rows}
     for (r, c), stat in zip(pairs, stats):
@@ -172,6 +208,9 @@ def fig7a(
     processes: int | None = None,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    pruning_threshold: float | None = None,
+    toggle_alpha: int | None = None,
+    controller: ControllerConfig | None = None,
 ) -> FigureResult:
     """Toggle impact on immediate-mode heuristics (spiky, 15k-equivalent)."""
     spec = level_spec("15k", ArrivalPattern.SPIKY, scale)
@@ -192,6 +231,9 @@ def fig7a(
         processes=processes,
         jobs=jobs,
         cache=cache,
+        pruning_threshold=pruning_threshold,
+        toggle_alpha=toggle_alpha,
+        controller=controller,
     )
 
 
@@ -203,6 +245,9 @@ def fig7b(
     processes: int | None = None,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    pruning_threshold: float | None = None,
+    toggle_alpha: int | None = None,
+    controller: ControllerConfig | None = None,
 ) -> FigureResult:
     """Toggle impact on batch-mode heuristics (spiky, 15k-equivalent)."""
     spec = level_spec("15k", ArrivalPattern.SPIKY, scale)
@@ -223,6 +268,9 @@ def fig7b(
         processes=processes,
         jobs=jobs,
         cache=cache,
+        pruning_threshold=pruning_threshold,
+        toggle_alpha=toggle_alpha,
+        controller=controller,
     )
 
 
@@ -237,6 +285,9 @@ def fig8(
     processes: int | None = None,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    pruning_threshold: float | None = None,
+    toggle_alpha: int | None = None,
+    controller: ControllerConfig | None = None,
 ) -> FigureResult:
     """Deferring-only pruning threshold sweep (spiky, 25k-equivalent)."""
     spec = level_spec("25k", ArrivalPattern.SPIKY, scale)
@@ -264,6 +315,9 @@ def fig8(
         processes=processes,
         jobs=jobs,
         cache=cache,
+        pruning_threshold=pruning_threshold,
+        toggle_alpha=toggle_alpha,
+        controller=controller,
     )
 
 
@@ -279,6 +333,9 @@ def fig9(
     processes: int | None = None,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    pruning_threshold: float | None = None,
+    toggle_alpha: int | None = None,
+    controller: ControllerConfig | None = None,
 ) -> FigureResult:
     """Pruning (defer + reactive drop) vs baseline across oversubscription
     levels — Fig. 9a (constant) / Fig. 9b (spiky)."""
@@ -307,6 +364,9 @@ def fig9(
         processes=processes,
         jobs=jobs,
         cache=cache,
+        pruning_threshold=pruning_threshold,
+        toggle_alpha=toggle_alpha,
+        controller=controller,
     )
 
 
@@ -322,6 +382,9 @@ def fig10(
     processes: int | None = None,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    pruning_threshold: float | None = None,
+    toggle_alpha: int | None = None,
+    controller: ControllerConfig | None = None,
 ) -> FigureResult:
     """Pruning on homogeneous-system heuristics — Fig. 10a/10b."""
     sub = "a" if pattern is ArrivalPattern.CONSTANT else "b"
@@ -350,6 +413,9 @@ def fig10(
         processes=processes,
         jobs=jobs,
         cache=cache,
+        pruning_threshold=pruning_threshold,
+        toggle_alpha=toggle_alpha,
+        controller=controller,
     )
 
 
@@ -364,6 +430,9 @@ def churn_impact(
     processes: int | None = None,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    pruning_threshold: float | None = None,
+    toggle_alpha: int | None = None,
+    controller: ControllerConfig | None = None,
 ) -> FigureResult:
     """Pruning vs baseline when oversubscription is *caused* by churn.
 
@@ -407,6 +476,9 @@ def churn_impact(
         processes=processes,
         jobs=jobs,
         cache=cache,
+        pruning_threshold=pruning_threshold,
+        toggle_alpha=toggle_alpha,
+        controller=controller,
     )
 
 

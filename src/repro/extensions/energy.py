@@ -20,10 +20,9 @@ finished simulation we then report:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
 
 from ..sim.cluster import Cluster
 from ..sim.task import Task, TaskStatus

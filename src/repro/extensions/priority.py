@@ -62,7 +62,7 @@ class ValueAwarePruner(Pruner):
     # ------------------------------------------------------------------
     def _effective_threshold(self, task: Task) -> float:
         base = self.fairness.effective_threshold(
-            self.config.pruning_threshold, task.task_type
+            self.setpoints.beta, task.task_type
         )
         weight = self.weight_fn(task.value)
         if not 0.0 <= weight <= 1.0 or math.isnan(weight):

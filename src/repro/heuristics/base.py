@@ -18,7 +18,7 @@ availability accumulators — no Python loops over the batch queue.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 

@@ -18,7 +18,6 @@ from typing import Sequence
 import numpy as np
 
 from ..sim.cluster import Cluster
-from ..sim.machine import Machine
 from ..sim.task import Task
 from typing import TYPE_CHECKING
 

@@ -75,6 +75,16 @@ class SimulationResult:
     #: at readmission — reactively on already-passed deadlines, or
     #: proactively by an admission gate when one is installed.
     dynamics_stats: Mapping[str, int] = field(default_factory=dict)
+    #: Control-plane telemetry (``repro.control``): controller name,
+    #: tick/update counts, and the applied β/α setpoint trajectory as
+    #: ``[time, β, α]`` rows.  Empty unless a controller was configured;
+    #: serialized sparsely (see :meth:`to_dict`).
+    controller_stats: Mapping = field(default_factory=dict)
+    #: Final per-type sufferage scores of the Fairness module
+    #: (``{"factor": c, "scores": {task_type: γ_k}}``, string keys for
+    #: JSON stability).  Collected with the control plane — empty unless
+    #: a controller (the static one counts) was configured.
+    fairness_stats: Mapping = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -100,6 +110,17 @@ class SimulationResult:
         """Churn-evicted task readmissions (0 on static clusters)."""
         return int(self.dynamics_stats.get("requeued", 0))
 
+    @property
+    def max_sufferage(self) -> float:
+        """Largest final per-type sufferage score (0 without telemetry)."""
+        scores = self.fairness_stats.get("scores", {}) if self.fairness_stats else {}
+        return max((float(v) for v in scores.values()), default=0.0)
+
+    @property
+    def controller_updates(self) -> int:
+        """Setpoint changes the control plane applied (0 without one)."""
+        return int(self.controller_stats.get("updates", 0)) if self.controller_stats else 0
+
     def utilization(self) -> tuple[float, ...]:
         if self.makespan <= 0:
             return tuple(0.0 for _ in self.machine_busy_time)
@@ -117,6 +138,8 @@ class SimulationResult:
         mapping_events: int = 0,
         estimator_stats: Mapping[str, int] | None = None,
         dynamics_stats: Mapping[str, int] | None = None,
+        controller_stats: Mapping | None = None,
+        fairness_stats: Mapping | None = None,
     ) -> "SimulationResult":
         """Roll task terminal states up into one result record."""
         counts = {
@@ -169,14 +192,22 @@ class SimulationResult:
             ),
             estimator_stats=dict(estimator_stats) if estimator_stats else {},
             dynamics_stats=dict(dynamics_stats) if dynamics_stats else {},
+            controller_stats=dict(controller_stats) if controller_stats else {},
+            fairness_stats=dict(fairness_stats) if fairness_stats else {},
         )
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         """Round-trippable plain-dict form (the campaign cache's on-disk
         format).  ``from_dict(to_dict())`` reproduces the result exactly:
-        counters are ints, times are floats, and key order is stable."""
-        return {
+        counters are ints, times are floats, and key order is stable.
+
+        ``controller_stats``/``fairness_stats`` are emitted *only when
+        non-empty*: results of configurations without a control plane
+        keep the exact pre-control-plane payload, so historical golden
+        fixtures and cached campaign trials stay byte-identical.
+        """
+        payload = {
             "total": self.total,
             "on_time": self.on_time,
             "late": self.late,
@@ -191,6 +222,11 @@ class SimulationResult:
             "estimator_stats": dict(self.estimator_stats),
             "dynamics_stats": dict(self.dynamics_stats),
         }
+        if self.controller_stats:
+            payload["controller_stats"] = dict(self.controller_stats)
+        if self.fairness_stats:
+            payload["fairness_stats"] = dict(self.fairness_stats)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "SimulationResult":
@@ -216,6 +252,11 @@ class SimulationResult:
             dynamics_stats={
                 k: int(v) for k, v in payload.get("dynamics_stats", {}).items()
             },
+            # JSON-native payloads (no coercion): the driver builds them
+            # from plain lists/floats, so a load → dump round-trip is
+            # already exact.
+            controller_stats=dict(payload.get("controller_stats", {})),
+            fairness_stats=dict(payload.get("fairness_stats", {})),
         )
 
     def summary(self) -> str:

@@ -9,7 +9,7 @@ Machine` plus convenience constructors for both layouts.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Protocol, Sequence, runtime_checkable
+from typing import Iterator, Optional, Protocol, Sequence, runtime_checkable
 
 from .machine import Machine
 

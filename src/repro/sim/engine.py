@@ -40,6 +40,11 @@ class Priority:
     #: but before arrivals, so a task arriving at ``t`` sees the post-churn
     #: cluster it would actually be admitted into.
     DYNAMICS = 5
+    #: Control-plane events (scheduled β/α breakpoints of the adaptive
+    #: pruning controllers): after churn — the setpoint change should see
+    #: the post-churn cluster — but before arrivals, so a mapping event
+    #: triggered at the same instant already runs under the new setpoints.
+    CONTROL = 7
     ARRIVAL = 10
     MAPPING = 20
     DEFAULT = 50

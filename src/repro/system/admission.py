@@ -19,7 +19,7 @@ ResourceAllocator`-driving system by intercepting ``submit``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..sim.task import Task
 from .serverless import ServerlessSystem

@@ -22,9 +22,9 @@ from ..core.accounting import Accounting
 from ..core.pruner import Pruner
 from ..heuristics.base import BatchHeuristic, ImmediateHeuristic
 from ..sim.cluster import Cluster
-from ..sim.engine import Priority, Simulator
+from ..sim.engine import Simulator
 from ..sim.machine import Machine
-from ..sim.task import Task, TaskStatus
+from ..sim.task import Task
 from .completion import CompletionEstimator
 
 __all__ = ["ResourceAllocator", "ImmediateAllocator", "BatchAllocator"]
@@ -162,14 +162,28 @@ class ResourceAllocator(abc.ABC):
         """Remove and return deadline-missed tasks from the arrival queue."""
         return []
 
+    def _batch_depth(self) -> int:
+        """Tasks pooled in the mode's arrival queue (0 for immediate)."""
+        return 0
+
     # ------------------------------------------------------------------
-    # Fig. 5 steps 2–6 — fairness, toggle, drop scan.
+    # Fig. 5 steps 2–6 — fairness, toggle, drop scan (plus the control
+    # plane's step-0 tick when a controller is attached).
     # ------------------------------------------------------------------
     def _pruning_prologue(self) -> None:
         pruner = self.pruner
         if pruner is None:
             self.accounting.flush_event()
             return
+        # Step 0 (beyond the paper): let the controller observe this
+        # event and move β/α before any decision consumes them.
+        pruner.control_tick(
+            self.cluster,
+            self.estimator,
+            self.sim.now,
+            mapping_events=self.mapping_events,
+            batch_queued=self._batch_depth(),
+        )
         pruner.update_fairness()
         if pruner.dropping_engaged():
             for decision in pruner.drop_scan(self.cluster, self.estimator, self.sim.now):
@@ -257,6 +271,9 @@ class BatchAllocator(ResourceAllocator):
             )
         self.heuristic = heuristic
         self.batch_queue: list[Task] = []
+
+    def _batch_depth(self) -> int:
+        return len(self.batch_queue)
 
     def submit(self, task: Task) -> None:
         self.accounting.record_arrival(task)

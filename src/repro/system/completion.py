@@ -318,6 +318,14 @@ class CompletionEstimator:
         self.convolutions = 0
         self.convolutions_avoided = 0
         self.chance_evaluations = 0
+        # Chance-of-success observation for the control plane
+        # (:mod:`repro.control`).  Accumulated at the query boundary —
+        # *above* every cache layer — so the running mean is identical
+        # across memoize modes; off by default so the paper's
+        # configurations pay nothing for it.
+        self.observe_chances = False
+        self.chance_obs_count = 0
+        self.chance_obs_sum = 0.0
 
     # ------------------------------------------------------------------
     # Scalar (expected-value) view — heuristics
@@ -870,9 +878,31 @@ class CompletionEstimator:
         self.convolutions += 1
         return avail.convolve(pet, max_support=self.max_support).truncate(now + self.horizon)
 
+    def observed_mean_chance(self) -> float | None:
+        """Running mean of every chance-of-success answered so far.
+
+        ``None`` until the first query or while ``observe_chances`` is
+        off.  The accumulator sits at the query boundary (above every
+        cache layer), so the mean is a function of the *answers* — and
+        answers are identical across memoize modes — which is what lets
+        adaptive controllers consume it without breaking mode identity.
+        """
+        if not self.chance_obs_count:
+            return None
+        return self.chance_obs_sum / self.chance_obs_count
+
+    def _observe_chance_array(self, values: np.ndarray) -> None:
+        """Fold one batch of answered chances into the running mean."""
+        self.chance_obs_count += int(values.size)
+        self.chance_obs_sum += float(values.sum())
+
     def chance_of_success(self, task: Task, machine: Machine, now: float) -> float:
         """Eq. 2 for a task about to be appended to ``machine``'s queue."""
-        return self.pct_for_new(task.task_type, machine, now).cdf_at(task.deadline)
+        chance = self.pct_for_new(task.task_type, machine, now).cdf_at(task.deadline)
+        if self.observe_chances:
+            self.chance_obs_count += 1
+            self.chance_obs_sum += float(chance)
+        return chance
 
     def queue_chances(
         self, machine: Machine, now: float, start: int = 0
@@ -902,16 +932,20 @@ class CompletionEstimator:
             # Batch machinery costs more than it saves on a short suffix;
             # scalar cdf_at reads the same cumulative arrays with the
             # same boundary tolerance, so values are identical.
-            return np.array(
+            chances = np.array(
                 [chain[start + 1 + i].cdf_at(queue[start + i].deadline) for i in range(count)],
                 dtype=np.float64,
             )
-        deadlines = np.fromiter(
-            (queue[i].deadline for i in range(start, len(queue))),
-            dtype=np.float64,
-            count=count,
-        )
-        return batch_cdf_at(chain[start + 1 :], deadlines, arena=self._arena)
+        else:
+            deadlines = np.fromiter(
+                (queue[i].deadline for i in range(start, len(queue))),
+                dtype=np.float64,
+                count=count,
+            )
+            chances = batch_cdf_at(chain[start + 1 :], deadlines, arena=self._arena)
+        if self.observe_chances:
+            self._observe_chance_array(chances)
+        return chances
 
     # ------------------------------------------------------------------
     # Batched chance-of-success queries (the cluster-wide pipeline)
@@ -979,6 +1013,12 @@ class CompletionEstimator:
                     state.chances = chances
                     state.chances_version = machines[i].version
                     state.chances_epoch = state.chain_epoch
+        if self.observe_chances:
+            # Observe the *answers* (cached reuses included): the answer
+            # stream is identical across memoize modes even when the
+            # work to produce it is not.
+            for chances in results:
+                self._observe_chance_array(chances)  # type: ignore[arg-type]
         return results  # type: ignore[return-value]
 
     def _chances_still_current(
@@ -1045,9 +1085,12 @@ class CompletionEstimator:
             len(machines),
         )
         self.chance_evaluations += index.size
-        return batch_cdf_at(pmfs, deadlines, index, arena=self._arena).reshape(
+        grid = batch_cdf_at(pmfs, deadlines, index, arena=self._arena).reshape(
             len(tasks), len(machines)
         )
+        if self.observe_chances:
+            self._observe_chance_array(grid)
+        return grid
 
     def chances_for_pairs(
         self, pairs: Iterable[tuple[Task, Machine]], now: float
@@ -1073,7 +1116,10 @@ class CompletionEstimator:
             index[pos] = slot
             deadlines[pos] = task.deadline
         self.chance_evaluations += index.size
-        return batch_cdf_at(pmfs, deadlines, index, arena=self._arena)
+        chances = batch_cdf_at(pmfs, deadlines, index, arena=self._arena)
+        if self.observe_chances:
+            self._observe_chance_array(chances)
+        return chances
 
     # ------------------------------------------------------------------
     def cache_stats(self) -> dict[str, int]:

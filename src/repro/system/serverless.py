@@ -131,6 +131,11 @@ class ServerlessSystem:
         self.pruner: Optional[Pruner] = (
             Pruner(pruning, self.accounting) if pruning is not None else None
         )
+        if self.pruner is not None and self.pruner.driver is not None:
+            # The control plane consumes the estimator's mean observed
+            # chance of success; the accumulator is off otherwise so the
+            # paper's configurations pay nothing for it.
+            self.estimator.observe_chances = True
 
         sampler = self._sample_execution
         if mode == "immediate":
@@ -189,6 +194,7 @@ class ServerlessSystem:
 
             self.allocator.observer = _track_outcome
         self._submitted: list[Task] = []
+        self._control_installed = False
 
     # ------------------------------------------------------------------
     def _sample_execution(self, task: Task, machine: Machine) -> float:
@@ -210,6 +216,7 @@ class ServerlessSystem:
         if self.dynamics is not None and not self.dynamics.installed:
             span = max((t.arrival for t in tasks), default=0.0)
             self.dynamics.install(span)
+        self._install_control_breakpoints(tasks)
         for task in tasks:
             self._submitted.append(task)
             self.sim.schedule(
@@ -217,6 +224,27 @@ class ServerlessSystem:
                 (lambda t=task: self.allocator.submit(t)),
                 priority=Priority.ARRIVAL,
             )
+
+    def _install_control_breakpoints(self, tasks: Sequence[Task]) -> None:
+        """Schedule a time-triggered controller's β/α breakpoints.
+
+        Only breakpoints inside the workload's arrival span are
+        scheduled: a later one would keep the event queue alive past the
+        last task outcome and inflate ``sim.now`` (hence makespan) for
+        no behavioral effect — mapping-event ticks already re-evaluate
+        β(t) at every event, so clamping loses nothing.  Idempotent per
+        system (installed once, alongside the dynamics schedule).
+        """
+        driver = self.pruner.driver if self.pruner is not None else None
+        if driver is None or self._control_installed:
+            return
+        self._control_installed = True
+        span = max((t.arrival for t in tasks), default=0.0)
+        for t in driver.breakpoints():
+            if 0.0 <= t <= span:
+                self.sim.schedule(
+                    t, (lambda t=t: driver.time_tick(t)), priority=Priority.CONTROL
+                )
 
     def run(
         self,
@@ -266,8 +294,26 @@ class ServerlessSystem:
     # ------------------------------------------------------------------
     def result(self, tasks: Sequence[Task] | None = None) -> SimulationResult:
         """Aggregate outcomes — optionally over a subset (e.g. the
-        edge-trimmed evaluation window of §V-B)."""
+        edge-trimmed evaluation window of §V-B).
+
+        Control-plane telemetry (``controller_stats`` — the setpoint
+        trajectory — and ``fairness_stats`` — the final sufferage
+        scores) rides along exactly when a controller is configured,
+        even the static one; without a controller the payload is
+        byte-identical to pre-control-plane results, which is what keeps
+        historical golden fixtures and cached campaign trials valid.
+        """
         universe = self._submitted if tasks is None else list(tasks)
+        driver = self.pruner.driver if self.pruner is not None else None
+        fairness_stats = None
+        if driver is not None:
+            tracker = self.pruner.fairness
+            fairness_stats = {
+                "factor": float(tracker.c),
+                "scores": {
+                    str(k): float(v) for k, v in sorted(tracker.scores().items())
+                },
+            }
         return SimulationResult.from_tasks(
             universe,
             cluster=self.cluster,
@@ -276,6 +322,8 @@ class ServerlessSystem:
             mapping_events=self.allocator.mapping_events,
             estimator_stats=self.estimator.cache_stats(),
             dynamics_stats=self.dynamics.stats() if self.dynamics else None,
+            controller_stats=driver.stats() if driver is not None else None,
+            fairness_stats=fairness_stats,
         )
 
     @property

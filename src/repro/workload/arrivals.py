@@ -24,7 +24,6 @@ count matches the spec — patterns are compared at equal offered load.
 
 from __future__ import annotations
 
-import math
 from typing import Callable
 
 import numpy as np

@@ -21,7 +21,7 @@ original size.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["ArrivalPattern", "WorkloadSpec", "PAPER_TIME_SPAN"]
 

@@ -6,12 +6,9 @@ import numpy as np
 import pytest
 
 from repro import (
-    Cluster,
     PETMatrix,
     PMF,
-    PruningConfig,
     ServerlessSystem,
-    Simulator,
     Task,
     WorkloadSpec,
     generate_pet_matrix,

@@ -1,6 +1,8 @@
 """Tests for the Fairness module (sufferage scores, §IV-D)."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.fairness import FairnessTracker
 
@@ -85,3 +87,42 @@ class TestValidation:
     def test_bad_clamp_rejected(self):
         with pytest.raises(ValueError):
             FairnessTracker(0.1, clamp=0.0)
+
+
+class TestClampFloorProperties:
+    """Hypothesis invariants of the clamp/floor edges.
+
+    These are the guarantees the adaptive control plane leans on: with a
+    controller moving β at runtime, the *effective* threshold must stay
+    inside [0, β] for every reachable sufferage state, or a live β
+    change could push the bar outside the probability range.
+    """
+
+    @given(
+        beta=st.floats(min_value=0.0, max_value=1.0),
+        factor=st.floats(min_value=0.0, max_value=1.0),
+        events=st.lists(st.sampled_from(["drop", "on_time"]), max_size=60),
+    )
+    def test_effective_threshold_always_in_zero_to_beta(self, beta, factor, events):
+        tracker = FairnessTracker(factor)
+        for event in events:
+            if event == "drop":
+                tracker.note_drop(0)
+            else:
+                tracker.note_on_time_completion(0)
+            eff = tracker.effective_threshold(beta, 0)
+            assert 0.0 <= eff <= beta
+
+    @given(
+        factor=st.floats(min_value=0.0, max_value=0.7),
+        clamp=st.floats(min_value=0.1, max_value=1.0),
+        events=st.lists(st.sampled_from(["drop", "on_time"]), max_size=60),
+    )
+    def test_score_stays_in_floor_clamp_range(self, factor, clamp, events):
+        tracker = FairnessTracker(factor, clamp=clamp)
+        for event in events:
+            if event == "drop":
+                tracker.note_drop(1)
+            else:
+                tracker.note_on_time_completion(1)
+            assert 0.0 <= tracker.score(1) <= clamp

@@ -8,7 +8,7 @@ from repro.core.config import PruningConfig, ToggleMode
 from repro.core.pruner import Pruner
 from repro.sim.cluster import Cluster
 from repro.sim.engine import Simulator
-from repro.sim.task import Task, TaskStatus
+from repro.sim.task import Task
 from repro.system.completion import CompletionEstimator
 
 from tests.conftest import make_deterministic_pet

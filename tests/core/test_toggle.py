@@ -1,7 +1,10 @@
 """Tests for the Toggle module (§IV-C oversubscription detection)."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
+from repro.control.signals import Setpoints
 from repro.core.accounting import Accounting
 from repro.core.config import PruningConfig, ToggleMode
 from repro.core.toggle import AlwaysDrop, NeverDrop, ReactiveToggle, make_toggle
@@ -44,6 +47,48 @@ class TestPolicies:
     def test_negative_alpha_rejected(self):
         with pytest.raises(ValueError):
             ReactiveToggle(alpha=-1)
+
+    @given(alpha=st.integers(min_value=0, max_value=50))
+    def test_exactly_alpha_misses_never_engages(self, alpha):
+        """The α boundary is strict: *exactly* α misses is still calm —
+        the paper's 'beyond a configurable Dropping Toggle'."""
+        toggle = ReactiveToggle(alpha=alpha)
+        assert toggle.dropping_engaged(acc_with_misses(alpha)) is False
+        assert toggle.dropping_engaged(acc_with_misses(alpha + 1)) is True
+
+
+class TestLiveSetpoints:
+    """The control plane's actuation path: α read through Setpoints."""
+
+    def test_setpoints_alpha_wins_over_constant(self):
+        sp = Setpoints(beta=0.5, alpha=3)
+        toggle = ReactiveToggle(alpha=0, setpoints=sp)
+        assert toggle.alpha == 3
+        assert not toggle.dropping_engaged(acc_with_misses(3))
+        assert toggle.dropping_engaged(acc_with_misses(4))
+
+    def test_alpha_moves_with_setpoints(self):
+        sp = Setpoints(beta=0.5, alpha=0)
+        toggle = ReactiveToggle(alpha=0, setpoints=sp)
+        acc = acc_with_misses(2)
+        assert toggle.dropping_engaged(acc)
+        sp.alpha = 5  # a controller relaxed the Toggle mid-run
+        assert not toggle.dropping_engaged(acc)
+
+    def test_unbound_toggle_keeps_constant(self):
+        assert ReactiveToggle(alpha=2).alpha == 2
+
+    def test_make_toggle_binds_config_setpoints(self):
+        sp = Setpoints(beta=0.5, alpha=0)
+        toggle = make_toggle(PruningConfig(dropping_toggle=1), sp)
+        # The frozen config said α=1, but the live cell says 0 — the
+        # cell wins (pruner initializes it from the config anyway).
+        assert toggle.alpha == 0
+
+    def test_setpoints_clamp(self):
+        sp = Setpoints(beta=7.0, alpha=-3)
+        sp.clamp()
+        assert sp.beta == 1.0 and sp.alpha == 0
 
 
 class TestFactory:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.config import PruningConfig
 from repro.experiments.runner import (
-    PET_SEED,
     ExperimentConfig,
     _trial_workload,
     pet_matrix,

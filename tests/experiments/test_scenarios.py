@@ -5,7 +5,6 @@ scenario runs at scale 0.15 with 1–2 trials to verify wiring, labels, and
 grid structure.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import scenarios

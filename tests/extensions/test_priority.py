@@ -7,7 +7,7 @@ from repro.core.config import PruningConfig
 from repro.extensions.priority import ValueAwarePruner, inverse_value_weight
 from repro.sim.cluster import Cluster
 from repro.sim.engine import Simulator
-from repro.sim.task import Task, TaskStatus
+from repro.sim.task import Task
 from repro.system.completion import CompletionEstimator
 from repro.system.serverless import ServerlessSystem
 

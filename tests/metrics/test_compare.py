@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from scipy import stats
 
-from repro.metrics.compare import PairedComparison, compare_paired
+from repro.metrics.compare import compare_paired
 from repro.metrics.collector import SimulationResult
 
 

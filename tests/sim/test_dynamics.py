@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.sim.cluster import Cluster
-from repro.sim.dynamics import ClusterDynamics, DynamicsSpec
+from repro.sim.dynamics import DynamicsSpec
 from repro.sim.engine import Simulator
 from repro.sim.machine import Machine
 from repro.sim.task import Task, TaskStatus

@@ -1,6 +1,5 @@
 """Tests for per-task sampler/callback hooks and machine-level reaping."""
 
-import pytest
 
 from repro.sim.engine import Simulator
 from repro.sim.machine import Machine

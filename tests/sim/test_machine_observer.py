@@ -1,6 +1,5 @@
 """Queue-delta notification protocol (Machine → QueueObserver)."""
 
-import pytest
 
 from repro.sim.cluster import Cluster, QueueObserver
 from repro.sim.engine import Simulator

@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.stochastic.pmf import DEFAULT_MAX_SUPPORT, PMF
+from repro.stochastic.pmf import PMF
 
 
 # ----------------------------------------------------------------------

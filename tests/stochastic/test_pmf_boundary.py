@@ -9,17 +9,11 @@ relative-epsilon semantics on both scalar and batched queries, and the
 bit-identity of the allocation-lean ``convolve_truncated`` hot path.
 """
 
-import math
 
 import numpy as np
 import pytest
 
-from repro.stochastic.pmf import (
-    CDF_REL_EPS,
-    PMF,
-    BufferArena,
-    batch_cdf_at,
-)
+from repro.stochastic.pmf import PMF, BufferArena, batch_cdf_at
 
 
 class TestGridBoundaryTolerance:

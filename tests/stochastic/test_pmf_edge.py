@@ -6,7 +6,6 @@ folding mass into the tail without losing any, and conditioning behavior
 exactly on grid points.
 """
 
-import math
 
 import numpy as np
 import pytest

@@ -5,8 +5,6 @@ import pytest
 
 from repro.core.config import PruningConfig, ToggleMode
 from repro.sim.task import TaskStatus
-from repro.stochastic.pmf import PMF
-from repro.stochastic.pet import PETMatrix
 from repro.system.serverless import ServerlessSystem
 from repro.sim.task import Task
 

@@ -1,6 +1,5 @@
 """Tests for the completion estimator (Eq. 1/2 + memoization)."""
 
-import math
 
 import numpy as np
 import pytest

@@ -9,7 +9,6 @@ independent oracle, including the hypothesis-generated cases.
 
 import itertools
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

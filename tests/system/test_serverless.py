@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import PruningConfig
-from repro.heuristics import MinMin, RoundRobin
+from repro.heuristics import RoundRobin
 from repro.sim.cluster import Cluster
 from repro.sim.task import Task, TaskStatus
 from repro.stochastic.etc import ETCMatrix

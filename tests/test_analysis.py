@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import PruningConfig, ServerlessSystem
-from repro.analysis import TimelineEvent, TimelineRecorder
+from repro.analysis import TimelineRecorder
 from repro.sim.task import Task
 
 from tests.conftest import fresh_tasks

@@ -60,7 +60,7 @@ class TestGroupedBars:
 
     def test_bars_scale_to_100(self, grid):
         out = grouped_bars(grid, width=50)
-        lines = [l for l in out.splitlines() if "|" in l]
+        lines = [line for line in out.splitlines() if "|" in line]
         mm, mmp = lines[0], lines[1]
         assert mmp.count("█") == 40  # 80 % of 50 cells
         assert mm.count("█") == 20

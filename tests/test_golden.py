@@ -18,15 +18,21 @@ and review the fixture diff like code.
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 
 import pytest
 
-from repro.core.config import PruningConfig
 from repro.experiments.runner import pet_matrix
 from repro.sim.dynamics import DynamicsSpec
 from repro.system.serverless import ServerlessSystem
 from repro.workload.trace import load_trace
+
+# The replay recipe must be the regenerator's, not a copy of it — a
+# drift between the two would pin fixtures against a different config
+# than the one that produced them.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+from make_golden import case_pruning  # noqa: E402
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 CASES = json.loads((GOLDEN_DIR / "cases.json").read_text())
@@ -49,7 +55,7 @@ def test_golden_trace_replay_is_exact(case):
     system = ServerlessSystem(
         pet_matrix("inconsistent"),
         case["heuristic"],
-        pruning=PruningConfig.paper_default() if case["pruning"] == "paper" else None,
+        pruning=case_pruning(case),
         seed=case["seed"],
         dynamics=DynamicsSpec(**case["dynamics"]) if case["dynamics"] else None,
     )
@@ -67,6 +73,20 @@ def test_golden_covers_dynamics_and_static():
     cluster and at least one case with churn."""
     assert any(c["dynamics"] is None for c in CASES)
     assert any(c["dynamics"] for c in CASES)
+
+
+def test_golden_covers_adaptive_controller():
+    """At least one case must pin a controller's setpoint trajectory —
+    and its fixture must actually contain one."""
+    adaptive = [c for c in CASES if c.get("controller")]
+    assert adaptive
+    for case in adaptive:
+        payload = json.loads(
+            (GOLDEN_DIR / f"{case['name']}.expected.json").read_text()
+        )
+        stats = payload["controller_stats"]
+        assert stats["controller"] == case["controller"]["kind"]
+        assert stats["trajectory"], "trajectory must be pinned non-empty"
 
 
 def test_golden_fixtures_round_trip_through_result_dict():

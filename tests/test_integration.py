@@ -18,7 +18,6 @@ from repro import (
 from repro.core.config import ToggleMode
 from repro.workload.generator import trimmed_slice
 
-from tests.conftest import fresh_tasks
 
 # Shared mid-size setup: 12×8 paper-shaped PET, heavy oversubscription.
 PET = generate_pet_matrix(seed=2019)

@@ -10,7 +10,7 @@ from repro.workload.arrivals import (
     spiky_arrivals,
     spiky_rate_profile,
 )
-from repro.workload.spec import ArrivalPattern, WorkloadSpec
+from repro.workload.spec import WorkloadSpec
 
 
 class TestConstant:

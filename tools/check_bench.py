@@ -1,6 +1,14 @@
 #!/usr/bin/env python3
 """Benchmark smoke gate: the mapping-event pipeline may not regress.
 
+Also validates the committed ``benchmarks/BENCH_control.json`` (the
+adaptive-pruning control-plane artifact): payload shape, internal
+consistency, and the ISSUE-5 acceptance inequalities — adaptive ≥ best
+static β, adaptive materially above worst static β.  That artifact is
+produced by a fully deterministic simulation comparison, so the
+committed numbers are re-assertable without re-running it here (the
+re-run gate lives in ``benchmarks/bench_control.py``'s pytest entry).
+
 Runs the estimator benchmark (``benchmarks/bench_sim.py``'s measurement
 core) on a *reduced* Fig. 7 workload and compares it against the
 committed ``benchmarks/BENCH_estimator.json``:
@@ -40,6 +48,84 @@ if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
 
 BASELINE = REPO_ROOT / "benchmarks" / "BENCH_estimator.json"
+CONTROL = REPO_ROOT / "benchmarks" / "BENCH_control.json"
+
+#: Must match ``benchmarks.bench_control.MATERIAL_MARGIN_PP`` (kept
+#: literal here so the validator never imports the module under test).
+CONTROL_MARGIN_PP = 2.0
+
+
+def check_control_payload(path: Path) -> list[str]:
+    """Shape + consistency errors of the control-plane artifact."""
+    errors: list[str] = []
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"{path.name}: unreadable ({exc})"]
+
+    for key in ("benchmark", "workload", "static_grid", "controller", "results", "comparison"):
+        if key not in payload:
+            errors.append(f"{path.name}: missing top-level key {key!r}")
+    if errors:
+        return errors
+    if payload["benchmark"] != "control":
+        errors.append(f"{path.name}: benchmark is {payload['benchmark']!r}, not 'control'")
+
+    levels = payload["workload"].get("levels", {})
+    if not levels:
+        errors.append(f"{path.name}: workload.levels is empty")
+    grid_labels = {f"P{int(beta * 100)}" for beta in payload["static_grid"]}
+    expected_variants = grid_labels | {"adaptive"}
+    if set(payload["results"]) != expected_variants:
+        errors.append(
+            f"{path.name}: results cover {sorted(payload['results'])}, "
+            f"expected {sorted(expected_variants)}"
+        )
+    for vname, record in payload["results"].items():
+        if not isinstance(record.get("pooled_mean_pct"), (int, float)):
+            errors.append(f"{path.name}: results[{vname!r}] lacks pooled_mean_pct")
+            continue
+        missing = set(levels) - set(record.get("per_level", {}))
+        if missing:
+            errors.append(f"{path.name}: results[{vname!r}] missing levels {sorted(missing)}")
+        for lname, cellstats in record.get("per_level", {}).items():
+            for field in ("mean_pct", "ci95_pct", "trials"):
+                if field not in cellstats:
+                    errors.append(
+                        f"{path.name}: results[{vname!r}][{lname!r}] lacks {field}"
+                    )
+    if errors:
+        return errors
+
+    cmp = payload["comparison"]
+    for key in (
+        "best_static", "best_static_pct", "worst_static", "worst_static_pct",
+        "adaptive_pct", "adaptive_minus_best_pp", "adaptive_minus_worst_pp",
+    ):
+        if key not in cmp:
+            errors.append(f"{path.name}: comparison lacks {key!r}")
+    if errors:
+        return errors
+    # Internal consistency: the comparison block must agree with results.
+    statics = {v: payload["results"][v]["pooled_mean_pct"] for v in grid_labels}
+    if abs(cmp["best_static_pct"] - max(statics.values())) > 1e-6:
+        errors.append(f"{path.name}: best_static_pct disagrees with results")
+    if abs(cmp["worst_static_pct"] - min(statics.values())) > 1e-6:
+        errors.append(f"{path.name}: worst_static_pct disagrees with results")
+    if abs(cmp["adaptive_pct"] - payload["results"]["adaptive"]["pooled_mean_pct"]) > 1e-6:
+        errors.append(f"{path.name}: adaptive_pct disagrees with results")
+    # The acceptance inequalities the artifact exists to witness.
+    if cmp["adaptive_pct"] < cmp["best_static_pct"] - 1e-9:
+        errors.append(
+            f"{path.name}: adaptive {cmp['adaptive_pct']:.2f}% < best static "
+            f"{cmp['best_static_pct']:.2f}%"
+        )
+    if cmp["adaptive_pct"] <= cmp["worst_static_pct"] + CONTROL_MARGIN_PP:
+        errors.append(
+            f"{path.name}: adaptive {cmp['adaptive_pct']:.2f}% not materially "
+            f"above worst static {cmp['worst_static_pct']:.2f}%"
+        )
+    return errors
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -63,7 +149,17 @@ def main(argv: list[str] | None = None) -> int:
             "ratio vs the committed payload's ratio (default 0.2)"
         ),
     )
+    parser.add_argument(
+        "--control", type=Path, default=CONTROL, help="committed BENCH_control.json"
+    )
     args = parser.parse_args(argv)
+
+    control_errors = check_control_payload(args.control)
+    if control_errors:
+        for error in control_errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    print(f"control payload OK ({args.control.name})")
 
     from benchmarks.bench_sim import run_estimator_bench
 

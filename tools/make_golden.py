@@ -36,7 +36,7 @@ _SRC = REPO_ROOT / "src"
 if _SRC.is_dir() and str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.core.config import PruningConfig  # noqa: E402
+from repro.core.config import ControllerConfig, PruningConfig  # noqa: E402
 from repro.experiments.runner import pet_matrix  # noqa: E402
 from repro.sim.dynamics import DynamicsSpec  # noqa: E402
 from repro.system.serverless import ServerlessSystem  # noqa: E402
@@ -98,6 +98,32 @@ CASES = [
         "dynamics": {"failures": 1, "mean_downtime": 0.0},
         "seed": 9,
     },
+    # Adaptive control plane: pins the hysteresis controller's setpoint
+    # trajectory (controller_stats) and the fairness telemetry exactly —
+    # any change to signal computation, tick ordering, or band logic
+    # shifts the trajectory and fails here first.
+    {
+        "name": "adaptive_mm_hysteresis",
+        "spec": {
+            "num_tasks": 140,
+            "time_span": 90.0,
+            "num_task_types": 6,
+            "pattern": "bursty",
+        },
+        "trace_seed": 20260704,
+        "heuristic": "MM",
+        "pruning": "paper",
+        "controller": {
+            "kind": "hysteresis",
+            "low": 0.02,
+            "high": 0.2,
+            "step": 0.1,
+            "cooldown": 4,
+            "window": 4,
+        },
+        "dynamics": None,
+        "seed": 31,
+    },
 ]
 
 #: The example traces the ``trace`` sweep preset replays.
@@ -125,13 +151,23 @@ EXAMPLE_TRACES = [
 ]
 
 
+def case_pruning(case: dict) -> PruningConfig | None:
+    """The pruning config a golden case names (shared with the test)."""
+    if case["pruning"] != "paper":
+        return None
+    pruning = PruningConfig.paper_default()
+    if case.get("controller"):
+        pruning = pruning.with_(controller=ControllerConfig(**case["controller"]))
+    return pruning
+
+
 def run_case(case: dict, tasks) -> dict:
     """Replay one golden case — the exact recipe tests/test_golden.py uses."""
     pet = pet_matrix("inconsistent")
     system = ServerlessSystem(
         pet,
         case["heuristic"],
-        pruning=PruningConfig.paper_default() if case["pruning"] == "paper" else None,
+        pruning=case_pruning(case),
         seed=case["seed"],
         dynamics=DynamicsSpec(**case["dynamics"]) if case["dynamics"] else None,
     )
