@@ -4,13 +4,43 @@ The paper notes (§V-A) that completion-time estimation "involves multiple
 convolutions which impose calculation overhead"; these benches quantify
 that overhead for the exact Fig. 2 example, for realistic PET supports,
 and for a full machine-queue PCT chain.
+
+``test_pmf_tensor_core`` additionally emits ``BENCH_pmf.json`` next to
+this file (the ISSUE-6 tensor-core artifact): the direct-vs-FFT
+convolution scaling curve across support sizes straddling the
+``FFT_MIN_TAPS``/``FFT_MIN_OPS`` crossover, and stacked
+(:class:`PMFStack.batch_cdf_at`) versus looped scalar ``cdf_at`` on a
+campaign-sized row set.  ``tools/check_bench.py`` validates the
+committed payload shape and its acceptance flags in CI.
+
+Run directly to regenerate the artifact::
+
+    python benchmarks/bench_pmf.py
 """
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.stochastic.pet import generate_pet_matrix
-from repro.stochastic.pmf import PMF
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.stochastic.pet import generate_pet_matrix  # noqa: E402
+from repro.stochastic.pmf import (  # noqa: E402
+    FFT_MIN_OPS,
+    FFT_MIN_TAPS,
+    PMF,
+    PMFStack,
+    convolve_probs,
+)
+
+PMF_JSON = Path(__file__).resolve().parent / "BENCH_pmf.json"
 
 
 def test_fig2_convolution(benchmark, capsys):
@@ -64,3 +94,170 @@ def test_histogram_construction(benchmark):
     samples = rng.gamma(6.0, 3.0, size=500)
     out = benchmark(lambda: PMF.from_samples(samples, min_value=1.0))
     assert out.total_mass == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Tensor-core tracking: BENCH_pmf.json
+# ----------------------------------------------------------------------
+#: Support sizes for the scaling curve — straddles the auto crossover
+#: (FFT needs both operands >= FFT_MIN_TAPS *and* the multiply-add count
+#: >= FFT_MIN_OPS, i.e. n >= 1024 for equal-length operands).
+CURVE_SIZES = (64, 256, 512, 1024, 2048)
+
+#: Row count of the stacked-vs-looped batch_cdf_at comparison (a
+#: campaign-sized chance-of-success sweep over one cluster snapshot).
+STACK_ROWS = 512
+
+_REPS = 7
+
+
+def _best_of(fn, reps=_REPS):
+    fn()  # untimed warmup
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_pmf_bench(json_path=PMF_JSON):
+    """Measure the tensor core; return (and optionally write) the payload.
+
+    Everything asserted here is hardware-independent except the two
+    wall-clock speedups, which compare two measurements from the *same*
+    run — the runner's absolute speed cancels out.
+    """
+    rng = np.random.default_rng(13)
+
+    curve = []
+    for n in CURVE_SIZES:
+        a = rng.random(n)
+        a /= a.sum()
+        b = rng.random(n)
+        b /= b.sum()
+        direct_s = _best_of(lambda: convolve_probs(a, b, method="direct"))
+        fft_s = _best_of(lambda: convolve_probs(a, b, method="fft"))
+        auto_is_fft = n >= FFT_MIN_TAPS and n * n >= FFT_MIN_OPS
+        max_abs_err = float(
+            np.abs(
+                convolve_probs(a, b, method="fft")
+                - convolve_probs(a, b, method="direct")
+            ).max()
+        )
+        curve.append(
+            {
+                "n": n,
+                "direct_s": direct_s,
+                "fft_s": fft_s,
+                "speedup_fft_over_direct": direct_s / fft_s if fft_s > 0 else None,
+                "auto_method": "fft" if auto_is_fft else "direct",
+                "max_abs_err": max_abs_err,
+            }
+        )
+
+    # Stacked vs looped CDF queries on realistic PET-chain supports.
+    pet = generate_pet_matrix(seed=3, mean_range=(10.0, 30.0))
+    base = [pet.pmf(i % pet.num_task_types, i % pet.num_machine_types) for i in range(8)]
+    rows = []
+    for i in range(STACK_ROWS):
+        p = base[i % len(base)].convolve(base[(i + 3) % len(base)])
+        rows.append(p.shift(float(i % 17)))
+    times = rng.uniform(20.0, 90.0, size=STACK_ROWS)
+    stack = PMFStack.from_pmfs(rows)
+
+    looped_s = _best_of(
+        lambda: np.array([p.cdf_at(float(t)) for p, t in zip(rows, times)])
+    )
+    stack.batch_cdf_at(times)  # populate the cached cumsum table once…
+    stacked_s = _best_of(lambda: stack.batch_cdf_at(times))
+    # …then verify against a cold stack so cache state is not the story.
+    cold = PMFStack.from_pmfs(rows).batch_cdf_at(times)
+    looped_vals = np.array([p.cdf_at(float(t)) for p, t in zip(rows, times)])
+    values_identical = bool(np.allclose(cold, looped_vals, rtol=0.0, atol=1e-12))
+
+    largest = curve[-1]
+    payload = {
+        "benchmark": "pmf-tensor-core",
+        "crossover": {"fft_min_taps": FFT_MIN_TAPS, "fft_min_ops": FFT_MIN_OPS},
+        "convolution_scaling": curve,
+        "fft_speedup_at_largest": largest["speedup_fft_over_direct"],
+        "batch_cdf": {
+            "rows": STACK_ROWS,
+            "looped_s": looped_s,
+            "stacked_s": stacked_s,
+            "speedup_stacked_over_looped": (
+                looped_s / stacked_s if stacked_s > 0 else None
+            ),
+            "values_identical": values_identical,
+        },
+    }
+    if json_path is not None:
+        Path(json_path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def check_pmf_gates(payload: dict) -> None:
+    """Acceptance flags (shared by the pytest entry and ``__main__``)."""
+    assert payload["batch_cdf"]["values_identical"], (
+        "stacked batch_cdf_at diverged from looped scalar cdf_at"
+    )
+    for point in payload["convolution_scaling"]:
+        expected = (
+            "fft"
+            if point["n"] >= FFT_MIN_TAPS and point["n"] ** 2 >= FFT_MIN_OPS
+            else "direct"
+        )
+        assert point["auto_method"] == expected, (
+            f"auto crossover misclassified n={point['n']}"
+        )
+        assert point["max_abs_err"] < 1e-12, (
+            f"FFT convolution error {point['max_abs_err']:.2e} at n={point['n']}"
+        )
+    import os
+
+    if os.environ.get("BENCH_PMF_STRICT", "1") != "0":
+        fft_speedup = payload["fft_speedup_at_largest"]
+        assert fft_speedup >= 1.0, (
+            f"FFT lost to direct at n={CURVE_SIZES[-1]}: {fft_speedup:.2f}x"
+        )
+        batch_speedup = payload["batch_cdf"]["speedup_stacked_over_looped"]
+        assert batch_speedup >= 1.0, (
+            f"stacked batch_cdf_at lost to the scalar loop: {batch_speedup:.2f}x"
+        )
+
+
+def test_pmf_tensor_core(benchmark, capsys):
+    """Direct-vs-FFT scaling curve + stacked-vs-looped CDF queries."""
+    payload = benchmark.pedantic(run_pmf_bench, rounds=1, iterations=1)
+    check_pmf_gates(payload)
+    largest = payload["convolution_scaling"][-1]
+    batch = payload["batch_cdf"]
+    with capsys.disabled():
+        print(
+            f"\npmf tensor core: FFT {payload['fft_speedup_at_largest']:.1f}x direct "
+            f"at n={largest['n']} | batch_cdf_at {batch['speedup_stacked_over_looped']:.1f}x "
+            f"the scalar loop over {batch['rows']} rows (JSON: {PMF_JSON.name})"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=Path, default=PMF_JSON, help="artifact path")
+    args = parser.parse_args(argv)
+    payload = run_pmf_bench(json_path=args.json)
+    check_pmf_gates(payload)
+    largest = payload["convolution_scaling"][-1]
+    batch = payload["batch_cdf"]
+    print(
+        f"pmf tensor core: FFT {payload['fft_speedup_at_largest']:.2f}x direct at "
+        f"n={largest['n']} | batch_cdf_at "
+        f"{batch['speedup_stacked_over_looped']:.2f}x the scalar loop "
+        f"({batch['rows']} rows) | gates OK"
+    )
+    print(f"[written: {args.json}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,11 @@ class FairnessTracker:
         self.enabled = enabled
         self.clamp = float(clamp)
         self._scores: defaultdict[int, float] = defaultdict(float)
+        #: Bumped on every score mutation.  An unchanged epoch proves the
+        #: whole γ table — hence every effective threshold — is unchanged,
+        #: which is what lets the Pruner's drop scan skip machines whose
+        #: chance arrays the estimator also proved unchanged.
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     def score(self, task_type: int) -> float:
@@ -66,13 +71,16 @@ class FairnessTracker:
         """Fig. 5 step 2: γ_k ← γ_k − c (floored at zero)."""
         if not self.enabled:
             return
+        self.epoch += 1
         self._scores[task_type] = max(self._scores[task_type] - self.c, 0.0)
 
     def note_drop(self, task_type: int) -> None:
         """Fig. 5 step 6 side effect: γ_k ← γ_k + c."""
         if not self.enabled:
             return
+        self.epoch += 1
         self._scores[task_type] = min(self._scores[task_type] + self.c, self.clamp)
 
     def reset(self) -> None:
+        self.epoch += 1
         self._scores.clear()

@@ -77,6 +77,13 @@ class Pruner:
         # Decision tallies (for ablation/analysis).
         self.drop_decisions = 0
         self.defer_decisions = 0
+        #: machine_id -> (chances array, fairness epoch, β) of the last
+        #: *no-drop* scan of that machine.  When the estimator hands back
+        #: the *same array object* (its proof that no queue/chain change
+        #: touched the machine) under the same fairness epoch and β, the
+        #: scan's decisions are provably identical — nothing to drop —
+        #: and the per-task threshold loop is skipped (see ``drop_scan``).
+        self._scan_memo: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # Fig. 5 step 0 (beyond the paper) — controller tick.
@@ -193,8 +200,32 @@ class Pruner:
         machines = [m for m in cluster.machines if m.queue]
         if not machines:
             return decisions
+        # The memo shortcut is only sound while the scan hooks are the
+        # base-class ones (pure functions of chance / fairness / β); a
+        # subclass override (e.g. priority classes) may consult state the
+        # memo key cannot see.
+        pristine = (
+            type(self)._scan_skip is Pruner._scan_skip
+            and type(self)._scan_threshold is Pruner._scan_threshold
+        )
+        memo = self._scan_memo
+        beta = self.setpoints.beta
         all_chances = estimator.cluster_queue_chances(machines, now)
         for machine, chances in zip(machines, all_chances):
+            fepoch = self.fairness.epoch
+            if pristine:
+                prior = memo.get(machine.machine_id)
+                if (
+                    prior is not None
+                    and prior[0] is chances
+                    and prior[1] == fepoch
+                    and prior[2] == beta
+                ):
+                    # Same chance values (same array object: the estimator
+                    # reused its cached scan), same thresholds — the last
+                    # scan dropped nothing here, so neither would this one.
+                    continue
+            dropped = False
             tasks = list(machine.queue)
             idx = 0
             base = 0  # queue index of chances[0]; the scan never looks back
@@ -209,6 +240,7 @@ class Pruner:
                     decisions.append(DropDecision(task, machine, chance, eff))
                     self.fairness.note_drop(task.task_type)
                     self.drop_decisions += 1
+                    dropped = True
                     machine.remove(task)  # invalidates only the chain suffix
                     del tasks[idx]
                     if idx >= len(tasks):
@@ -219,6 +251,11 @@ class Pruner:
                     base = idx
                 else:
                     idx += 1
+            if pristine:
+                if dropped:
+                    memo.pop(machine.machine_id, None)
+                else:
+                    memo[machine.machine_id] = (chances, fepoch, beta)
         return decisions
 
     # ------------------------------------------------------------------

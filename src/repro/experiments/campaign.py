@@ -31,12 +31,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import re
 import shutil
 import time
 from collections import Counter
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Mapping, Optional, Sequence
@@ -54,7 +55,7 @@ from ..sim.rng import fingerprint
 from ..workload.spec import ArrivalPattern, WorkloadSpec
 from ..workload.trace import StatMemo, trace_spec
 from .report import CampaignRow, CampaignSummary
-from .runner import ExperimentConfig, run_trial
+from .runner import ExperimentConfig, pet_matrix, run_trial
 
 __all__ = [
     "SweepGrid",
@@ -63,7 +64,9 @@ __all__ = [
     "ResultCache",
     "run_cells",
     "run_cell_trials",
+    "resolve_execution_plan",
     "trial_key",
+    "EXECUTOR_CHOICES",
     "PRESETS",
     "DEFAULT_CACHE_DIR",
     "CACHE_SCHEMA",
@@ -317,20 +320,123 @@ class ResultCache:
 # ======================================================================
 # Sharded trial executor
 # ======================================================================
+#: Executor kinds ``run_cell_trials`` accepts.  ``"auto"`` resolves to
+#: a process pool when parallelism can plausibly pay, else serial.
+EXECUTOR_CHOICES = ("auto", "serial", "thread", "process")
+
+#: Below this many pending trials ``"auto"`` never spins up a pool:
+#: worker startup plus chunk pickling costs more than the trials.
+MIN_PARALLEL_PENDING = 4
+
+#: Target chunks per worker: more than one so stragglers rebalance,
+#: few so the per-campaign submission/pickle count stays low (one
+#: pickle per *chunk*, not per trial).
+CHUNKS_PER_WORKER = 4
+
+
+def resolve_execution_plan(
+    jobs: int | None,
+    pending: int,
+    *,
+    executor: str = "auto",
+    cpu_count: int | None = None,
+) -> tuple[str, int]:
+    """Resolve ``(executor kind, workers)`` for ``pending`` runnable trials.
+
+    The adaptive contract: workers are clamped to ``min(jobs, pending,
+    cpu_count)``, and ``"auto"`` falls back to serial whenever a pool
+    cannot win — ``cpu_count == 1`` (a pool only adds pickling and
+    scheduling on the same core that runs the trials), fewer than
+    :data:`MIN_PARALLEL_PENDING` pending trials, or an effective worker
+    count of 1.  An *explicit* ``"thread"``/``"process"`` request is
+    honored as asked (clamped to ``pending`` only), so the determinism
+    harness can exercise every pool code path on any box.  ``cpu_count``
+    defaults to live ``os.cpu_count()``.
+    """
+    if executor not in EXECUTOR_CHOICES:
+        raise ValueError(
+            f"executor must be one of {EXECUTOR_CHOICES}, got {executor!r}"
+        )
+    cpu = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if pending <= 1 or executor == "serial":
+        return "serial", 1
+    if executor != "auto":
+        return executor, max(1, min(jobs if jobs else cpu, pending))
+    if jobs is None or jobs <= 1:
+        return "serial", 1  # parallelism stays opt-in
+    workers = min(jobs, pending, cpu)
+    if workers <= 1 or pending < MIN_PARALLEL_PENDING:
+        return "serial", 1
+    return "process", workers
+
+
+#: Set by ``_init_worker`` — the shared read-only trial inputs travel to
+#: each process exactly once (via the pool initializer), and submitted
+#: chunks then reference cells by index instead of carrying configs.
+_WORKER_CONFIGS: Sequence[ExperimentConfig] | None = None
+
+
+def _init_worker(configs: Sequence[ExperimentConfig]) -> None:
+    """Executor initializer: install the shared read-only trial inputs.
+
+    Besides the config table, this pre-builds the frozen PET matrix of
+    every heterogeneity kind the campaign touches, so a process worker
+    pays the deterministic matrix construction once up front rather
+    than inside its first trial.  Thread workers share the parent's
+    cached instances outright (``pet_matrix`` is an ``lru_cache``), so
+    for them both steps are effectively free.
+    """
+    global _WORKER_CONFIGS
+    _WORKER_CONFIGS = configs
+    for kind in sorted({c.heterogeneity for c in configs}):
+        pet_matrix(kind)
+
+
+def _run_chunk(chunk: Sequence[tuple[int, int]]) -> list[tuple]:
+    """Run one chunk of (cell index, trial) pairs inside a worker.
+
+    Per-trial failures are captured and returned, not raised: one bad
+    trial must not discard the finished siblings sharing its chunk.
+    """
+    configs = _WORKER_CONFIGS
+    assert configs is not None, "executor worker used before _init_worker ran"
+    out: list[tuple] = []
+    for ci, t in chunk:
+        try:
+            out.append((ci, t, run_trial(configs[ci], t), None))
+        except Exception as exc:  # re-raised by the parent, see run_cell_trials
+            out.append((ci, t, None, exc))
+    return out
+
+
+def _chunked(
+    todo: Sequence[tuple[int, int]], workers: int
+) -> list[list[tuple[int, int]]]:
+    """Split pending pairs into ~:data:`CHUNKS_PER_WORKER` chunks each."""
+    size = max(1, math.ceil(len(todo) / (workers * CHUNKS_PER_WORKER)))
+    return [list(todo[i : i + size]) for i in range(0, len(todo), size)]
+
+
 def run_cell_trials(
     configs: Sequence[ExperimentConfig],
     *,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    executor: str = "auto",
 ) -> list[list[SimulationResult]]:
     """Run every trial of every cell; returns per-cell trial lists.
 
     Cache lookups happen first; only missing (cell, trial) pairs are
-    executed.  With ``jobs > 1`` the misses are sharded across a
-    :class:`~concurrent.futures.ProcessPoolExecutor` — trials are
-    independently seeded, so results are identical to a serial run.
-    Each result is written to the cache the moment its worker finishes,
-    which is what lets an interrupted campaign resume.
+    executed.  :func:`resolve_execution_plan` turns ``jobs``/``executor``
+    into a plan: serial in-process, a thread pool (NumPy's convolution
+    kernels release the GIL), or a process pool — submission is chunked
+    (one pickle per chunk), and the configs plus frozen PET matrices
+    reach each worker once via the pool initializer.  Every trial is a
+    pure function of ``(config, trial)`` — seeds derive from that pair
+    alone — so any plan produces byte-identical results in any
+    completion order.  Each result is written to the cache the moment
+    its chunk finishes, which is what lets an interrupted campaign
+    resume.
     """
     configs = list(configs)
     results: dict[tuple[int, int], SimulationResult] = {}
@@ -343,44 +449,45 @@ def run_cell_trials(
             else:
                 todo.append((ci, t))
 
-    if jobs is not None and jobs > 1 and len(todo) > 1:
-        first_error: BaseException | None = None
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {
-                pool.submit(run_trial, configs[ci], t): (ci, t) for ci, t in todo
-            }
-            try:
-                for future in as_completed(futures):
-                    ci, t = futures[future]
-                    # A failing trial must not discard its siblings:
-                    # every completed result is cached before the error
-                    # is allowed to propagate, so a resumed campaign
-                    # re-runs only the genuinely missing trials.
-                    try:
-                        results[ci, t] = future.result()
-                    except Exception as exc:
-                        if cache is None:
-                            # Nothing preserves the siblings' work —
-                            # fail fast rather than compute results
-                            # that will be discarded anyway.
-                            raise
-                        if first_error is None:
-                            first_error = exc
-                        continue
-                    if cache is not None:
-                        cache.put(configs[ci], t, results[ci, t])
-            except BaseException:
-                # Interrupt or cache-write failure: drop the queued
-                # trials instead of running them only to discard them.
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise
-        if first_error is not None:
-            raise first_error
-    else:
+    kind, workers = resolve_execution_plan(jobs, len(todo), executor=executor)
+    if kind == "serial":
         for ci, t in todo:
             results[ci, t] = run_trial(configs[ci], t)
             if cache is not None:
                 cache.put(configs[ci], t, results[ci, t])
+    else:
+        pool_cls = ThreadPoolExecutor if kind == "thread" else ProcessPoolExecutor
+        first_error: BaseException | None = None
+        with pool_cls(
+            max_workers=workers, initializer=_init_worker, initargs=(configs,)
+        ) as pool:
+            futures = [pool.submit(_run_chunk, chunk) for chunk in _chunked(todo, workers)]
+            try:
+                for future in as_completed(futures):
+                    # A failing trial must not discard its siblings:
+                    # every completed result is cached before the error
+                    # is allowed to propagate, so a resumed campaign
+                    # re-runs only the genuinely missing trials.
+                    for ci, t, result, exc in future.result():
+                        if exc is not None:
+                            if cache is None:
+                                # Nothing preserves the siblings' work —
+                                # fail fast rather than compute results
+                                # that will be discarded anyway.
+                                raise exc
+                            if first_error is None:
+                                first_error = exc
+                            continue
+                        results[ci, t] = result
+                        if cache is not None:
+                            cache.put(configs[ci], t, result)
+            except BaseException:
+                # Interrupt or cache-write failure: drop the queued
+                # chunks instead of running them only to discard them.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+        if first_error is not None:
+            raise first_error
 
     return [
         [results[ci, t] for t in range(cfg.trials)] for ci, cfg in enumerate(configs)
@@ -392,11 +499,12 @@ def run_cells(
     *,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    executor: str = "auto",
 ) -> list[AggregateStats]:
     """Run and aggregate every cell (the figure scenarios' entry point)."""
     return [
         aggregate_robustness(trials)
-        for trials in run_cell_trials(configs, jobs=jobs, cache=cache)
+        for trials in run_cell_trials(configs, jobs=jobs, cache=cache, executor=executor)
     ]
 
 
@@ -957,13 +1065,17 @@ class Campaign:
         *,
         jobs: int | None = None,
         cache: ResultCache | None = None,
+        executor: str = "auto",
     ) -> CampaignSummary:
         """Execute every (cell, trial) pair and aggregate per cell."""
         t0 = time.perf_counter()
         hits0 = cache.hits if cache is not None else 0
         misses0 = cache.misses if cache is not None else 0
         per_cell = run_cell_trials(
-            [cell.config for cell in self.cells], jobs=jobs, cache=cache
+            [cell.config for cell in self.cells],
+            jobs=jobs,
+            cache=cache,
+            executor=executor,
         )
         rows = [
             CampaignRow(

@@ -16,8 +16,10 @@ matching the paper's 15k–25k task counts and ~3000-unit span.
 ``trace``) or a path to a grid JSON file — see ``docs/experiments.md``
 for the schema.
 The ``trace`` preset replays repo-relative CSV traces, so run it from
-the checkout root.  ``--jobs N`` shards trials
-across N worker processes for both figures and sweeps; results are
+the checkout root.  ``--jobs N`` shards trials across a worker pool
+for both figures and sweeps (``--executor`` picks the pool kind;
+the default ``auto`` plan never starts a pool that cannot win and is
+byte-identical to serial); results are
 cached under ``.repro_cache/`` (disable with ``--no-cache``) so
 re-runs and interrupted campaigns resume instead of recomputing.
 """
@@ -123,7 +125,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         dest="jobs",
-        help="worker processes sharding (cell, trial) pairs (default: serial)",
+        help="worker count sharding (cell, trial) pairs (default: serial; "
+        "clamped to min(jobs, pending trials, cpu count) — see --executor)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["auto", "serial", "thread", "process"],
+        default="auto",
+        help="how --jobs shards trials: 'auto' picks a process pool only "
+        "when it can win (multi-core, enough pending trials) and falls "
+        "back to serial otherwise; 'thread'/'process'/'serial' force "
+        "that plan (results are byte-identical under every choice)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -190,6 +202,7 @@ def _run_one(name: str, args: argparse.Namespace, cache: ResultCache | None) -> 
         scale=_figure_scale(args),
         jobs=args.jobs,
         cache=cache,
+        executor=args.executor,
         pruning_threshold=args.pruning_threshold,
         toggle_alpha=args.toggle_alpha,
         controller=_parse_controller(args),
@@ -235,7 +248,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
         print(str(message), file=sys.stderr)
         return 2
 
-    summary = campaign.run(jobs=args.jobs, cache=_cache_from(args))
+    summary = campaign.run(
+        jobs=args.jobs, cache=_cache_from(args), executor=args.executor
+    )
     print(summary.to_text())
     if args.json_dir is not None:
         # Grid names are unconstrained user input — keep them out of

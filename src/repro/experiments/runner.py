@@ -115,16 +115,19 @@ def run_experiment(
     *,
     jobs: int | None = None,
     cache=None,
+    executor: str = "auto",
 ) -> AggregateStats:
     """Run all trials of one cell and aggregate robustness.
 
     Trials are independent (seeded separately), so they parallelize
     embarrassingly — the paper ran its 30-trial campaigns on the LONI
-    Queen Bee 2 cluster; ``jobs > 1`` is the local equivalent, using a
-    process pool (simulation is pure Python, so threads would serialize
-    on the GIL).  ``jobs=None`` runs serially; ``processes`` is the same
-    knob under its pre-campaign name, kept for compatibility.  ``cache``
-    is an optional :class:`~repro.experiments.campaign.ResultCache`.
+    Queen Bee 2 cluster; ``jobs > 1`` is the local equivalent.
+    ``executor`` picks the pool kind (``auto``/``serial``/``thread``/
+    ``process`` — see :func:`~repro.experiments.campaign.
+    resolve_execution_plan`); ``jobs=None`` runs serially; ``processes``
+    is the same knob under its pre-campaign name, kept for
+    compatibility.  ``cache`` is an optional
+    :class:`~repro.experiments.campaign.ResultCache`.
 
     This is the single-cell convenience wrapper over the campaign
     executor (:func:`~repro.experiments.campaign.run_cell_trials`) —
@@ -134,5 +137,7 @@ def run_experiment(
     """
     from .campaign import run_cell_trials  # deferred: campaign imports this module
 
-    results = run_cell_trials([config], jobs=jobs or processes, cache=cache)[0]
+    results = run_cell_trials(
+        [config], jobs=jobs or processes, cache=cache, executor=executor
+    )[0]
     return aggregate_robustness(results)

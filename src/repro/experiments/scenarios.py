@@ -114,6 +114,7 @@ def _grid(
     processes: int | None = None,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    executor: str = "auto",
     pruning_threshold: float | None = None,
     toggle_alpha: int | None = None,
     controller: ControllerConfig | None = None,
@@ -131,6 +132,7 @@ def _grid(
         ],
         jobs=jobs or processes,
         cache=cache,
+        executor=executor,
     )
     cells: dict[str, dict[str, AggregateStats]] = {r: {} for r in rows}
     for (r, c), stat in zip(pairs, stats):
@@ -208,6 +210,7 @@ def fig7a(
     processes: int | None = None,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    executor: str = "auto",
     pruning_threshold: float | None = None,
     toggle_alpha: int | None = None,
     controller: ControllerConfig | None = None,
@@ -231,6 +234,7 @@ def fig7a(
         processes=processes,
         jobs=jobs,
         cache=cache,
+        executor=executor,
         pruning_threshold=pruning_threshold,
         toggle_alpha=toggle_alpha,
         controller=controller,
@@ -245,6 +249,7 @@ def fig7b(
     processes: int | None = None,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    executor: str = "auto",
     pruning_threshold: float | None = None,
     toggle_alpha: int | None = None,
     controller: ControllerConfig | None = None,
@@ -268,6 +273,7 @@ def fig7b(
         processes=processes,
         jobs=jobs,
         cache=cache,
+        executor=executor,
         pruning_threshold=pruning_threshold,
         toggle_alpha=toggle_alpha,
         controller=controller,
@@ -285,6 +291,7 @@ def fig8(
     processes: int | None = None,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    executor: str = "auto",
     pruning_threshold: float | None = None,
     toggle_alpha: int | None = None,
     controller: ControllerConfig | None = None,
@@ -315,6 +322,7 @@ def fig8(
         processes=processes,
         jobs=jobs,
         cache=cache,
+        executor=executor,
         pruning_threshold=pruning_threshold,
         toggle_alpha=toggle_alpha,
         controller=controller,
@@ -333,6 +341,7 @@ def fig9(
     processes: int | None = None,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    executor: str = "auto",
     pruning_threshold: float | None = None,
     toggle_alpha: int | None = None,
     controller: ControllerConfig | None = None,
@@ -364,6 +373,7 @@ def fig9(
         processes=processes,
         jobs=jobs,
         cache=cache,
+        executor=executor,
         pruning_threshold=pruning_threshold,
         toggle_alpha=toggle_alpha,
         controller=controller,
@@ -382,6 +392,7 @@ def fig10(
     processes: int | None = None,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    executor: str = "auto",
     pruning_threshold: float | None = None,
     toggle_alpha: int | None = None,
     controller: ControllerConfig | None = None,
@@ -413,6 +424,7 @@ def fig10(
         processes=processes,
         jobs=jobs,
         cache=cache,
+        executor=executor,
         pruning_threshold=pruning_threshold,
         toggle_alpha=toggle_alpha,
         controller=controller,
@@ -430,6 +442,7 @@ def churn_impact(
     processes: int | None = None,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    executor: str = "auto",
     pruning_threshold: float | None = None,
     toggle_alpha: int | None = None,
     controller: ControllerConfig | None = None,
@@ -476,6 +489,7 @@ def churn_impact(
         processes=processes,
         jobs=jobs,
         cache=cache,
+        executor=executor,
         pruning_threshold=pruning_threshold,
         toggle_alpha=toggle_alpha,
         controller=controller,

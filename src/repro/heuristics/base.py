@@ -128,6 +128,38 @@ class TwoPhaseBatchHeuristic(BatchHeuristic):
         if not tasks:
             return []
         machines = list(cluster.machines)
+        if len(tasks) == 1:
+            # Single-task batch — the norm under event-driven arrivals,
+            # where every arrival triggers its own mapping event.  The
+            # (1, M) matrix machinery collapses to one pass over machines
+            # with free slots: same values, same first-minimum tie-break
+            # as ``np.argmin`` over the completion row, and availability
+            # is only computed for machines whose completion the general
+            # path would actually read (slot-less machines are ``inf``
+            # either way).  ``select_winner`` is still consulted — some
+            # subclasses draw RNG there (``RandomBatch``), and skipping
+            # it would desynchronize their stream.
+            task = tasks[0]
+            model = estimator.model
+            ttype = task.task_type
+            best = np.inf
+            best_m = -1
+            for i, m in enumerate(machines):
+                free = m.free_slots()
+                if free is not None and free <= 0:
+                    continue
+                c = estimator._scalar_chain(m, now)[-1] + model.mean(ttype, m.machine_type)
+                if c < best:
+                    best = c
+                    best_m = i
+            if best_m < 0 or not np.isfinite(best):
+                return []
+            w = self.select_winner(
+                np.array([best]),
+                np.array([task.deadline]),
+                np.ones(1, dtype=bool),
+            )
+            return [(tasks[w], machines[best_m])]
         slots = np.array(
             [np.inf if m.free_slots() is None else m.free_slots() for m in machines],
             dtype=np.float64,

@@ -66,6 +66,7 @@ from ..sim.machine import Machine
 from ..sim.task import Task
 from ..stochastic.pmf import DEFAULT_MAX_SUPPORT, PMF, BufferArena, batch_cdf_at
 from ..stochastic.pmf import _EPS as _PMF_EPS
+from ..stochastic.pmf import _finish_conv
 
 __all__ = ["ExecutionModel", "CompletionEstimator", "LRUCache"]
 
@@ -180,6 +181,7 @@ class _MachineState:
         "base_kind",
         "base_cut",
         "base_src_offset",
+        "base_token",
         "release_mean",
         "new_pct",
         "version_seen",
@@ -221,6 +223,12 @@ class _MachineState:
         self.base_kind: str = "idle"
         self.base_cut: int = 0
         self.base_src_offset: float = math.nan
+        #: Product-cache key prefix when ``chain[0]`` is a *pure* base —
+        #: an idle delta (``(machine_type,)``) or an unconditioned,
+        #: untruncated shifted PET (``(machine_type, running_type)``).
+        #: ``None`` means chain products are anchor-dependent and must
+        #: not be shared across machines (see ``_extend_chain``).
+        self.base_token: tuple | None = None
         #: Cached ``chain[0].finite_mean()`` for the scalar view; valid
         #: exactly as long as the base itself (None = not computed).
         self.release_mean: float | None = None
@@ -237,6 +245,7 @@ class _MachineState:
         self.base_kind = "idle"
         self.base_cut = 0
         self.base_src_offset = math.nan
+        self.base_token = None
         self.release_mean = None
         self.chain_epoch += 1
         self.new_pct.clear()
@@ -307,6 +316,33 @@ class CompletionEstimator:
         self._scalar_cache = LRUCache(cache_capacity)
         self._chain_cache = LRUCache(cache_capacity)  # keyed mode only
         self._new_pct_cache = LRUCache(cache_capacity)  # keyed mode only
+        #: §V-A "task grouping and memorization of partial results": pure
+        #: PET products keyed on (machine type, task-type sequence).  A
+        #: chain whose base is an unconditioned shifted PET (or an idle
+        #: delta) and whose entries never hit truncation is, up to its
+        #: anchor, a *pure product* of PET distributions — a function of
+        #: the type sequence alone.  Queue type-sequences recur heavily
+        #: (affinity-driven heuristics keep feeding each machine the same
+        #: few types), so after a completion the rebuilt chain's products
+        #: are usually already here and cost a dict lookup instead of an
+        #: ``np.convolve``.  Values are the (probs, cumsum) array pair;
+        #: offsets/tails are replayed per use with the exact float
+        #: arithmetic of the sequential path (see ``_extend_chain``).
+        self._product_cache = LRUCache(cache_capacity)
+        #: Conditioned-base shape cache.  Conditioning a running task's
+        #: PCT on "still running at ``now``" (§II) depends on the wall
+        #: clock only through the integer cut index ``ceil(now - start -
+        #: pet.offset)``: the renormalized kept-mass array and tail are a
+        #: pure (bitwise-deterministic) function of ``(task type, machine
+        #: type, cut)``.  Machines re-derive the same conditioned shapes
+        #: every mapping event while a long task runs, so the division +
+        #: normalization is replayed from here; only the anchor arithmetic
+        #: (which tracks the start time) is recomputed per use.
+        self._cond_cache = LRUCache(cache_capacity)
+        #: Dense scalar means table when the model has one (PETMatrix /
+        #: ETCMatrix both do); lets the scalar view index the array
+        #: directly instead of bouncing through ``model.mean``.
+        self._means = getattr(model, "means", None)
         self._states: dict[int, _MachineState] = {}
         #: Pooled storage for chain-entry cumulative sums and batched-query
         #: gathers (see :class:`~repro.stochastic.pmf.BufferArena`).
@@ -390,16 +426,15 @@ class CompletionEstimator:
 
         if machine.running is None:
             t = now
+        elif self.condition_running:
+            t = self._release_mean(machine, now)
+            if math.isnan(t):
+                t = now
         else:
             run_mean = self.model.mean(machine.running.task_type, machine.machine_type)
             started = machine.running_started_at
             assert started is not None
-            if self.condition_running:
-                t = self._release_mean(machine, now)
-                if math.isnan(t):
-                    t = now
-            else:
-                t = max(now, started + run_mean)
+            t = max(now, started + run_mean)
 
         state: _MachineState | None = None
         if incremental:
@@ -414,9 +449,19 @@ class CompletionEstimator:
             self.cache_misses += 1
 
         chain = [t]
-        for queued in machine.queue:
-            t = t + self.model.mean(queued.task_type, machine.machine_type)
-            chain.append(t)
+        means = self._means
+        if means is None:
+            for queued in machine.queue:
+                t = t + self.model.mean(queued.task_type, machine.machine_type)
+                chain.append(t)
+        else:
+            # Same left-to-right additions, indexing the dense means
+            # table directly (``model.mean`` is a float() of the same
+            # cell, so values are bit-identical).
+            mtype = machine.machine_type
+            for queued in machine.queue:
+                t = t + means[queued.task_type, mtype]
+                chain.append(t)
 
         if state is not None:
             state.scalar_chain = chain
@@ -439,6 +484,20 @@ class CompletionEstimator:
         """
         if self.memo_mode != "incremental":
             return self._running_pct(machine, now).finite_mean()
+        state = self._states.get(machine.machine_id)
+        if (
+            state is not None
+            and state.machine is machine
+            and state.release_mean is not None
+            and state.version_seen == machine.version
+            and state.chain is not None
+            and (now == state.anchor or self._base_still_valid(state, now))
+        ):
+            # Fast path: the cached base provably equals a fresh build at
+            # ``now`` (any running-task change bumps the version and any
+            # observer event resets release_mean), so no signature tuple
+            # needs building.
+            return state.release_mean
         state = self._state_for(machine)
         if state.version_seen != machine.version:
             state.reset()
@@ -529,9 +588,11 @@ class CompletionEstimator:
         reused = state.chain is not None and self._rebase(state, machine, now, cutoff)
         if not reused:
             state.reset()
-            state.chain = [
-                _delta(now) if machine.running is None else self._build_base(state, machine, now)
-            ]
+            if machine.running is None:
+                state.chain = [_delta(now)]
+                state.base_token = (machine.machine_type,)
+            else:
+                state.chain = [self._build_base(state, machine, now)]
             state.base_sig = self._base_signature(machine)
             state.anchor = now
 
@@ -647,30 +708,66 @@ class CompletionEstimator:
         assert started is not None
         pet = self.model.pmf(running.task_type, machine.machine_type)
         src_offset = pet.offset + started
-        pct = pet.shift(started)
         kind, cut = "uncut", 0
-        if self.condition_running:
-            if pct.probs.size == 0:
-                kind = "tdep"
-            else:
-                cut = int(math.ceil(now - src_offset))
-                if cut <= 0:
-                    kind = "uncut"
-                elif cut < pct.probs.size:
-                    # Mirror condition_at_least's collapse check: when the
+        if not self.condition_running:
+            pct = pet.shift(started)
+        elif pet.probs.size == 0:
+            kind = "tdep"
+            pct = pet.shift(started).condition_at_least(now)
+        else:
+            cut = int(math.ceil(now - src_offset))
+            if cut <= 0:
+                kind = "uncut"
+                pct = pet.shift(started)  # condition_at_least is a no-op here
+            elif cut < pet.probs.size:
+                ckey = (running.task_type, machine.machine_type, cut)
+                hit = self._cond_cache.get(ckey)
+                if hit is not None:
+                    probs, lo, ctail = hit
+                    kind = "interior"
+                    # Anchor replayed with the miss path's exact additions
+                    # (constructor trim adds ``lo``; ``+ 0`` when it never
+                    # trimmed is a bitwise no-op on a positive float).
+                    pct = PMF._from_parts(probs, (src_offset + cut) + lo, ctail)
+                else:
+                    # Mirror condition_at_least's interior branch: when the
                     # kept mass vanishes the belief collapses to delta(now)
                     # — a shape that tracks the clock, not the cut index.
-                    total = float(pct.probs[cut:].sum()) + pct.tail
-                    kind = "interior" if total > _PMF_EPS else "tdep"
-                else:
-                    kind = "tdep"
-            pct = pct.condition_at_least(now)
+                    kept = pet.probs[cut:]
+                    total = float(kept.sum()) + pet.tail
+                    if total > _PMF_EPS:
+                        kind = "interior"
+                        pct = PMF(kept / total, src_offset + cut, pet.tail / total)
+                        # The constructor's leading trim (division by the
+                        # positive normalizer never maps mass to zero, so
+                        # the zero pattern of ``kept`` is the trim pattern).
+                        nz = np.flatnonzero(kept > 0.0)
+                        lo = int(nz[0]) if nz.size else 0
+                        self._cond_cache.put(ckey, (pct.probs, lo, pct.tail))
+                    else:
+                        kind = "tdep"
+                        pct = pet.shift(started).condition_at_least(now)
+            else:
+                kind = "tdep"
+                pct = pet.shift(started).condition_at_least(now)
         truncated = pct.truncate(now + self.horizon)
         if truncated is not pct:
             kind = "tdep"
         state.base_kind = kind
         state.base_cut = cut
         state.base_src_offset = src_offset
+        # Pure base: the belief's probability array is a deterministic
+        # function of types alone ("uncut" — still the PET's own array)
+        # or of types plus the integer cut index ("interior" — the
+        # conditioned shape; bitwise-pure per the cond-cache argument
+        # above).  Chain products over a pure base join the §V-A product
+        # cache under that token.
+        if kind == "uncut" and truncated.probs is pet.probs:
+            state.base_token = (machine.machine_type, running.task_type)
+        elif kind == "interior" and truncated is pct:
+            state.base_token = (machine.machine_type, (running.task_type, cut))
+        else:
+            state.base_token = None
         return truncated
 
     def _base_still_valid(self, state: _MachineState, now: float) -> bool:
@@ -716,22 +813,82 @@ class CompletionEstimator:
         )
 
     def _extend_chain(self, state: _MachineState, machine: Machine, cutoff: float) -> None:
-        """Convolve PETs for queued tasks not yet covered by the chain."""
+        """Convolve PETs for queued tasks not yet covered by the chain.
+
+        §V-A "task grouping and memorization of partial results", taken
+        across machines: while the chain prefix is a *pure product* — the
+        base is an idle delta or an unconditioned shifted PET
+        (``state.base_token``) and every entry so far is re-anchorable —
+        an entry's probability array is a function of the machine type
+        and the task-type sequence alone, independent of anchor times and
+        machine identity.  Those arrays are memoized in
+        ``_product_cache`` keyed on that sequence, so a queue pattern
+        already seen on any same-type machine costs a dict lookup instead
+        of an ``np.convolve``.  Replayed entries use the same
+        left-to-right offset additions and the same finishing arithmetic
+        (:func:`~repro.stochastic.pmf._finish_conv`) as a fresh
+        convolution, keeping the chain bit-identical to the uncached
+        computation.  Only full-support, untrimmed, tail-free products
+        are stored; any impure step disables keying for the rest of the
+        chain.
+        """
         chain = state.chain
         assert chain is not None
         state.chain_epoch += 1
-        while len(chain) < len(machine.queue) + 1:
-            queued = machine.queue[len(chain) - 1]
-            pet = self.model.pmf(queued.task_type, machine.machine_type)
+        queue = machine.queue
+        mtype = machine.machine_type
+        model_pmf = self.model.pmf
+        cache = self._product_cache
+        key = state.base_token
+        if key is not None:
+            covered = len(chain) - 1
+            if all(state.reanchorable[:covered]):
+                for k in range(covered):
+                    key = key + (queue[k].task_type,)
+            else:
+                key = None
+        while len(chain) < len(queue) + 1:
+            queued = queue[len(chain) - 1]
+            pet = model_pmf(queued.task_type, mtype)
             prev = chain[-1]
-            nxt = self._append_pet(prev, pet, cutoff)
+            nxt = None
+            cacheable = False
+            if key is not None:
+                key = key + (queued.task_type,)
+                cacheable = (
+                    prev.tail == 0.0
+                    and pet.tail == 0.0
+                    and prev.probs.size > 1
+                    and pet.probs.size > 1
+                )
+                if cacheable:
+                    pair = cache.get(key)
+                    if pair is not None:
+                        probs, cumsum = pair
+                        offset = prev.offset + pet.offset
+                        if offset + probs.size - 1 <= cutoff:
+                            nxt = PMF._from_parts(probs, offset, 0.0, cumsum)
+                        else:
+                            nxt = _finish_conv(
+                                probs, offset, 0.0, cutoff, self.max_support, self._arena
+                            )
+            if nxt is None:
+                nxt = self._append_pet(prev, pet, cutoff)
+                if (
+                    cacheable
+                    and nxt.tail == 0.0
+                    and nxt.offset == prev.offset + pet.offset
+                    and nxt.probs.size == prev.probs.size + pet.probs.size - 1
+                ):
+                    cache.put(key, (nxt.probs, nxt.cumulative()))
             # Re-anchorable iff the convolution neither trimmed nor folded
             # mass: offset is the plain float add and no tail appeared.
-            state.reanchorable.append(
-                nxt.tail == 0.0 and nxt.offset == prev.offset + pet.offset
-            )
+            re_ok = nxt.tail == 0.0 and nxt.offset == prev.offset + pet.offset
+            state.reanchorable.append(re_ok)
             state.pet_offsets.append(pet.offset)
             chain.append(nxt)
+            if not re_ok:
+                key = None
 
     # -- queue-delta notifications (QueueObserver protocol) -------------
     def _observed(self, machine: Machine) -> _MachineState | None:
@@ -994,6 +1151,23 @@ class CompletionEstimator:
                 and state.chances_epoch == state.chain_epoch
             ):
                 results[i] = state.chances
+                continue
+            if queued <= 4:
+                # Short queue (the batch-mode norm: 4 slots): scalar
+                # cdf_at reads the same cumulative arrays with the same
+                # boundary tolerance as the batched gather, at a fraction
+                # of the fixed NumPy call overhead.
+                queue = machine.queue
+                self.chance_evaluations += queued
+                chances = np.array(
+                    [chain[k + 1].cdf_at(queue[k].deadline) for k in range(queued)],
+                    dtype=np.float64,
+                )
+                results[i] = chances
+                if state is not None and state.machine is machine:
+                    state.chances = chances
+                    state.chances_version = machine.version
+                    state.chances_epoch = state.chain_epoch
                 continue
             fresh.append((i, state))
             counts.append(queued)

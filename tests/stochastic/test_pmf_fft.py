@@ -1,0 +1,245 @@
+"""Property-based tests (hypothesis) for the tensorized convolution core.
+
+Three contracts from the ISSUE-6 tentpole:
+
+* :func:`convolve_probs` gives the same answer under ``method="fft"``
+  and ``method="direct"`` (to float round-off), the ``"auto"`` crossover
+  is bit-identical to direct below the size thresholds, and the FFT
+  output is clipped non-negative;
+* the correlate fast path in :meth:`PMF.convolve_truncated` relies on
+  ``np.correlate(a, b[::-1], "full")`` being *bitwise* equal to
+  ``np.convolve(a, b)`` whenever ``a.size >= b.size`` — that invariant
+  is pinned here so a numpy upgrade that breaks it fails loudly;
+* :class:`PMFStack` operations are row-wise equivalent to the scalar
+  :class:`PMF` ops they vectorize, including the ``CDF_REL_EPS``
+  grid-boundary tolerance of :meth:`PMFStack.batch_cdf_at`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stochastic.pmf import (
+    CDF_REL_EPS,
+    FFT_MIN_OPS,
+    FFT_MIN_TAPS,
+    PMF,
+    PMFStack,
+    convolve_probs,
+)
+
+try:
+    from scipy.signal import fftconvolve  # noqa: F401
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    HAVE_SCIPY = False
+
+needs_scipy = pytest.mark.skipif(not HAVE_SCIPY, reason="scipy not installed")
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def prob_arrays(draw, min_size=1, max_size=64, dtype=np.float64):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    weights = draw(
+        st.lists(
+            st.one_of(
+                st.just(0.0),
+                st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+            ),
+            min_size=n,
+            max_size=n,
+        ).filter(lambda w: sum(w) > 1e-6)
+    )
+    arr = np.asarray(weights, dtype=dtype)
+    return arr / arr.sum()
+
+
+@st.composite
+def pmfs(draw, max_support=12, allow_tail=True):
+    # Weights exactly-zero-or->=1e-6 so endpoint products never underflow
+    # (underflow would legitimately trim the support and change shapes).
+    arr = draw(prob_arrays(max_size=max_support))
+    offset = draw(st.integers(min_value=-5, max_value=30))
+    tail_frac = draw(st.floats(min_value=0.0, max_value=0.5)) if allow_tail else 0.0
+    return PMF(arr * (1.0 - tail_frac), offset=float(offset), tail=tail_frac)
+
+
+# ----------------------------------------------------------------------
+# convolve_probs: FFT vs direct
+# ----------------------------------------------------------------------
+@needs_scipy
+@given(prob_arrays(), prob_arrays())
+def test_fft_matches_direct(a, b):
+    direct = convolve_probs(a, b, method="direct")
+    fft = convolve_probs(a, b, method="fft")
+    assert fft.shape == direct.shape
+    np.testing.assert_allclose(fft, direct, rtol=0.0, atol=1e-12)
+    assert (fft >= 0.0).all()  # round-off negatives are clipped
+
+
+@given(prob_arrays(), prob_arrays())
+def test_auto_below_crossover_is_bitwise_direct(a, b):
+    """Small supports (every simulator-path size) must stay on the exact
+    direct path: auto == direct bit-for-bit, no FFT round-off leaks in."""
+    assert a.size < FFT_MIN_TAPS and b.size < FFT_MIN_TAPS
+    auto = convolve_probs(a, b, method="auto")
+    direct = convolve_probs(a, b, method="direct")
+    assert np.array_equal(auto, direct)
+
+
+@needs_scipy
+@pytest.mark.parametrize("n", [FFT_MIN_TAPS, 1024, 2048])
+def test_auto_above_crossover_uses_fft(n):
+    """At/above the crossover, auto takes the FFT path (same values as
+    forcing fft) and still agrees with direct to round-off."""
+    m = max(n, -(-FFT_MIN_OPS // n))  # ensure n * m >= FFT_MIN_OPS
+    rng = np.random.default_rng(7)
+    a = rng.random(n)
+    a /= a.sum()
+    b = rng.random(m)
+    b /= b.sum()
+    auto = convolve_probs(a, b, method="auto")
+    assert np.array_equal(auto, convolve_probs(a, b, method="fft"))
+    np.testing.assert_allclose(
+        auto, convolve_probs(a, b, method="direct"), rtol=0.0, atol=1e-12
+    )
+
+
+@needs_scipy
+def test_fft_matches_direct_float32():
+    rng = np.random.default_rng(11)
+    a = rng.random(300).astype(np.float32)
+    b = rng.random(400).astype(np.float32)
+    a /= a.sum()
+    b /= b.sum()
+    direct = convolve_probs(a, b, method="direct")
+    fft = convolve_probs(a, b, method="fft")
+    np.testing.assert_allclose(fft, direct, rtol=0.0, atol=1e-5)
+
+
+@needs_scipy
+@given(pmfs(allow_tail=False), pmfs(allow_tail=False))
+def test_pmf_convolve_unaffected_by_fft_availability(a, b):
+    """Simulator-sized convolutions never reach the FFT crossover, so
+    PMF.convolve equals an explicitly-direct reference bitwise."""
+    ref = PMF(
+        convolve_probs(a.probs, b.probs, method="direct"), a.offset + b.offset, 0.0
+    )
+    out = a.convolve(b)
+    assert np.array_equal(out.probs, ref.probs)
+    assert out.offset == ref.offset
+
+
+# ----------------------------------------------------------------------
+# The correlate fast-path invariant (PMF.convolve_truncated)
+# ----------------------------------------------------------------------
+@given(prob_arrays(min_size=2), prob_arrays(min_size=2))
+def test_correlate_is_bitwise_convolve_when_signal_at_least_kernel(a, b):
+    """``convolve_truncated`` phrases the direct path as a correlation
+    against the cached reversed PET — valid only for a.size >= b.size
+    (numpy swaps shorter-signal operands internally, changing summation
+    order and hence the last ulp)."""
+    if a.size < b.size:
+        a, b = b, a
+    via_correlate = np.correlate(a, np.ascontiguousarray(b[::-1]), "full")
+    assert np.array_equal(via_correlate, np.convolve(a, b))
+
+
+@given(pmfs(), pmfs(), st.floats(min_value=0.0, max_value=80.0))
+def test_convolve_truncated_bitwise_equals_reference(a, b, cutoff):
+    """The fused hot path (correlate + _finish_conv) must be bit-identical
+    to convolve-then-truncate, both operand orders."""
+    for x, y in ((a, b), (b, a)):
+        ref = x.convolve(y).truncate(cutoff)
+        out = x.convolve_truncated(y, cutoff=cutoff)
+        assert np.array_equal(out.probs, ref.probs)
+        assert out.offset == ref.offset
+        assert out.tail == ref.tail
+
+
+# ----------------------------------------------------------------------
+# PMFStack row-wise equivalence
+# ----------------------------------------------------------------------
+@given(st.lists(pmfs(), min_size=1, max_size=6))
+def test_stack_roundtrips_rows(rows):
+    stack = PMFStack.from_pmfs(rows)
+    assert len(stack) == len(rows)
+    for i, p in enumerate(rows):
+        q = stack.row(i)
+        assert np.array_equal(q.probs, p.probs)
+        assert q.offset == p.offset
+        assert q.tail == p.tail
+
+
+@given(st.lists(pmfs(), min_size=1, max_size=6), pmfs())
+def test_stack_convolve_matches_scalar_rows(rows, kernel):
+    stacked = PMFStack.from_pmfs(rows).convolve(kernel)
+    for i, p in enumerate(rows):
+        ref = p.convolve(kernel)
+        got = stacked.row(i)
+        np.testing.assert_allclose(got.probs, ref.probs, rtol=0.0, atol=1e-12)
+        assert got.offset == ref.offset
+        assert got.tail == pytest.approx(ref.tail, abs=1e-12)
+
+
+@given(
+    st.lists(pmfs(), min_size=1, max_size=6),
+    st.floats(min_value=-10.0, max_value=60.0),
+)
+def test_stack_batch_cdf_matches_scalar(rows, t):
+    stack = PMFStack.from_pmfs(rows)
+    got = stack.batch_cdf_at(t)
+    for i, p in enumerate(rows):
+        assert got[i] == pytest.approx(p.cdf_at(t), abs=1e-12)
+
+
+@given(st.lists(pmfs(), min_size=1, max_size=6), st.integers(min_value=0, max_value=11))
+def test_stack_batch_cdf_grid_boundary(rows, k):
+    """The CDF_REL_EPS boundary contract (PR 4): a query an ulp below a
+    grid point still counts that bin, identically in stacked and scalar
+    form.  Probe a few ulps below each row's k-th grid point."""
+    stack = PMFStack.from_pmfs(rows)
+    for steps in (1, 3):
+        times = np.empty(len(rows))
+        for i, p in enumerate(rows):
+            g = p.offset + min(k, max(p.probs.size - 1, 0))
+            t = g
+            for _ in range(steps):
+                t = np.nextafter(t, -np.inf)
+            times[i] = t
+        got = stack.batch_cdf_at(times)
+        for i, p in enumerate(rows):
+            scalar = p.cdf_at(float(times[i]))
+            assert got[i] == pytest.approx(scalar, abs=1e-15)
+            # The tolerance really fires: a few ulps is far inside
+            # CDF_REL_EPS * max(1, |t|), so the bin at g is included.
+            if p.probs.size:
+                assert scalar >= float(p.probs[: min(k, p.probs.size - 1) + 1].sum()) - 1e-12
+
+
+@needs_scipy
+@settings(max_examples=25)
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=2**31 - 1))
+def test_stack_fft_convolve_matches_direct(n_rows, seed):
+    """Stack-level FFT (axes=1) agrees with the row loop to round-off and
+    never emits negative mass."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n_rows):
+        arr = rng.random(rng.integers(8, 40))
+        rows.append(PMF(arr / arr.sum(), float(rng.integers(0, 10))))
+    karr = rng.random(16)
+    kernel = PMF(karr / karr.sum(), 2.0)
+    stack = PMFStack.from_pmfs(rows)
+    via_fft = stack.convolve(kernel, method="fft")
+    via_direct = stack.convolve(kernel, method="direct")
+    assert (via_fft.mass >= 0.0).all()
+    np.testing.assert_allclose(via_fft.mass, via_direct.mass, rtol=0.0, atol=1e-12)
+    np.testing.assert_allclose(
+        via_fft.batch_cdf_at(30.0), via_direct.batch_cdf_at(30.0), rtol=0.0, atol=1e-12
+    )

@@ -210,13 +210,32 @@ class TestIncrementalInvalidations:
         cluster = Cluster.heterogeneous(1)
         sim = Simulator()
         est = CompletionEstimator(pet)
-        tasks = [put(cluster, sim, 0, i) for i in range(6)]
+        # Alternate types so the post-drop suffix is a *novel* type
+        # sequence the §V-A product cache cannot shortcut.
+        tasks = [put(cluster, sim, 0, i, ttype=i % 2) for i in range(6)]
         est.availability_pct(cluster[0], 0.0)  # queue: tasks 1..5
         convs = est.convolutions
         cluster[0].remove(tasks[3])  # queue index 2 of 5
         est.availability_pct(cluster[0], 0.0)
         # entries behind the dropped task: positions 2, 3 (4 queued left)
         assert est.convolutions == convs + 2
+
+    def test_mid_queue_drop_replays_memoized_products(self, pet):
+        """Uniform-type queue: the re-convolved suffix is a task-type
+        product the §V-A cache has already materialized, so the drop
+        costs zero convolutions — and the chain still matches the
+        from-scratch reference bit for bit."""
+        cluster = Cluster.heterogeneous(1)
+        sim = Simulator()
+        est = CompletionEstimator(pet)
+        ref = CompletionEstimator(pet, memoize=False)
+        tasks = [put(cluster, sim, 0, i) for i in range(6)]
+        est.availability_pct(cluster[0], 0.0)
+        convs = est.convolutions
+        cluster[0].remove(tasks[3])
+        est.availability_pct(cluster[0], 0.0)
+        assert est.convolutions == convs
+        assert_chains_equal(est, ref, cluster, 0.0)
 
     def test_untouched_machine_is_pure_hit_across_time(self, pet):
         """While the running task's conditioning cut is unchanged (PET

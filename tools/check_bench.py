@@ -1,13 +1,22 @@
 #!/usr/bin/env python3
 """Benchmark smoke gate: the mapping-event pipeline may not regress.
 
-Also validates the committed ``benchmarks/BENCH_control.json`` (the
-adaptive-pruning control-plane artifact): payload shape, internal
-consistency, and the ISSUE-5 acceptance inequalities — adaptive ≥ best
-static β, adaptive materially above worst static β.  That artifact is
-produced by a fully deterministic simulation comparison, so the
-committed numbers are re-assertable without re-running it here (the
-re-run gate lives in ``benchmarks/bench_control.py``'s pytest entry).
+Also validates the committed benchmark artifacts without re-running
+them (each has a re-run gate in its own pytest entry):
+
+* ``BENCH_control.json`` — shape, internal consistency, and the ISSUE-5
+  acceptance inequalities (adaptive ≥ best static β, adaptive
+  materially above worst static β);
+* ``BENCH_pmf.json`` — the ISSUE-6 tensor-core artifact: FFT crossover
+  classification, FFT-vs-direct error bound, stacked-vs-looped
+  ``batch_cdf_at`` identity, and both internal speedups ≥ 1x;
+* ``BENCH_campaign.json`` — executor byte-identity flags, cache
+  effectiveness, and (on one core) the serial-resolved plan with the
+  auto leg no slower than serial — the ISSUE-6 fix for PR 4's 0.96x
+  parallel pathology;
+* ``BENCH_estimator.json`` — the committed anchors: identical
+  outcomes, convolution ratio ≥ 3x, and ≥ 2x the session-matched PR 4
+  events/sec baseline (the ISSUE-6 acceptance bar).
 
 Runs the estimator benchmark (``benchmarks/bench_sim.py``'s measurement
 core) on a *reduced* Fig. 7 workload and compares it against the
@@ -49,10 +58,16 @@ if str(REPO_ROOT) not in sys.path:
 
 BASELINE = REPO_ROOT / "benchmarks" / "BENCH_estimator.json"
 CONTROL = REPO_ROOT / "benchmarks" / "BENCH_control.json"
+PMF = REPO_ROOT / "benchmarks" / "BENCH_pmf.json"
+CAMPAIGN = REPO_ROOT / "benchmarks" / "BENCH_campaign.json"
 
 #: Must match ``benchmarks.bench_control.MATERIAL_MARGIN_PP`` (kept
 #: literal here so the validator never imports the module under test).
 CONTROL_MARGIN_PP = 2.0
+
+#: The ISSUE-6 acceptance bar: the committed estimator artifact must
+#: show >= 2x the session-matched PR 4 events/sec baseline.
+MIN_SPEEDUP_PR4 = 2.0
 
 
 def check_control_payload(path: Path) -> list[str]:
@@ -128,6 +143,155 @@ def check_control_payload(path: Path) -> list[str]:
     return errors
 
 
+def check_pmf_payload(path: Path) -> list[str]:
+    """Shape + acceptance errors of the tensor-core artifact
+    (``benchmarks/bench_pmf.py`` → ``BENCH_pmf.json``)."""
+    errors: list[str] = []
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"{path.name}: unreadable ({exc})"]
+
+    for key in ("benchmark", "crossover", "convolution_scaling", "batch_cdf"):
+        if key not in payload:
+            errors.append(f"{path.name}: missing top-level key {key!r}")
+    if errors:
+        return errors
+    if payload["benchmark"] != "pmf-tensor-core":
+        errors.append(
+            f"{path.name}: benchmark is {payload['benchmark']!r}, not 'pmf-tensor-core'"
+        )
+    curve = payload["convolution_scaling"]
+    if not curve:
+        errors.append(f"{path.name}: convolution_scaling is empty")
+        return errors
+    min_taps = payload["crossover"].get("fft_min_taps")
+    min_ops = payload["crossover"].get("fft_min_ops")
+    for point in curve:
+        for field in ("n", "direct_s", "fft_s", "auto_method", "max_abs_err"):
+            if field not in point:
+                errors.append(f"{path.name}: scaling point lacks {field!r}")
+                break
+        else:
+            expected = (
+                "fft"
+                if point["n"] >= min_taps and point["n"] ** 2 >= min_ops
+                else "direct"
+            )
+            if point["auto_method"] != expected:
+                errors.append(
+                    f"{path.name}: auto crossover misclassified n={point['n']}"
+                )
+            if point["max_abs_err"] >= 1e-12:
+                errors.append(
+                    f"{path.name}: FFT error {point['max_abs_err']:.2e} at "
+                    f"n={point['n']}"
+                )
+    ns = [point["n"] for point in curve]
+    if not (min(ns) < min_taps <= max(ns)):
+        errors.append(f"{path.name}: scaling curve does not straddle the crossover")
+    batch = payload["batch_cdf"]
+    for field in ("rows", "looped_s", "stacked_s", "speedup_stacked_over_looped",
+                  "values_identical"):
+        if field not in batch:
+            errors.append(f"{path.name}: batch_cdf lacks {field!r}")
+    if errors:
+        return errors
+    # The acceptance flags the artifact exists to witness.
+    if not batch["values_identical"]:
+        errors.append(f"{path.name}: stacked batch_cdf_at diverged from scalar loop")
+    if payload.get("fft_speedup_at_largest", 0) < 1.0:
+        errors.append(
+            f"{path.name}: FFT lost to direct at the largest size "
+            f"({payload.get('fft_speedup_at_largest'):.2f}x)"
+        )
+    if batch["speedup_stacked_over_looped"] < 1.0:
+        errors.append(
+            f"{path.name}: stacked batch_cdf_at lost to the scalar loop "
+            f"({batch['speedup_stacked_over_looped']:.2f}x)"
+        )
+    return errors
+
+
+def check_campaign_payload(path: Path) -> list[str]:
+    """Shape + acceptance errors of the executor-layer artifact
+    (``benchmarks/bench_campaign.py`` → ``BENCH_campaign.json``)."""
+    errors: list[str] = []
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"{path.name}: unreadable ({exc})"]
+
+    for key in ("benchmark", "workload", "cpu_count", "resolved_plan", "serial_s",
+                "auto_s", "speedup_auto_over_serial", "identical", "cache",
+                "warm_fraction_of_serial", "pr4_artifact"):
+        if key not in payload:
+            errors.append(f"{path.name}: missing top-level key {key!r}")
+    if errors:
+        return errors
+    if payload["benchmark"] != "campaign-sharding":
+        errors.append(
+            f"{path.name}: benchmark is {payload['benchmark']!r}, not 'campaign-sharding'"
+        )
+    identical = payload["identical"]
+    for leg in ("auto", "thread", "process", "warm"):
+        if not identical.get(leg):
+            errors.append(f"{path.name}: {leg} executor diverged from serial")
+    total = payload["workload"].get("total_trials")
+    if payload["cache"] != {"hits": total, "misses": total}:
+        errors.append(f"{path.name}: cache stats {payload['cache']} != {total} each")
+    if payload["warm_fraction_of_serial"] >= 0.25:
+        errors.append(
+            f"{path.name}: warm re-run at "
+            f"{payload['warm_fraction_of_serial']:.1%} of serial — cache ineffective"
+        )
+    if payload["cpu_count"] == 1:
+        # The ISSUE-6 acceptance pair: one core must resolve to the
+        # serial plan, and requesting --jobs must no longer cost
+        # anything (PR 4's artifact recorded 0.96x).
+        if payload["resolved_plan"].get("kind") != "serial":
+            errors.append(
+                f"{path.name}: one core resolved to "
+                f"{payload['resolved_plan']!r}, not the serial plan"
+            )
+        if payload["speedup_auto_over_serial"] < 1.0:
+            errors.append(
+                f"{path.name}: auto plan {payload['speedup_auto_over_serial']:.2f}x "
+                f"< 1x serial on one core"
+            )
+    return errors
+
+
+def check_estimator_payload(path: Path) -> list[str]:
+    """Anchor + consistency errors of the committed estimator artifact
+    (the live re-run gate is in ``main``)."""
+    errors: list[str] = []
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"{path.name}: unreadable ({exc})"]
+
+    for key in ("events_per_sec", "ratio_seed_over_incremental",
+                "speedup_pr4_session_matched", "identical_outcomes"):
+        if key not in payload:
+            errors.append(f"{path.name}: missing key {key!r}")
+    if errors:
+        return errors
+    if not payload["identical_outcomes"]:
+        errors.append(f"{path.name}: committed run had divergent outcomes")
+    if payload["ratio_seed_over_incremental"] < 3.0:
+        errors.append(
+            f"{path.name}: seed-over-incremental ratio "
+            f"{payload['ratio_seed_over_incremental']:.2f}x < 3x"
+        )
+    if payload["speedup_pr4_session_matched"] < MIN_SPEEDUP_PR4:
+        errors.append(
+            f"{path.name}: {payload['speedup_pr4_session_matched']:.2f}x the "
+            f"session-matched PR 4 baseline < {MIN_SPEEDUP_PR4:.1f}x (ISSUE 6)"
+        )
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -152,14 +316,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--control", type=Path, default=CONTROL, help="committed BENCH_control.json"
     )
+    parser.add_argument(
+        "--pmf", type=Path, default=PMF, help="committed BENCH_pmf.json"
+    )
+    parser.add_argument(
+        "--campaign", type=Path, default=CAMPAIGN, help="committed BENCH_campaign.json"
+    )
     args = parser.parse_args(argv)
 
-    control_errors = check_control_payload(args.control)
-    if control_errors:
-        for error in control_errors:
+    static_errors: list[str] = []
+    for label, checker, path in (
+        ("control", check_control_payload, args.control),
+        ("pmf", check_pmf_payload, args.pmf),
+        ("campaign", check_campaign_payload, args.campaign),
+        ("estimator", check_estimator_payload, args.baseline),
+    ):
+        errors = checker(path)
+        static_errors.extend(errors)
+        if not errors:
+            print(f"{label} payload OK ({path.name})")
+    if static_errors:
+        for error in static_errors:
             print(f"FAIL: {error}", file=sys.stderr)
         return 1
-    print(f"control payload OK ({args.control.name})")
 
     from benchmarks.bench_sim import run_estimator_bench
 
