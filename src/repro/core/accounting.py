@@ -34,6 +34,9 @@ class TypeCounters:
     dropped_proactive: int = 0
     deferred: int = 0  #: defer decisions (a task may be deferred many times)
     requeued: int = 0  #: churn evictions readmitted (failures/drains)
+    #: Subset of ``dropped_proactive``: drops cascaded from a dropped
+    #: ancestor in a DAG workload (always 0 for independent tasks).
+    dropped_cascade: int = 0
 
     @property
     def dropped(self) -> int:
@@ -60,6 +63,7 @@ class Accounting:
         self.total_dropped_proactive = 0
         self.total_defers = 0
         self.total_requeues = 0
+        self.total_dropped_cascade = 0
 
     def _type(self, task: Task) -> TypeCounters:
         c = self.per_type.get(task.task_type)
@@ -96,6 +100,16 @@ class Accounting:
             self.total_dropped_proactive += 1
         else:
             raise ValueError(f"record_drop on status {task.status}")
+
+    def record_cascade(self, task: Task) -> None:
+        """The drop just recorded for this task was cascaded from a
+        dropped ancestor (call *after* :meth:`record_drop`) — a
+        sub-tally that lets reports separate the pruner's own decisions
+        from their downstream subgraph cost."""
+        if task.status is not TaskStatus.DROPPED_PROACTIVE:
+            raise ValueError(f"record_cascade on status {task.status}")
+        self._type(task).dropped_cascade += 1
+        self.total_dropped_cascade += 1
 
     def record_defer(self, task: Task) -> None:
         self._type(task).deferred += 1

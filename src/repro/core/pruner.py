@@ -259,6 +259,48 @@ class Pruner:
         return decisions
 
     # ------------------------------------------------------------------
+    # Doomed-subgraph gate scan (beyond the paper) — held DAG tasks.
+    # ------------------------------------------------------------------
+    def gate_scan(
+        self,
+        held: list[Task],
+        cluster: Cluster,
+        estimator: "CompletionEstimator",
+        now: float,
+    ) -> list[DropDecision]:
+        """Select held (unreleased) DAG tasks whose propagated chance of
+        success ≤ β − γ_k on *every* online machine.
+
+        A held task has no queue position yet, so its Eq. 2 chance is
+        evaluated hypothetically at the tail of each machine
+        (:meth:`~repro.system.completion.CompletionEstimator.chances_for`,
+        which multiplies in the critical-path dependency factor) and the
+        *best* placement is judged against the effective threshold — a
+        task is only doomed if no machine could save it.  The allocator
+        cascades each decision to the task's transitive dependents.
+        """
+        decisions: list[DropDecision] = []
+        if not held:
+            return decisions
+        machines = cluster.online_machines()
+        if not machines:
+            return decisions
+        grid = estimator.chances_for(held, machines, now)
+        for i, task in enumerate(held):
+            if self._scan_skip(task):
+                continue
+            best = int(grid[i].argmax())
+            chance = float(grid[i, best])
+            eff = self._scan_threshold(task)
+            if chance <= eff:
+                decisions.append(
+                    DropDecision(task, machines[best], chance, eff)
+                )
+                self.fairness.note_drop(task.task_type)
+                self.drop_decisions += 1
+        return decisions
+
+    # ------------------------------------------------------------------
     # Fig. 5 steps 9–10 — defer check for a freshly mapped task.
     # ------------------------------------------------------------------
     def should_defer(self, task: Task, chance: float) -> bool:

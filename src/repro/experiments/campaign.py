@@ -79,7 +79,11 @@ __all__ = [
 #: v3: the pruning payload gained the nested ``controller`` config
 #: (adaptive β/α control plane) and cached results may carry
 #: ``controller_stats``/``fairness_stats``.
-CACHE_SCHEMA = 3
+#: v4: the workload spec gained the trace-adapter knobs
+#: (``trace_format``/``trace_sample``) and the layered-DAG axis
+#: (``dag_layers``/``dag_edge_prob``/``dag_max_parents``); cached
+#: results may carry ``dag_stats``.
+CACHE_SCHEMA = 4
 
 #: Project-local default cache directory used by the CLI.
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -644,6 +648,71 @@ def _resolve_dynamics(entry) -> tuple[str, Optional[DynamicsSpec]]:
     raise ValueError(f"unrecognized dynamics entry: {entry!r}")
 
 
+def _resolve_dag(entry) -> tuple[str, Optional[dict]]:
+    """Resolve one grid ``dag`` entry to (label, spec-field overrides).
+
+    Accepted forms::
+
+        "none" / None                  independent tasks (the paper's setup)
+        "layered"                      4-layer random DAG at the
+                                       WorkloadSpec defaults
+        {"layers": 3,                  fully explicit variant; every key
+         "edge_prob": 0.7,             except ``layers`` is optional and
+         "max_parents": 2,             defaults to the WorkloadSpec
+         "label": "deep"}              values; "label" overrides the
+                                       derived name
+
+    The axis applies to *synthetic* levels only — trace files carry
+    explicit dependency edges (JSON v3), so :meth:`SweepGrid.expand`
+    rejects a grid combining trace levels with a non-``none`` entry.
+    """
+    if entry is None or entry == "none":
+        return "none", None
+    if entry == "layered":
+        return "dag4", {"dag_layers": 4}
+    if isinstance(entry, Mapping):
+        fields = dict(entry)
+        label = fields.pop("label", None)
+        renames = {
+            "layers": "dag_layers",
+            "edge_prob": "dag_edge_prob",
+            "max_parents": "dag_max_parents",
+        }
+        unknown = set(fields) - set(renames)
+        if unknown:
+            raise ValueError(
+                f"unknown dag keys {sorted(unknown)}; allowed: "
+                f"{sorted(set(renames) | {'label'})}"
+            )
+        overrides: dict = {}
+        for key, fname in renames.items():
+            if key not in fields:
+                continue
+            value = fields[key]
+            if key == "edge_prob":
+                value = float(value)
+            elif isinstance(value, float):
+                if not value.is_integer():
+                    raise ValueError(f"dag {key} must be an integer, got {value!r}")
+                value = int(value)
+            overrides[fname] = value
+        if not overrides.get("dag_layers"):
+            raise ValueError(
+                'a dag entry must set "layers" >= 2 (use "none" for '
+                "independent tasks)"
+            )
+        if not label:
+            label = f"dag{overrides['dag_layers']}"
+            # Non-default wiring knobs must be visible, or two distinct
+            # variants would collide on the same derived label.
+            if overrides.get("dag_edge_prob", WorkloadSpec.dag_edge_prob) != WorkloadSpec.dag_edge_prob:
+                label += f"-p{overrides['dag_edge_prob']:g}"
+            if overrides.get("dag_max_parents", WorkloadSpec.dag_max_parents) != WorkloadSpec.dag_max_parents:
+                label += f"-m{overrides['dag_max_parents']}"
+        return str(label), overrides
+    raise ValueError(f"unrecognized dag entry: {entry!r}")
+
+
 def _resolve_level(entry, pattern: ArrivalPattern, scale: float) -> tuple[str, WorkloadSpec]:
     """Resolve one grid ``levels`` entry to (name, WorkloadSpec).
 
@@ -664,13 +733,15 @@ def _resolve_level(entry, pattern: ArrivalPattern, scale: float) -> tuple[str, W
         path = str(fields.pop("trace"))
         name = fields.pop("name", None)
         trim = fields.pop("trim_edge_tasks", None)
+        fmt = str(fields.pop("format", "auto"))
+        sample = float(fields.pop("sample", 1.0))
         if fields:
             raise ValueError(
                 f"unknown trace-level keys {sorted(fields)}; allowed: "
-                f"['trace', 'name', 'trim_edge_tasks']"
+                f"['format', 'name', 'sample', 'trace', 'trim_edge_tasks']"
             )
         try:
-            spec = trace_spec(path, trim_edge_tasks=trim)
+            spec = trace_spec(path, trim_edge_tasks=trim, fmt=fmt, sample=sample)
         except (OSError, ValueError) as exc:
             raise ValueError(f"cannot load trace level {path!r}: {exc}") from exc
         return str(name) if name else Path(path).stem, spec
@@ -708,7 +779,7 @@ class SweepGrid:
     """A declarative parameter grid that expands to experiment cells.
 
     The cross product of ``heuristics × levels × patterns ×
-    heterogeneity × pruning × dynamics × controller`` defines the
+    heterogeneity × pruning × dynamics × controller × dag`` defines the
     campaign's cells; ``trials``, ``base_seed`` and ``scale`` apply to
     every cell.  Grids are plain data — build them in code, load them
     with :meth:`from_json`, or pick a named :meth:`preset`.
@@ -717,6 +788,11 @@ class SweepGrid:
     (:mod:`repro.control`) to each *pruned* variant; baseline cells
     (``pruning: "none"``) have nothing to control, so they are emitted
     exactly once instead of once per controller entry.
+
+    The ``dag`` axis wires a layered random dependency graph over each
+    synthetic workload (see :func:`_resolve_dag`); trace levels carry
+    explicit edges in the file itself, so combining them with a
+    non-``none`` dag entry is an error.
     """
 
     name: str = "campaign"
@@ -727,6 +803,7 @@ class SweepGrid:
     pruning: tuple = ("none", "paper")
     dynamics: tuple = ("none",)
     controller: tuple = ("none",)
+    dag: tuple = ("none",)
     trials: int = 10
     base_seed: int = 42
     scale: float = 1.0
@@ -740,6 +817,7 @@ class SweepGrid:
             "pruning",
             "dynamics",
             "controller",
+            "dag",
         ):
             value = getattr(self, fname)
             if isinstance(value, (str, Mapping)):
@@ -791,9 +869,11 @@ class SweepGrid:
         pruning_variants = (
             base_pruning + (len(self.pruning) - base_pruning) * len(self.controller)
         )
+        # The dag axis applies to synthetic levels only (expand() rejects
+        # the mixed case before any counting discrepancy could matter).
         return (
             len(self.heuristics)
-            * (synthetic_levels * len(self.patterns) + trace_levels)
+            * (synthetic_levels * len(self.patterns) * len(self.dag) + trace_levels)
             * len(self.heterogeneity)
             * pruning_variants
             * len(self.dynamics)
@@ -848,6 +928,19 @@ class SweepGrid:
         # (levels only on pattern and scale).
         pruning_variants = [_resolve_pruning(entry) for entry in self.pruning]
         dynamics_variants = [_resolve_dynamics(entry) for entry in self.dynamics]
+        dag_variants = [_resolve_dag(entry) for entry in self.dag]
+        if any(fields is not None for _, fields in dag_variants):
+            trace_entries = [
+                entry
+                for entry in self.levels
+                if isinstance(entry, Mapping) and "trace" in entry
+            ]
+            if trace_entries:
+                raise ValueError(
+                    "the dag axis applies only to synthetic levels — trace "
+                    "files carry explicit dependency edges (JSON v3) — but "
+                    f"the grid has trace level(s) {trace_entries!r}"
+                )
         try:
             controller_variants = [resolve_controller(entry) for entry in self.controller]
         except ValueError as exc:
@@ -872,51 +965,56 @@ class SweepGrid:
                     # Trace levels carry their own pattern; labels and
                     # summary rows report what actually runs.
                     pattern_label = spec.pattern.value
-                    for het in self.heterogeneity:
-                        for plabel, pconfig in pruning_variants:
-                            for ci, (clabel, cconfig) in enumerate(controller_variants):
-                                # Baseline cells have no β/α to control:
-                                # emit them once (with the axis's first
-                                # entry slot), not once per controller.
-                                if pconfig is None and ci > 0:
-                                    continue
-                                if pconfig is None:
-                                    variant, vlabel = None, plabel
-                                elif cconfig is None:
-                                    variant, vlabel = pconfig, plabel
-                                else:
-                                    variant = pconfig.with_(controller=cconfig)
-                                    vlabel = f"{plabel}+{clabel}"
-                                controller_label = (
-                                    "" if variant is None or cconfig is None else clabel
-                                )
-                                for dlabel, dspec in dynamics_variants:
-                                    label = (
-                                        f"{heuristic}/{vlabel}@{level}"
-                                        f"/{pattern_label}/{het}"
+                    for glabel, gfields in dag_variants:
+                        cell_spec = spec if gfields is None else spec.with_(**gfields)
+                        for het in self.heterogeneity:
+                            for plabel, pconfig in pruning_variants:
+                                for ci, (clabel, cconfig) in enumerate(controller_variants):
+                                    # Baseline cells have no β/α to control:
+                                    # emit them once (with the axis's first
+                                    # entry slot), not once per controller.
+                                    if pconfig is None and ci > 0:
+                                        continue
+                                    if pconfig is None:
+                                        variant, vlabel = None, plabel
+                                    elif cconfig is None:
+                                        variant, vlabel = pconfig, plabel
+                                    else:
+                                        variant = pconfig.with_(controller=cconfig)
+                                        vlabel = f"{plabel}+{clabel}"
+                                    controller_label = (
+                                        "" if variant is None or cconfig is None else clabel
                                     )
-                                    if dspec is not None:
-                                        label += f"/{dlabel}"
-                                    config = ExperimentConfig(
-                                        heuristic=heuristic,
-                                        spec=spec,
-                                        pruning=variant,
-                                        heterogeneity=het,
-                                        trials=self.trials,
-                                        base_seed=self.base_seed,
-                                        label=label,
-                                        dynamics=dspec,
-                                    )
-                                    cells.append(
-                                        CampaignCell(
-                                            config=config,
-                                            level=level,
-                                            pattern=pattern_label,
-                                            pruning_label=vlabel,
-                                            dynamics_label=dlabel,
-                                            controller_label=controller_label,
+                                    for dlabel, dspec in dynamics_variants:
+                                        label = (
+                                            f"{heuristic}/{vlabel}@{level}"
+                                            f"/{pattern_label}/{het}"
                                         )
-                                    )
+                                        if gfields is not None:
+                                            label += f"/{glabel}"
+                                        if dspec is not None:
+                                            label += f"/{dlabel}"
+                                        config = ExperimentConfig(
+                                            heuristic=heuristic,
+                                            spec=cell_spec,
+                                            pruning=variant,
+                                            heterogeneity=het,
+                                            trials=self.trials,
+                                            base_seed=self.base_seed,
+                                            label=label,
+                                            dynamics=dspec,
+                                        )
+                                        cells.append(
+                                            CampaignCell(
+                                                config=config,
+                                                level=level,
+                                                pattern=pattern_label,
+                                                pruning_label=vlabel,
+                                                dynamics_label=dlabel,
+                                                controller_label=controller_label,
+                                                dag_label=glabel,
+                                            )
+                                        )
         _check_unique_labels(
             cells,
             "give the colliding pruning/dynamics/controller entries explicit "
@@ -943,6 +1041,7 @@ class SweepGrid:
             "controller": [
                 dict(c) if isinstance(c, Mapping) else c for c in self.controller
             ],
+            "dag": [dict(g) if isinstance(g, Mapping) else g for g in self.dag],
             "trials": self.trials,
             "base_seed": self.base_seed,
             "scale": self.scale,
@@ -1003,6 +1102,26 @@ class CampaignCell:
     dynamics_label: str = "static"
     #: Controller-axis label ("" = no control plane attached).
     controller_label: str = ""
+    #: DAG-axis label ("none" = independent tasks).
+    dag_label: str = "none"
+
+
+def _depth_outcomes(trials: Sequence[SimulationResult]) -> dict:
+    """Per-depth outcome counts summed over a cell's trials.
+
+    Empty for independent-task workloads, so non-DAG summary rows keep
+    their exact pre-DAG JSON payload (the row serializes the mapping
+    sparsely).
+    """
+    merged: dict[str, Counter] = {}
+    for result in trials:
+        depths = result.dag_stats.get("depths", {}) if result.dag_stats else {}
+        for depth, counts in depths.items():
+            merged.setdefault(str(depth), Counter()).update(counts)
+    return {
+        depth: dict(counter)
+        for depth, counter in sorted(merged.items(), key=lambda kv: int(kv[0]))
+    }
 
 
 def _check_unique_labels(cells: Sequence["CampaignCell"], hint: str) -> None:
@@ -1053,6 +1172,9 @@ class Campaign:
                     if c.pruning is None or c.pruning.controller is None
                     else c.pruning.controller.kind
                 ),
+                dag_label=(
+                    f"dag{c.spec.dag_layers}" if c.spec.dag_layers else "none"
+                ),
             )
             for c in configs
         ]
@@ -1087,6 +1209,7 @@ class Campaign:
                 pruning=cell.pruning_label,
                 dynamics=cell.dynamics_label,
                 controller=cell.controller_label,
+                dag=cell.dag_label,
                 # Mean over trials of the largest final sufferage score —
                 # 0.0 when fairness telemetry was not collected.
                 max_sufferage=(
@@ -1094,6 +1217,14 @@ class Campaign:
                     if trials
                     else 0.0
                 ),
+                # Mean over trials of drops cascaded from dropped DAG
+                # ancestors — 0.0 for independent-task workloads.
+                cascade_drops=(
+                    sum(r.cascade_drops for r in trials) / len(trials)
+                    if trials
+                    else 0.0
+                ),
+                depths=_depth_outcomes(trials),
                 stats=aggregate_robustness(trials),
             )
             for cell, trials in zip(self.cells, per_cell)
@@ -1232,6 +1363,49 @@ PRESETS: dict[str, dict] = {
         "levels": [
             {"trace": "examples/traces/bursty_small.csv", "name": "bursty-small"},
             {"trace": "examples/traces/steady_small.csv", "name": "steady-small"},
+        ],
+        "patterns": ["trace"],
+        "pruning": ["none", "paper"],
+        "trials": 3,
+    },
+    # DAG workloads: the same synthetic load with and without a layered
+    # dependency graph wired over it — pruning a doomed ancestor now
+    # cascades to its transitive dependents (subgraph pruning).
+    "dag": {
+        "name": "dag",
+        "heuristics": ["MM"],
+        "levels": [
+            {"name": "tiny", "num_tasks": 120, "time_span": 80.0, "num_task_types": 4}
+        ],
+        "patterns": ["spiky"],
+        "pruning": ["none", "paper"],
+        "dag": ["none", {"label": "dag3", "layers": 3}],
+        "trials": 2,
+        "base_seed": 7,
+    },
+    # Public-trace adapters: miniature Azure-Functions-style and Google
+    # cluster-usage-style CSVs (tests/data) replayed through the
+    # normalizing adapters, full and deterministically downsampled.
+    # Paths are repo-relative — run from the checkout root.
+    "azure": {
+        "name": "azure",
+        "heuristics": ["MM"],
+        "levels": [
+            {"trace": "tests/data/azure_mini.csv", "name": "azure-mini",
+             "format": "azure"},
+            {"trace": "tests/data/azure_mini.csv", "name": "azure-s60",
+             "format": "azure", "sample": 0.6},
+        ],
+        "patterns": ["trace"],
+        "pruning": ["none", "paper"],
+        "trials": 3,
+    },
+    "gcluster": {
+        "name": "gcluster",
+        "heuristics": ["MM"],
+        "levels": [
+            {"trace": "tests/data/gcluster_mini.csv", "name": "gcluster-mini",
+             "format": "gcluster"},
         ],
         "patterns": ["trace"],
         "pruning": ["none", "paper"],

@@ -13,10 +13,11 @@ matching the paper's 15k–25k task counts and ~3000-unit span.
 
 ``sweep`` takes a preset name (``smoke``, ``fig7b``, ``thresholds``,
 ``oversub``, ``heterogeneity``, ``churn``, ``bursty``, ``adaptive``,
-``trace``) or a path to a grid JSON file — see ``docs/experiments.md``
-for the schema.
-The ``trace`` preset replays repo-relative CSV traces, so run it from
-the checkout root.  ``--jobs N`` shards trials across a worker pool
+``trace``, ``dag``, ``azure``, ``gcluster``) or a path to a grid JSON
+file — see ``docs/experiments.md`` for the schema.
+The ``trace``/``azure``/``gcluster`` presets replay repo-relative CSV
+traces, so run them from the checkout root; ``--trace-sample`` replays
+a deterministic subset of each trace level.  ``--jobs N`` shards trials across a worker pool
 for both figures and sweeps (``--executor`` picks the pool kind;
 the default ``auto`` plan never starts a pool that cannot win and is
 byte-identical to serial); results are
@@ -32,6 +33,7 @@ import re
 import sys
 import time
 from pathlib import Path
+from typing import Mapping
 
 from . import scenarios
 from .campaign import DEFAULT_CACHE_DIR, PRESETS, Campaign, ResultCache, SweepGrid
@@ -117,6 +119,16 @@ def build_parser() -> argparse.ArgumentParser:
         "parameters, e.g. 'hysteresis:low=0.05,high=0.3' or "
         "'schedule:0=0.3,120=0.7'.  For figures it attaches to every "
         "pruned cell; for sweeps it replaces the grid's controller axis",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="for sweeps over trace levels: replay a deterministic "
+        "per-trial subset of each trace at this rate in (0, 1] "
+        "(dependency-closed for DAG traces; overrides any per-level "
+        "'sample' in the grid)",
     )
     parser.add_argument(
         "--jobs",
@@ -236,6 +248,23 @@ def _run_sweep(args: argparse.Namespace) -> int:
         # the spec string is validated at expand() time like any other
         # axis entry.
         overrides["controller"] = (args.controller,)
+    if args.trace_sample is not None:
+        if not any(
+            isinstance(lv, Mapping) and "trace" in lv for lv in grid.levels
+        ):
+            print(
+                "--trace-sample applies to trace levels, but the grid has none",
+                file=sys.stderr,
+            )
+            return 2
+        # Stamp the rate onto every trace level; the value is validated
+        # at expand() time by the workload spec (must be in (0, 1]).
+        overrides["levels"] = tuple(
+            {**lv, "sample": args.trace_sample}
+            if isinstance(lv, Mapping) and "trace" in lv
+            else lv
+            for lv in grid.levels
+        )
     try:
         if overrides:
             grid = dataclasses.replace(grid, **overrides)
@@ -284,6 +313,9 @@ def main(argv: list[str] | None = None) -> int:
             "set β/α per pruning entry in the grid JSON",
             file=sys.stderr,
         )
+        return 2
+    if args.figure != "sweep" and args.trace_sample is not None:
+        print("--trace-sample applies to sweeps over trace levels", file=sys.stderr)
         return 2
     if args.figure != "sweep" and args.controller is not None:
         # Fail on a bad spec before any trial runs.

@@ -132,9 +132,17 @@ class CampaignRow:
     #: Mean (over trials) of the largest final per-type sufferage score —
     #: the fairness module's pressure gauge; 0.0 when telemetry was off.
     max_sufferage: float = 0.0
+    dag: str = "none"         #: DAG-axis label (``"none"`` = independent tasks)
+    #: Mean (over trials) of proactive drops cascaded from dropped DAG
+    #: ancestors; 0.0 for independent-task workloads.
+    cascade_drops: float = 0.0
+    #: Per-depth outcome counts summed over trials (``{"0": {"on_time":
+    #: …, …}, …}``, string depth keys); empty for independent tasks and
+    #: then omitted from the JSON payload.
+    depths: Mapping = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "label": self.label,
             "heuristic": self.heuristic,
             "level": self.level,
@@ -146,6 +154,13 @@ class CampaignRow:
             "max_sufferage": self.max_sufferage,
             "stats": self.stats.to_dict(),
         }
+        # Emitted only for DAG cells: summaries of independent-task
+        # campaigns keep their exact pre-DAG payload.
+        if self.dag != "none" or self.depths or self.cascade_drops:
+            payload["dag"] = self.dag
+            payload["cascade_drops"] = self.cascade_drops
+            payload["depths"] = {k: dict(v) for k, v in self.depths.items()}
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "CampaignRow":
@@ -162,6 +177,10 @@ class CampaignRow:
             # and fairness telemetry was not collected.
             controller=payload.get("controller", ""),
             max_sufferage=float(payload.get("max_sufferage", 0.0)),
+            # Pre-DAG summaries lack these: tasks were independent.
+            dag=payload.get("dag", "none"),
+            cascade_drops=float(payload.get("cascade_drops", 0.0)),
+            depths=dict(payload.get("depths", {})),
             stats=AggregateStats.from_dict(payload["stats"]),
         )
 
@@ -181,6 +200,8 @@ CAMPAIGN_CSV_FIELDS = (
     "ci95_pct",
     "controller",
     "max_sufferage",
+    "dag",
+    "cascade_drops",
 )
 
 
@@ -288,6 +309,8 @@ class CampaignSummary:
                     "ci95_pct": f"{row.stats.ci95_pct:.6f}",
                     "controller": row.controller,
                     "max_sufferage": f"{row.max_sufferage:.6f}",
+                    "dag": row.dag,
+                    "cascade_drops": f"{row.cascade_drops:.6f}",
                 }
             )
         return buf.getvalue()

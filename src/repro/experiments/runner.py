@@ -105,7 +105,13 @@ def run_trial(config: ExperimentConfig, trial: int) -> SimulationResult:
         dynamics=config.dynamics,
     )
     system.run(tasks)
-    evaluated = trimmed_slice(tasks, config.spec.trim_count)
+    trim = config.spec.trim_count
+    if 2 * trim >= len(tasks):
+        # Downsampled replay: the spec's trim proportion is derived from
+        # the *full* trace length; clamp so a small sampled subset keeps
+        # a non-empty evaluation window instead of erroring.
+        trim = max(0, (len(tasks) - 1) // 2)
+    evaluated = trimmed_slice(tasks, trim)
     return system.result(evaluated)
 
 

@@ -85,6 +85,12 @@ class SimulationResult:
     #: JSON stability).  Collected with the control plane — empty unless
     #: a controller (the static one counts) was configured.
     fairness_stats: Mapping = field(default_factory=dict)
+    #: DAG-workload telemetry (``{"edges", "max_depth", "released",
+    #: "held_peak", "cascade_drops", "depths": {depth: outcome counts}}``,
+    #: string depth keys for JSON stability).  Empty unless the workload
+    #: carried dependency edges; serialized sparsely like the control
+    #: stats (see :meth:`to_dict`).
+    dag_stats: Mapping = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -121,6 +127,12 @@ class SimulationResult:
         """Setpoint changes the control plane applied (0 without one)."""
         return int(self.controller_stats.get("updates", 0)) if self.controller_stats else 0
 
+    @property
+    def cascade_drops(self) -> int:
+        """Proactive drops cascaded from dropped DAG ancestors (0 for
+        independent-task workloads)."""
+        return int(self.dag_stats.get("cascade_drops", 0)) if self.dag_stats else 0
+
     def utilization(self) -> tuple[float, ...]:
         if self.makespan <= 0:
             return tuple(0.0 for _ in self.machine_busy_time)
@@ -140,6 +152,7 @@ class SimulationResult:
         dynamics_stats: Mapping[str, int] | None = None,
         controller_stats: Mapping | None = None,
         fairness_stats: Mapping | None = None,
+        dag_stats: Mapping | None = None,
     ) -> "SimulationResult":
         """Roll task terminal states up into one result record."""
         counts = {
@@ -194,6 +207,7 @@ class SimulationResult:
             dynamics_stats=dict(dynamics_stats) if dynamics_stats else {},
             controller_stats=dict(controller_stats) if controller_stats else {},
             fairness_stats=dict(fairness_stats) if fairness_stats else {},
+            dag_stats=dict(dag_stats) if dag_stats else {},
         )
 
     # ------------------------------------------------------------------
@@ -226,6 +240,8 @@ class SimulationResult:
             payload["controller_stats"] = dict(self.controller_stats)
         if self.fairness_stats:
             payload["fairness_stats"] = dict(self.fairness_stats)
+        if self.dag_stats:
+            payload["dag_stats"] = dict(self.dag_stats)
         return payload
 
     @classmethod
@@ -257,6 +273,7 @@ class SimulationResult:
             # already exact.
             controller_stats=dict(payload.get("controller_stats", {})),
             fairness_stats=dict(payload.get("fairness_stats", {})),
+            dag_stats=dict(payload.get("dag_stats", {})),
         )
 
     def summary(self) -> str:

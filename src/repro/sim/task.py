@@ -64,6 +64,10 @@ class Task:
     task_type: int
     arrival: float
     deadline: float
+    #: Dependency edges: ids of parent tasks that must complete before
+    #: this task may be mapped (DAG workloads; empty for independent
+    #: tasks, which is the paper's §II model).
+    deps: tuple[int, ...] = field(default=(), kw_only=True)
 
     # -- mutable scheduling state -------------------------------------
     status: TaskStatus = TaskStatus.PENDING
@@ -86,6 +90,9 @@ class Task:
                 f"task {self.task_id}: deadline {self.deadline} precedes "
                 f"arrival {self.arrival}"
             )
+        self.deps = tuple(self.deps)
+        if self.task_id in self.deps:
+            raise ValueError(f"task {self.task_id}: depends on itself")
 
     # ------------------------------------------------------------------
     @property

@@ -59,6 +59,10 @@ class ResourceAllocator(abc.ABC):
         self.exec_sampler = exec_sampler
         self.observer = observer
         self.mapping_events = 0
+        #: DAG workloads: dependency tracker wired by the system when the
+        #: submitted tasks carry ``deps`` (``None`` for the paper's
+        #: independent-task model — every gate below short-circuits).
+        self.dag = None
         # Machines skip deadline-missed tasks when picking their next job;
         # record those reactive drops in the accounting.
         for machine in cluster.machines:
@@ -68,6 +72,7 @@ class ResourceAllocator(abc.ABC):
         task.mark_dropped(self.sim.now, proactive=False)
         self.accounting.record_drop(task)
         self._notify("dropped_missed", task)
+        self._drop_cascade(task)
 
     # ------------------------------------------------------------------
     # Cluster-dynamics admission (the DynamicsHost protocol).
@@ -97,6 +102,7 @@ class ResourceAllocator(abc.ABC):
                 task.mark_dropped(now, proactive=False)
                 self.accounting.record_drop(task)
                 self._notify("dropped_missed", task)
+                self._drop_cascade(task)
                 continue
             self.accounting.record_requeue(task)
             self._notify("requeued", task)
@@ -126,10 +132,64 @@ class ResourceAllocator(abc.ABC):
         if self.observer is not None:
             self.observer(event, task, self.sim.now)
 
+    # ------------------------------------------------------------------
+    # DAG gating: release-on-parent-completion + cascade drops.  All of
+    # it short-circuits when ``self.dag`` is None (independent tasks).
+    # ------------------------------------------------------------------
+    def _admit(self, task: Task) -> bool:
+        """Record an arrival; True when the task proceeds to mapping.
+
+        With a dependency tracker attached, a task whose parents are
+        incomplete is *held* (released by the completion of its last
+        parent); a task whose ancestor was already dropped arrives
+        doomed and is dropped on the spot, keeping the accounting
+        identity arrived = completed + dropped + unfinished.
+        """
+        self.accounting.record_arrival(task)
+        self._notify("arrived", task)
+        dag = self.dag
+        if dag is None or not task.deps:
+            return True
+        if dag.is_doomed(task):
+            dag.drop_held(task)  # marks dead; it was never held
+            task.mark_dropped(self.sim.now, proactive=True)
+            self.accounting.record_drop(task)
+            self.accounting.record_cascade(task)
+            self._notify("dropped_proactive", task)
+            return False
+        if dag.ready(task):
+            return True
+        dag.hold(task)
+        self._notify("held", task)
+        return False
+
+    def _drop_cascade(self, task: Task) -> None:
+        """Drop every held transitive dependent of a just-dropped task
+        (not-yet-arrived dependents are doomed and drop at submission).
+
+        Victims are provably unmapped — their parents never all
+        completed — so no machine or batch queue needs fixing up.
+        """
+        if self.dag is None:
+            return
+        for victim in self.dag.cascade(task):
+            victim.mark_dropped(self.sim.now, proactive=True)
+            self.accounting.record_drop(victim)
+            self.accounting.record_cascade(victim)
+            self._notify("dropped_proactive", victim)
+
+    def _admit_released(self, task: Task) -> None:
+        """Mode-specific admission of a task released by its last parent."""
+        raise NotImplementedError
+
     def on_completion(self, task: Task, machine: Machine) -> None:
         """Machine callback: record the completion, fire a mapping event."""
         self.accounting.record_completion(task)
         self._notify("completed", task)
+        if self.dag is not None:
+            for released in self.dag.note_completed(task):
+                self._notify("released", released)
+                self._admit_released(released)
         self._mapping_event(arriving=None)
 
     def _dispatch(self, task: Task, machine: Machine) -> None:
@@ -150,12 +210,23 @@ class ResourceAllocator(abc.ABC):
                     task.mark_dropped(now, proactive=False)
                     self.accounting.record_drop(task)
                     self._notify("dropped_missed", task)
+                    self._drop_cascade(task)
                     dropped += 1
         for task in self._pending_deadline_missed(now):
             task.mark_dropped(now, proactive=False)
             self.accounting.record_drop(task)
             self._notify("dropped_missed", task)
+            self._drop_cascade(task)
             dropped += 1
+        if self.dag is not None:
+            # Held tasks sit outside every queue; sweep their deadlines
+            # here so a gated task cannot outlive its own hard deadline.
+            for task in self.dag.held_deadline_missed(now):
+                task.mark_dropped(now, proactive=False)
+                self.accounting.record_drop(task)
+                self._notify("dropped_missed", task)
+                self._drop_cascade(task)
+                dropped += 1
         return dropped
 
     def _pending_deadline_missed(self, now: float) -> list[Task]:
@@ -185,11 +256,33 @@ class ResourceAllocator(abc.ABC):
             batch_queued=self._batch_depth(),
         )
         pruner.update_fairness()
-        if pruner.dropping_engaged():
+        engaged = pruner.dropping_engaged()
+        if engaged:
             for decision in pruner.drop_scan(self.cluster, self.estimator, self.sim.now):
                 decision.task.mark_dropped(self.sim.now, proactive=True)
                 self.accounting.record_drop(decision.task)
                 self._notify("dropped_proactive", decision.task)
+                self._drop_cascade(decision.task)
+        if engaged and self.dag is not None:
+            # Doomed-subgraph scan (beyond the paper): held tasks whose
+            # critical-path-propagated chance clears no machine are
+            # dropped before they ever reach a queue, cascading to their
+            # own dependents.
+            held = self.dag.held_tasks()
+            if held:
+                for decision in pruner.gate_scan(
+                    held, self.cluster, self.estimator, self.sim.now
+                ):
+                    task = decision.task
+                    if task.is_terminal:
+                        # An earlier decision's cascade already swept this
+                        # task up (held tasks can depend on held tasks).
+                        continue
+                    self.dag.drop_held(task)
+                    task.mark_dropped(self.sim.now, proactive=True)
+                    self.accounting.record_drop(task)
+                    self._notify("dropped_proactive", task)
+                    self._drop_cascade(task)
         # The toggle has consumed this event's miss count; start a fresh
         # horizon for the next mapping event.
         pruner.end_mapping_event()
@@ -216,11 +309,13 @@ class ImmediateAllocator(ResourceAllocator):
         self.heuristic = heuristic
         #: Churn victims parked between _readmit and _after_requeue.
         self._requeue_buffer: list[Task] = []
+        #: DAG releases parked until the mapping event that follows the
+        #: releasing completion (there is no arrival queue to put them in).
+        self._release_buffer: list[Task] = []
 
     def submit(self, task: Task) -> None:
-        self.accounting.record_arrival(task)
-        self._notify("arrived", task)
-        self._mapping_event(arriving=task)
+        if self._admit(task):
+            self._mapping_event(arriving=task)
 
     def _readmit(self, task: Task) -> None:
         # No arrival queue to park victims in; they are remapped in one
@@ -235,6 +330,9 @@ class ImmediateAllocator(ResourceAllocator):
         if victims:
             self._run_mapping_event(victims)
 
+    def _admit_released(self, task: Task) -> None:
+        self._release_buffer.append(task)
+
     def pending_tasks(self) -> list[Task]:
         return []
 
@@ -244,6 +342,11 @@ class ImmediateAllocator(ResourceAllocator):
     def _run_mapping_event(self, to_map: list[Task]) -> None:
         """One Fig. 5 mapping event, placing every task in ``to_map``
         (one arrival, or a whole churn-requeue batch)."""
+        if self._release_buffer:
+            # Freshly released DAG tasks are mapped by the event their
+            # releasing completion fired, ahead of any new arrival.
+            to_map = self._release_buffer + to_map
+            self._release_buffer = []
         self.mapping_events += 1
         self._reactive_drop_pass()
         self._pruning_prologue()
@@ -276,13 +379,18 @@ class BatchAllocator(ResourceAllocator):
         return len(self.batch_queue)
 
     def submit(self, task: Task) -> None:
-        self.accounting.record_arrival(task)
-        self._notify("arrived", task)
+        if not self._admit(task):
+            return
         self.batch_queue.append(task)
         # §II: arrival triggers a mapping event only while machine queues
         # are not full; otherwise the task waits for the next completion.
         if self.cluster.any_free_slot():
             self._mapping_event(arriving=task)
+
+    def _admit_released(self, task: Task) -> None:
+        # Released tasks pool in the batch queue like any unmapped task;
+        # the completion that released them fires the mapping event.
+        self.batch_queue.append(task)
 
     def pending_tasks(self) -> list[Task]:
         return list(self.batch_queue)

@@ -362,6 +362,13 @@ class CompletionEstimator:
         self.observe_chances = False
         self.chance_obs_count = 0
         self.chance_obs_sum = 0.0
+        #: DAG workloads: the system wires the run's DependencyTracker
+        #: here.  When set, chance queries (a) record each parent task's
+        #: own Eq. 2 estimate for its dependents' critical-path factors
+        #: and (b) multiply held tasks' chances by that factor.  Queued/
+        #: mapped tasks always have completed parents (factor 1), so the
+        #: hot cached paths stay untouched; ``None`` costs nothing.
+        self.dag = None
 
     # ------------------------------------------------------------------
     # Scalar (expected-value) view — heuristics
@@ -1054,8 +1061,19 @@ class CompletionEstimator:
         self.chance_obs_sum += float(values.sum())
 
     def chance_of_success(self, task: Task, machine: Machine, now: float) -> float:
-        """Eq. 2 for a task about to be appended to ``machine``'s queue."""
+        """Eq. 2 for a task about to be appended to ``machine``'s queue.
+
+        DAG workloads: the task's own estimate feeds its dependents'
+        factors, and the returned chance carries the multiplicative
+        critical-path factor of its ancestors (1.0 once all parents
+        completed, so released tasks are unaffected).
+        """
         chance = self.pct_for_new(task.task_type, machine, now).cdf_at(task.deadline)
+        if self.dag is not None:
+            self.dag.note_estimate(task.task_id, float(chance))
+            factor = self.dag.chance_factor(task)
+            if factor < 1.0:
+                chance = chance * factor
         if self.observe_chances:
             self.chance_obs_count += 1
             self.chance_obs_sum += float(chance)
@@ -1100,6 +1118,12 @@ class CompletionEstimator:
                 count=count,
             )
             chances = batch_cdf_at(chain[start + 1 :], deadlines, arena=self._arena)
+        if self.dag is not None:
+            # Queued tasks have completed parents (factor 1) — nothing
+            # to multiply — but their own estimates feed their
+            # dependents' critical-path factors.
+            for k in range(count):
+                self.dag.note_estimate(queue[start + k].task_id, float(chances[k]))
         if self.observe_chances:
             self._observe_chance_array(chances)
         return chances
@@ -1187,6 +1211,13 @@ class CompletionEstimator:
                     state.chances = chances
                     state.chances_version = machines[i].version
                     state.chances_epoch = state.chain_epoch
+        if self.dag is not None:
+            # Feed queued parents' estimates to the tracker (factor 1
+            # applies to the queued tasks themselves — their parents all
+            # completed — so the cached arrays above stay exact).
+            for machine, chances in zip(machines, results):
+                for task, c in zip(machine.queue, chances):  # type: ignore[arg-type]
+                    self.dag.note_estimate(task.task_id, float(c))
         if self.observe_chances:
             # Observe the *answers* (cached reuses included): the answer
             # stream is identical across memoize modes even when the
@@ -1262,6 +1293,17 @@ class CompletionEstimator:
         grid = batch_cdf_at(pmfs, deadlines, index, arena=self._arena).reshape(
             len(tasks), len(machines)
         )
+        if self.dag is not None:
+            # Held tasks' chances carry the multiplicative critical-path
+            # factor of their (incomplete) ancestors — this is the query
+            # the pruner's doomed-subgraph gate scan consumes.
+            factors = np.fromiter(
+                (self.dag.chance_factor(t) for t in tasks),
+                dtype=np.float64,
+                count=len(tasks),
+            )
+            if np.any(factors < 1.0):
+                grid = grid * factors[:, None]
         if self.observe_chances:
             self._observe_chance_array(grid)
         return grid
@@ -1291,6 +1333,12 @@ class CompletionEstimator:
             deadlines[pos] = task.deadline
         self.chance_evaluations += index.size
         chances = batch_cdf_at(pmfs, deadlines, index, arena=self._arena)
+        if self.dag is not None:
+            # Planned placements are released tasks (parents completed,
+            # factor 1); recording their estimates keeps dependents'
+            # factors fresh between queue scans.
+            for pos, (task, _machine) in enumerate(pairs):
+                self.dag.note_estimate(task.task_id, float(chances[pos]))
         if self.observe_chances:
             self._observe_chance_array(chances)
         return chances

@@ -195,6 +195,13 @@ class ServerlessSystem:
             self.allocator.observer = _track_outcome
         self._submitted: list[Task] = []
         self._control_installed = False
+        #: DAG workloads: the run's DependencyTracker, built by
+        #: ``submit_workload`` when the tasks carry dependency edges and
+        #: wired into the allocator (gating/cascades) and the estimator
+        #: (critical-path chance factors).  ``None`` for independent
+        #: tasks — every downstream path then short-circuits, keeping
+        #: results byte-identical to the pre-DAG system.
+        self.dag = None
 
     # ------------------------------------------------------------------
     def _sample_execution(self, task: Task, machine: Machine) -> float:
@@ -213,6 +220,17 @@ class ServerlessSystem:
         span, so the schedule is a pure function of (spec, workload,
         seed) — the property that keeps parallel sweeps bit-identical.
         """
+        if any(t.deps for t in tasks):
+            if self.dag is not None or self._submitted:
+                raise ValueError(
+                    "a DAG workload must be submitted in one batch — "
+                    "dependency edges cannot span submissions"
+                )
+            from ..core.dag import DependencyTracker
+
+            self.dag = DependencyTracker(tasks)
+            self.allocator.dag = self.dag
+            self.estimator.dag = self.dag
         if self.dynamics is not None and not self.dynamics.installed:
             span = max((t.arrival for t in tasks), default=0.0)
             self.dynamics.install(span)
@@ -324,6 +342,11 @@ class ServerlessSystem:
             dynamics_stats=self.dynamics.stats() if self.dynamics else None,
             controller_stats=driver.stats() if driver is not None else None,
             fairness_stats=fairness_stats,
+            dag_stats=(
+                self.dag.stats(universe, self.accounting.total_dropped_cascade)
+                if self.dag is not None
+                else None
+            ),
         )
 
     @property

@@ -1,5 +1,13 @@
 """Workload generation (§V-B): arrival patterns, deadlines, traces."""
 
+from .adapters import (
+    TraceFormatError,
+    downsample_tasks,
+    load_azure_trace,
+    load_gcluster_trace,
+    normalize_azure_records,
+    normalize_gcluster_records,
+)
 from .arrivals import (
     arrival_rate_series,
     bursty_arrivals,
@@ -10,6 +18,7 @@ from .arrivals import (
     spiky_arrivals,
     spiky_rate_profile,
 )
+from .dag import assign_layered_deps, count_edges, task_depths, validate_deps
 from .generator import assign_deadlines, generate_workload, trimmed_slice
 from .models import (
     DiurnalSpec,
@@ -58,4 +67,14 @@ __all__ = [
     "trace_spec",
     "tasks_to_records",
     "records_to_tasks",
+    "TraceFormatError",
+    "normalize_azure_records",
+    "normalize_gcluster_records",
+    "load_azure_trace",
+    "load_gcluster_trace",
+    "downsample_tasks",
+    "validate_deps",
+    "task_depths",
+    "count_edges",
+    "assign_layered_deps",
 ]

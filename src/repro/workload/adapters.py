@@ -1,0 +1,279 @@
+"""Public-trace adapters: external cluster logs → replayable traces.
+
+The paper evaluates pruning on synthetic workloads (§V-B); ROADMAP
+item 3 calls for realistic arrival regimes from public traces.  This
+module normalizes two widely used formats into the native
+``id,type,arrival,deadline`` identity model:
+
+* **Azure Functions invocation logs** — one row per invocation with
+  ``app``/``func`` owner columns, a completion ``end_timestamp`` and a
+  ``duration``: arrival is reconstructed as ``end − duration`` and the
+  task type is the dense index of the ``(app, func)`` pair.
+* **Google cluster-usage task events** — one row per task with
+  ``job_id``/``task_index`` and ``start_time``/``end_time`` stamps in
+  arbitrary units (``time_scale`` converts them): the task type is the
+  dense index of the job.
+
+Both adapters are *strict*: malformed rows (missing or non-numeric
+fields, negative durations, non-monotone timestamps, more distinct
+types than the PET matrix has rows) raise :class:`TraceFormatError`
+naming the offending data row — silently coercing a malformed log
+would replay a workload nobody recorded.  Deadlines do not exist in
+either source, so they are synthesized as
+``arrival + duration × deadline_slack`` (the external-trace analogue of
+Eq. 4's per-task slack).
+
+Normalized tasks are arrival-sorted with dense sequential ids, so they
+round-trip losslessly through :func:`~repro.workload.trace.save_csv_trace`
+→ :func:`~repro.workload.trace.load_any_trace`.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..sim.task import Task
+from .dag import task_depths
+
+__all__ = [
+    "TraceFormatError",
+    "AZURE_COLUMNS",
+    "GCLUSTER_COLUMNS",
+    "normalize_azure_records",
+    "normalize_gcluster_records",
+    "load_azure_trace",
+    "load_gcluster_trace",
+    "downsample_tasks",
+]
+
+
+class TraceFormatError(ValueError):
+    """A malformed external-trace row (the message names the data row)."""
+
+
+#: Columns an Azure-Functions-style invocation log must carry.
+AZURE_COLUMNS = ("app", "func", "end_timestamp", "duration")
+
+#: Columns a Google-cluster-usage-style task log must carry.
+GCLUSTER_COLUMNS = ("job_id", "task_index", "start_time", "end_time")
+
+
+def _field(record: Mapping, key: str, row: int, source: str):
+    try:
+        value = record[key]
+    except (KeyError, TypeError):
+        raise TraceFormatError(
+            f"{source} row {row}: missing field {key!r}"
+        ) from None
+    if value is None or (isinstance(value, str) and not value.strip()):
+        raise TraceFormatError(f"{source} row {row}: empty field {key!r}")
+    return value
+
+
+def _numeric(record: Mapping, key: str, row: int, source: str) -> float:
+    value = _field(record, key, row, source)
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        raise TraceFormatError(
+            f"{source} row {row}: non-numeric {key}: {value!r}"
+        ) from None
+    if not math.isfinite(number):
+        raise TraceFormatError(
+            f"{source} row {row}: non-finite {key}: {value!r}"
+        )
+    return number
+
+
+def _type_index(
+    key, types: dict, row: int, source: str, max_task_types: int
+) -> int:
+    """Dense first-appearance type index, capped at the PET capacity."""
+    index = types.get(key)
+    if index is None:
+        if len(types) >= max_task_types:
+            raise TraceFormatError(
+                f"{source} row {row}: unknown task type {key!r} — the "
+                f"trace already uses {max_task_types} distinct types "
+                f"(max_task_types); raise the cap or pre-filter the log"
+            )
+        index = len(types)
+        types[key] = index
+    return index
+
+
+def _finalize(entries: list[tuple[float, float, int]]) -> list[Task]:
+    """(arrival, deadline, type) triples → arrival-sorted dense tasks.
+
+    The origin shifts so the earliest arrival is 0.0 and ids are
+    assigned in (arrival, input-order) order — exactly the order
+    :func:`~repro.workload.trace.load_any_trace` replays, which makes
+    normalize → save → load the identity.
+    """
+    t0 = min(arrival for arrival, _, _ in entries)
+    ordered = sorted(
+        range(len(entries)), key=lambda i: (entries[i][0], i)
+    )
+    return [
+        Task(
+            task_id=tid,
+            task_type=entries[i][2],
+            arrival=entries[i][0] - t0,
+            deadline=entries[i][1] - t0,
+        )
+        for tid, i in enumerate(ordered)
+    ]
+
+
+def normalize_azure_records(
+    records: Sequence[Mapping],
+    *,
+    deadline_slack: float = 3.0,
+    max_task_types: int = 12,
+) -> list[Task]:
+    """Azure-Functions-style invocation rows → replayable tasks.
+
+    Each record needs ``app``, ``func``, ``end_timestamp`` and
+    ``duration``.  Rows must be ordered by ``end_timestamp`` (the order
+    Azure publishes); durations must be non-negative.  Violations raise
+    :class:`TraceFormatError` with the 1-based data-row number.
+    """
+    if deadline_slack < 1:
+        raise ValueError("deadline_slack must be >= 1 (deadline at or after finish)")
+    if not records:
+        raise TraceFormatError("azure trace: no data rows")
+    entries: list[tuple[float, float, int]] = []
+    types: dict = {}
+    last_end = -math.inf
+    for i, record in enumerate(records):
+        row = i + 1
+        app = _field(record, "app", row, "azure")
+        func = _field(record, "func", row, "azure")
+        end = _numeric(record, "end_timestamp", row, "azure")
+        duration = _numeric(record, "duration", row, "azure")
+        if duration < 0:
+            raise TraceFormatError(
+                f"azure row {row}: negative duration {duration!r}"
+            )
+        if end < last_end:
+            raise TraceFormatError(
+                f"azure row {row}: non-monotone end_timestamp {end!r} "
+                f"(previous row ended at {last_end!r})"
+            )
+        last_end = end
+        ttype = _type_index((app, func), types, row, "azure", max_task_types)
+        arrival = end - duration
+        entries.append((arrival, arrival + duration * deadline_slack, ttype))
+    return _finalize(entries)
+
+
+def normalize_gcluster_records(
+    records: Sequence[Mapping],
+    *,
+    deadline_slack: float = 3.0,
+    max_task_types: int = 12,
+    time_scale: float = 1.0,
+) -> list[Task]:
+    """Google-cluster-usage-style task rows → replayable tasks.
+
+    Each record needs ``job_id``, ``task_index``, ``start_time`` and
+    ``end_time``.  Rows must be ordered by ``start_time`` (the
+    cluster-usage event order); ``end_time`` must not precede
+    ``start_time``.  ``time_scale`` converts the source clock (e.g.
+    ``1e-6`` for microsecond stamps) into simulator time units.
+    Violations raise :class:`TraceFormatError` with the 1-based
+    data-row number.
+    """
+    if deadline_slack < 1:
+        raise ValueError("deadline_slack must be >= 1 (deadline at or after finish)")
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    if not records:
+        raise TraceFormatError("gcluster trace: no data rows")
+    entries: list[tuple[float, float, int]] = []
+    types: dict = {}
+    last_start = -math.inf
+    for i, record in enumerate(records):
+        row = i + 1
+        job = _field(record, "job_id", row, "gcluster")
+        _numeric(record, "task_index", row, "gcluster")
+        start = _numeric(record, "start_time", row, "gcluster")
+        end = _numeric(record, "end_time", row, "gcluster")
+        if end < start:
+            raise TraceFormatError(
+                f"gcluster row {row}: negative duration "
+                f"(end_time {end!r} precedes start_time {start!r})"
+            )
+        if start < last_start:
+            raise TraceFormatError(
+                f"gcluster row {row}: non-monotone start_time {start!r} "
+                f"(previous row started at {last_start!r})"
+            )
+        last_start = start
+        ttype = _type_index(job, types, row, "gcluster", max_task_types)
+        arrival = start * time_scale
+        duration = (end - start) * time_scale
+        entries.append((arrival, arrival + duration * deadline_slack, ttype))
+    return _finalize(entries)
+
+
+def _load_rows(path: str | Path, columns: Sequence[str], source: str) -> list[dict]:
+    path = Path(path)
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        header = reader.fieldnames or []
+        missing = [c for c in columns if c not in header]
+        if missing:
+            raise TraceFormatError(
+                f"{path}: {source} CSV header {header} is missing "
+                f"column(s) {missing}"
+            )
+        return list(reader)
+
+
+def load_azure_trace(path: str | Path, **kwargs) -> list[Task]:
+    """Read an Azure-Functions-style invocation CSV into tasks."""
+    return normalize_azure_records(
+        _load_rows(path, AZURE_COLUMNS, "azure"), **kwargs
+    )
+
+
+def load_gcluster_trace(path: str | Path, **kwargs) -> list[Task]:
+    """Read a Google-cluster-usage-style task CSV into tasks."""
+    return normalize_gcluster_records(
+        _load_rows(path, GCLUSTER_COLUMNS, "gcluster"), **kwargs
+    )
+
+
+def downsample_tasks(tasks: Sequence[Task], rate: float, rng) -> list[Task]:
+    """Keep a random ``rate`` fraction of a replayed trace.
+
+    Deterministic per (config, trial): ``rng`` is the trial's workload
+    stream, and the single vectorized draw consumes it in a fixed
+    order.  Rate 1.0 is the identity and consumes nothing.  For DAG
+    traces the selection is dependency-closed — a task survives only if
+    every transitive ancestor survives, so no replayed task ever waits
+    on a parent that was sampled away.  If the draw keeps nothing, the
+    first root task is kept so the replay is never empty.
+    """
+    if not 0 < rate <= 1:
+        raise ValueError("downsampling rate must be in (0, 1]")
+    if rate == 1.0:
+        return list(tasks)
+    mask = rng.random(len(tasks)) < rate
+    picked = {t.task_id: bool(keep) for t, keep in zip(tasks, mask)}
+    if any(t.deps for t in tasks):
+        deps = {t.task_id: t.deps for t in tasks}
+        depth = task_depths(deps)
+        kept: dict[int, bool] = {}
+        for tid in sorted(deps, key=lambda t: (depth[t], t)):
+            kept[tid] = picked[tid] and all(kept[p] for p in deps[tid])
+    else:
+        kept = picked
+    sampled = [t for t in tasks if kept[t.task_id]]
+    if not sampled:
+        sampled = [next(t for t in tasks if not t.deps)]
+    return sampled

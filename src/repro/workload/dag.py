@@ -1,0 +1,117 @@
+"""Dependency-structured (DAG) workloads.
+
+The paper's §II model schedules *independent* tasks; real serverless
+applications chain functions into workflows (fan-out/fan-in pipelines).
+This module is the pure graph layer over ``Task.deps`` edge lists:
+validation, longest-path depth labeling, and a layered random-DAG
+builder for synthetic workloads.  The runtime semantics — holding
+unreleased tasks, releasing on parent completion, cascading drops to
+transitive dependents — live in :mod:`repro.core.dag`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..sim.task import Task
+
+__all__ = [
+    "validate_deps",
+    "task_depths",
+    "count_edges",
+    "assign_layered_deps",
+]
+
+
+def task_depths(
+    deps: Mapping[int, Sequence[int]], *, source: str = "workload"
+) -> dict[int, int]:
+    """Longest-path depth of every task (roots are depth 0).
+
+    ``deps`` maps every task id to its parent ids.  Raises ``ValueError``
+    on dangling parents and dependency cycles — both would deadlock the
+    release machinery at runtime, so they are rejected at load time.
+    """
+    depth: dict[int, int] = {}
+    on_stack: set[int] = set()
+    for root in deps:
+        if root in depth:
+            continue
+        stack = [(root, iter(deps[root]))]
+        on_stack.add(root)
+        while stack:
+            tid, parents = stack[-1]
+            advanced = False
+            for p in parents:
+                if p in on_stack:
+                    raise ValueError(
+                        f"{source}: dependency cycle through task {p}"
+                    )
+                if p not in depth:
+                    if p not in deps:
+                        raise ValueError(
+                            f"{source}: task {tid} depends on unknown task {p}"
+                        )
+                    on_stack.add(p)
+                    stack.append((p, iter(deps[p])))
+                    advanced = True
+                    break
+            if not advanced:
+                depth[tid] = 1 + max(
+                    (depth[p] for p in deps[tid]), default=-1
+                )
+                on_stack.discard(tid)
+                stack.pop()
+    return depth
+
+
+def validate_deps(
+    deps: Mapping[int, Sequence[int]], *, source: str = "workload"
+) -> None:
+    """Reject self-loops, dangling parents and cycles."""
+    for tid, parents in deps.items():
+        if tid in parents:
+            raise ValueError(f"{source}: task {tid} depends on itself")
+    task_depths(deps, source=source)
+
+
+def count_edges(deps: Mapping[int, Sequence[int]]) -> int:
+    """Total number of dependency edges."""
+    return sum(len(parents) for parents in deps.values())
+
+
+def assign_layered_deps(
+    tasks: Sequence[Task],
+    *,
+    layers: int,
+    edge_prob: float,
+    max_parents: int,
+    rng,
+) -> None:
+    """Wire a layered random DAG over the tasks, in place.
+
+    The arrival-ordered trace is split into ``layers`` contiguous slabs;
+    each task in layer *L* > 0 draws up to ``max_parents`` candidate
+    parents uniformly (without replacement) from layer *L* − 1 and keeps
+    each with probability ``edge_prob``.  Edges always point backwards
+    in arrival order, so the graph is acyclic by construction and a
+    parent never arrives after its child.  Consumes ``rng`` in a fixed
+    order — the wiring is a pure function of (spec, trial seed).
+    """
+    n = len(tasks)
+    layers = min(layers, n)
+    if layers < 2:
+        return
+    order = sorted(tasks, key=lambda t: (t.arrival, t.task_id))
+    bounds = [round(i * n / layers) for i in range(layers + 1)]
+    for li in range(1, layers):
+        prev = order[bounds[li - 1] : bounds[li]]
+        if not prev:
+            continue
+        k = min(max_parents, len(prev))
+        for task in order[bounds[li] : bounds[li + 1]]:
+            picks = rng.choice(len(prev), size=k, replace=False)
+            kept = rng.random(k) < edge_prob
+            task.deps = tuple(
+                sorted(prev[i].task_id for i, keep in zip(picks, kept) if keep)
+            )

@@ -58,13 +58,19 @@ def generate_workload(
 
     ``pattern="trace"`` replays the recorded tasks from
     ``spec.trace_path`` instead of sampling: arrivals, deadlines and ids
-    come from the file verbatim (``rng`` is untouched, so replay trials
-    differ only in execution-time sampling downstream).
+    come from the file verbatim.  With ``trace_sample == 1.0`` (the
+    default) ``rng`` is untouched, so replay trials differ only in
+    execution-time sampling downstream; a smaller rate draws a
+    deterministic per-trial subset (dependency-closed for DAG traces).
+
+    ``dag_layers > 0`` wires a layered random DAG over the synthetic
+    tasks (``Task.deps``); the extra draws happen *after* arrivals and
+    deadlines, so dependency-free workloads are unchanged.
     """
     if spec.pattern is ArrivalPattern.TRACE:
         from .trace import replay_tasks  # deferred: trace imports spec
 
-        tasks = replay_tasks(spec.trace_path)
+        tasks = replay_tasks(spec.trace_path, spec.trace_format)
         if len(tasks) != spec.num_tasks:
             raise ValueError(
                 f"trace {spec.trace_path!r} holds {len(tasks)} tasks but the "
@@ -78,6 +84,10 @@ def generate_workload(
                 f"trace {spec.trace_path!r} uses task type {max(bad)} but the "
                 f"model only has {model.num_task_types} types"
             )
+        if spec.trace_sample < 1.0:
+            from .adapters import downsample_tasks  # deferred: adapters import task
+
+            tasks = downsample_tasks(tasks, spec.trace_sample, rng)
         return tasks
 
     num_types = min(spec.num_task_types, model.num_task_types)
@@ -96,10 +106,21 @@ def generate_workload(
         )
 
     records.sort(key=lambda r: r[0])
-    return [
+    tasks = [
         Task(task_id=i, task_type=ttype, arrival=arr, deadline=dl)
         for i, (arr, ttype, dl) in enumerate(records)
     ]
+    if spec.dag_layers > 0:
+        from .dag import assign_layered_deps  # deferred: dag imports task
+
+        assign_layered_deps(
+            tasks,
+            layers=spec.dag_layers,
+            edge_prob=spec.dag_edge_prob,
+            max_parents=spec.dag_max_parents,
+            rng=rng,
+        )
+    return tasks
 
 
 def trimmed_slice(tasks: Sequence[Task], trim: int) -> Sequence[Task]:

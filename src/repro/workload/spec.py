@@ -72,6 +72,23 @@ class WorkloadSpec:
     #: ("the first and last 100 tasks … are removed from the data").
     #: ``None`` scales the paper's 100 with workload size.
     trim_edge_tasks: int | None = None
+    #: TRACE pattern: on-disk format of ``trace_path`` — ``"auto"``
+    #: (by extension), ``"csv"``, ``"json"``, or an external adapter
+    #: (``"azure"``, ``"gcluster"`` — see :mod:`repro.workload.adapters`).
+    trace_format: str = "auto"
+    #: TRACE pattern: deterministic downsampling rate in (0, 1]; each
+    #: trial keeps a per-trial random subset of the replayed tasks
+    #: (dependency-closed for DAG traces).  1.0 replays the full trace.
+    trace_sample: float = 1.0
+    #: Synthetic DAG workloads: number of dependency layers (0 keeps the
+    #: paper's independent-task model).  Tasks are partitioned into
+    #: arrival-ordered layers and each non-root task draws parents from
+    #: the previous layer.
+    dag_layers: int = 0
+    #: Probability that a non-root task gains each candidate parent edge.
+    dag_edge_prob: float = 0.5
+    #: Cap on the number of parents per task.
+    dag_max_parents: int = 2
 
     def __post_init__(self) -> None:
         if self.num_tasks <= 0:
@@ -101,6 +118,24 @@ class WorkloadSpec:
                 "repro.workload.trace.trace_spec to keep num_tasks/time_span "
                 "consistent with the file)"
             )
+        if not 0 < self.trace_sample <= 1:
+            raise ValueError("trace_sample must be in (0, 1]")
+        if self.trace_sample < 1 and self.pattern is not ArrivalPattern.TRACE:
+            raise ValueError("trace_sample only applies to trace workloads")
+        if self.dag_layers < 0:
+            raise ValueError("dag_layers must be >= 0")
+        if self.dag_layers:
+            if self.pattern is ArrivalPattern.TRACE:
+                raise ValueError(
+                    "dag_layers does not apply to trace workloads — trace "
+                    "files carry explicit dependency edges (JSON v3)"
+                )
+            if self.dag_layers < 2:
+                raise ValueError("dag_layers must be >= 2 (roots plus one layer)")
+            if not 0 <= self.dag_edge_prob <= 1:
+                raise ValueError("dag_edge_prob must be in [0, 1]")
+            if self.dag_max_parents < 1:
+                raise ValueError("dag_max_parents must be >= 1")
 
     # ------------------------------------------------------------------
     @property

@@ -19,7 +19,12 @@ JSON format history:
 * **v2** — same layout; the spec gained the bursty-pattern knobs
   (``burst_amplitude``/``burst_fraction``/``burst_cycles``) and
   ``trace_path``.  v1 files load unchanged (missing fields take their
-  defaults); v2 is always written.
+  defaults); v2 is written for dependency-free traces.
+* **v3** — task records may carry ``deps`` (explicit DAG edge lists,
+  emitted only when non-empty) and the spec gained the trace-adapter /
+  DAG knobs (``trace_format``/``trace_sample``/``dag_*``, emitted only
+  when non-default).  v3 is written only when one of those features is
+  present, so dependency-free traces stay byte-identical to v2.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ from typing import Sequence
 import json
 
 from ..sim.task import Task
+from .dag import validate_deps
 from .spec import ArrivalPattern, WorkloadSpec
 
 __all__ = [
@@ -47,8 +53,12 @@ __all__ = [
     "records_to_tasks",
 ]
 
+#: Version written for dependency-free traces with v2-era specs — the
+#: common case, kept stable so regenerated fixtures stay byte-identical.
 _FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+#: Version written when DAG edges or v3 spec fields are present.
+_DAG_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: Fields every trace record must carry (the task's immutable identity).
 _REQUIRED_KEYS = ("id", "type", "arrival", "deadline")
@@ -56,18 +66,35 @@ _REQUIRED_KEYS = ("id", "type", "arrival", "deadline")
 #: Spec fields added after format v1, with the defaults v1 files assume.
 _V2_SPEC_FIELDS = ("burst_amplitude", "burst_fraction", "burst_cycles", "trace_path")
 
+#: Spec fields added in format v3; serialized only when non-default so
+#: v2-era files round-trip byte-identically.
+_V3_SPEC_FIELDS = (
+    "trace_format",
+    "trace_sample",
+    "dag_layers",
+    "dag_edge_prob",
+    "dag_max_parents",
+)
+
 
 def tasks_to_records(tasks: Sequence[Task]) -> list[dict]:
-    """Immutable identity of each task (scheduling state is not saved)."""
-    return [
-        {
+    """Immutable identity of each task (scheduling state is not saved).
+
+    ``deps`` is emitted only when non-empty — dependency-free traces
+    keep their exact v2 byte layout.
+    """
+    records = []
+    for t in tasks:
+        record = {
             "id": t.task_id,
             "type": t.task_type,
             "arrival": t.arrival,
             "deadline": t.deadline,
         }
-        for t in tasks
-    ]
+        if t.deps:
+            record["deps"] = list(t.deps)
+        records.append(record)
+    return records
 
 
 def records_to_tasks(records: Sequence[dict]) -> list[Task]:
@@ -102,12 +129,25 @@ def records_to_tasks(records: Sequence[dict]) -> list[Task]:
                 raise ValueError(
                     f"trace record #{i} has non-integer {key}: {value!r}"
                 )
+        deps = record.get("deps", ())
+        if not isinstance(deps, (list, tuple)):
+            raise ValueError(
+                f"trace record #{i} has non-list deps: {deps!r}"
+            )
+        for dep in deps:
+            # Same integer strictness as id/type: a truncated float dep
+            # would silently rewire the DAG.
+            if isinstance(dep, float) and not dep.is_integer():
+                raise ValueError(
+                    f"trace record #{i} has non-integer dep: {dep!r}"
+                )
         try:
             task = Task(
                 task_id=int(record["id"]),
                 task_type=int(record["type"]),
                 arrival=float(record["arrival"]),
                 deadline=float(record["deadline"]),
+                deps=tuple(int(dep) for dep in deps),
             )
         except (TypeError, ValueError) as exc:
             raise ValueError(f"trace record #{i} is invalid: {exc}") from exc
@@ -137,12 +177,18 @@ def _normalize_replay(tasks: list[Task], source) -> list[Task]:
         if task.task_id in seen:
             raise ValueError(f"{source}: duplicate task id {task.task_id}")
         seen.add(task.task_id)
+    if any(task.deps for task in tasks):
+        # Dangling parents or cycles would deadlock the release
+        # machinery mid-simulation; reject them at load time instead.
+        validate_deps(
+            {t.task_id: t.deps for t in tasks}, source=str(source)
+        )
     tasks.sort(key=lambda t: (t.arrival, t.task_id))
     return tasks
 
 
 def _spec_to_dict(spec: WorkloadSpec) -> dict:
-    return {
+    d = {
         "num_tasks": spec.num_tasks,
         "time_span": spec.time_span,
         "num_task_types": spec.num_task_types,
@@ -158,10 +204,19 @@ def _spec_to_dict(spec: WorkloadSpec) -> dict:
         "burst_cycles": spec.burst_cycles,
         "trace_path": spec.trace_path,
     }
+    # v3 spec fields ride along only when non-default — v2-era files
+    # regenerate byte-identically.
+    for f in _V3_SPEC_FIELDS:
+        value = getattr(spec, f)
+        if value != getattr(WorkloadSpec, f):
+            d[f] = value
+    return d
 
 
 def _spec_from_dict(d: dict) -> WorkloadSpec:
-    defaults = {f: getattr(WorkloadSpec, f) for f in _V2_SPEC_FIELDS}
+    defaults = {
+        f: getattr(WorkloadSpec, f) for f in _V2_SPEC_FIELDS + _V3_SPEC_FIELDS
+    }
     return WorkloadSpec(
         num_tasks=d["num_tasks"],
         time_span=d["time_span"],
@@ -173,8 +228,8 @@ def _spec_from_dict(d: dict) -> WorkloadSpec:
         num_spikes=d["num_spikes"],
         beta_range=tuple(d["beta_range"]),
         trim_edge_tasks=d["trim_edge_tasks"],
-        # v1 traces predate these fields; their defaults reproduce the
-        # exact workloads v1 described.
+        # v1/v2 traces predate these fields; their defaults reproduce
+        # the exact workloads those versions described.
         **{f: d.get(f, default) for f, default in defaults.items()},
     )
 
@@ -182,18 +237,30 @@ def _spec_from_dict(d: dict) -> WorkloadSpec:
 def save_trace(
     path: str | Path, tasks: Sequence[Task], spec: WorkloadSpec | None = None
 ) -> None:
-    """Write a workload trial to ``path`` as JSON (current format v2)."""
+    """Write a workload trial to ``path`` as JSON.
+
+    Format v2 is written for dependency-free traces with v2-era specs;
+    v3 only when DAG edges or v3 spec fields are present, so existing
+    trace files regenerate byte-identically.
+    """
+    spec_dict = _spec_to_dict(spec) if spec is not None else None
+    records = tasks_to_records(tasks)
+    version = _FORMAT_VERSION
+    if any("deps" in r for r in records) or (
+        spec_dict is not None and any(f in spec_dict for f in _V3_SPEC_FIELDS)
+    ):
+        version = _DAG_FORMAT_VERSION
     payload = {
-        "format_version": _FORMAT_VERSION,
-        "spec": _spec_to_dict(spec) if spec is not None else None,
-        "tasks": tasks_to_records(tasks),
+        "format_version": version,
+        "spec": spec_dict,
+        "tasks": records,
     }
     Path(path).write_text(json.dumps(payload))
 
 
 def load_trace(path: str | Path) -> tuple[list[Task], WorkloadSpec | None]:
     """Read a workload trial; returns fresh (PENDING) tasks plus the spec
-    if one was saved.  Accepts formats v1 and v2."""
+    if one was saved.  Accepts formats v1–v3."""
     payload = json.loads(Path(path).read_text())
     version = payload.get("format_version")
     if version not in _SUPPORTED_VERSIONS:
@@ -210,7 +277,17 @@ def load_trace(path: str | Path) -> tuple[list[Task], WorkloadSpec | None]:
 # CSV interchange (external trace replay)
 # ----------------------------------------------------------------------
 def save_csv_trace(path: str | Path, tasks: Sequence[Task]) -> None:
-    """Write tasks as an ``id,type,arrival,deadline`` CSV."""
+    """Write tasks as an ``id,type,arrival,deadline`` CSV.
+
+    The CSV interchange format has no dependency column — saving a DAG
+    workload here would silently sever its edges, so it is an error;
+    use :func:`save_trace` (JSON v3) instead.
+    """
+    if any(t.deps for t in tasks):
+        raise ValueError(
+            f"{path}: CSV traces cannot carry dependency edges; "
+            "use save_trace (JSON v3)"
+        )
     with open(path, "w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(_REQUIRED_KEYS)
@@ -244,13 +321,33 @@ def load_csv_trace(path: str | Path) -> list[Task]:
     return _normalize_replay(tasks, path)
 
 
-def load_any_trace(path: str | Path) -> list[Task]:
-    """Load a trace for replay by extension: ``.csv`` → CSV, anything
-    else → JSON.  Both branches get the same replay hygiene (unique
-    ids, (arrival, id) order)."""
+def load_any_trace(path: str | Path, fmt: str = "auto") -> list[Task]:
+    """Load a trace for replay.
+
+    ``fmt`` selects the on-disk format: ``"auto"`` dispatches by
+    extension (``.csv`` → CSV, anything else → JSON), ``"csv"``/
+    ``"json"`` force the native formats, and ``"azure"``/``"gcluster"``
+    run the external-trace adapters (:mod:`repro.workload.adapters`).
+    Every branch gets the same replay hygiene (unique ids, validated
+    dependency edges, (arrival, id) order).
+    """
     path = Path(path)
-    if path.suffix.lower() == ".csv":
+    if fmt in ("azure", "gcluster"):
+        # Deferred import: adapters build on this module's persistence
+        # helpers, so a top-level import would be circular.
+        from . import adapters
+
+        loader = adapters.load_azure_trace if fmt == "azure" else adapters.load_gcluster_trace
+        return _normalize_replay(loader(path), path)
+    if fmt == "auto":
+        fmt = "csv" if path.suffix.lower() == ".csv" else "json"
+    if fmt == "csv":
         return load_csv_trace(path)
+    if fmt != "json":
+        raise ValueError(
+            f"unknown trace format {fmt!r} "
+            "(expected auto, csv, json, azure or gcluster)"
+        )
     tasks, _spec = load_trace(path)
     return _normalize_replay(tasks, path)
 
@@ -291,7 +388,7 @@ class StatMemo:
 _REPLAY_CACHE = StatMemo(capacity=8)
 
 
-def replay_tasks(path: str | Path) -> list[Task]:
+def replay_tasks(path: str | Path, fmt: str = "auto") -> list[Task]:
     """:func:`load_any_trace` behind a per-process cache.
 
     Replay campaigns run every trial of a cell against the same file;
@@ -300,30 +397,40 @@ def replay_tasks(path: str | Path) -> list[Task]:
     Fresh :class:`Task` objects are built per call — simulations mutate
     scheduling state, so cached objects must never be handed out twice.
     """
-    sig = StatMemo.signature(path)
+    base = StatMemo.signature(path)
+    sig = None if base is None else base + (fmt,)
     records = _REPLAY_CACHE.get(sig)
     if records is None:
-        tasks = load_any_trace(path)
+        tasks = load_any_trace(path, fmt)
         records = tuple(
-            (t.task_id, t.task_type, t.arrival, t.deadline) for t in tasks
+            (t.task_id, t.task_type, t.arrival, t.deadline, t.deps)
+            for t in tasks
         )
         _REPLAY_CACHE.put(sig, records)
     return [
-        Task(task_id=tid, task_type=tt, arrival=arr, deadline=dl)
-        for tid, tt, arr, dl in records
+        Task(task_id=tid, task_type=tt, arrival=arr, deadline=dl, deps=deps)
+        for tid, tt, arr, dl, deps in records
     ]
 
 
-def trace_spec(path: str | Path, *, trim_edge_tasks: int | None = None) -> WorkloadSpec:
+def trace_spec(
+    path: str | Path,
+    *,
+    trim_edge_tasks: int | None = None,
+    fmt: str = "auto",
+    sample: float = 1.0,
+) -> WorkloadSpec:
     """A :class:`WorkloadSpec` consistent with a trace file's contents.
 
     Replay needs a spec whose ``num_tasks``/``time_span`` describe the
     *file* (metric trimming and oversubscription labels derive from
     them), so build it from the file rather than by hand.  The path is
     stored relative as given — campaigns fingerprint the file *content*
-    separately for caching.
+    separately for caching.  ``fmt`` picks the loader (see
+    :func:`load_any_trace`); ``sample`` enables deterministic per-trial
+    downsampling of the replay.
     """
-    tasks = replay_tasks(path)
+    tasks = replay_tasks(path, fmt)
     if not tasks:
         raise ValueError(f"{path}: trace contains no tasks")
     span = max(t.arrival for t in tasks)
@@ -334,4 +441,6 @@ def trace_spec(path: str | Path, *, trim_edge_tasks: int | None = None) -> Workl
         pattern=ArrivalPattern.TRACE,
         trace_path=str(path),
         trim_edge_tasks=trim_edge_tasks,
+        trace_format=fmt,
+        trace_sample=sample,
     )

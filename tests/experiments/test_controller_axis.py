@@ -128,7 +128,9 @@ class TestCampaignRows:
         assert rebuilt.rows[0].controller == "static"
         assert rebuilt.rows[0].max_sufferage == summary.rows[0].max_sufferage
         header = summary.to_csv().splitlines()[0]
-        assert header.endswith("controller,max_sufferage")
+        # Columns are append-only: the controller pair keeps its position
+        # even as later axes (dag, …) append after it.
+        assert ",controller,max_sufferage," in header + ","
 
     def test_legacy_summary_payload_defaults(self):
         grid = SweepGrid(levels=[TINY_LEVEL], pruning=["paper"], trials=1, base_seed=5)

@@ -1,0 +1,302 @@
+"""Public-trace adapter suite: lossless normalization + strict rejection.
+
+Property half (hypothesis): for any well-formed Azure-style or
+Google-cluster-style record list, normalize → ``save_csv_trace`` →
+``load_any_trace`` is the identity, and downsampling is deterministic
+per (config, trial) with rate 1.0 the exact identity.
+
+Strict half: every malformed-row class (missing/empty/non-numeric
+fields, negative durations, non-monotone timestamps, type overflow)
+raises :class:`TraceFormatError` naming the offending 1-based data row.
+"""
+
+from __future__ import annotations
+
+import csv
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.task import Task
+from repro.workload.adapters import (
+    TraceFormatError,
+    downsample_tasks,
+    load_azure_trace,
+    load_gcluster_trace,
+    normalize_azure_records,
+    normalize_gcluster_records,
+)
+from repro.workload.trace import load_any_trace, save_csv_trace
+
+DATA_DIR = Path(__file__).resolve().parent.parent / "data"
+
+# Finite grid of timestamps/durations: floats that survive repr()
+# round-trips exactly (all do) while keeping arithmetic well-ordered.
+_times = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+_durations = st.floats(
+    min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def azure_records(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    ends = sorted(draw(st.lists(_times, min_size=n, max_size=n)))
+    pairs = [("app0", "f0"), ("app0", "f1"), ("app1", "f0"), ("app2", "f9")]
+    return [
+        {
+            "app": draw(st.sampled_from(pairs))[0],
+            "func": draw(st.sampled_from(pairs))[1],
+            "end_timestamp": end,
+            "duration": draw(_durations),
+        }
+        for end in ends
+    ]
+
+
+@st.composite
+def gcluster_records(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    starts = sorted(draw(st.lists(_times, min_size=n, max_size=n)))
+    jobs = [6251000000 + j for j in range(4)]
+    return [
+        {
+            "job_id": draw(st.sampled_from(jobs)),
+            "task_index": i,
+            "start_time": start,
+            "end_time": start + draw(_durations),
+        }
+        for i, start in enumerate(starts)
+    ]
+
+
+def _identity(tasks):
+    return [(t.task_id, t.task_type, t.arrival, t.deadline, t.deps) for t in tasks]
+
+
+def _csv_round_trip(tasks):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "trace.csv"
+        save_csv_trace(path, tasks)
+        return load_any_trace(path)
+
+
+# ----------------------------------------------------------------------
+# Property: normalize → save_csv_trace → load_any_trace is the identity.
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(azure_records())
+def test_azure_normalize_then_csv_round_trip_is_lossless(records):
+    tasks = normalize_azure_records(records)
+    assert _identity(_csv_round_trip(tasks)) == _identity(tasks)
+
+
+@settings(max_examples=60, deadline=None)
+@given(gcluster_records())
+def test_gcluster_normalize_then_csv_round_trip_is_lossless(records):
+    tasks = normalize_gcluster_records(records)
+    assert _identity(_csv_round_trip(tasks)) == _identity(tasks)
+
+
+@settings(max_examples=60, deadline=None)
+@given(azure_records())
+def test_azure_normalization_invariants(records):
+    tasks = normalize_azure_records(records, deadline_slack=2.5)
+    assert [t.task_id for t in tasks] == list(range(len(tasks)))
+    arrivals = [t.arrival for t in tasks]
+    assert arrivals == sorted(arrivals)
+    assert min(arrivals) == 0.0
+    for t in tasks:
+        assert t.deadline >= t.arrival
+        assert 0 <= t.task_type < 12
+
+
+# ----------------------------------------------------------------------
+# Property: downsampling is the identity at rate 1.0 and deterministic
+# per (config, trial) at any rate.
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(azure_records(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_downsample_rate_one_is_identity_and_consumes_no_rng(records, seed):
+    tasks = normalize_azure_records(records)
+    rng = np.random.default_rng(seed)
+    sampled = downsample_tasks(tasks, 1.0, rng)
+    assert _identity(sampled) == _identity(tasks)
+    # Nothing was drawn: the stream continues exactly where a fresh one
+    # starts, so later draws (execution sampling) are unperturbed.
+    assert rng.random() == np.random.default_rng(seed).random()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    azure_records(),
+    st.floats(min_value=0.05, max_value=0.95),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_downsample_is_deterministic_per_seed_and_subset(records, rate, seed):
+    tasks = normalize_azure_records(records)
+    a = downsample_tasks(tasks, rate, np.random.default_rng(seed))
+    b = downsample_tasks(tasks, rate, np.random.default_rng(seed))
+    assert _identity(a) == _identity(b)
+    assert a  # never empty
+    kept = {t.task_id for t in a}
+    assert kept <= {t.task_id for t in tasks}
+
+
+def test_downsample_is_dependency_closed():
+    tasks = [
+        Task(task_id=0, task_type=0, arrival=0.0, deadline=9.0),
+        Task(task_id=1, task_type=0, arrival=1.0, deadline=9.0, deps=(0,)),
+        Task(task_id=2, task_type=0, arrival=2.0, deadline=9.0, deps=(1,)),
+        Task(task_id=3, task_type=0, arrival=3.0, deadline=9.0),
+    ]
+    for seed in range(40):
+        sampled = downsample_tasks(tasks, 0.5, np.random.default_rng(seed))
+        kept = {t.task_id for t in sampled}
+        for t in sampled:
+            assert set(t.deps) <= kept, f"seed {seed}: orphaned {t.task_id}"
+
+
+def test_downsample_rejects_bad_rate():
+    tasks = [Task(task_id=0, task_type=0, arrival=0.0, deadline=1.0)]
+    for rate in (0.0, -0.1, 1.5):
+        with pytest.raises(ValueError, match="rate"):
+            downsample_tasks(tasks, rate, np.random.default_rng(0))
+
+
+# ----------------------------------------------------------------------
+# Strict validation: each malformed-row class raises TraceFormatError
+# with the 1-based data-row number.
+# ----------------------------------------------------------------------
+def _azure_rows():
+    return [
+        {"app": "a", "func": "f", "end_timestamp": 5.0, "duration": 1.0},
+        {"app": "a", "func": "g", "end_timestamp": 7.0, "duration": 2.0},
+    ]
+
+
+def test_azure_negative_duration_names_the_row():
+    rows = _azure_rows()
+    rows[1]["duration"] = -0.5
+    with pytest.raises(TraceFormatError, match=r"azure row 2: negative duration"):
+        normalize_azure_records(rows)
+
+
+def test_azure_non_monotone_end_timestamp_names_the_row():
+    rows = _azure_rows()
+    rows[1]["end_timestamp"] = 4.0
+    with pytest.raises(TraceFormatError, match=r"azure row 2: non-monotone"):
+        normalize_azure_records(rows)
+
+
+def test_azure_unknown_type_beyond_cap_names_the_row():
+    rows = [
+        {"app": f"a{i}", "func": "f", "end_timestamp": float(i), "duration": 0.5}
+        for i in range(4)
+    ]
+    with pytest.raises(TraceFormatError, match=r"azure row 4: unknown task type"):
+        normalize_azure_records(rows, max_task_types=3)
+
+
+def test_azure_missing_and_empty_fields_name_the_row():
+    with pytest.raises(TraceFormatError, match=r"azure row 1: missing field 'duration'"):
+        normalize_azure_records([{"app": "a", "func": "f", "end_timestamp": 1.0}])
+    rows = _azure_rows()
+    rows[0]["app"] = "  "
+    with pytest.raises(TraceFormatError, match=r"azure row 1: empty field 'app'"):
+        normalize_azure_records(rows)
+
+
+def test_azure_non_numeric_and_non_finite_name_the_row():
+    rows = _azure_rows()
+    rows[1]["duration"] = "fast"
+    with pytest.raises(TraceFormatError, match=r"azure row 2: non-numeric duration"):
+        normalize_azure_records(rows)
+    rows = _azure_rows()
+    rows[0]["end_timestamp"] = float("inf")
+    with pytest.raises(TraceFormatError, match=r"azure row 1: non-finite"):
+        normalize_azure_records(rows)
+
+
+def test_azure_empty_trace_rejected():
+    with pytest.raises(TraceFormatError, match="no data rows"):
+        normalize_azure_records([])
+
+
+def _gcluster_rows():
+    return [
+        {"job_id": 1, "task_index": 0, "start_time": 1.0, "end_time": 2.0},
+        {"job_id": 2, "task_index": 1, "start_time": 3.0, "end_time": 4.5},
+    ]
+
+
+def test_gcluster_negative_duration_names_the_row():
+    rows = _gcluster_rows()
+    rows[1]["end_time"] = 2.5
+    with pytest.raises(TraceFormatError, match=r"gcluster row 2: negative duration"):
+        normalize_gcluster_records(rows)
+
+
+def test_gcluster_non_monotone_start_names_the_row():
+    rows = _gcluster_rows()
+    rows[1]["start_time"] = 0.5
+    rows[1]["end_time"] = 0.9
+    with pytest.raises(TraceFormatError, match=r"gcluster row 2: non-monotone"):
+        normalize_gcluster_records(rows)
+
+
+def test_gcluster_type_cap_names_the_row():
+    rows = [
+        {"job_id": j, "task_index": j, "start_time": float(j), "end_time": float(j) + 1}
+        for j in range(3)
+    ]
+    with pytest.raises(TraceFormatError, match=r"gcluster row 3: unknown task type"):
+        normalize_gcluster_records(rows, max_task_types=2)
+
+
+def test_adapter_parameter_validation():
+    rows = _gcluster_rows()
+    with pytest.raises(ValueError, match="deadline_slack"):
+        normalize_gcluster_records(rows, deadline_slack=0.5)
+    with pytest.raises(ValueError, match="time_scale"):
+        normalize_gcluster_records(rows, time_scale=0.0)
+
+
+def test_csv_loader_rejects_missing_columns(tmp_path):
+    bad = tmp_path / "bad.csv"
+    bad.write_text("app,func,duration\na,f,1.0\n")
+    with pytest.raises(TraceFormatError, match=r"missing\s+column\(s\) \['end_timestamp'\]"):
+        load_azure_trace(bad)
+
+
+# ----------------------------------------------------------------------
+# The committed miniature fixtures load through both entry points.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "filename,fmt,loader",
+    [
+        ("azure_mini.csv", "azure", load_azure_trace),
+        ("gcluster_mini.csv", "gcluster", load_gcluster_trace),
+    ],
+)
+def test_mini_fixtures_load_and_match_direct_loader(filename, fmt, loader):
+    path = DATA_DIR / filename
+    via_dispatch = load_any_trace(path, fmt)
+    direct = loader(path)
+    assert _identity(via_dispatch) == _identity(direct)
+    assert len(direct) >= 20
+    assert min(t.arrival for t in direct) == 0.0
+    # gcluster timestamps scale into simulator units on request.
+    if fmt == "gcluster":
+        with open(path, newline="") as fh:
+            rows = [dict(r) for r in csv.DictReader(fh)]
+        scaled = normalize_gcluster_records(rows, time_scale=0.5)
+        assert max(t.deadline for t in scaled) == pytest.approx(
+            max(t.deadline for t in direct) * 0.5
+        )

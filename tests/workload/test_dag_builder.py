@@ -1,0 +1,173 @@
+"""DAG workload construction: layered wiring, depths, trace v3 format."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.task import Task
+from repro.stochastic.pet import generate_pet_matrix
+from repro.workload.dag import (
+    assign_layered_deps,
+    count_edges,
+    task_depths,
+    validate_deps,
+)
+from repro.workload.generator import generate_workload
+from repro.workload.spec import WorkloadSpec
+from repro.workload.trace import load_trace, save_trace
+
+_PET = generate_pet_matrix(4, 2, seed=7, mean_range=(3.0, 8.0), samples_per_cell=200)
+
+
+def _tasks(n):
+    return [
+        Task(task_id=i, task_type=0, arrival=float(i), deadline=float(i) + 10.0)
+        for i in range(n)
+    ]
+
+
+@st.composite
+def dag_specs(draw):
+    return WorkloadSpec(
+        num_tasks=draw(st.integers(min_value=30, max_value=120)),
+        time_span=draw(st.floats(min_value=40.0, max_value=150.0)),
+        num_task_types=draw(st.integers(min_value=1, max_value=4)),
+        pattern=draw(st.sampled_from(["constant", "spiky"])),
+        dag_layers=draw(st.integers(min_value=2, max_value=5)),
+        dag_edge_prob=draw(st.floats(min_value=0.0, max_value=1.0)),
+        dag_max_parents=draw(st.integers(min_value=1, max_value=4)),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(dag_specs(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_layered_dag_is_acyclic_bounded_and_deterministic(spec, seed):
+    tasks = generate_workload(spec, _PET, np.random.default_rng(seed))
+    deps = {t.task_id: t.deps for t in tasks}
+    depth = task_depths(deps)  # raises on a cycle or dangling edge
+    for t in tasks:
+        assert len(t.deps) <= spec.dag_max_parents
+        for p in t.deps:
+            assert p < t.task_id  # parents arrive earlier
+            assert depth[p] < depth[t.task_id]
+    assert max(depth.values()) <= spec.dag_layers - 1
+    again = generate_workload(spec, _PET, np.random.default_rng(seed))
+    assert [t.deps for t in again] == [t.deps for t in tasks]
+
+
+@settings(max_examples=40, deadline=None)
+@given(dag_specs(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_dag_draws_do_not_disturb_arrivals_or_deadlines(spec, seed):
+    """Wiring happens after arrivals/deadlines: the dependency-free
+    workload of the same seed is identical except for ``deps``."""
+    flat = spec.with_(dag_layers=0)
+    with_dag = generate_workload(spec, _PET, np.random.default_rng(seed))
+    without = generate_workload(flat, _PET, np.random.default_rng(seed))
+    assert [(t.task_id, t.task_type, t.arrival, t.deadline) for t in with_dag] == [
+        (t.task_id, t.task_type, t.arrival, t.deadline) for t in without
+    ]
+    assert all(not t.deps for t in without)
+
+
+def test_edge_prob_extremes():
+    tasks = _tasks(30)
+    assign_layered_deps(
+        tasks, layers=3, edge_prob=0.0, max_parents=2, rng=np.random.default_rng(0)
+    )
+    assert count_edges({t.task_id: t.deps for t in tasks}) == 0
+    tasks = _tasks(30)
+    assign_layered_deps(
+        tasks, layers=3, edge_prob=1.0, max_parents=2, rng=np.random.default_rng(0)
+    )
+    # Every non-root task draws its full parent quota at prob 1.
+    by_depth = task_depths({t.task_id: t.deps for t in tasks})
+    for t in tasks:
+        if by_depth[t.task_id] > 0:
+            assert len(t.deps) >= 1
+
+
+def test_task_depths_rejects_cycles_and_dangling_edges():
+    with pytest.raises(ValueError, match="cycle"):
+        task_depths({0: (1,), 1: (0,)})
+    with pytest.raises(ValueError, match="unknown task"):
+        task_depths({0: (), 1: (7,)})
+    with pytest.raises(ValueError, match="itself"):
+        validate_deps({0: (0,)})
+
+
+def test_task_self_dependency_rejected_at_construction():
+    with pytest.raises(ValueError, match="depends on itself"):
+        Task(task_id=3, task_type=0, arrival=0.0, deadline=1.0, deps=(3,))
+
+
+# ----------------------------------------------------------------------
+# Trace format v3
+# ----------------------------------------------------------------------
+def test_dag_trace_round_trips_and_writes_v3(tmp_path):
+    spec = WorkloadSpec(
+        num_tasks=40, time_span=50.0, num_task_types=3, dag_layers=3
+    )
+    tasks = generate_workload(spec, _PET, np.random.default_rng(5))
+    path = tmp_path / "dag.trace.json"
+    save_trace(path, tasks, spec)
+    payload = json.loads(path.read_text())
+    assert payload["format_version"] == 3
+    loaded, loaded_spec = load_trace(path)
+    assert [(t.task_id, t.deps) for t in loaded] == [
+        (t.task_id, t.deps) for t in tasks
+    ]
+    assert loaded_spec == spec
+
+
+def test_flat_trace_still_writes_v2(tmp_path):
+    spec = WorkloadSpec(num_tasks=30, time_span=50.0, num_task_types=3)
+    tasks = generate_workload(spec, _PET, np.random.default_rng(5))
+    path = tmp_path / "flat.trace.json"
+    save_trace(path, tasks, spec)
+    payload = json.loads(path.read_text())
+    assert payload["format_version"] == 2
+    assert all("deps" not in r for r in payload["tasks"])
+    assert all(not k.startswith("dag_") for k in payload["spec"])
+
+
+def test_trace_with_edges_rejects_csv_and_validates_deps(tmp_path):
+    from repro.workload.trace import save_csv_trace
+
+    tasks = _tasks(3)
+    tasks[2] = Task(task_id=2, task_type=0, arrival=2.0, deadline=12.0, deps=(0, 1))
+    with pytest.raises(ValueError, match="dependency edges"):
+        save_csv_trace(tmp_path / "dag.csv", tasks)
+    # A corrupt file (dangling parent) is rejected at load.
+    path = tmp_path / "bad.trace.json"
+    save_trace(path, tasks)
+    payload = json.loads(path.read_text())
+    payload["tasks"][2]["deps"] = [99]
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="unknown task"):
+        from repro.workload.trace import load_any_trace
+
+        load_any_trace(path, "json")
+
+
+def test_spec_validation_guards_dag_fields():
+    with pytest.raises(ValueError, match="dag_layers"):
+        WorkloadSpec(num_tasks=10, time_span=10.0, dag_layers=1)
+    with pytest.raises(ValueError, match="dag_edge_prob"):
+        WorkloadSpec(num_tasks=10, time_span=10.0, dag_layers=2, dag_edge_prob=1.5)
+    with pytest.raises(ValueError, match="dag_max_parents"):
+        WorkloadSpec(num_tasks=10, time_span=10.0, dag_layers=2, dag_max_parents=0)
+    with pytest.raises(ValueError, match="explicit dependency edges"):
+        WorkloadSpec(
+            num_tasks=10,
+            time_span=10.0,
+            pattern="trace",
+            trace_path="x.json",
+            dag_layers=2,
+        )
+    with pytest.raises(ValueError, match="trace_sample"):
+        WorkloadSpec(num_tasks=10, time_span=10.0, trace_sample=0.5)

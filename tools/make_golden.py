@@ -5,9 +5,13 @@ Produces (all deterministic — fixed seeds, no wall-clock input):
 
 * ``examples/traces/*.csv`` — small recorded traces the ``trace`` sweep
   preset replays;
+* ``tests/data/azure_mini.csv`` / ``tests/data/gcluster_mini.csv`` —
+  miniature public-trace-shaped fixtures (Azure-Functions-style and
+  Google-cluster-usage-style columns) the adapter tests and the
+  ``azure``/``gcluster`` sweep presets consume;
 * ``tests/golden/cases.json`` — the manifest of golden scenarios;
 * ``tests/golden/<name>.trace.json`` — the workload trace each scenario
-  replays (format v2);
+  replays (format v2; v3 when the workload carries DAG edges);
 * ``tests/golden/<name>.expected.json`` — the exact
   ``SimulationResult.to_dict()`` the replay must reproduce.
 
@@ -25,6 +29,7 @@ diff like any other code change::
 
 from __future__ import annotations
 
+import csv
 import json
 import sys
 from pathlib import Path
@@ -42,10 +47,16 @@ from repro.sim.dynamics import DynamicsSpec  # noqa: E402
 from repro.system.serverless import ServerlessSystem  # noqa: E402
 from repro.workload.generator import generate_workload  # noqa: E402
 from repro.workload.spec import WorkloadSpec  # noqa: E402
-from repro.workload.trace import save_csv_trace, save_trace  # noqa: E402
+from repro.workload.trace import (  # noqa: E402
+    load_any_trace,
+    save_csv_trace,
+    save_trace,
+    trace_spec,
+)
 
 GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
 TRACES_DIR = REPO_ROOT / "examples" / "traces"
+DATA_DIR = REPO_ROOT / "tests" / "data"
 
 #: The golden scenarios: one static, one churn, one bursty workload.
 #: ``trace_seed`` generates the workload; everything else configures the
@@ -124,6 +135,36 @@ CASES = [
         "dynamics": None,
         "seed": 31,
     },
+    # DAG workload: pins release-on-parent-completion ordering, the
+    # critical-path chance propagation, and doomed-subgraph cascades
+    # (the trace file is format v3 — it carries the dependency edges).
+    {
+        "name": "dag_mm_pruned",
+        "spec": {
+            "num_tasks": 150,
+            "time_span": 60.0,
+            "num_task_types": 6,
+            "pattern": "spiky",
+            "dag_layers": 3,
+            "dag_edge_prob": 0.6,
+        },
+        "trace_seed": 20260805,
+        "heuristic": "MM",
+        "pruning": "paper",
+        "dynamics": None,
+        "seed": 55,
+    },
+    # Adapted public trace: the workload is tests/data/azure_mini.csv
+    # normalized through the Azure-Functions adapter, so any drift in
+    # column parsing, arrival derivation, or deadline slack fails here.
+    {
+        "name": "azure_mini_mm_pruned",
+        "trace_from": {"format": "azure", "path": "tests/data/azure_mini.csv"},
+        "heuristic": "MM",
+        "pruning": "paper",
+        "dynamics": None,
+        "seed": 101,
+    },
 ]
 
 #: The example traces the ``trace`` sweep preset replays.
@@ -149,6 +190,47 @@ EXAMPLE_TRACES = [
         20260711,
     ),
 ]
+
+
+def write_azure_mini(path: Path, *, seed: int = 20260801, rows: int = 48) -> None:
+    """Synthesize a miniature Azure-Functions-style invocation CSV.
+
+    Columns ``app,func,end_timestamp,duration`` — the shape
+    :func:`repro.workload.adapters.load_azure_trace` normalizes.  End
+    timestamps are nondecreasing (the adapter enforces it) and the
+    (app, func) pairs map to 6 distinct task types.
+    """
+    rng = np.random.default_rng(seed)
+    pairs = [("a", "f0"), ("a", "f1"), ("b", "f0"), ("b", "f1"), ("c", "f0"), ("c", "f1")]
+    end = 5.0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["app", "func", "end_timestamp", "duration"])
+        for _ in range(rows):
+            app, func = pairs[int(rng.integers(len(pairs)))]
+            end += float(rng.uniform(0.2, 1.6))
+            duration = float(rng.uniform(0.5, 3.0))
+            writer.writerow([app, func, f"{end:.3f}", f"{duration:.3f}"])
+
+
+def write_gcluster_mini(path: Path, *, seed: int = 20260802, rows: int = 40) -> None:
+    """Synthesize a miniature Google-cluster-usage-style task-event CSV.
+
+    Columns ``job_id,task_index,start_time,end_time`` — the shape
+    :func:`repro.workload.adapters.load_gcluster_trace` normalizes.
+    Start times are nondecreasing and the job ids map to 5 task types.
+    """
+    rng = np.random.default_rng(seed)
+    jobs = [6251000000 + j for j in range(5)]
+    start = 2.0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["job_id", "task_index", "start_time", "end_time"])
+        for i in range(rows):
+            job = jobs[int(rng.integers(len(jobs)))]
+            start += float(rng.uniform(0.3, 2.0))
+            duration = float(rng.uniform(0.4, 2.5))
+            writer.writerow([job, i, f"{start:.3f}", f"{start + duration:.3f}"])
 
 
 def case_pruning(case: dict) -> PruningConfig | None:
@@ -178,6 +260,7 @@ def main() -> int:
     pet = pet_matrix("inconsistent")
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     TRACES_DIR.mkdir(parents=True, exist_ok=True)
+    DATA_DIR.mkdir(parents=True, exist_ok=True)
 
     for filename, spec_fields, seed in EXAMPLE_TRACES:
         spec = WorkloadSpec(**spec_fields)
@@ -185,16 +268,41 @@ def main() -> int:
         save_csv_trace(TRACES_DIR / filename, tasks)
         print(f"wrote {TRACES_DIR / filename} ({len(tasks)} tasks)")
 
+    write_azure_mini(DATA_DIR / "azure_mini.csv")
+    write_gcluster_mini(DATA_DIR / "gcluster_mini.csv")
+    print(f"wrote {DATA_DIR / 'azure_mini.csv'} + {DATA_DIR / 'gcluster_mini.csv'}")
+
     manifest = []
     for case in CASES:
-        spec = WorkloadSpec(**case["spec"])
-        tasks = generate_workload(spec, pet, np.random.default_rng(case["trace_seed"]))
+        if "trace_from" in case:
+            # Adapted public trace: normalize the raw CSV through its
+            # adapter; the golden trace.json then pins the adapter's
+            # exact output alongside the replay result.
+            src = case["trace_from"]
+            path = REPO_ROOT / src["path"]
+            tasks = load_any_trace(path, src["format"])
+            # Store the repo-relative path so the fixture is byte-stable
+            # across checkouts (the absolute path only reads the file).
+            spec = trace_spec(path, fmt=src["format"]).with_(
+                trace_path=src["path"]
+            )
+        else:
+            spec = WorkloadSpec(**case["spec"])
+            tasks = generate_workload(
+                spec, pet, np.random.default_rng(case["trace_seed"])
+            )
         trace_path = GOLDEN_DIR / f"{case['name']}.trace.json"
         save_trace(trace_path, tasks, spec)
         expected = run_case(case, tasks)
         expected_path = GOLDEN_DIR / f"{case['name']}.expected.json"
         expected_path.write_text(json.dumps(expected, indent=2, sort_keys=True) + "\n")
-        manifest.append({k: v for k, v in case.items() if k not in ("spec", "trace_seed")})
+        manifest.append(
+            {
+                k: v
+                for k, v in case.items()
+                if k not in ("spec", "trace_seed", "trace_from")
+            }
+        )
         print(f"wrote {trace_path} + expected ({len(tasks)} tasks)")
 
     (GOLDEN_DIR / "cases.json").write_text(json.dumps(manifest, indent=2) + "\n")
