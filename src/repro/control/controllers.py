@@ -62,6 +62,28 @@ class Controller(abc.ABC):
         """Times at which :meth:`at_time` should be consulted (config-pure)."""
         return ()
 
+    # ------------------------------------------------------------------
+    # Snapshot/restore (the live service's rolling-restart path).  The
+    # determinism contract above is what makes this generic: a
+    # controller's behavior is a pure function of (config, observed
+    # snapshots), so its *mutable scalars* are its entire evolving state.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-ready mutable state (config/base are reconstructed)."""
+        return {
+            k: v
+            for k, v in vars(self).items()
+            if k not in ("config", "base")
+            and (v is None or isinstance(v, (int, float)))
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto a fresh instance."""
+        for k, v in state.items():
+            if k in ("config", "base") or not hasattr(self, k):
+                raise ValueError(f"unknown controller state field {k!r}")
+            setattr(self, k, v)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.config.kind!r})"
 

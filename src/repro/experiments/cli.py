@@ -294,6 +294,14 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """Run the requested figure(s) or sweep; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        # The live-service driver has its own argument surface; delegate
+        # before the figure parser rejects the subcommand.
+        from ..service.__main__ import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.figure != "sweep" and args.grid is not None:
         print(

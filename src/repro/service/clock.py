@@ -1,0 +1,157 @@
+"""Pluggable clocks for the live scheduler service.
+
+The service maps on *service time* — the same axis the simulator calls
+``sim.now`` — supplied by a :class:`Clock`:
+
+* :class:`WallClock` derives service time from the monotonic OS clock,
+  optionally scaled (``rate > 1`` compresses a recorded trace so a
+  100-time-unit workload streams through in seconds);
+* :class:`VirtualClock` is advanced explicitly by tests
+  (:meth:`~VirtualClock.advance_to`), which is what makes the whole
+  service suite deterministic and free of real sleeps.
+
+The synchronization contract that keeps virtual time race-free:
+``wait_until`` re-checks its wake conditions *before* parking on any
+event, so a pulse or wake that lands between the caller's decision to
+wait and the actual ``await`` can never be missed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional, Protocol
+
+__all__ = ["Clock", "WallClock", "VirtualClock"]
+
+
+class Clock(Protocol):
+    """Source of service time and the wait primitive the pump parks on."""
+
+    def now(self) -> float:
+        """Current service time."""
+        ...  # pragma: no cover - protocol
+
+    def resume_at(self, t: float) -> None:
+        """Re-anchor so ``now()`` resumes from ``t`` (snapshot restore)."""
+        ...  # pragma: no cover - protocol
+
+    async def wait_until(self, deadline: Optional[float], wake: asyncio.Event) -> None:
+        """Sleep until service time reaches ``deadline`` or ``wake`` is set.
+
+        ``deadline=None`` waits for ``wake`` alone.  Implementations must
+        check both conditions before parking (no missed-wakeup races).
+        """
+        ...  # pragma: no cover - protocol
+
+
+async def _first_of(*futures: "asyncio.Future") -> None:
+    """Await the first future to finish, then cancel and reap the rest."""
+    _, pending = await asyncio.wait(set(futures), return_when=asyncio.FIRST_COMPLETED)
+    for fut in pending:
+        fut.cancel()
+    if pending:
+        await asyncio.gather(*pending, return_exceptions=True)
+
+
+class WallClock:
+    """Service time driven by the monotonic OS clock.
+
+    ``rate`` scales real seconds into service-time units:
+    ``now() = base + (monotonic - origin) * rate``.  ``rate=1`` is
+    production; a large rate replays recorded traces (whose deadlines
+    are in abstract simulator units) quickly while preserving ordering.
+    """
+
+    def __init__(self, rate: float = 1.0, *, start_time: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self._base = float(start_time)
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        return self._base + (time.monotonic() - self._origin) * self.rate
+
+    def resume_at(self, t: float) -> None:
+        self._base = float(t)
+        self._origin = time.monotonic()
+
+    async def wait_until(self, deadline: Optional[float], wake: asyncio.Event) -> None:
+        if wake.is_set():
+            return
+        if deadline is None:
+            await wake.wait()
+            return
+        delay = (deadline - self.now()) / self.rate
+        if delay <= 0:
+            return
+        waiter = asyncio.ensure_future(wake.wait())
+        try:
+            await asyncio.wait_for(asyncio.shield(waiter), timeout=delay)
+        except asyncio.TimeoutError:
+            pass
+        finally:
+            waiter.cancel()
+            await asyncio.gather(waiter, return_exceptions=True)
+
+
+class VirtualClock:
+    """Explicitly advanced service time — the deterministic test clock.
+
+    Tests (and :func:`~repro.service.service.run_until_quiescent`) move
+    time with :meth:`advance_to`/:meth:`advance`; every advance pulses
+    an internal event so any ``wait_until`` re-checks its deadline.
+    Nothing here ever touches the OS clock, so a suite built on this
+    clock contains zero real sleeps by construction.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._waiters: list["asyncio.Future"] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def resume_at(self, t: float) -> None:
+        self._now = float(t)
+        self._pulse()
+
+    # ------------------------------------------------------------------
+    def advance_to(self, t: float) -> None:
+        """Move service time forward to ``t`` (never backward)."""
+        if t < self._now:
+            raise ValueError(f"cannot rewind virtual time: {t} < now={self._now}")
+        self._now = float(t)
+        self._pulse()
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"negative advance: {dt}")
+        self.advance_to(self._now + dt)
+
+    def _pulse(self) -> None:
+        # Resolve every waiter registered so far.  Registration happens
+        # synchronously inside ``wait_until`` (a plain Future appended
+        # before any await), so there is no window between a waiter's
+        # deadline re-check and its registration for a pulse to slip
+        # through — an Event's coroutine-based ``wait()`` would have one.
+        waiters, self._waiters = self._waiters, []
+        for fut in waiters:
+            if not fut.done():
+                fut.set_result(None)
+
+    # ------------------------------------------------------------------
+    async def wait_until(self, deadline: Optional[float], wake: asyncio.Event) -> None:
+        while True:
+            if wake.is_set():
+                return
+            if deadline is not None and self._now >= deadline:
+                return
+            tick = asyncio.get_running_loop().create_future()
+            self._waiters.append(tick)
+            try:
+                await _first_of(tick, asyncio.ensure_future(wake.wait()))
+            finally:
+                if tick in self._waiters:
+                    self._waiters.remove(tick)

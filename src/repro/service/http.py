@@ -1,0 +1,192 @@
+"""Thin HTTP/JSON endpoint over :class:`SchedulerService` (stdlib only).
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — no
+framework dependency, one connection per request (``Connection: close``),
+JSON in and out:
+
+* ``POST /v1/tasks`` — offer one task record; the response status maps
+  the ingress decision (202 admitted, 422 rejected by Eq.-2 admission,
+  429 shed by backpressure, 400 malformed);
+* ``GET /v1/stats`` — live service summary;
+* ``GET /v1/healthz`` — liveness;
+* ``POST /v1/snapshot`` — capture a snapshot (409 while ingress is
+  non-empty: snapshots need a quiescent pump).
+
+Fault tolerance is part of the contract, pinned by the fault-injection
+tests: malformed JSON or a garbled request line yields a structured 400
+and the service keeps serving; a client disconnecting mid-request just
+closes that connection — the pump never sees it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from .service import SchedulerService
+from .snapshot import snapshot_service
+
+__all__ = ["ServiceHTTP"]
+
+#: Upper bound on request bodies; a gateway for small task records does
+#: not need more, and the cap keeps a hostile client from ballooning RAM.
+MAX_BODY = 1 << 20
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+}
+
+_DECISION_STATUS = {
+    "admitted": 202,
+    "rejected": 422,
+    "shed": 429,
+    "malformed": 400,
+}
+
+
+class _BadRequest(Exception):
+    pass
+
+
+class ServiceHTTP:
+    """One HTTP listener bound to one scheduler service."""
+
+    def __init__(
+        self,
+        service: SchedulerService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        # Port 0 binds an ephemeral port; publish the real one.
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except _BadRequest as exc:
+                await self._respond(writer, 400, {"error": str(exc)})
+                return
+            except (asyncio.IncompleteReadError, ConnectionError, asyncio.LimitOverrunError):
+                # Client vanished mid-request: drain this connection
+                # cleanly; nothing reached the pump.
+                return
+            status, payload = await self._route(method, path, body)
+            await self._respond(writer, status, payload)
+        except ConnectionError:
+            pass  # peer reset while we were writing the response
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+        if not request_line:
+            raise _BadRequest("empty request")
+        parts = request_line.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _BadRequest(f"malformed request line: {request_line!r}")
+        method, path, _ = parts
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _BadRequest(f"bad Content-Length: {value.strip()!r}")
+        if content_length > MAX_BODY:
+            raise _BadRequest(f"body too large ({content_length} > {MAX_BODY})")
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method, path, body
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict]:
+        if path == "/v1/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, {"status": "ok", "time": self.service.timeline.now}
+        if path == "/v1/stats":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, self.service.describe()
+        if path == "/v1/tasks":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            ok, record = self._parse_json(body)
+            if not ok:
+                self.service.stats.received += 1
+                self.service.stats.malformed += 1
+                return 400, {"status": "malformed", "error": "invalid JSON body"}
+            # A syntactically-valid but non-object body flows through
+            # offer(), which classifies it malformed with a field-level
+            # error — one structured-reject path for every bad payload.
+            decision = await self.service.offer(record)
+            return _DECISION_STATUS[decision.status], decision.to_dict()
+        if path == "/v1/snapshot":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            try:
+                return 200, snapshot_service(self.service)
+            except ValueError as exc:
+                return 409, {"error": str(exc)}
+        return 404, {"error": f"unknown path {path}"}
+
+    @staticmethod
+    def _parse_json(body: bytes) -> tuple[bool, Optional[dict]]:
+        try:
+            return True, json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return False, None
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()

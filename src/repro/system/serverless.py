@@ -79,6 +79,12 @@ class ServerlessSystem:
         recoveries and elastic scaling are scheduled over the workload
         span from the root seed's ``"dynamics"`` stream (deterministic
         per seed), with churn victims requeued through admission.
+    sim:
+        Event timeline to map on.  ``None`` → a fresh discrete-event
+        :class:`~repro.sim.engine.Simulator` (the replay driver); the
+        live service injects an
+        :class:`~repro.service.timeline.AsyncTimeline` advanced by a
+        wall or virtual clock instead.
     """
 
     def __init__(
@@ -96,6 +102,7 @@ class ServerlessSystem:
         memoize: Union[bool, str] = True,
         dynamics: Optional[DynamicsSpec] = None,
         observer=None,
+        sim: Optional[Simulator] = None,
     ) -> None:
         self.model = model
         if isinstance(heuristic, str):
@@ -118,7 +125,14 @@ class ServerlessSystem:
             cluster.set_queue_limit(queue_limit)
         self.cluster = cluster
 
-        self.sim = Simulator()
+        # The event timeline is injectable: the discrete-event driver uses
+        # the default :class:`Simulator`; the live service driver injects
+        # an :class:`~repro.service.timeline.AsyncTimeline` (same schedule/
+        # cancel/now contract, advanced by a Clock instead of ``run()``).
+        # Everything below this line is timeline-agnostic — that is the
+        # engine/policy separation that makes the sim and the service two
+        # drivers over one shared mapping core.
+        self.sim = sim if sim is not None else Simulator()
         self.rngs = RngStreams(seed)
         self._exec_rng = self.rngs.stream("exec")
         self.estimator = CompletionEstimator(

@@ -1,6 +1,11 @@
-"""Shared fixtures: small deterministic PET matrices, workloads, systems."""
+"""Shared fixtures: small deterministic PET matrices, workloads, systems,
+and the virtual-clock service harness (no test ever sleeps on the wall
+clock — live-service scenarios run under a :class:`VirtualClock` advanced
+explicitly by :func:`run_until_quiescent` or the test itself)."""
 
 from __future__ import annotations
+
+import asyncio
 
 import numpy as np
 import pytest
@@ -14,6 +19,7 @@ from repro import (
     generate_pet_matrix,
     generate_workload,
 )
+from repro.service import AsyncTimeline, SchedulerService, VirtualClock
 
 
 @pytest.fixture
@@ -87,5 +93,50 @@ def make_system(pet_small):
     def _make(heuristic="MM", pruning=None, **kwargs) -> ServerlessSystem:
         kwargs.setdefault("seed", 5)
         return ServerlessSystem(pet_small, heuristic, pruning=pruning, **kwargs)
+
+    return _make
+
+
+# ----------------------------------------------------------------------
+# Live-service harness: virtual clock + deterministic asyncio runner.
+# ----------------------------------------------------------------------
+@pytest.fixture
+def run_async():
+    """Deterministic asyncio runner: one fresh event loop per scenario.
+
+    Combined with :class:`VirtualClock` services this is the whole
+    determinism story — nothing in a scenario can block on real time,
+    so ``asyncio.run`` drives it to completion without a single
+    wall-clock sleep.
+    """
+
+    def _run(coro):
+        return asyncio.run(coro)
+
+    return _run
+
+
+@pytest.fixture
+def make_service(pet_small):
+    """Factory for virtual-clock scheduler services over the session PET.
+
+    Returns ``(service, clock)`` so tests can advance time explicitly;
+    system construction mirrors :fixture:`make_system` (seed 5 default).
+    """
+
+    def _make(
+        heuristic="MM",
+        pruning=None,
+        *,
+        start_time: float = 0.0,
+        system_kwargs: dict | None = None,
+        **service_kwargs,
+    ) -> tuple[SchedulerService, VirtualClock]:
+        clock = VirtualClock(start_time)
+        kwargs = {"seed": 5, **(system_kwargs or {})}
+        system = ServerlessSystem(
+            pet_small, heuristic, pruning=pruning, sim=AsyncTimeline(clock), **kwargs
+        )
+        return SchedulerService(system, **service_kwargs), clock
 
     return _make

@@ -32,7 +32,7 @@ from repro.workload.trace import load_trace
 # drift between the two would pin fixtures against a different config
 # than the one that produced them.
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
-from make_golden import case_pruning  # noqa: E402
+from make_golden import case_pruning, run_case_live  # noqa: E402
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 CASES = json.loads((GOLDEN_DIR / "cases.json").read_text())
@@ -64,6 +64,22 @@ def test_golden_trace_replay_is_exact(case):
     assert actual == expected, (
         f"golden trace {case['name']} diverged — if the behavior change is "
         f"intentional, regenerate with `python tools/make_golden.py`:\n"
+        f"{_diff(expected, actual)}"
+    )
+
+
+@pytest.mark.parametrize("case", CASES, ids=[c["name"] for c in CASES])
+def test_golden_trace_live_service_is_byte_identical(case):
+    """Replay-vs-live equivalence: the same golden trace streamed through
+    the scheduler *service* under a virtual clock must reproduce the
+    committed fixture byte-identically — the sim engine and the live
+    driver are two drivers over one mapping core, and this is the proof."""
+    tasks, spec = load_trace(GOLDEN_DIR / f"{case['name']}.trace.json")
+    assert spec is not None
+    actual = run_case_live(case, tasks)
+    expected = json.loads((GOLDEN_DIR / f"{case['name']}.expected.json").read_text())
+    assert actual == expected, (
+        f"live service diverged from golden trace {case['name']}:\n"
         f"{_diff(expected, actual)}"
     )
 

@@ -49,6 +49,7 @@ from repro.workload.generator import generate_workload  # noqa: E402
 from repro.workload.spec import WorkloadSpec  # noqa: E402
 from repro.workload.trace import (  # noqa: E402
     load_any_trace,
+    load_trace,
     save_csv_trace,
     save_trace,
     trace_spec,
@@ -256,6 +257,36 @@ def run_case(case: dict, tasks) -> dict:
     return system.run(tasks).to_dict()
 
 
+def run_case_live(case: dict, tasks) -> dict:
+    """Replay one golden case through the *live service* under a virtual
+    clock — the second driver over the same mapping core.  The golden
+    suite asserts this returns byte-identically what :func:`run_case`
+    returns, and ``main`` cross-checks it before writing any fixture, so
+    a fixture that breaks replay-vs-live equivalence can never land."""
+    import asyncio
+
+    from repro.service import AsyncTimeline, SchedulerService, VirtualClock
+    from repro.service.service import run_until_quiescent
+
+    async def scenario():
+        system = ServerlessSystem(
+            pet_matrix("inconsistent"),
+            case["heuristic"],
+            pruning=case_pruning(case),
+            seed=case["seed"],
+            dynamics=DynamicsSpec(**case["dynamics"]) if case["dynamics"] else None,
+            sim=AsyncTimeline(VirtualClock()),
+        )
+        service = SchedulerService(system)
+        await service.start()
+        service.replay(tasks)
+        await run_until_quiescent(service)
+        await service.stop()
+        return service.finalize().to_dict()
+
+    return asyncio.run(scenario())
+
+
 def main() -> int:
     pet = pet_matrix("inconsistent")
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
@@ -294,6 +325,18 @@ def main() -> int:
         trace_path = GOLDEN_DIR / f"{case['name']}.trace.json"
         save_trace(trace_path, tasks, spec)
         expected = run_case(case, tasks)
+        # Replay-vs-live equivalence gate: the live-service driver must
+        # reproduce the simulator's result byte-identically before the
+        # fixture is allowed to land (fresh tasks — run_case mutated ours).
+        live_tasks, _ = load_trace(trace_path)
+        live = run_case_live(case, live_tasks)
+        if live != expected:
+            diverged = sorted(
+                k for k in set(live) | set(expected) if live.get(k) != expected.get(k)
+            )
+            raise SystemExit(
+                f"replay-vs-live divergence in {case['name']} (fields: {diverged})"
+            )
         expected_path = GOLDEN_DIR / f"{case['name']}.expected.json"
         expected_path.write_text(json.dumps(expected, indent=2, sort_keys=True) + "\n")
         manifest.append(
