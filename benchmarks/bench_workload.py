@@ -19,7 +19,7 @@ def test_fig6_series(benchmark, show):
         lambda: fig6(base_seed=BENCH_SEED, scale=BENCH_SCALE), rounds=1, iterations=1
     )
     lines = ["Fig. 6 — spiky arrival rates (tasks/unit):"]
-    for ttype, (centers, rates) in series.items():
+    for ttype, (_centers, rates) in series.items():
         peaks = rates.max()
         lines.append(
             f"  type {ttype}: lull≈{np.median(rates):.2f}, peak≈{peaks:.2f}, "

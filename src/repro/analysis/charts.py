@@ -8,7 +8,8 @@ a picture, not just a table — no plotting dependency required.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..experiments.report import FigureResult
@@ -55,7 +56,7 @@ def bar_chart(
 
 
 def grouped_bars(
-    figure: "FigureResult",
+    figure: FigureResult,
     *,
     width: int = 40,
     peak: float = 100.0,
@@ -77,6 +78,6 @@ def grouped_bars(
     return "\n".join(lines).rstrip()
 
 
-def render_figure(figure: "FigureResult", *, width: int = 40) -> str:
+def render_figure(figure: FigureResult, *, width: int = 40) -> str:
     """Chart + the underlying table (what the CLI's ``--chart`` prints)."""
     return grouped_bars(figure, width=width) + "\n\n" + figure.to_text()

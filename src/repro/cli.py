@@ -1,0 +1,30 @@
+"""Top-level ``repro`` command: one console entry over the sub-CLIs.
+
+``repro lint``   → :mod:`repro.lint.cli` (the determinism linter)
+``repro <cmd>``  → :mod:`repro.experiments.cli` (fig7/sweep/serve/...)
+
+Installed via ``[project.scripts]``; without an install the module
+forms keep working: ``python -m repro.lint``, ``python -m
+repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "lint":
+        from .lint.cli import main as lint_main
+
+        return lint_main(args[1:])
+    from .experiments.cli import main as experiments_main
+
+    return experiments_main(args if args else None)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

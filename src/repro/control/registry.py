@@ -14,7 +14,7 @@ Three spellings resolve to a :class:`~repro.core.config.ControllerConfig`:
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from collections.abc import Mapping
 
 from ..core.config import CONTROLLER_KINDS, ControllerConfig, PruningConfig
 from .controllers import (
@@ -66,17 +66,17 @@ def make_controller(config: ControllerConfig, base: PruningConfig) -> Controller
 
 
 def make_driver(
-    config: Optional[ControllerConfig],
+    config: ControllerConfig | None,
     base: PruningConfig,
     setpoints: Setpoints,
-) -> Optional[ControllerDriver]:
+) -> ControllerDriver | None:
     """Build the driver for a pruning config (``None`` → no control plane)."""
     if config is None:
         return None
     return ControllerDriver(make_controller(config, base), setpoints)
 
 
-def _convert(key: str, raw: str):
+def _convert(key: str, raw: str) -> bool | int | float:
     if key not in _FIELD_TYPES:
         raise ValueError(
             f"unknown controller parameter {key!r}; allowed: {sorted(_FIELD_TYPES)}"
@@ -143,7 +143,7 @@ def parse_controller_spec(spec: str) -> ControllerConfig:
     return ControllerConfig(kind=kind, **kwargs)
 
 
-def resolve_controller(entry) -> tuple[str, Optional[ControllerConfig]]:
+def resolve_controller(entry: object) -> tuple[str, ControllerConfig | None]:
     """Resolve one grid ``controller`` entry to ``(label, config)``.
 
     Accepted forms::

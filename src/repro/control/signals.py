@@ -20,7 +20,7 @@ controllers:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from collections.abc import Mapping
 
 __all__ = ["Setpoints", "ControlSignals"]
 

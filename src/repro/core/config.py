@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import Optional
 
 __all__ = ["PruningConfig", "ToggleMode", "ControllerConfig", "CONTROLLER_KINDS"]
 
@@ -117,7 +116,7 @@ class ControllerConfig:
             if value < 1:
                 raise ValueError(f"{name} must be >= 1, got {value}")
 
-    def with_(self, **changes) -> "ControllerConfig":
+    def with_(self, **changes) -> ControllerConfig:
         """Functional update (frozen dataclass)."""
         return replace(self, **changes)
 
@@ -146,7 +145,7 @@ class PruningConfig:
     #: Optional runtime control plane adapting β/α to observed load
     #: (``None`` → the paper's static setpoints, bit-identical pre-PR-5
     #: behavior and result payloads).
-    controller: Optional[ControllerConfig] = None
+    controller: ControllerConfig | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.pruning_threshold <= 1.0:
@@ -166,12 +165,12 @@ class PruningConfig:
 
     # Convenience presets -------------------------------------------------
     @classmethod
-    def paper_default(cls) -> "PruningConfig":
+    def paper_default(cls) -> PruningConfig:
         """Threshold 50 %, fairness factor 0.05, reactive Toggle (§V-A)."""
         return cls()
 
     @classmethod
-    def defer_only(cls, threshold: float = 0.5) -> "PruningConfig":
+    def defer_only(cls, threshold: float = 0.5) -> PruningConfig:
         """Fig. 8 setting: deferring enabled, dropping never engaged."""
         return cls(
             pruning_threshold=threshold,
@@ -180,10 +179,10 @@ class PruningConfig:
         )
 
     @classmethod
-    def drop_only(cls, mode: ToggleMode = ToggleMode.REACTIVE) -> "PruningConfig":
+    def drop_only(cls, mode: ToggleMode = ToggleMode.REACTIVE) -> PruningConfig:
         """Fig. 7 setting: dropping per ``mode``, deferring disabled."""
         return cls(toggle_mode=mode, enable_deferring=False)
 
-    def with_(self, **changes) -> "PruningConfig":
+    def with_(self, **changes) -> PruningConfig:
         """Functional update (frozen dataclass)."""
         return replace(self, **changes)

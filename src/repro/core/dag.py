@@ -24,7 +24,7 @@ runtime side of that model, shared by both allocator modes:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..sim.task import Task
 from ..workload.dag import count_edges, task_depths, validate_deps

@@ -91,7 +91,7 @@ class Pruner:
     def control_tick(
         self,
         cluster: Cluster,
-        estimator: "CompletionEstimator",
+        estimator: CompletionEstimator,
         now: float,
         *,
         mapping_events: int,
@@ -170,7 +170,7 @@ class Pruner:
     def drop_scan(
         self,
         cluster: Cluster,
-        estimator: "CompletionEstimator",
+        estimator: CompletionEstimator,
         now: float,
     ) -> list[DropDecision]:
         """Select queued tasks whose chance of success ≤ β − γ_k.
@@ -265,7 +265,7 @@ class Pruner:
         self,
         held: list[Task],
         cluster: Cluster,
-        estimator: "CompletionEstimator",
+        estimator: CompletionEstimator,
         now: float,
     ) -> list[DropDecision]:
         """Select held (unreleased) DAG tasks whose propagated chance of

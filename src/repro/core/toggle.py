@@ -15,7 +15,7 @@ Three policies cover the paper's Fig. 7 scenarios:
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from .accounting import Accounting
 from .config import PruningConfig, ToggleMode
@@ -56,7 +56,7 @@ class ReactiveToggle(Toggle):
     ``ReactiveToggle(alpha=n)`` keeps the paper's frozen constant.
     """
 
-    def __init__(self, alpha: int = 0, *, setpoints: "Optional[Setpoints]" = None) -> None:
+    def __init__(self, alpha: int = 0, *, setpoints: Setpoints | None = None) -> None:
         if alpha < 0:
             raise ValueError("alpha must be >= 0")
         self._alpha = alpha
@@ -77,7 +77,7 @@ class ReactiveToggle(Toggle):
 
 
 def make_toggle(
-    config: PruningConfig, setpoints: "Optional[Setpoints]" = None
+    config: PruningConfig, setpoints: Setpoints | None = None
 ) -> Toggle:
     """Build the Toggle implied by a :class:`PruningConfig`.
 

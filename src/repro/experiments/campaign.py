@@ -40,7 +40,7 @@ from collections import Counter
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Mapping, Optional, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy
 import scipy
@@ -228,7 +228,7 @@ class ResultCache:
     def path_for(self, config: ExperimentConfig, trial: int) -> Path:
         return self.current_dir / f"{trial_key(config, trial)}.json"
 
-    def get(self, config: ExperimentConfig, trial: int) -> Optional[SimulationResult]:
+    def get(self, config: ExperimentConfig, trial: int) -> SimulationResult | None:
         path = self.path_for(config, trial)
         try:
             payload = json.loads(path.read_text())
@@ -282,12 +282,12 @@ class ResultCache:
         if not self.root.is_dir():
             return 0
         removed = 0
-        now = time.time()
+        now = time.time()  # reprolint: ignore[D001] on-disk cache ages are wall-clock by definition
         cutoff = now - max_age_days * 86400.0
         tmp_cutoff = now - TMP_MAX_AGE_S
         current = self.current_dir.name
 
-        def _reap_tmp(candidates) -> int:
+        def _reap_tmp(candidates: Iterable[Path]) -> int:
             reaped = 0
             for tmp in candidates:
                 if (
@@ -515,7 +515,7 @@ def run_cells(
 # ======================================================================
 # Declarative sweep grids
 # ======================================================================
-def _strict_bool(value) -> bool:
+def _strict_bool(value: object) -> bool:
     """Only real booleans — ``bool("false")`` is True, which would
     silently run the opposite configuration."""
     if not isinstance(value, bool):
@@ -523,7 +523,7 @@ def _strict_bool(value) -> bool:
     return value
 
 
-def _resolve_pruning(entry) -> tuple[str, Optional[PruningConfig]]:
+def _resolve_pruning(entry: object) -> tuple[str, PruningConfig | None]:
     """Resolve one grid ``pruning`` entry to (label, config).
 
     Accepted forms::
@@ -587,7 +587,7 @@ def _resolve_pruning(entry) -> tuple[str, Optional[PruningConfig]]:
     raise ValueError(f"unrecognized pruning entry: {entry!r}")
 
 
-def _resolve_dynamics(entry) -> tuple[str, Optional[DynamicsSpec]]:
+def _resolve_dynamics(entry: object) -> tuple[str, DynamicsSpec | None]:
     """Resolve one grid ``dynamics`` entry to (label, spec).
 
     Accepted forms::
@@ -648,7 +648,7 @@ def _resolve_dynamics(entry) -> tuple[str, Optional[DynamicsSpec]]:
     raise ValueError(f"unrecognized dynamics entry: {entry!r}")
 
 
-def _resolve_dag(entry) -> tuple[str, Optional[dict]]:
+def _resolve_dag(entry: object) -> tuple[str, dict | None]:
     """Resolve one grid ``dag`` entry to (label, spec-field overrides).
 
     Accepted forms::
@@ -713,7 +713,9 @@ def _resolve_dag(entry) -> tuple[str, Optional[dict]]:
     raise ValueError(f"unrecognized dag entry: {entry!r}")
 
 
-def _resolve_level(entry, pattern: ArrivalPattern, scale: float) -> tuple[str, WorkloadSpec]:
+def _resolve_level(
+    entry: object, pattern: ArrivalPattern, scale: float
+) -> tuple[str, WorkloadSpec]:
     """Resolve one grid ``levels`` entry to (name, WorkloadSpec).
 
     A string names a predefined oversubscription level (``"15k"``,
@@ -883,7 +885,7 @@ class SweepGrid:
     def total_trials(self) -> int:
         return self.num_cells * self.trials
 
-    def expand(self) -> list["CampaignCell"]:
+    def expand(self) -> list[CampaignCell]:
         """The grid's cells, in deterministic cross-product order.
 
         Every axis is validated here, so a typo'd grid fails before any
@@ -1048,7 +1050,7 @@ class SweepGrid:
         }
 
     @classmethod
-    def from_dict(cls, payload: Mapping) -> "SweepGrid":
+    def from_dict(cls, payload: Mapping) -> SweepGrid:
         if not isinstance(payload, Mapping):
             raise ValueError(
                 f"sweep grid must be a JSON object, got {type(payload).__name__}"
@@ -1060,7 +1062,7 @@ class SweepGrid:
         return cls(**payload)
 
     @classmethod
-    def from_json(cls, path: str | Path) -> "SweepGrid":
+    def from_json(cls, path: str | Path) -> SweepGrid:
         try:
             text = Path(path).read_text()
         except OSError as exc:
@@ -1072,14 +1074,14 @@ class SweepGrid:
         return cls.from_dict(payload)
 
     @classmethod
-    def preset(cls, name: str) -> "SweepGrid":
+    def preset(cls, name: str) -> SweepGrid:
         """A named preset grid (see :data:`PRESETS`)."""
         if name not in PRESETS:
             raise KeyError(f"unknown preset {name!r}; choose from {sorted(PRESETS)}")
         return cls.from_dict(PRESETS[name])
 
     @classmethod
-    def load(cls, source: str | Path) -> "SweepGrid":
+    def load(cls, source: str | Path) -> SweepGrid:
         """Preset name or path to a grid JSON file — the CLI's resolver."""
         if isinstance(source, str) and source in PRESETS:
             return cls.preset(source)
@@ -1124,7 +1126,7 @@ def _depth_outcomes(trials: Sequence[SimulationResult]) -> dict:
     }
 
 
-def _check_unique_labels(cells: Sequence["CampaignCell"], hint: str) -> None:
+def _check_unique_labels(cells: Sequence[CampaignCell], hint: str) -> None:
     """Summaries/CSV key on the label; colliding cells would be silently
     indistinguishable downstream."""
     counts = Counter(c.config.display_label for c in cells)
@@ -1151,13 +1153,13 @@ class Campaign:
         self.name = name
 
     @classmethod
-    def from_grid(cls, grid: SweepGrid) -> "Campaign":
+    def from_grid(cls, grid: SweepGrid) -> Campaign:
         return cls(grid.expand(), name=grid.name)
 
     @classmethod
     def from_configs(
         cls, configs: Sequence[ExperimentConfig], *, name: str = "campaign"
-    ) -> "Campaign":
+    ) -> Campaign:
         """Wrap ad-hoc :class:`ExperimentConfig` s (grid coordinates are
         derived from each config)."""
         cells = [
@@ -1190,7 +1192,7 @@ class Campaign:
         executor: str = "auto",
     ) -> CampaignSummary:
         """Execute every (cell, trial) pair and aggregate per cell."""
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # reprolint: ignore[D001] wall_s telemetry only, never enters sim state
         hits0 = cache.hits if cache is not None else 0
         misses0 = cache.misses if cache is not None else 0
         per_cell = run_cell_trials(
@@ -1232,7 +1234,7 @@ class Campaign:
         return CampaignSummary(
             name=self.name,
             rows=rows,
-            wall_s=time.perf_counter() - t0,
+            wall_s=time.perf_counter() - t0,  # reprolint: ignore[D001] wall_s telemetry only
             jobs=jobs or 1,
             cache_hits=(cache.hits - hits0) if cache is not None else 0,
             cache_misses=(cache.misses - misses0) if cache is not None else 0,

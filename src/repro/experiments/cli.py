@@ -33,7 +33,7 @@ import re
 import sys
 import time
 from pathlib import Path
-from typing import Mapping
+from collections.abc import Mapping
 
 from . import scenarios
 from .campaign import DEFAULT_CACHE_DIR, PRESETS, Campaign, ResultCache, SweepGrid
@@ -348,9 +348,9 @@ def main(argv: list[str] | None = None) -> int:
     cache = _cache_from(args)
     results: dict[str, FigureResult] = {}
     for name in names:
-        t0 = time.time()
+        t0 = time.time()  # reprolint: ignore[D001] operator-facing elapsed display
         out = _run_one(name, args, cache)
-        elapsed = time.time() - t0
+        elapsed = time.time() - t0  # reprolint: ignore[D001] operator-facing elapsed display
         if isinstance(out, FigureResult):
             results[name] = out
             if args.chart:

@@ -21,7 +21,7 @@ import io
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping
+from collections.abc import Mapping
 
 from ..metrics.compare import PairedComparison, compare_paired_stats
 from ..metrics.robustness import AggregateStats
@@ -163,7 +163,7 @@ class CampaignRow:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: Mapping) -> "CampaignRow":
+    def from_dict(cls, payload: Mapping) -> CampaignRow:
         return cls(
             label=payload["label"],
             heuristic=payload["heuristic"],
@@ -271,7 +271,7 @@ class CampaignSummary:
         }
 
     @classmethod
-    def from_dict(cls, payload: Mapping) -> "CampaignSummary":
+    def from_dict(cls, payload: Mapping) -> CampaignSummary:
         return cls(
             name=payload["name"],
             rows=[CampaignRow.from_dict(r) for r in payload["rows"]],
@@ -285,7 +285,7 @@ class CampaignSummary:
         Path(path).write_text(json.dumps(self.to_dict(), indent=2))
 
     @classmethod
-    def load_json(cls, path: str | Path) -> "CampaignSummary":
+    def load_json(cls, path: str | Path) -> CampaignSummary:
         return cls.from_dict(json.loads(Path(path).read_text()))
 
     # ------------------------------------------------------------------

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Optional
 
 import numpy as np
 
@@ -59,14 +58,14 @@ class ExperimentConfig:
 
     heuristic: str
     spec: WorkloadSpec
-    pruning: Optional[PruningConfig] = None
+    pruning: PruningConfig | None = None
     heterogeneity: str = "inconsistent"
     trials: int = 10
     base_seed: int = 42
     label: str = ""
     #: ``None`` → the paper's static cluster; a spec → machine
     #: failure/recovery/scaling events, deterministic per (config, trial).
-    dynamics: Optional[DynamicsSpec] = None
+    dynamics: DynamicsSpec | None = None
 
     @property
     def display_label(self) -> str:

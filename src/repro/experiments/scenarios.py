@@ -18,7 +18,7 @@ the paper's trace length).
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -21,7 +21,7 @@ finished simulation we then report:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 
 from ..sim.cluster import Cluster
@@ -49,7 +49,7 @@ class EnergyModel:
         active: float = 100.0,
         idle: float = 30.0,
         price: float = 1.0,
-    ) -> "EnergyModel":
+    ) -> EnergyModel:
         return cls(
             active_power=(active,) * num_machine_types,
             idle_power=(idle,) * num_machine_types,

@@ -23,7 +23,7 @@ keeping only positive-density work.
 from __future__ import annotations
 
 import math
-from typing import Callable
+from collections.abc import Callable
 
 from ..core.accounting import Accounting
 from ..core.config import PruningConfig
@@ -95,7 +95,7 @@ class ValueAwarePruner(Pruner):
 
     # ------------------------------------------------------------------
     @staticmethod
-    def attach(system, **kwargs) -> "ValueAwarePruner":
+    def attach(system, **kwargs) -> ValueAwarePruner:
         """Swap a running :class:`~repro.system.ServerlessSystem`'s pruner
         for a value-aware one (before submitting the workload)."""
         if system.pruner is None:

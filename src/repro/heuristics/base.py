@@ -18,7 +18,8 @@ availability accumulators — no Python loops over the batch queue.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 

@@ -7,7 +7,7 @@ uses (Fig. 3): ``RR MET MCT KPB`` (immediate, heterogeneous),
 
 from __future__ import annotations
 
-from typing import Callable, Union
+from collections.abc import Callable
 
 from .base import BatchHeuristic, ImmediateHeuristic
 from .batch import MMU, MSD, MinMin
@@ -24,7 +24,7 @@ __all__ = [
     "make_heuristic",
 ]
 
-Heuristic = Union[ImmediateHeuristic, BatchHeuristic]
+Heuristic = ImmediateHeuristic | BatchHeuristic
 
 IMMEDIATE_HEURISTICS: dict[str, Callable[[], ImmediateHeuristic]] = {
     "RR": RoundRobin,

@@ -1,0 +1,34 @@
+"""``repro.lint`` — the repo's AST-based determinism & contract linter.
+
+Static enforcement of the reproducibility contract that every PR leans
+on (pure-function-of-(config, trial) simulations, byte-identical
+replay, exact snapshot round-trips).  See ``docs/determinism.md`` for
+the contract and the full rule table; run ``python -m repro.lint``
+(or ``repro lint`` once installed) to check the tree.
+"""
+
+from .engine import LintConfig, LintReport, Waiver, find_waivers, run_lint, rule_table
+from .rules import RULES, RULES_BY_CODE, Rule, Violation
+from .snapshot_coverage import (
+    EXCLUSIONS,
+    SNAPSHOT_CLASSES,
+    SnapshotClassSpec,
+    check_snapshot_coverage,
+)
+
+__all__ = [
+    "LintConfig",
+    "LintReport",
+    "Waiver",
+    "find_waivers",
+    "run_lint",
+    "rule_table",
+    "RULES",
+    "RULES_BY_CODE",
+    "Rule",
+    "Violation",
+    "EXCLUSIONS",
+    "SNAPSHOT_CLASSES",
+    "SnapshotClassSpec",
+    "check_snapshot_coverage",
+]

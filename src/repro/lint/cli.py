@@ -1,0 +1,102 @@
+"""``repro lint`` / ``python -m repro.lint`` — the determinism gate.
+
+Exit codes: ``0`` clean (waived findings allowed), ``1`` active
+violations, ``2`` usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .engine import DEFAULT_ROOTS, LintConfig, run_lint, rule_table
+
+__all__ = ["main"]
+
+
+def _default_root() -> Path:
+    """The repo root: nearest ancestor of this file with a pyproject.toml
+    (editable install / in-tree run), else the current directory."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").is_file() and (parent / "src").is_dir():
+            return parent
+    return Path.cwd()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based determinism & contract linter (rules D001-D006).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"repo-relative files/dirs to scan (default: {', '.join(DEFAULT_ROOTS)})",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None, help="repo root (default: autodetected)"
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--rules", action="store_true", help="print the rule table and exit"
+    )
+    parser.add_argument(
+        "--no-snapshot-check",
+        action="store_true",
+        help="skip the whole-repo D005 snapshot-coverage pass",
+    )
+    parser.add_argument(
+        "--waivers", action="store_true", help="print the waiver budget report"
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse exits 2 on usage errors already
+        return int(exc.code or 0)
+
+    if args.rules:
+        rows = rule_table()
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            width = max(len(r["code"]) for r in rows)
+            for row in rows:
+                print(f"{row['code']:<{width}}  {row['summary']}")
+                print(f"{'':<{width}}  fix: {row['hint']}")
+        return 0
+
+    root = (args.root or _default_root()).resolve()
+    roots = tuple(args.paths) or DEFAULT_ROOTS
+    config = LintConfig(
+        root=root, roots=roots, snapshot_check=not args.no_snapshot_check
+    )
+    report = run_lint(config)
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.ok else 1
+
+    for violation in report.violations:
+        stream = sys.stdout if violation.waived else sys.stderr
+        print(violation.format(), file=stream)
+        if not violation.waived:
+            print(f"    fix: {violation.hint}", file=sys.stderr)
+
+    if args.waivers or report.waived:
+        budget = report.waiver_budget()
+        total = sum(budget.values())
+        per_code = ", ".join(f"{code}: {n}" for code, n in budget.items()) or "none"
+        print(f"waiver budget: {total} waived ({per_code})")
+
+    active = len(report.active)
+    print(
+        f"repro lint: {report.files_scanned} files, {active} violation(s), "
+        f"{len(report.waived)} waived — {'FAIL' if active else 'OK'}"
+    )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

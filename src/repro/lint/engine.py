@@ -1,0 +1,277 @@
+"""The lint engine: file walk → AST rules → waiver resolution → report.
+
+Waiver syntax (inline, on the flagged line)::
+
+    t0 = time.time()  # reprolint: ignore[D001] operator-facing timing
+
+* the bracket may list several codes: ``ignore[D001,D002]``;
+* the trailing text is the *reason* and is mandatory — a reasonless
+  waiver is reported as ``W001`` and still fails the gate;
+* a waiver that matches no violation on its line is stale and reported
+  as ``W002``, so fixed code sheds its waivers.
+
+``run_lint`` returns a :class:`LintReport`; the CLI (``python -m
+repro.lint`` / ``repro lint``) renders it as text or JSON and exits
+non-zero on any active violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from collections.abc import Iterable, Iterator
+
+from .rules import D005_HINT, D005_SUMMARY, RULES, Violation, iter_rule_violations
+from .snapshot_coverage import check_snapshot_coverage
+
+__all__ = ["LintConfig", "LintReport", "Waiver", "run_lint", "find_waivers"]
+
+#: Default scan roots, repo-relative.
+DEFAULT_ROOTS = ("src", "tests", "benchmarks")
+
+_WAIVER_RE = re.compile(
+    r"#\s*reprolint:\s*ignore\[(?P<codes>[A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)\]"
+    r"[ \t]*(?P<reason>[^#\n]*)"
+)
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One parsed ``# reprolint: ignore[...]`` comment."""
+
+    path: str
+    line: int
+    codes: tuple[str, ...]
+    reason: str
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """What to scan.  ``roots`` entries may be directories or files."""
+
+    root: Path
+    roots: tuple[str, ...] = DEFAULT_ROOTS
+    #: Run the whole-repo D005 snapshot-coverage pass (needs the real
+    #: tree layout; snippet-directory tests turn it off).
+    snapshot_check: bool = True
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run found."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def active(self) -> list[Violation]:
+        return [v for v in self.violations if not v.waived]
+
+    @property
+    def waived(self) -> list[Violation]:
+        return [v for v in self.violations if v.waived]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active
+
+    def waiver_budget(self) -> dict[str, int]:
+        """Waived-violation count per rule code (the budget report)."""
+        budget: dict[str, int] = {}
+        for v in self.waived:
+            budget[v.code] = budget.get(v.code, 0) + 1
+        return dict(sorted(budget.items()))
+
+    def to_dict(self) -> dict:
+        return {
+            "files_scanned": self.files_scanned,
+            "ok": self.ok,
+            "counts": {
+                "active": len(self.active),
+                "waived": len(self.waived),
+            },
+            "waiver_budget": self.waiver_budget(),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+# ----------------------------------------------------------------------
+def find_waivers(source: str, rel_path: str) -> list[Waiver]:
+    """All waiver comments in ``source`` (line numbers are 1-based).
+
+    Tokenize-based, so waiver *examples* inside docstrings and string
+    literals are not treated as live waivers.
+    """
+    waivers: list[Waiver] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return waivers
+    for lineno, text in comments:
+        match = _WAIVER_RE.search(text)
+        if match:
+            codes = tuple(c.strip() for c in match.group("codes").split(","))
+            waivers.append(
+                Waiver(
+                    path=rel_path,
+                    line=lineno,
+                    codes=codes,
+                    reason=match.group("reason").strip(),
+                )
+            )
+    return waivers
+
+
+def _iter_python_files(config: LintConfig) -> Iterator[Path]:
+    seen: set[Path] = set()
+    for entry in config.roots:
+        base = config.root / entry
+        if base.is_file() and base.suffix == ".py":
+            paths: Iterable[Path] = [base]
+        elif base.is_dir():
+            paths = sorted(base.rglob("*.py"))
+        else:
+            continue
+        for path in paths:
+            if "__pycache__" in path.parts or path in seen:
+                continue
+            seen.add(path)
+            yield path
+
+
+def _apply_waivers(
+    violations: list[Violation], waivers: list[Waiver]
+) -> tuple[list[Violation], list[Waiver]]:
+    """Resolve waivers against same-line violations.
+
+    Returns the (possibly waived) violations plus the list of *used*
+    waivers; reasonless and stale waivers are appended as W001/W002
+    violations by the caller.
+    """
+    by_line: dict[tuple[str, int], Waiver] = {(w.path, w.line): w for w in waivers}
+    used: set[tuple[str, int]] = set()
+    resolved: list[Violation] = []
+    for v in violations:
+        waiver = by_line.get((v.path, v.line))
+        if waiver is not None and v.code in waiver.codes and waiver.reason:
+            used.add((waiver.path, waiver.line))
+            resolved.append(
+                Violation(
+                    code=v.code,
+                    path=v.path,
+                    line=v.line,
+                    col=v.col,
+                    message=v.message,
+                    hint=v.hint,
+                    waived=True,
+                    waiver_reason=waiver.reason,
+                )
+            )
+        else:
+            if waiver is not None and v.code in waiver.codes and not waiver.reason:
+                # Mark the waiver used so it surfaces as W001, not W002.
+                used.add((waiver.path, waiver.line))
+            resolved.append(v)
+    used_waivers = [w for w in waivers if (w.path, w.line) in used]
+    return resolved, used_waivers
+
+
+def run_lint(config: LintConfig) -> LintReport:
+    """Lint everything under ``config.roots``; never raises on bad files
+    (syntax errors are reported as E999 violations)."""
+    report = LintReport()
+    all_waivers: list[Waiver] = []
+    all_violations: list[Violation] = []
+
+    for path in _iter_python_files(config):
+        rel = str(PurePosixPath(path.relative_to(config.root)))
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source)
+        except (OSError, SyntaxError, ValueError) as exc:
+            all_violations.append(
+                Violation(
+                    code="E999",
+                    path=rel,
+                    line=getattr(exc, "lineno", 1) or 1,
+                    col=0,
+                    message=f"cannot parse: {exc}",
+                    hint="fix the syntax error",
+                )
+            )
+            continue
+        report.files_scanned += 1
+        all_waivers.extend(find_waivers(source, rel))
+        all_violations.extend(iter_rule_violations(tree, rel))
+
+    if config.snapshot_check:
+        all_violations.extend(check_snapshot_coverage(config.root))
+
+    resolved, used = _apply_waivers(all_violations, all_waivers)
+    used_keys = {(w.path, w.line) for w in used}
+    for waiver in all_waivers:
+        if not waiver.reason:
+            resolved.append(
+                Violation(
+                    code="W001",
+                    path=waiver.path,
+                    line=waiver.line,
+                    col=0,
+                    message=(
+                        f"waiver for {','.join(waiver.codes)} has no reason — "
+                        f"write why the violation is acceptable"
+                    ),
+                    hint="append a one-line rationale after the bracket",
+                )
+            )
+        elif (waiver.path, waiver.line) not in used_keys:
+            resolved.append(
+                Violation(
+                    code="W002",
+                    path=waiver.path,
+                    line=waiver.line,
+                    col=0,
+                    message=(
+                        f"stale waiver for {','.join(waiver.codes)} — no such "
+                        f"violation on this line; delete the comment"
+                    ),
+                    hint="remove the waiver (the code it excused is gone)",
+                )
+            )
+
+    resolved.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    report.violations = resolved
+    return report
+
+
+def rule_table() -> list[dict]:
+    """Code/summary/hint rows for docs and ``--rules`` output."""
+    rows = [
+        {"code": rule.code, "summary": rule.summary, "hint": rule.hint} for rule in RULES
+    ]
+    rows.append({"code": "D005", "summary": D005_SUMMARY, "hint": D005_HINT})
+    rows.append(
+        {
+            "code": "W001",
+            "summary": "waiver without a reason string",
+            "hint": "append a one-line rationale after the bracket",
+        }
+    )
+    rows.append(
+        {
+            "code": "W002",
+            "summary": "stale waiver suppressing nothing",
+            "hint": "remove the waiver comment",
+        }
+    )
+    rows.sort(key=lambda r: r["code"])
+    return rows

@@ -1,0 +1,489 @@
+"""The determinism rule set (D001–D006).
+
+Each rule encodes one clause of the repo's reproducibility contract
+(see ``docs/determinism.md``): simulations must be a pure function of
+``(config, trial)``, so wall-clock reads, ambient RNG state, unordered
+iteration and exact float comparison are all machine-checkable hazards,
+not style preferences.
+
+Rules are :mod:`ast`-based and deliberately *syntactic*: they flag the
+patterns that have actually bitten this repo (or nearly did), and they
+accept an inline waiver with a written rationale::
+
+    t0 = time.time()  # reprolint: ignore[D001] operator-facing elapsed display
+
+A waiver without a reason string is itself a violation (``W001``), and
+a waiver that suppresses nothing is flagged stale (``W002``) — the
+waiver budget can only grow deliberately.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+from collections.abc import Callable, Iterable, Iterator
+
+__all__ = [
+    "Violation",
+    "Rule",
+    "RULES",
+    "RULES_BY_CODE",
+    "dotted_name",
+    "iter_rule_violations",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule code anchored at a file/line."""
+
+    code: str
+    path: str  #: repo-relative POSIX path
+    line: int
+    col: int
+    message: str
+    hint: str
+    waived: bool = False
+    waiver_reason: str = ""
+
+    def format(self) -> str:
+        mark = " (waived: " + self.waiver_reason + ")" if self.waived else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}{mark}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "waived": self.waived,
+            "waiver_reason": self.waiver_reason,
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: a code, a fix hint, and a per-file checker."""
+
+    code: str
+    summary: str
+    hint: str
+    #: Path predicate: which repo-relative files this rule scans.
+    applies: Callable[[str], bool]
+    #: ``check(tree, rel_path) -> iterable of (line, col, message)``.
+    check: Callable[[ast.AST, str], Iterable[tuple[int, int, str]]]
+
+
+# ----------------------------------------------------------------------
+# Path classification helpers (repo-relative POSIX paths).
+# ----------------------------------------------------------------------
+def in_src(rel: str) -> bool:
+    return rel.startswith("src/")
+
+
+def in_tests(rel: str) -> bool:
+    return rel.startswith("tests/")
+
+
+def in_benchmarks(rel: str) -> bool:
+    return rel.startswith("benchmarks/")
+
+
+def in_tools(rel: str) -> bool:
+    return rel.startswith("tools/")
+
+
+def in_service(rel: str) -> bool:
+    return rel.startswith("src/repro/service/")
+
+
+#: Files allowed to read the wall clock: the clock abstraction itself,
+#: developer tooling, and benchmark timing harnesses.
+_D001_WHITELIST_FILES = frozenset({"src/repro/service/clock.py"})
+
+
+def _d001_applies(rel: str) -> bool:
+    if in_tools(rel) or in_benchmarks(rel):
+        return False
+    if rel in _D001_WHITELIST_FILES:
+        return False
+    return in_src(rel) or in_tests(rel)
+
+
+# ----------------------------------------------------------------------
+# AST helpers.
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain rooted at a Name, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _walk_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def _contains(node: ast.AST, pred: Callable[[ast.AST], bool]) -> bool:
+    return any(pred(sub) for sub in ast.walk(node))
+
+
+# ----------------------------------------------------------------------
+# D001 — wall-clock reads.
+# ----------------------------------------------------------------------
+_WALL_CLOCK_EXACT = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "time.localtime",
+        "time.gmtime",
+    }
+)
+#: ``datetime.now`` both as ``datetime.now(...)`` (from-import) and
+#: ``datetime.datetime.now(...)`` — suffix match on the dotted chain.
+_WALL_CLOCK_SUFFIXES = ("datetime.now", "datetime.utcnow", "datetime.today", "date.today")
+
+
+def _check_d001(tree: ast.AST, rel: str) -> Iterator[tuple[int, int, str]]:
+    for call in _walk_calls(tree):
+        name = dotted_name(call.func)
+        if name is None:
+            continue
+        hit = name in _WALL_CLOCK_EXACT or any(
+            name == suf or name.endswith("." + suf) for suf in _WALL_CLOCK_SUFFIXES
+        )
+        if hit:
+            yield (
+                call.lineno,
+                call.col_offset,
+                f"wall-clock read `{name}()` — simulated/virtual time only "
+                f"(Clock protocol or sim.now)",
+            )
+
+
+# ----------------------------------------------------------------------
+# D002 — RNG discipline.
+# ----------------------------------------------------------------------
+#: ``np.random.X`` names that construct *explicit* state rather than
+#: touching the legacy global stream.
+_NP_RANDOM_CONSTRUCTORS = frozenset(
+    {"Generator", "SeedSequence", "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "MT19937"}
+)
+
+
+def _is_named_stream_seed(node: ast.AST) -> bool:
+    """Whether a seed expression flows through the named-stream API
+    (``stream_seed(...)``, ``streams.stream(...)``, ``streams.fresh(...)``)."""
+
+    def pred(sub: ast.AST) -> bool:
+        if not isinstance(sub, ast.Call):
+            return False
+        name = dotted_name(sub.func)
+        if name is None:
+            return False
+        leaf = name.rsplit(".", 1)[-1]
+        return leaf in ("stream_seed", "stream", "fresh")
+
+    return _contains(node, pred)
+
+
+def _check_d002(tree: ast.AST, rel: str) -> Iterator[tuple[int, int, str]]:
+    strict = in_src(rel) and rel != "src/repro/sim/rng.py"
+    for call in _walk_calls(tree):
+        name = dotted_name(call.func)
+        if name is None:
+            continue
+        # stdlib `random.*` module calls: ambient global state, never OK.
+        if name.startswith("random.") and name.count(".") == 1:
+            yield (
+                call.lineno,
+                call.col_offset,
+                f"stdlib `{name}()` uses ambient global RNG state — draw from "
+                f"a named stream (sim/rng.py) instead",
+            )
+            continue
+        # numpy legacy global API (`np.random.seed`, `np.random.normal`, ...).
+        if name.startswith(("np.random.", "numpy.random.")):
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf in _NP_RANDOM_CONSTRUCTORS:
+                continue
+            if leaf != "default_rng":
+                yield (
+                    call.lineno,
+                    call.col_offset,
+                    f"`{name}()` touches numpy's global RNG stream — use a "
+                    f"seeded Generator from a named stream",
+                )
+                continue
+            name = "default_rng"  # fall through to the default_rng logic
+        if name == "default_rng" or name.endswith(".default_rng"):
+            if not call.args and not call.keywords:
+                yield (
+                    call.lineno,
+                    call.col_offset,
+                    "unseeded `default_rng()` — seed explicitly (named stream "
+                    "or literal) or the run is irreproducible",
+                )
+            elif strict and not any(_is_named_stream_seed(a) for a in call.args):
+                yield (
+                    call.lineno,
+                    call.col_offset,
+                    "`default_rng(seed)` outside sim/rng.py bypasses the "
+                    "named-stream API — derive the seed via stream_seed()",
+                )
+
+
+def _d002_applies(rel: str) -> bool:
+    return in_src(rel) or in_tests(rel) or in_benchmarks(rel)
+
+
+# ----------------------------------------------------------------------
+# D003 — ordering hazards: iterating a bare set/frozenset.
+# ----------------------------------------------------------------------
+def _is_bare_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in ("set", "frozenset"):
+            return True
+        # ``dict.fromkeys(set(...))`` / set-method results that are sets:
+        # ``a | b`` etc. are BinOps we cannot type — syntactic cases only.
+    return False
+
+
+def _check_d003(tree: ast.AST, rel: str) -> Iterator[tuple[int, int, str]]:
+    msg = (
+        "iteration over an unordered {kind} — wrap in sorted(...) so the "
+        "visit order is deterministic"
+    )
+    for node in ast.walk(tree):
+        iters: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for it in iters:
+            if _is_bare_set_expr(it):
+                kind = "set literal" if isinstance(it, (ast.Set, ast.SetComp)) else "set()"
+                yield (it.lineno, it.col_offset, msg.format(kind=kind))
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in ("dict.fromkeys",) and node.args and _is_bare_set_expr(node.args[0]):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "dict built from an unordered set — key order leaks the "
+                    "set's hash order; sort first",
+                )
+
+
+def _d003_applies(rel: str) -> bool:
+    return rel.startswith("src/repro/")
+
+
+# ----------------------------------------------------------------------
+# D004 — exact float comparison of computed values.
+# ----------------------------------------------------------------------
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow, ast.Mod)
+
+
+def _is_float_computed(node: ast.AST) -> bool:
+    """Arithmetic that provably produces a float: a BinOp containing a
+    float literal, or any true division."""
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_computed(node.operand)
+    if not isinstance(node, ast.BinOp) or not isinstance(node.op, _ARITH_OPS):
+        return False
+
+    def pred(sub: ast.AST) -> bool:
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+            return True
+        return isinstance(sub, ast.Constant) and isinstance(sub.value, float)
+
+    return _contains(node, pred)
+
+
+def _is_fractional_const(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value != int(node.value)
+    )
+
+
+def _check_d004(tree: ast.AST, rel: str) -> Iterator[tuple[int, int, str]]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            computed = _is_float_computed(left) or _is_float_computed(right)
+            call_vs_frac = (
+                _is_fractional_const(left)
+                and isinstance(right, ast.Call)
+                or _is_fractional_const(right)
+                and isinstance(left, ast.Call)
+            )
+            if computed or call_vs_frac:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "exact ==/!= between computed floats — use math.isclose/"
+                    "np.isclose with an explicit tolerance, or waive with the "
+                    "rationale for exactness",
+                )
+                break
+
+
+def _d004_applies(rel: str) -> bool:
+    return in_src(rel)
+
+
+# ----------------------------------------------------------------------
+# D006 — async/wall-time hazards in tests and the live service.
+# ----------------------------------------------------------------------
+def _check_d006(tree: ast.AST, rel: str) -> Iterator[tuple[int, int, str]]:
+    for call in _walk_calls(tree):
+        name = dotted_name(call.func)
+        if name == "time.sleep":
+            yield (
+                call.lineno,
+                call.col_offset,
+                "time.sleep() blocks the loop on wall time — park on the "
+                "Clock/VirtualClock instead",
+            )
+        elif name in ("asyncio.sleep", "anyio.sleep") and call.args:
+            arg = call.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, (int, float)):
+                if arg.value > 0:
+                    yield (
+                        call.lineno,
+                        call.col_offset,
+                        f"`{name}({arg.value})` waits wall time — only "
+                        f"`asyncio.sleep(0)` (a pure yield) is deterministic",
+                    )
+    # The set()/clear() pulse: waiters registered after the pulse miss it
+    # forever (the PR 8 lost-wakeup race).  Flag `X.set()` immediately
+    # followed by `X.clear()` on the same expression in one block.
+    for node in ast.walk(tree):
+        body = getattr(node, "body", None)
+        if not isinstance(body, list):
+            continue
+        for first, second in zip(body, body[1:]):
+            target = _pulse_target(first, "set")
+            if target is not None and _pulse_target(second, "clear") == target:
+                yield (
+                    first.lineno,
+                    first.col_offset,
+                    "Event.set(); Event.clear() pulse — a waiter registered "
+                    "between the two misses the wakeup; hand futures out "
+                    "synchronously instead",
+                )
+
+
+def _pulse_target(stmt: ast.stmt, method: str) -> str | None:
+    if not (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Call)
+        and isinstance(stmt.value.func, ast.Attribute)
+        and stmt.value.func.attr == method
+        and not stmt.value.args
+        and not stmt.value.keywords
+    ):
+        return None
+    return ast.dump(stmt.value.func.value)
+
+
+def _d006_applies(rel: str) -> bool:
+    return in_tests(rel) or in_service(rel)
+
+
+# ----------------------------------------------------------------------
+# The registry.  D005 (snapshot coverage) is a whole-repo rule and lives
+# in :mod:`repro.lint.snapshot_coverage`; the engine runs it separately.
+# ----------------------------------------------------------------------
+RULES: tuple[Rule, ...] = (
+    Rule(
+        code="D001",
+        summary="wall-clock read outside the clock abstraction",
+        hint="read time from the injected Clock / the simulation's `now`",
+        applies=_d001_applies,
+        check=_check_d001,
+    ),
+    Rule(
+        code="D002",
+        summary="randomness outside the named-stream API",
+        hint="derive every Generator from sim/rng.py (stream_seed / RngStreams)",
+        applies=_d002_applies,
+        check=_check_d002,
+    ),
+    Rule(
+        code="D003",
+        summary="iteration over an unordered set",
+        hint="wrap the set in sorted(...) before iterating",
+        applies=_d003_applies,
+        check=_check_d003,
+    ),
+    Rule(
+        code="D004",
+        summary="exact float equality between computed values",
+        hint="compare with an explicit tolerance (math.isclose / np.isclose)",
+        applies=_d004_applies,
+        check=_check_d004,
+    ),
+    Rule(
+        code="D006",
+        summary="wall-time wait or Event pulse in async code",
+        hint="use asyncio.sleep(0) yields and synchronous future handoff",
+        applies=_d006_applies,
+        check=_check_d006,
+    ),
+)
+
+#: D005 metadata for reports (the checker itself is whole-repo).
+D005_SUMMARY = "snapshot coverage: __init__ attribute missing from snapshot/restore"
+D005_HINT = (
+    "serialize the attribute in service/snapshot.py or add it to the "
+    "exclusion table in repro/lint/snapshot_coverage.py with a reason"
+)
+
+RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in RULES}
+
+
+def iter_rule_violations(
+    tree: ast.AST, rel_path: str | PurePosixPath
+) -> Iterator[Violation]:
+    """All per-file rule findings for one parsed module (no waivers yet)."""
+    rel = str(PurePosixPath(rel_path))
+    for rule in RULES:
+        if not rule.applies(rel):
+            continue
+        for line, col, message in rule.check(tree, rel):
+            yield Violation(
+                code=rule.code,
+                path=rel,
+                line=line,
+                col=col,
+                message=message,
+                hint=rule.hint,
+            )

@@ -9,7 +9,7 @@ utilizations support the energy/cost extension.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..sim.cluster import Cluster
 from ..sim.task import Task, TaskStatus
@@ -44,7 +44,7 @@ class TypeOutcome:
         }
 
     @classmethod
-    def from_dict(cls, payload: Mapping) -> "TypeOutcome":
+    def from_dict(cls, payload: Mapping) -> TypeOutcome:
         return cls(**{k: int(v) for k, v in payload.items()})
 
 
@@ -153,7 +153,7 @@ class SimulationResult:
         controller_stats: Mapping | None = None,
         fairness_stats: Mapping | None = None,
         dag_stats: Mapping | None = None,
-    ) -> "SimulationResult":
+    ) -> SimulationResult:
         """Roll task terminal states up into one result record."""
         counts = {
             TaskStatus.COMPLETED_ON_TIME: 0,
@@ -245,7 +245,7 @@ class SimulationResult:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: Mapping) -> "SimulationResult":
+    def from_dict(cls, payload: Mapping) -> SimulationResult:
         """Inverse of :meth:`to_dict`."""
         return cls(
             total=int(payload["total"]),

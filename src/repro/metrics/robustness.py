@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 from scipy import stats
@@ -63,7 +63,7 @@ class AggregateStats:
         }
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "AggregateStats":
+    def from_dict(cls, payload: dict) -> AggregateStats:
         """Inverse of :meth:`to_dict`.
 
         ``per_trial_pct`` is required and must have ``trials`` entries —

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Optional, Protocol
+from typing import Protocol
 
 __all__ = ["Clock", "WallClock", "VirtualClock"]
 
@@ -36,7 +36,7 @@ class Clock(Protocol):
         """Re-anchor so ``now()`` resumes from ``t`` (snapshot restore)."""
         ...  # pragma: no cover - protocol
 
-    async def wait_until(self, deadline: Optional[float], wake: asyncio.Event) -> None:
+    async def wait_until(self, deadline: float | None, wake: asyncio.Event) -> None:
         """Sleep until service time reaches ``deadline`` or ``wake`` is set.
 
         ``deadline=None`` waits for ``wake`` alone.  Implementations must
@@ -45,7 +45,7 @@ class Clock(Protocol):
         ...  # pragma: no cover - protocol
 
 
-async def _first_of(*futures: "asyncio.Future") -> None:
+async def _first_of(*futures: asyncio.Future) -> None:
     """Await the first future to finish, then cancel and reap the rest."""
     _, pending = await asyncio.wait(set(futures), return_when=asyncio.FIRST_COMPLETED)
     for fut in pending:
@@ -77,7 +77,7 @@ class WallClock:
         self._base = float(t)
         self._origin = time.monotonic()
 
-    async def wait_until(self, deadline: Optional[float], wake: asyncio.Event) -> None:
+    async def wait_until(self, deadline: float | None, wake: asyncio.Event) -> None:
         if wake.is_set():
             return
         if deadline is None:
@@ -108,7 +108,7 @@ class VirtualClock:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._waiters: list["asyncio.Future"] = []
+        self._waiters: list[asyncio.Future] = []
 
     def now(self) -> float:
         return self._now
@@ -142,7 +142,7 @@ class VirtualClock:
                 fut.set_result(None)
 
     # ------------------------------------------------------------------
-    async def wait_until(self, deadline: Optional[float], wake: asyncio.Event) -> None:
+    async def wait_until(self, deadline: float | None, wake: asyncio.Event) -> None:
         while True:
             if wake.is_set():
                 return

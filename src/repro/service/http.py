@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional
 
 from .service import SchedulerService
 from .snapshot import snapshot_service
@@ -131,8 +130,8 @@ class ServiceHTTP:
             if name.strip().lower() == "content-length":
                 try:
                     content_length = int(value.strip())
-                except ValueError:
-                    raise _BadRequest(f"bad Content-Length: {value.strip()!r}")
+                except ValueError as exc:
+                    raise _BadRequest(f"bad Content-Length: {value.strip()!r}") from exc
         if content_length > MAX_BODY:
             raise _BadRequest(f"body too large ({content_length} > {MAX_BODY})")
         body = await reader.readexactly(content_length) if content_length else b""
@@ -172,7 +171,7 @@ class ServiceHTTP:
         return 404, {"error": f"unknown path {path}"}
 
     @staticmethod
-    def _parse_json(body: bytes) -> tuple[bool, Optional[dict]]:
+    def _parse_json(body: bytes) -> tuple[bool, dict | None]:
         try:
             return True, json.loads(body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError):

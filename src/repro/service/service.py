@@ -34,7 +34,7 @@ from __future__ import annotations
 import asyncio
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from ..sim.task import Task
 from ..system.serverless import ServerlessSystem
@@ -57,11 +57,11 @@ class IngressDecision:
     """Structured outcome of one offered task record."""
 
     status: str  #: ``admitted`` | ``rejected`` | ``shed`` | ``malformed``
-    task_id: Optional[int] = None
+    task_id: int | None = None
     time: float = 0.0
     #: Best-machine Eq.-2 chance at admission (``None`` when not gated).
-    chance: Optional[float] = None
-    error: Optional[str] = None
+    chance: float | None = None
+    error: str | None = None
 
     def to_dict(self) -> dict:
         payload: dict = {"status": self.status, "time": self.time}
@@ -97,7 +97,7 @@ class ServiceStats:
 @dataclass
 class _IngressItem:
     task: Task
-    future: "asyncio.Future[IngressDecision]" = field(repr=False)
+    future: asyncio.Future[IngressDecision] = field(repr=False)
 
 
 class SchedulerService:
@@ -171,14 +171,14 @@ class SchedulerService:
         """Block until the pump has no due events and an empty ingress."""
         await self._idle.wait()
 
-    def next_wakeup(self) -> Optional[float]:
+    def next_wakeup(self) -> float | None:
         """Earliest pending event time (``None`` when fully drained)."""
         return self.timeline.next_event_time()
 
     # ------------------------------------------------------------------
     # Ingress: the in-process queue client.
     # ------------------------------------------------------------------
-    def offer(self, record: dict) -> "asyncio.Future[IngressDecision]":
+    def offer(self, record: dict) -> asyncio.Future[IngressDecision]:
         """Offer one task record; the future resolves with the decision.
 
         Malformed records and shed (queue-full) offers resolve
@@ -209,7 +209,7 @@ class SchedulerService:
         self._wake.set()
         return future
 
-    def _parse_record(self, record, now: float) -> tuple[Optional[Task], Optional[str]]:
+    def _parse_record(self, record, now: float) -> tuple[Task | None, str | None]:
         if not isinstance(record, dict):
             return None, f"record must be an object, got {type(record).__name__}"
         missing = [f for f in _REQUIRED_FIELDS if f not in record]
@@ -335,7 +335,7 @@ class SchedulerService:
     def _admit_live(self, task: Task) -> IngressDecision:
         system = self.system
         now = self.timeline.now
-        chance: Optional[float] = None
+        chance: float | None = None
         if self.admission_threshold > 0.0:
             machines = system.cluster.online_machines()
             if machines:
@@ -365,7 +365,7 @@ class SchedulerService:
 
 
 async def run_until_quiescent(
-    service: SchedulerService, *, max_wakeups: Optional[int] = None
+    service: SchedulerService, *, max_wakeups: int | None = None
 ) -> int:
     """Deterministically drive a virtual-clock service until it drains.
 

@@ -30,11 +30,16 @@ heuristics (anything overriding the base ``reset``).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING
 
 from ..sim.engine import Priority
+from ..sim.machine import Machine
 from ..sim.task import Task, TaskStatus
-from ..core.accounting import TypeCounters
+from ..core.accounting import Accounting, TypeCounters
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only imports
+    from ..core.pruner import Pruner
+    from ..system.completion import CompletionEstimator
 from ..heuristics.base import BatchHeuristic, ImmediateHeuristic
 from .service import SchedulerService
 
@@ -71,7 +76,7 @@ _ESTIMATOR_COUNTERS = (
 )
 
 
-def _stateless_heuristic(heuristic) -> bool:
+def _stateless_heuristic(heuristic: BatchHeuristic | ImmediateHeuristic) -> bool:
     reset = type(heuristic).reset
     return reset in (BatchHeuristic.reset, ImmediateHeuristic.reset)
 
@@ -153,13 +158,13 @@ def _dump_task(task: Task) -> dict:
     return payload
 
 
-def _dump_estimator(est) -> dict:
+def _dump_estimator(est: CompletionEstimator) -> dict:
     payload = {f: getattr(est, f) for f in _ESTIMATOR_COUNTERS}
     payload["evictions"] = est.cache_stats()["evictions"]
     return payload
 
 
-def _dump_machine(machine, service: SchedulerService) -> dict:
+def _dump_machine(machine: Machine, service: SchedulerService) -> dict:
     payload = {
         "machine_id": machine.machine_id,
         "machine_type": machine.machine_type,
@@ -184,7 +189,7 @@ def _dump_machine(machine, service: SchedulerService) -> dict:
     return payload
 
 
-def _dump_pruner(pruner) -> Optional[dict]:
+def _dump_pruner(pruner: Pruner | None) -> dict | None:
     if pruner is None:
         return None
     payload: dict = {
@@ -332,7 +337,7 @@ def restore_service(service: SchedulerService, snap: dict) -> None:
     # 3. Completions: recorded finish instants, in original seq order.
     for time_, _, machine, task in sorted(finishes, key=lambda f: (f[0], f[1])):
 
-        def _finish(m=machine, t=task):
+        def _finish(m: Machine = machine, t: Task = task) -> None:
             m._finish_running(timeline, t, allocator.on_completion)
 
         machine._finish_handle = timeline.schedule(
@@ -366,7 +371,7 @@ def _load_task(payload: dict) -> Task:
     return task
 
 
-def _load_accounting(acc, payload: dict, by_id: dict[int, Task]) -> None:
+def _load_accounting(acc: Accounting, payload: dict, by_id: dict[int, Task]) -> None:
     totals = payload["totals"]
     acc.total_arrived = totals["arrived"]
     acc.total_on_time = totals["on_time"]
@@ -382,14 +387,14 @@ def _load_accounting(acc, payload: dict, by_id: dict[int, Task]) -> None:
     acc._event_on_time = [by_id[tid] for tid in payload["event_on_time"]]
 
 
-def _load_estimator(est, payload: dict) -> None:
+def _load_estimator(est: CompletionEstimator, payload: dict) -> None:
     for field in _ESTIMATOR_COUNTERS:
         setattr(est, field, payload[field])
     # The combined eviction count lands on one cache; cache_stats() sums.
     est._scalar_cache.evictions = payload["evictions"]
 
 
-def _load_pruner(pruner, payload: dict) -> None:
+def _load_pruner(pruner: Pruner, payload: dict) -> None:
     pruner.drop_decisions = payload["drop_decisions"]
     pruner.defer_decisions = payload["defer_decisions"]
     pruner.setpoints.beta = payload["setpoints"]["beta"]

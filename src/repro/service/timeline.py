@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from ..sim.engine import EventHandle, Priority, _QueueEntry
 from .clock import Clock
@@ -103,7 +103,7 @@ class AsyncTimeline:
             self._now = c
 
     # ------------------------------------------------------------------
-    def next_event_time(self) -> Optional[float]:
+    def next_event_time(self) -> float | None:
         """Time of the earliest pending event (``None`` when drained)."""
         while self._queue and self._queue[0].callback is None:
             heapq.heappop(self._queue)

@@ -9,7 +9,8 @@ Machine` plus convenience constructors for both layouts.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Protocol, Sequence, runtime_checkable
+from collections.abc import Iterator, Sequence
+from typing import Protocol, runtime_checkable
 
 from .machine import Machine
 
@@ -80,8 +81,8 @@ class Cluster:
         num_machine_types: int,
         *,
         machines_per_type: int = 1,
-        queue_limit: Optional[int] = None,
-    ) -> "Cluster":
+        queue_limit: int | None = None,
+    ) -> Cluster:
         """One (or more) machine of each machine type, ids 0..n-1."""
         machines = []
         mid = 0
@@ -97,8 +98,8 @@ class Cluster:
         num_machines: int,
         *,
         machine_type: int = 0,
-        queue_limit: Optional[int] = None,
-    ) -> "Cluster":
+        queue_limit: int | None = None,
+    ) -> Cluster:
         """``num_machines`` identical machines, all of ``machine_type``."""
         return cls(
             [Machine(i, machine_type, queue_limit=queue_limit) for i in range(num_machines)]
@@ -159,7 +160,7 @@ class Cluster:
             out.extend(m.queue)
         return out
 
-    def set_queue_limit(self, limit: Optional[int]) -> None:
+    def set_queue_limit(self, limit: int | None) -> None:
         for m in self.machines:
             m.queue_limit = limit
 

@@ -19,7 +19,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from collections.abc import Callable
 
 __all__ = ["EventHandle", "Simulator", "Priority"]
 
@@ -55,7 +55,7 @@ class _QueueEntry:
     time: float
     priority: int
     seq: int
-    callback: Optional[Callable[[], None]] = field(compare=False)
+    callback: Callable[[], None] | None = field(compare=False)
 
 
 class EventHandle:

@@ -14,7 +14,8 @@ in :mod:`repro.heuristics` and :mod:`repro.core`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterable, Optional
+from collections.abc import Callable, Iterable
+from typing import TYPE_CHECKING
 
 from .engine import EventHandle, Priority, Simulator
 from .task import Task, TaskStatus
@@ -39,7 +40,7 @@ class Machine:
         machine_id: int,
         machine_type: int,
         *,
-        queue_limit: Optional[int] = None,
+        queue_limit: int | None = None,
     ) -> None:
         if queue_limit is not None and queue_limit < 0:
             raise ValueError("queue_limit must be >= 0 or None")
@@ -59,7 +60,7 @@ class Machine:
         #: task that is past its deadline must be dropped from the
         #: system").  The resource allocator installs this to record the
         #: reactive drop; without a hook the task is still skipped.
-        self.on_reap: Optional[Callable[[Task], None]] = None
+        self.on_reap: Callable[[Task], None] | None = None
         #: Monotone counter bumped on any queue/running change.  The
         #: structured queue-delta notifications below carry *what* changed;
         #: the version remains as a coarse change detector (scalar-view
@@ -71,7 +72,7 @@ class Machine:
         #: inspect the machine directly from their callbacks.  Indices in
         #: enqueue/dequeue/drop events refer to the queue as it was
         #: immediately before the mutation.
-        self.observers: list["QueueObserver"] = []
+        self.observers: list[QueueObserver] = []
         # Cumulative busy time, for utilization/energy accounting.
         self.busy_time: float = 0.0
         self.completed_count: int = 0
@@ -116,12 +117,12 @@ class Machine:
     # ------------------------------------------------------------------
     # Queue-delta notifications
     # ------------------------------------------------------------------
-    def subscribe(self, observer: "QueueObserver") -> None:
+    def subscribe(self, observer: QueueObserver) -> None:
         """Register for queue-delta notifications (idempotent)."""
         if observer not in self.observers:
             self.observers.append(observer)
 
-    def unsubscribe(self, observer: "QueueObserver") -> None:
+    def unsubscribe(self, observer: QueueObserver) -> None:
         if observer in self.observers:
             self.observers.remove(observer)
 

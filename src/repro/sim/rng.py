@@ -24,7 +24,7 @@ def stream_seed(root_seed: int, name: str) -> np.random.SeedSequence:
     return np.random.SeedSequence(entropy=(int(root_seed) & 0xFFFFFFFFFFFFFFFF, tag))
 
 
-def fingerprint(payload, length: int = 20) -> str:
+def fingerprint(payload: object, length: int = 20) -> str:
     """Stable hex digest of a JSON-serializable payload.
 
     The digest is independent of dict insertion order and of the Python

@@ -38,7 +38,7 @@ class ETCMatrix:
         self._deltas: dict[tuple[int, int], PMF] = {}
 
     @classmethod
-    def from_pet(cls, pet: PETMatrix) -> "ETCMatrix":
+    def from_pet(cls, pet: PETMatrix) -> ETCMatrix:
         """Collapse a PET matrix to its per-cell means."""
         return cls(pet.means.copy())
 

@@ -21,7 +21,7 @@ Heterogeneity terminology (§I):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -116,7 +116,7 @@ class PETMatrix:
         return max(float(value), 1e-9)
 
     # ------------------------------------------------------------------
-    def freeze(self) -> "PETMatrix":
+    def freeze(self) -> PETMatrix:
         """Make this matrix read-only; returns ``self``.
 
         Shared instances (``repro.experiments.runner.pet_matrix`` hands
@@ -144,7 +144,7 @@ class PETMatrix:
                 return False
         return True
 
-    def restricted_to_machines(self, machine_types: Sequence[int]) -> "PETMatrix":
+    def restricted_to_machines(self, machine_types: Sequence[int]) -> PETMatrix:
         """Sub-matrix keeping only the given machine-type columns."""
         rows = [[row[m] for m in machine_types] for row in self.pmfs]
         return PETMatrix(rows, self.means[:, list(machine_types)])
@@ -186,7 +186,10 @@ def generate_pet_matrix(
         used for the paper's §V-F homogeneous-system experiments.
     """
     if rng is None:
-        rng = np.random.default_rng(seed)
+        # Explicit-seed fallback for direct calls; experiment paths pass a
+        # named-stream Generator in.  Changing the seeding would change the
+        # sampled PETs and break golden fixtures.
+        rng = np.random.default_rng(seed)  # reprolint: ignore[D002] explicit seed fallback predates named streams
     lo, hi = mean_range
     if lo <= 0 or hi < lo:
         raise ValueError(f"invalid mean_range {mean_range}")

@@ -38,7 +38,7 @@ estimator's convolution hot path (:meth:`PMF.convolve_truncated`).
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -187,7 +187,7 @@ class PMF:
         offset: float,
         tail: float,
         cumsum: np.ndarray | None = None,
-    ) -> "PMF":
+    ) -> PMF:
         """Trusted constructor: no trimming, no validation, no copy.
 
         ``probs`` must already be a trimmed 1-D float64 array (typically
@@ -206,7 +206,7 @@ class PMF:
         return pmf
 
     @classmethod
-    def delta(cls, t: float) -> "PMF":
+    def delta(cls, t: float) -> PMF:
         """Point mass at time ``t`` (e.g. 'machine is free now')."""
         return cls(np.ones(1), offset=t)
 
@@ -217,7 +217,7 @@ class PMF:
         *,
         bin_width: float = 1.0,
         min_value: float = 0.0,
-    ) -> "PMF":
+    ) -> PMF:
         """Histogram raw samples into a unit-grid PMF.
 
         This mirrors the paper's PET construction: "histogram on a sampling
@@ -237,7 +237,7 @@ class PMF:
         return cls(counts / counts.sum(), offset=float(lo))
 
     @classmethod
-    def from_dict(cls, mapping: dict[float, float], tail: float = 0.0) -> "PMF":
+    def from_dict(cls, mapping: dict[float, float], tail: float = 0.0) -> PMF:
         """Build from ``{time: probability}`` with integer-spaced keys."""
         if not mapping:
             return cls(np.zeros(0), 0.0, tail)
@@ -382,7 +382,7 @@ class PMF:
     # ------------------------------------------------------------------
     # Transformations
     # ------------------------------------------------------------------
-    def shift(self, dt: float) -> "PMF":
+    def shift(self, dt: float) -> PMF:
         """Translate the distribution by ``dt`` time units (zero-copy).
 
         The probability array and cached cumulative sums are *shared*
@@ -396,13 +396,13 @@ class PMF:
         out._mass = self._mass  # same probability array, same mass
         return out
 
-    def normalized(self) -> "PMF":
+    def normalized(self) -> PMF:
         total = self.total_mass
         if total <= _EPS:
             raise ValueError("cannot normalize a zero-mass PMF")
         return PMF(self.probs / total, self.offset, self.tail / total)
 
-    def truncate(self, horizon: float) -> "PMF":
+    def truncate(self, horizon: float) -> PMF:
         """Fold all mass at grid points > ``horizon`` into the tail."""
         if self.probs.size == 0 or self.max_time <= horizon:
             return self
@@ -412,7 +412,7 @@ class PMF:
         overflow = float(self.probs[keep:].sum())
         return PMF(self.probs[:keep], self.offset, self.tail + overflow)
 
-    def condition_at_least(self, t: float) -> "PMF":
+    def condition_at_least(self, t: float) -> PMF:
         """Condition on ``X >= t`` (used for already-running tasks).
 
         A task observed still running at time ``t`` cannot complete before
@@ -439,7 +439,7 @@ class PMF:
     # ------------------------------------------------------------------
     # Convolution (Eq. 1)
     # ------------------------------------------------------------------
-    def convolve(self, other: "PMF", max_support: int = DEFAULT_MAX_SUPPORT) -> "PMF":
+    def convolve(self, other: PMF, max_support: int = DEFAULT_MAX_SUPPORT) -> PMF:
         """Distribution of the sum ``X + Y`` of independent variables.
 
         Tail mass is absorbing: any outcome involving a tail term is a
@@ -465,7 +465,7 @@ class PMF:
             out = PMF(out.probs[:max_support], out.offset, out.tail + overflow)
         return out
 
-    def __mul__(self, other: object) -> "PMF":
+    def __mul__(self, other: object) -> PMF:
         """``a * b`` is convolution, mirroring the paper's Eq. 1 notation."""
         if not isinstance(other, PMF):
             return NotImplemented
@@ -473,12 +473,12 @@ class PMF:
 
     def convolve_truncated(
         self,
-        other: "PMF",
+        other: PMF,
         *,
         cutoff: float,
         max_support: int = DEFAULT_MAX_SUPPORT,
-        arena: "BufferArena | None" = None,
-    ) -> "PMF":
+        arena: BufferArena | None = None,
+    ) -> PMF:
         """``(self ⊛ other).truncate(cutoff)`` without intermediate objects.
 
         Value-identical (bit-for-bit) to :meth:`convolve` followed by
@@ -563,7 +563,7 @@ class PMF:
     # ------------------------------------------------------------------
     # Comparison / repr
     # ------------------------------------------------------------------
-    def allclose(self, other: "PMF", atol: float = 1e-9) -> bool:
+    def allclose(self, other: PMF, atol: float = 1e-9) -> bool:
         if abs(self.tail - other.tail) > atol:
             return False
         if self.probs.size == 0 and other.probs.size == 0:
@@ -589,7 +589,7 @@ def _finish_conv(
     tail: float,
     cutoff: float,
     max_support: int,
-    arena: "BufferArena | None",
+    arena: BufferArena | None,
 ) -> PMF:
     """Shared finishing half of :meth:`PMF.convolve_truncated`.
 
@@ -700,7 +700,13 @@ class BufferArena:
         self.epoch += 1
 
 
-def batch_cdf_at(pmfs: Sequence[PMF], times, index=None, *, arena=None) -> np.ndarray:
+def batch_cdf_at(
+    pmfs: Sequence[PMF],
+    times: float | Sequence[float] | np.ndarray,
+    index: Sequence[int] | np.ndarray | None = None,
+    *,
+    arena: BufferArena | None = None,
+) -> np.ndarray:
     """Evaluate ``pmfs[i].cdf_at(times[i])`` for all ``i`` in one NumPy pass.
 
     ``times`` may be a scalar (broadcast to every PMF) or a sequence of the
@@ -808,7 +814,7 @@ class PMFStack:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_pmfs(cls, pmfs: Sequence[PMF]) -> "PMFStack":
+    def from_pmfs(cls, pmfs: Sequence[PMF]) -> PMFStack:
         """Stack scalar PMFs onto one grid (zero-padded to max support)."""
         n = len(pmfs)
         width = max((p.probs.size for p in pmfs), default=0)
@@ -851,7 +857,7 @@ class PMFStack:
         other: PMF,
         max_support: int = DEFAULT_MAX_SUPPORT,
         method: str = "auto",
-    ) -> "PMFStack":
+    ) -> PMFStack:
         """Every row ⊛ ``other`` in one pass (Eq. 1 across the stack).
 
         Same tail algebra as :meth:`PMF.convolve`, vectorized: mass that
@@ -897,7 +903,7 @@ class PMFStack:
             cs = self._cumsum = np.cumsum(self.mass, axis=1)
         return cs
 
-    def batch_cdf_at(self, times) -> np.ndarray:
+    def batch_cdf_at(self, times: float | Sequence[float] | np.ndarray) -> np.ndarray:
         """``P(row_i <= times[i])`` for every row in one pass.
 
         ``times`` may be scalar (broadcast).  Identical values to per-row

@@ -16,7 +16,7 @@ which is the mechanism's headline "pluggability" property.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 from ..core.accounting import Accounting
 from ..core.pruner import Pruner
@@ -42,10 +42,10 @@ class ResourceAllocator(abc.ABC):
         cluster: Cluster,
         estimator: CompletionEstimator,
         *,
-        pruner: Optional[Pruner] = None,
-        accounting: Optional[Accounting] = None,
+        pruner: Pruner | None = None,
+        accounting: Accounting | None = None,
         exec_sampler: Callable[[Task, Machine], float],
-        observer: Optional[TaskObserver] = None,
+        observer: TaskObserver | None = None,
     ) -> None:
         self.sim = sim
         self.cluster = cluster
@@ -288,7 +288,7 @@ class ResourceAllocator(abc.ABC):
         pruner.end_mapping_event()
 
     @abc.abstractmethod
-    def _mapping_event(self, arriving: Optional[Task]) -> None: ...
+    def _mapping_event(self, arriving: Task | None) -> None: ...
 
 
 class ImmediateAllocator(ResourceAllocator):
@@ -336,7 +336,7 @@ class ImmediateAllocator(ResourceAllocator):
     def pending_tasks(self) -> list[Task]:
         return []
 
-    def _mapping_event(self, arriving: Optional[Task]) -> None:
+    def _mapping_event(self, arriving: Task | None) -> None:
         self._run_mapping_event([] if arriving is None else [arriving])
 
     def _run_mapping_event(self, to_map: list[Task]) -> None:
@@ -412,7 +412,7 @@ class BatchAllocator(ResourceAllocator):
         return missed
 
     # ------------------------------------------------------------------
-    def _mapping_event(self, arriving: Optional[Task]) -> None:
+    def _mapping_event(self, arriving: Task | None) -> None:
         self.mapping_events += 1
         now = self.sim.now
         self._reactive_drop_pass()

@@ -58,7 +58,8 @@ scalar view uses the conditioned finite mean.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Protocol, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Protocol
 
 import numpy as np
 

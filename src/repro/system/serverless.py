@@ -21,7 +21,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from collections.abc import Sequence
 
 from ..core.accounting import Accounting
 from ..core.config import PruningConfig
@@ -90,19 +90,19 @@ class ServerlessSystem:
     def __init__(
         self,
         model: ExecutionModel,
-        heuristic: Union[str, ImmediateHeuristic, BatchHeuristic],
+        heuristic: str | ImmediateHeuristic | BatchHeuristic,
         *,
-        pruning: Optional[PruningConfig] = None,
-        cluster: Optional[Cluster] = None,
+        pruning: PruningConfig | None = None,
+        cluster: Cluster | None = None,
         machines_per_type: int = 1,
-        queue_limit: Union[int, None, str] = "auto",
+        queue_limit: int | None | str = "auto",
         seed: int = 0,
         horizon: float = 512.0,
         condition_running: bool = True,
-        memoize: Union[bool, str] = True,
-        dynamics: Optional[DynamicsSpec] = None,
+        memoize: bool | str = True,
+        dynamics: DynamicsSpec | None = None,
         observer=None,
-        sim: Optional[Simulator] = None,
+        sim: Simulator | None = None,
     ) -> None:
         self.model = model
         if isinstance(heuristic, str):
@@ -142,7 +142,7 @@ class ServerlessSystem:
             memoize=memoize,
         )
         self.accounting = Accounting()
-        self.pruner: Optional[Pruner] = (
+        self.pruner: Pruner | None = (
             Pruner(pruning, self.accounting) if pruning is not None else None
         )
         if self.pruner is not None and self.pruner.driver is not None:
@@ -174,7 +174,7 @@ class ServerlessSystem:
                 exec_sampler=sampler,
                 observer=observer,
             )
-        self.dynamics: Optional[ClusterDynamics] = (
+        self.dynamics: ClusterDynamics | None = (
             ClusterDynamics(
                 dynamics,
                 self.sim,

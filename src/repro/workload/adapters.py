@@ -33,7 +33,7 @@ from __future__ import annotations
 import csv
 import math
 from pathlib import Path
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..sim.task import Task
 from .dag import task_depths

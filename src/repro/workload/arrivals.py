@@ -24,7 +24,7 @@ count matches the spec — patterns are compared at equal offered load.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -11,7 +11,7 @@ transitive dependents — live in :mod:`repro.core.dag`.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..sim.task import Task
 

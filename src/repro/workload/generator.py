@@ -10,7 +10,8 @@ each task is randomly chosen from the range of [0.8, 2.5]").
 
 from __future__ import annotations
 
-from typing import Protocol, Sequence
+from collections.abc import Sequence
+from typing import Protocol
 
 import numpy as np
 

@@ -153,10 +153,10 @@ class WorkloadSpec:
         # reduced scales, but never trim more than 10% of the trace.
         return min(max(self.num_tasks // 150, 1), self.num_tasks // 10)
 
-    def with_(self, **changes) -> "WorkloadSpec":
+    def with_(self, **changes: object) -> WorkloadSpec:
         return replace(self, **changes)
 
-    def scaled(self, scale: float) -> "WorkloadSpec":
+    def scaled(self, scale: float) -> WorkloadSpec:
         """Stretch the workload at constant arrival rate.
 
         The single scaling policy shared by named oversubscription
@@ -178,7 +178,7 @@ class WorkloadSpec:
         )
 
     @classmethod
-    def paper_scale(cls, num_tasks: int = 15000, **overrides) -> "WorkloadSpec":
+    def paper_scale(cls, num_tasks: int = 15000, **overrides: object) -> WorkloadSpec:
         """Full-size trial: 15k/20k/25k tasks over ~3000 time units."""
         defaults = dict(
             num_tasks=num_tasks, time_span=PAPER_TIME_SPAN, trim_edge_tasks=100

@@ -33,7 +33,7 @@ import csv
 import math
 import os
 from pathlib import Path
-from typing import Sequence
+from collections.abc import Sequence
 
 import json
 

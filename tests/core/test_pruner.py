@@ -155,7 +155,7 @@ class TestSuffixResume:
         """Decision-for-decision identity with the restart-from-front
         reference rescan, on a randomized multi-machine setup."""
         rng = np.random.default_rng(7)
-        for trial in range(20):
+        for _trial in range(20):
             means = rng.uniform(3.0, 12.0, size=(3, 2))
             configs = []
             for _ in range(2):  # build two identical worlds

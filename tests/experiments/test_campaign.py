@@ -339,12 +339,12 @@ class TestResultCache:
         # never reaped young, only once stale.
         assert cache.prune_stale() == 0
         assert orphan.exists()
-        hour_old = time.time() - 2 * 3600
+        hour_old = time.time() - 2 * 3600  # reprolint: ignore[D001] forging mtimes to test wall-clock cache pruning
         os_mod.utime(orphan, (hour_old, hour_old))
         assert cache.prune_stale() == 1
         assert not orphan.exists() and old_dir.is_dir()
         # aged past the cutoff -> whole directory removed
-        stale = time.time() - 8 * 86400
+        stale = time.time() - 8 * 86400  # reprolint: ignore[D001] forging mtimes to test wall-clock cache pruning
         os_mod.utime(old_dir, (stale, stale))
         assert cache.prune_stale() == 1
         assert not old_dir.exists()
@@ -359,7 +359,7 @@ class TestResultCache:
         (foreign_dir / "data.json").write_text("{}")
         foreign_tmp = tmp_path / "notes.tmp.txt"
         foreign_tmp.write_text("keep me")
-        week_old = time.time() - 8 * 86400
+        week_old = time.time() - 8 * 86400  # reprolint: ignore[D001] forging mtimes to test wall-clock cache pruning
         for path in (foreign_dir, foreign_tmp):
             os_mod.utime(path, (week_old, week_old))
         assert ResultCache(tmp_path).prune_stale() == 0
@@ -417,7 +417,7 @@ class TestParallelEquivalence:
         # unknown heuristic -> run_trial raises inside the worker
         bad = ExperimentConfig(heuristic="NOPE", spec=SPEC, trials=1, base_seed=11)
         cache = ResultCache(tmp_path)
-        with pytest.raises(Exception):
+        with pytest.raises(KeyError, match="unknown heuristic"):
             run_cell_trials([good, bad], jobs=2, cache=cache)
         # the good cell's trials survived the sibling failure
         assert cache.get(good, 0) is not None

@@ -133,14 +133,14 @@ class TestExecutorByteIdentity:
         good = _configs(trials=2)[0]
         bad = ExperimentConfig(heuristic="NOPE", spec=SPEC, trials=1, base_seed=11)
         cache = ResultCache(tmp_path)
-        with pytest.raises(Exception):
+        with pytest.raises(KeyError, match="unknown heuristic"):
             run_cell_trials([good, bad], jobs=2, cache=cache, executor="thread")
         assert cache.get(good, 0) is not None
         assert cache.get(good, 1) is not None
 
     def test_pool_failure_without_cache_fails_fast(self):
         bad = ExperimentConfig(heuristic="NOPE", spec=SPEC, trials=2, base_seed=11)
-        with pytest.raises(Exception):
+        with pytest.raises(KeyError, match="unknown heuristic"):
             run_cell_trials([bad], jobs=2, executor="thread")
 
     def test_worker_initializer_installs_shared_inputs(self):

@@ -1,0 +1,105 @@
+"""CLI behavior of ``repro lint``: output modes, exit codes, budget."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def write(root: Path, rel: str, text: str) -> None:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+
+
+DIRTY = "import time\nt0 = time.time()\n"
+WAIVED = "import time\nt0 = time.time()  # reprolint: ignore[D001] demo reason\n"
+CLEAN = "x = 1\n"
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write(tmp_path, "src/repro/mod.py", CLEAN)
+        rc = lint_main(["--root", str(tmp_path), "--no-snapshot-check", "src"])
+        assert rc == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, tmp_path, capsys):
+        write(tmp_path, "src/repro/mod.py", DIRTY)
+        rc = lint_main(["--root", str(tmp_path), "--no-snapshot-check", "src"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "D001" in captured.err
+        assert "fix:" in captured.err
+
+    def test_waived_tree_exits_zero_with_budget(self, tmp_path, capsys):
+        write(tmp_path, "src/repro/mod.py", WAIVED)
+        rc = lint_main(["--root", str(tmp_path), "--no-snapshot-check", "src"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "waiver budget: 1 waived (D001: 1)" in out
+
+    def test_usage_error_exits_two(self, capsys):
+        rc = lint_main(["--definitely-not-a-flag"])
+        assert rc == 2
+
+
+class TestJsonOutput:
+    def test_json_payload_shape(self, tmp_path, capsys):
+        write(tmp_path, "src/repro/mod.py", DIRTY)
+        write(tmp_path, "src/repro/ok.py", WAIVED)
+        rc = lint_main(["--root", str(tmp_path), "--no-snapshot-check", "--json", "src"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["counts"] == {"active": 1, "waived": 1}
+        assert payload["waiver_budget"] == {"D001": 1}
+        assert payload["files_scanned"] == 2
+        codes = {v["code"] for v in payload["violations"]}
+        assert codes == {"D001"}
+        for violation in payload["violations"]:
+            assert {"code", "path", "line", "col", "message", "hint", "waived"} <= set(
+                violation
+            )
+
+    def test_rules_table(self, capsys):
+        rc = lint_main(["--rules", "--json"])
+        assert rc == 0
+        rows = json.loads(capsys.readouterr().out)
+        codes = [row["code"] for row in rows]
+        assert codes == sorted(codes)
+        assert {"D001", "D002", "D003", "D004", "D005", "D006", "W001", "W002"} <= set(
+            codes
+        )
+        assert all(row["hint"] for row in rows)
+
+
+class TestDispatcher:
+    def test_repro_lint_subcommand(self, tmp_path, capsys):
+        write(tmp_path, "src/repro/mod.py", CLEAN)
+        rc = repro_main(["lint", "--root", str(tmp_path), "--no-snapshot-check", "src"])
+        assert rc == 0
+        assert "repro lint:" in capsys.readouterr().out
+
+    def test_repro_delegates_other_commands(self, capsys):
+        # Anything but `lint` lands in the experiments CLI, whose argparse
+        # raises SystemExit(2) on an unknown figure name.
+        with pytest.raises(SystemExit) as exc:
+            repro_main(["definitely-not-a-figure"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestSelfCheckCli:
+    def test_cli_clean_on_repo(self, capsys):
+        rc = lint_main(["--root", str(REPO_ROOT)])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "FAIL" not in out

@@ -1,0 +1,330 @@
+"""Rule-by-rule snippet suite for the determinism linter.
+
+Every rule gets a seeded *positive* (a minimal violating snippet), a
+*negative* (the compliant twin), and a *waiver* case (the violation plus
+an inline ``# reprolint: ignore[...]`` with a reason).  Snippets are
+written into a temporary tree that mimics the repo layout, because rule
+applicability is path-based.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, run_lint
+
+SRC = "src/repro/core/example.py"
+SERVICE = "src/repro/service/example.py"
+TESTS = "tests/example/test_example.py"
+BENCH = "benchmarks/bench_example.py"
+
+
+def lint_snippet(tmp_path: Path, snippet: str, rel: str = SRC) -> list:
+    """Lint one snippet placed at ``rel`` inside a fake repo tree."""
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(snippet, encoding="utf-8")
+    report = run_lint(
+        LintConfig(root=tmp_path, roots=(rel,), snapshot_check=False)
+    )
+    return report.violations
+
+
+def codes(violations, *, active_only: bool = True) -> list[str]:
+    return [v.code for v in violations if not (active_only and v.waived)]
+
+
+# ----------------------------------------------------------------------
+# D001 — wall-clock reads.
+# ----------------------------------------------------------------------
+class TestD001WallClock:
+    POSITIVE = "import time\nstart = time.time()\n"
+
+    def test_positive_time_time(self, tmp_path):
+        assert codes(lint_snippet(tmp_path, self.POSITIVE)) == ["D001"]
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            "time.perf_counter()",
+            "time.monotonic()",
+            "time.time_ns()",
+            "datetime.now()",
+            "datetime.datetime.now()",
+            "datetime.utcnow()",
+        ],
+    )
+    def test_positive_variants(self, tmp_path, call):
+        snippet = f"import time, datetime\nx = {call}\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == ["D001"]
+
+    def test_negative_sim_now(self, tmp_path):
+        snippet = "def f(sim):\n    return sim.now\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == []
+
+    def test_negative_time_module_other(self, tmp_path):
+        # `time.strftime` formats an explicit tuple — not a clock read.
+        snippet = "import time\ns = time.strftime('%Y', time.struct_time((0,)*9))\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == []
+
+    def test_whitelisted_clock_module(self, tmp_path):
+        assert (
+            codes(lint_snippet(tmp_path, self.POSITIVE, "src/repro/service/clock.py"))
+            == []
+        )
+
+    def test_whitelisted_benchmarks(self, tmp_path):
+        assert codes(lint_snippet(tmp_path, self.POSITIVE, BENCH)) == []
+
+    def test_fires_in_tests_tree(self, tmp_path):
+        assert codes(lint_snippet(tmp_path, self.POSITIVE, TESTS)) == ["D001"]
+
+    def test_waiver(self, tmp_path):
+        snippet = (
+            "import time\n"
+            "t0 = time.time()  # reprolint: ignore[D001] operator-facing timing\n"
+        )
+        violations = lint_snippet(tmp_path, snippet)
+        assert codes(violations) == []
+        assert [v.code for v in violations if v.waived] == ["D001"]
+        assert violations[0].waiver_reason == "operator-facing timing"
+
+
+# ----------------------------------------------------------------------
+# D002 — RNG discipline.
+# ----------------------------------------------------------------------
+class TestD002Rng:
+    def test_positive_stdlib_random(self, tmp_path):
+        snippet = "import random\nx = random.random()\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == ["D002"]
+
+    def test_positive_numpy_global(self, tmp_path):
+        snippet = "import numpy as np\nnp.random.seed(0)\nx = np.random.normal()\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == ["D002", "D002"]
+
+    def test_positive_unseeded_default_rng(self, tmp_path):
+        snippet = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == ["D002"]
+
+    def test_positive_seeded_outside_rng_module(self, tmp_path):
+        # In src/, even a literal seed must flow through the stream API.
+        snippet = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == ["D002"]
+
+    def test_negative_stream_seed(self, tmp_path):
+        snippet = (
+            "import numpy as np\n"
+            "from repro.sim.rng import stream_seed\n"
+            "rng = np.random.default_rng(stream_seed(42, 'exec'))\n"
+        )
+        assert codes(lint_snippet(tmp_path, snippet)) == []
+
+    def test_negative_streams_api(self, tmp_path):
+        snippet = "def f(streams):\n    return streams.stream('workload')\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == []
+
+    def test_negative_rng_module_itself(self, tmp_path):
+        snippet = "import numpy as np\nrng = np.random.default_rng(1)\n"
+        assert codes(lint_snippet(tmp_path, snippet, "src/repro/sim/rng.py")) == []
+
+    def test_negative_generator_annotation_call(self, tmp_path):
+        snippet = "import numpy as np\ng = np.random.Generator(np.random.PCG64(1))\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == []
+
+    def test_tests_allow_literal_seeds(self, tmp_path):
+        # A test constructing default_rng(7) is deterministic — allowed.
+        snippet = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert codes(lint_snippet(tmp_path, snippet, TESTS)) == []
+
+    def test_tests_flag_unseeded(self, tmp_path):
+        snippet = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert codes(lint_snippet(tmp_path, snippet, TESTS)) == ["D002"]
+
+    def test_waiver(self, tmp_path):
+        snippet = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(7)  # reprolint: ignore[D002] frozen legacy seed\n"
+        )
+        violations = lint_snippet(tmp_path, snippet)
+        assert codes(violations) == []
+        assert [v.code for v in violations if v.waived] == ["D002"]
+
+
+# ----------------------------------------------------------------------
+# D003 — unordered-set iteration.
+# ----------------------------------------------------------------------
+class TestD003SetIteration:
+    def test_positive_set_literal(self, tmp_path):
+        snippet = "for x in {3, 1, 2}:\n    print(x)\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == ["D003"]
+
+    def test_positive_set_call(self, tmp_path):
+        snippet = "items = [2, 1]\nout = [x for x in set(items)]\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == ["D003"]
+
+    def test_positive_frozenset(self, tmp_path):
+        snippet = "for x in frozenset((1, 2)):\n    pass\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == ["D003"]
+
+    def test_positive_dict_fromkeys(self, tmp_path):
+        snippet = "d = dict.fromkeys({1, 2}, 0)\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == ["D003"]
+
+    def test_negative_sorted(self, tmp_path):
+        snippet = "for x in sorted({3, 1, 2}):\n    print(x)\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == []
+
+    def test_negative_list(self, tmp_path):
+        snippet = "for x in [3, 1, 2]:\n    print(x)\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == []
+
+    def test_not_applied_outside_src(self, tmp_path):
+        snippet = "for x in {3, 1, 2}:\n    print(x)\n"
+        assert codes(lint_snippet(tmp_path, snippet, TESTS)) == []
+
+    def test_waiver(self, tmp_path):
+        snippet = (
+            "for x in {1, 2}:  # reprolint: ignore[D003] order-insensitive sum\n"
+            "    pass\n"
+        )
+        violations = lint_snippet(tmp_path, snippet)
+        assert codes(violations) == []
+        assert [v.code for v in violations if v.waived] == ["D003"]
+
+
+# ----------------------------------------------------------------------
+# D004 — exact float comparison.
+# ----------------------------------------------------------------------
+class TestD004FloatEquality:
+    def test_positive_computed_float(self, tmp_path):
+        snippet = "def f(a, b):\n    return a * 0.5 == b\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == ["D004"]
+
+    def test_positive_division(self, tmp_path):
+        snippet = "def f(a, b, c):\n    return a / b != c\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == ["D004"]
+
+    def test_positive_call_vs_fractional_literal(self, tmp_path):
+        snippet = "def f(x):\n    return x.total() == 0.5\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == ["D004"]
+
+    def test_negative_int_arithmetic(self, tmp_path):
+        snippet = "def f(i, n):\n    return i + 1 == n and n % 2 == 0\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == []
+
+    def test_negative_plain_names(self, tmp_path):
+        # Two bare names may be exact sentinels — not flagged.
+        snippet = "def f(a, b):\n    return a == b\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == []
+
+    def test_negative_sentinel_zero(self, tmp_path):
+        snippet = "def f(x):\n    return x.total() == 0.0\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == []
+
+    def test_negative_isclose(self, tmp_path):
+        snippet = "import math\ndef f(a, b):\n    return math.isclose(a * 0.5, b)\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == []
+
+    def test_not_applied_in_tests(self, tmp_path):
+        # Tests assert exact reproducibility on purpose.
+        snippet = "def f(a, b):\n    return a * 0.5 == b\n"
+        assert codes(lint_snippet(tmp_path, snippet, TESTS)) == []
+
+    def test_waiver(self, tmp_path):
+        snippet = (
+            "def f(a, b):\n"
+            "    return a * 0.5 == b  # reprolint: ignore[D004] bitwise-identity check\n"
+        )
+        violations = lint_snippet(tmp_path, snippet)
+        assert codes(violations) == []
+        assert [v.code for v in violations if v.waived] == ["D004"]
+
+
+# ----------------------------------------------------------------------
+# D006 — async hazards.
+# ----------------------------------------------------------------------
+class TestD006AsyncHazards:
+    def test_positive_time_sleep_in_tests(self, tmp_path):
+        snippet = "import time\ntime.sleep(0.1)\n"
+        assert codes(lint_snippet(tmp_path, snippet, TESTS)) == ["D006"]
+
+    def test_positive_wall_asyncio_sleep_in_service(self, tmp_path):
+        snippet = "import asyncio\nasync def f():\n    await asyncio.sleep(0.05)\n"
+        assert codes(lint_snippet(tmp_path, snippet, SERVICE)) == ["D006"]
+
+    def test_positive_event_pulse(self, tmp_path):
+        snippet = (
+            "async def f(event):\n"
+            "    event.set()\n"
+            "    event.clear()\n"
+        )
+        assert codes(lint_snippet(tmp_path, snippet, SERVICE)) == ["D006"]
+
+    def test_negative_sleep_zero_yield(self, tmp_path):
+        snippet = "import asyncio\nasync def f():\n    await asyncio.sleep(0)\n"
+        assert codes(lint_snippet(tmp_path, snippet, SERVICE)) == []
+
+    def test_negative_set_without_clear(self, tmp_path):
+        snippet = "async def f(event):\n    event.set()\n"
+        assert codes(lint_snippet(tmp_path, snippet, SERVICE)) == []
+
+    def test_negative_different_events(self, tmp_path):
+        snippet = "async def f(a, b):\n    a.set()\n    b.clear()\n"
+        assert codes(lint_snippet(tmp_path, snippet, SERVICE)) == []
+
+    def test_not_applied_in_core_src(self, tmp_path):
+        # Outside tests/ and service/, D006 does not apply (the core has
+        # no event loop); D001 still polices wall-clock reads there.
+        snippet = "import time\ntime.sleep(0.1)\n"
+        assert codes(lint_snippet(tmp_path, snippet, SRC)) == []
+
+    def test_waiver(self, tmp_path):
+        snippet = (
+            "import time\n"
+            "time.sleep(0.1)  # reprolint: ignore[D006] real-socket smoke needs wall settle\n"
+        )
+        violations = lint_snippet(tmp_path, snippet, TESTS)
+        assert codes(violations) == []
+        assert [v.code for v in violations if v.waived] == ["D006"]
+
+
+# ----------------------------------------------------------------------
+# Waiver mechanics (W001/W002).
+# ----------------------------------------------------------------------
+class TestWaiverMechanics:
+    def test_reasonless_waiver_is_w001_and_does_not_suppress(self, tmp_path):
+        snippet = "import time\nt0 = time.time()  # reprolint: ignore[D001]\n"
+        got = codes(lint_snippet(tmp_path, snippet))
+        assert sorted(got) == ["D001", "W001"]
+
+    def test_stale_waiver_is_w002(self, tmp_path):
+        snippet = "x = 1  # reprolint: ignore[D001] nothing here anymore\n"
+        assert codes(lint_snippet(tmp_path, snippet)) == ["W002"]
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        snippet = "import time\nt0 = time.time()  # reprolint: ignore[D002] wrong code\n"
+        got = codes(lint_snippet(tmp_path, snippet))
+        assert sorted(got) == ["D001", "W002"]
+
+    def test_multi_code_waiver(self, tmp_path):
+        snippet = (
+            "import time\n"
+            "t0 = time.time()  # reprolint: ignore[D001,D002] shared rationale\n"
+        )
+        violations = lint_snippet(tmp_path, snippet)
+        assert codes(violations) == []
+        assert [v.code for v in violations if v.waived] == ["D001"]
+
+    def test_docstring_example_is_not_a_live_waiver(self, tmp_path):
+        snippet = (
+            '"""Docs show: x  # reprolint: ignore[D001] example"""\n'
+            "x = 1\n"
+        )
+        assert codes(lint_snippet(tmp_path, snippet)) == []
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        snippet = "def broken(:\n"
+        got = codes(lint_snippet(tmp_path, snippet))
+        assert got == ["E999"]

@@ -69,6 +69,88 @@ CONTROL_MARGIN_PP = 2.0
 #: show >= 2x the session-matched PR 4 events/sec baseline.
 MIN_SPEEDUP_PR4 = 2.0
 
+#: Anchor-provenance schema: artifact file name → dotted key paths that
+#: must exist for the payload to be traceable to the run that produced
+#: it (what workload, at what scale, against which baseline).  Every
+#: ``BENCH_*.json`` in ``benchmarks/`` must have an entry here; a new
+#: artifact without one fails the gate by name instead of sailing
+#: through unchecked.  The schema also front-loads every key the live
+#: smoke run dereferences (``workload.scale``, ``events_per_sec.*``) so
+#: a truncated payload fails with the missing key's name, not a
+#: ``KeyError`` traceback.
+PROVENANCE_KEYS: dict[str, tuple[str, ...]] = {
+    "BENCH_estimator.json": (
+        "benchmark",
+        "workload.figure",
+        "workload.level",
+        "workload.pattern",
+        "workload.scale",
+        "workload.heuristic",
+        "workload.pruning",
+        "workload.trials",
+        "events_per_sec.incremental",
+        "events_per_sec.naive",
+        "events_per_sec_protocol",
+        "pr4_session_matched_events_per_sec",
+    ),
+    "BENCH_control.json": (
+        "benchmark",
+        "workload.pattern",
+        "workload.levels",
+        "workload.trials",
+        "workload.base_seed",
+        "workload.heuristic",
+        "static_grid",
+        "controller",
+    ),
+    "BENCH_pmf.json": (
+        "benchmark",
+        "crossover.fft_min_taps",
+        "crossover.fft_min_ops",
+    ),
+    "BENCH_campaign.json": (
+        "benchmark",
+        "workload.figure",
+        "workload.scale",
+        "workload.trials",
+        "workload.total_trials",
+        "cpu_count",
+        "jobs",
+        "resolved_plan",
+    ),
+}
+
+
+def missing_provenance(payload: object, keys: tuple[str, ...]) -> list[str]:
+    """Dotted key paths from ``keys`` that ``payload`` does not contain."""
+    missing: list[str] = []
+    for dotted in keys:
+        node = payload
+        for part in dotted.split("."):
+            if not isinstance(node, dict) or part not in node:
+                missing.append(dotted)
+                break
+            node = node[part]
+    return missing
+
+
+def check_provenance(path: Path) -> list[str]:
+    """Named-key provenance errors for one ``BENCH_*.json`` artifact."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"{path.name}: unreadable ({exc})"]
+    keys = PROVENANCE_KEYS.get(path.name)
+    if keys is None:
+        return [
+            f"{path.name}: no provenance schema registered — add its anchor "
+            f"keys to PROVENANCE_KEYS in tools/check_bench.py"
+        ]
+    return [
+        f"{path.name}: missing provenance key {key!r}"
+        for key in missing_provenance(payload, keys)
+    ]
+
 
 def check_control_payload(path: Path) -> list[str]:
     """Shape + consistency errors of the control-plane artifact."""
@@ -325,6 +407,16 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     static_errors: list[str] = []
+    # Provenance first: every committed BENCH_*.json (plus whichever
+    # paths this invocation points at) must name its anchors before the
+    # shape checkers dereference them.
+    provenance_paths = {args.control, args.pmf, args.campaign, args.baseline}
+    provenance_paths.update((REPO_ROOT / "benchmarks").glob("BENCH_*.json"))
+    for path in sorted(provenance_paths):
+        errors = check_provenance(path)
+        static_errors.extend(errors)
+        if not errors:
+            print(f"provenance OK ({path.name})")
     for label, checker, path in (
         ("control", check_control_payload, args.control),
         ("pmf", check_pmf_payload, args.pmf),
