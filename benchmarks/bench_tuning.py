@@ -1,0 +1,220 @@
+"""Offline auto-tuner benchmark → ``BENCH_tuning.json``.
+
+The claim under test (ISSUE 10 acceptance): on the control-plane
+benchmark's own bursty sweep (``benchmarks/bench_control.py`` — three
+oversubscription levels of the MMPP family), a *searched* hysteresis
+configuration matches-or-beats the hand-set hysteresis contender that
+``BENCH_control.json`` committed, and beats the best static β of the
+paper's threshold grid — i.e. the tuner recovers (at least) the
+hand-tuning effort automatically.
+
+The search is the ``control-bursty`` tuning preset: the pure-NumPy
+GP/EI strategy (6 random init trials, then 6 surrogate-guided) over the
+hysteresis knobs (``controller.high`` log-scaled, ``controller.step``,
+``controller.cooldown``, ``controller.window``), scored by pooled
+on-time % over the same cells, seeds and trial counts the control
+benchmark uses — so the tuned score is directly comparable to the
+committed ``adaptive_pct`` and ``best_static_pct`` reference numbers,
+which this artifact copies from ``BENCH_control.json`` rather than
+re-deriving.
+
+Everything is deterministic (named-stream proposals, fixed seeds, pure
+controllers), so the trajectory and the final comparison are
+hardware-independent and safe to gate in CI; ``--jobs`` only changes
+wall-clock.  The payload shape is validated against the committed
+artifact by ``tools/check_bench.py``.
+
+Run directly to regenerate the artifact::
+
+    python benchmarks/bench_tuning.py --jobs 4
+
+or through pytest (asserts, no artifact rewrite)::
+
+    python -m pytest benchmarks/bench_tuning.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Direct-script convenience (CI and pytest install the package; a plain
+# checkout runs `python benchmarks/bench_tuning.py` without it).
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.campaign import ResultCache  # noqa: E402
+from repro.tuning import Tuner, get_preset  # noqa: E402
+
+TUNING_JSON = Path(__file__).resolve().parent / "BENCH_tuning.json"
+CONTROL_JSON = Path(__file__).resolve().parent / "BENCH_control.json"
+
+
+def _references() -> dict:
+    """The committed control-benchmark numbers the tuned score races.
+
+    Copied from ``BENCH_control.json`` instead of re-run: both
+    benchmarks are deterministic over the same cells and seeds, so the
+    committed numbers *are* the numbers, and ``tools/check_bench.py``
+    cross-checks the copy against the source artifact.
+    """
+    committed = json.loads(CONTROL_JSON.read_text())
+    cmp = committed["comparison"]
+    return {
+        "source": CONTROL_JSON.name,
+        "hysteresis_pct": cmp["adaptive_pct"],
+        "best_static": cmp["best_static"],
+        "best_static_pct": cmp["best_static_pct"],
+        "worst_static": cmp["worst_static"],
+        "worst_static_pct": cmp["worst_static_pct"],
+    }
+
+
+def run_tuning_bench(
+    *,
+    jobs: int | None = None,
+    cache_dir: Path | None = None,
+    json_path: Path | None = TUNING_JSON,
+) -> dict:
+    """Run the search and return (optionally write) the payload."""
+    preset = get_preset("control-bursty")
+    configs = preset.configs()
+    cache = None
+    if cache_dir is not None:
+        cache = ResultCache(cache_dir)
+        cache.prune_stale()
+    tuner = Tuner(
+        preset.space,
+        configs,
+        strategy=preset.strategy,
+        objective=preset.objective,
+        budget=preset.budget,
+        seed=preset.seed,
+        cache=cache,
+        jobs=jobs,
+        name="bench-tuning",
+    )
+    result = tuner.run()
+    stats = result.stats()
+    references = _references()
+    tuned_pct = stats["best_score"]
+    payload = {
+        "benchmark": "tuning",
+        "workload": {
+            "pattern": "bursty",
+            "time_span": 150.0,
+            "num_task_types": 8,
+            "burst_amplitude": 8.0,
+            "burst_fraction": 0.15,
+            "burst_cycles": 4.0,
+            "levels": {c.label.split("@")[1]: c.spec.num_tasks for c in configs},
+            "trials": configs[0].trials,
+            "base_seed": configs[0].base_seed,
+            "heuristic": "MM",
+        },
+        "search": {
+            "preset": preset.name,
+            "space": preset.space.to_dict(),
+            "strategy": stats["strategy"],
+            "objective": stats["objective"],
+            "budget": stats["budget"],
+            "seed": stats["seed"],
+            "ledger_key": tuner.key,
+        },
+        "tuner_stats": stats,
+        "trials": [r.to_dict() for r in result.records],
+        "references": references,
+        "comparison": {
+            "tuned_pct": tuned_pct,
+            "tuned_params": stats["best_params"],
+            "hysteresis_pct": references["hysteresis_pct"],
+            "best_static": references["best_static"],
+            "best_static_pct": references["best_static_pct"],
+            "tuned_minus_hysteresis_pp": tuned_pct - references["hysteresis_pct"],
+            "tuned_minus_best_static_pp": tuned_pct - references["best_static_pct"],
+        },
+    }
+    if json_path is not None:
+        json_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def check_payload(payload: dict) -> None:
+    """The acceptance gates (shared by the pytest entry and __main__)."""
+    cmp = payload["comparison"]
+    assert cmp["tuned_pct"] >= cmp["hysteresis_pct"] - 1e-9, (
+        f"tuned config {cmp['tuned_pct']:.2f}% fell below the hand-set "
+        f"hysteresis contender ({cmp['hysteresis_pct']:.2f}%)"
+    )
+    assert cmp["tuned_pct"] > cmp["best_static_pct"], (
+        f"tuned config {cmp['tuned_pct']:.2f}% does not beat the best static "
+        f"β ({cmp['best_static']}: {cmp['best_static_pct']:.2f}%)"
+    )
+
+
+def _trajectory(trials: list[dict]) -> list[dict]:
+    """Trial records minus the cache hit/miss telemetry.
+
+    The determinism contract pins proposals, params and scores; the
+    cache counters legitimately depend on whether the run was warm or
+    cold (the committed artifact is regenerated with ``--cache-dir``,
+    the pytest gate runs cache-less).
+    """
+    skip = {"cache_hits", "cache_misses"}
+    return [{k: v for k, v in t.items() if k not in skip} for t in trials]
+
+
+def test_tuner_recovers_hand_tuning():
+    """Deterministic gate: the GP/EI search over the hysteresis knobs
+    matches-or-beats the committed hand-set controller and beats the
+    best static β — and reproduces the committed artifact trial for
+    trial (named-stream proposals, fixed seeds)."""
+    payload = run_tuning_bench(jobs=2, json_path=None)
+    check_payload(payload)
+    if TUNING_JSON.exists():
+        committed = json.loads(TUNING_JSON.read_text())
+        assert committed["comparison"] == payload["comparison"], (
+            "BENCH_tuning.json is stale — regenerate with "
+            "`python benchmarks/bench_tuning.py`"
+        )
+        assert _trajectory(committed["trials"]) == _trajectory(payload["trials"]), (
+            "tuner trajectory diverged from the committed ledger — "
+            "same seed must mean byte-identical proposals"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", "-j", type=int, default=None)
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="optional campaign result cache (regeneration re-runs warm)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=TUNING_JSON, help="output artifact path"
+    )
+    args = parser.parse_args(argv)
+    payload = run_tuning_bench(
+        jobs=args.jobs, cache_dir=args.cache_dir, json_path=args.json
+    )
+    cmp = payload["comparison"]
+    print(
+        f"bench tuning: tuned {cmp['tuned_pct']:.2f}% | hysteresis "
+        f"{cmp['hysteresis_pct']:.2f}% ({cmp['tuned_minus_hysteresis_pp']:+.2f} pp) "
+        f"| best static {cmp['best_static']} {cmp['best_static_pct']:.2f}% "
+        f"({cmp['tuned_minus_best_static_pp']:+.2f} pp)"
+    )
+    print(f"tuned params: {cmp['tuned_params']}")
+    check_payload(payload)
+    print("tuning gates OK")
+    print(f"[written: {args.json}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

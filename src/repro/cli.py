@@ -1,6 +1,7 @@
 """Top-level ``repro`` command: one console entry over the sub-CLIs.
 
 ``repro lint``   → :mod:`repro.lint.cli` (the determinism linter)
+``repro tune``   → :mod:`repro.tuning.cli` (the offline auto-tuner)
 ``repro <cmd>``  → :mod:`repro.experiments.cli` (fig7/sweep/serve/...)
 
 Installed via ``[project.scripts]``; without an install the module
@@ -21,6 +22,10 @@ def main(argv: list[str] | None = None) -> int:
         from .lint.cli import main as lint_main
 
         return lint_main(args[1:])
+    if args and args[0] == "tune":
+        from .tuning.cli import main as tune_main
+
+        return tune_main(args[1:])
     from .experiments.cli import main as experiments_main
 
     return experiments_main(args if args else None)

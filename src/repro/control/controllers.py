@@ -21,8 +21,13 @@ changes.
 from __future__ import annotations
 
 import abc
+import bisect
+import math
+
+import numpy as np
 
 from ..core.config import ControllerConfig, PruningConfig
+from ..sim.rng import tuning_seed
 from .signals import ControlSignals
 
 __all__ = [
@@ -31,6 +36,7 @@ __all__ = [
     "ScheduleController",
     "HysteresisController",
     "TargetSuccessController",
+    "BanditController",
 ]
 
 
@@ -83,6 +89,12 @@ class Controller(abc.ABC):
             if k in ("config", "base") or not hasattr(self, k):
                 raise ValueError(f"unknown controller state field {k!r}")
             setattr(self, k, v)
+
+    def policy_stats(self) -> dict:
+        """Extra policy telemetry merged into ``controller_stats`` under
+        ``"policy"`` — only when non-empty, so the payloads of existing
+        controllers stay byte-identical (default: none)."""
+        return {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.config.kind!r})"
@@ -254,3 +266,190 @@ class TargetSuccessController(Controller):
             self._lo = self.config.beta_min
             self._hi = self.config.beta_max
         return self.beta, self.base.dropping_toggle
+
+
+class BanditController(Controller):
+    """Contextual multi-armed bandit over a discretized (β, α) grid.
+
+    The online half of :mod:`repro.tuning`: where the offline tuner
+    searches *between* runs, the bandit learns *within* one.  Arms are
+    the cross product ``betas × alphas`` (α falling back to the config
+    Toggle when ``alphas`` is empty).  Every ``window`` ticks the
+    windowed on-time rate rewards the arm that was live, the load
+    context is re-classified — (miss-rate band from ``miss_bands``) ×
+    (queue-depth band from ``queue_bands``) — and the next arm is chosen
+    for that context:
+
+    * ``ucb_c > 0`` → deterministic UCB1 (unpulled arms first, then
+      ``value + ucb_c · sqrt(ln(pulls) / n)``, ties to the lowest arm);
+    * otherwise ε-greedy at rate ``epsilon``, exploration drawn from the
+      dedicated ``tuning`` named stream rooted at ``config.seed``.
+
+    Windows with no outcomes extend rather than vote (quiet stretches
+    carry no evidence).  The RNG is consumed only at decision points, in
+    observation order, so the policy remains a pure function of (config,
+    observed snapshots) — campaign cache keys stay sound and snapshots
+    restore exactly (:meth:`state_dict` carries the bit-generator state).
+    """
+
+    name = "bandit"
+
+    def __init__(self, config: ControllerConfig, base: PruningConfig) -> None:
+        super().__init__(config, base)
+        alphas = config.alphas or (base.dropping_toggle,)
+        #: Immutable (β, α) arm table, row-major over betas × alphas.
+        self.arms: tuple[tuple[float, int], ...] = tuple(
+            (float(b), int(a)) for b in config.betas for a in alphas
+        )
+        self.n_contexts = (len(config.miss_bands) + 1) * (len(config.queue_bands) + 1)
+        self.counts: list[list[int]] = [
+            [0] * len(self.arms) for _ in range(self.n_contexts)
+        ]
+        self.values: list[list[float]] = [
+            [0.0] * len(self.arms) for _ in range(self.n_contexts)
+        ]
+        self.beta = base.pruning_threshold
+        self.alpha = base.dropping_toggle
+        self._rng = np.random.default_rng(tuning_seed(config.seed, "bandit"))
+        self._ticks = 0
+        self._win_on_time = 0
+        self._win_misses = 0
+        self._win_outcomes = 0
+        self._arm: int | None = None     # arm live during the running window
+        self._context = 0                # context in which _arm was pulled
+        self._pulls = 0                  # total decisions (UCB log term)
+
+    # ------------------------------------------------------------------
+    def _classify(self, miss_rate: float, backlog: int) -> int:
+        """Context index: (miss-rate band) × (queue-depth band)."""
+        mband = bisect.bisect_right(self.config.miss_bands, miss_rate)
+        qband = bisect.bisect_right(self.config.queue_bands, backlog)
+        return mband * (len(self.config.queue_bands) + 1) + qband
+
+    def _choose(self, context: int) -> int:
+        counts = self.counts[context]
+        values = self.values[context]
+        if self.config.ucb_c > 0.0:
+            for i, n in enumerate(counts):
+                if n == 0:
+                    return i  # unpulled arms first, in index order
+            total = sum(counts)
+            return max(
+                range(len(self.arms)),
+                key=lambda i: (
+                    values[i]
+                    + self.config.ucb_c * math.sqrt(math.log(total) / counts[i]),
+                    -i,
+                ),
+            )
+        if self._rng.random() < self.config.epsilon:
+            return int(self._rng.integers(len(self.arms)))
+        return max(range(len(self.arms)), key=lambda i: (values[i], -i))
+
+    def update(self, signals: ControlSignals) -> tuple[float, int] | None:
+        self._ticks += 1
+        if self._ticks < self.config.window:
+            return None
+        d_on = signals.on_time - self._win_on_time
+        d_miss = signals.misses - self._win_misses
+        d_out = signals.outcomes - self._win_outcomes
+        if d_out <= 0:
+            return None  # nothing landed; let the window keep growing
+        self._ticks = 0
+        self._win_on_time = signals.on_time
+        self._win_misses = signals.misses
+        self._win_outcomes = signals.outcomes
+        if self._arm is not None:
+            # Incremental mean of the windowed on-time reward.
+            c, a = self._context, self._arm
+            self.counts[c][a] += 1
+            self.values[c][a] += (d_on / d_out - self.values[c][a]) / self.counts[c][a]
+        context = self._classify(d_miss / d_out, signals.backlog)
+        arm = self._choose(context)
+        self._arm = arm
+        self._context = context
+        self._pulls += 1
+        self.beta, self.alpha = self.arms[arm]
+        return self.beta, self.alpha
+
+    # ------------------------------------------------------------------
+    #: Mutable fields a snapshot carries (config/base/arms rebuild from
+    #: the config; the RNG travels as its bit-generator state dict).
+    _STATE_FIELDS = (
+        "beta",
+        "alpha",
+        "counts",
+        "values",
+        "ticks",
+        "win_on_time",
+        "win_misses",
+        "win_outcomes",
+        "arm",
+        "context",
+        "pulls",
+        "rng",
+    )
+
+    def state_dict(self) -> dict:
+        return {
+            "beta": self.beta,
+            "alpha": self.alpha,
+            "counts": [list(row) for row in self.counts],
+            "values": [list(row) for row in self.values],
+            "ticks": self._ticks,
+            "win_on_time": self._win_on_time,
+            "win_misses": self._win_misses,
+            "win_outcomes": self._win_outcomes,
+            "arm": self._arm,
+            "context": self._context,
+            "pulls": self._pulls,
+            # PCG64 state is a plain dict of ints — JSON-round-trip safe.
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def load_state(self, state: dict) -> None:
+        unknown = set(state) - set(self._STATE_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown bandit state fields {sorted(unknown)}")
+        missing = set(self._STATE_FIELDS) - set(state)
+        if missing:
+            raise ValueError(f"missing bandit state fields {sorted(missing)}")
+        counts = [[int(n) for n in row] for row in state["counts"]]
+        values = [[float(v) for v in row] for row in state["values"]]
+        shape_ok = (
+            len(counts) == self.n_contexts
+            and len(values) == self.n_contexts
+            and all(len(row) == len(self.arms) for row in counts)
+            and all(len(row) == len(self.arms) for row in values)
+        )
+        if not shape_ok:
+            raise ValueError(
+                f"bandit state shape mismatch: expected {self.n_contexts} contexts "
+                f"x {len(self.arms)} arms (was the config changed since the snapshot?)"
+            )
+        self.counts = counts
+        self.values = values
+        self.beta = float(state["beta"])
+        self.alpha = int(state["alpha"])
+        self._ticks = int(state["ticks"])
+        self._win_on_time = int(state["win_on_time"])
+        self._win_misses = int(state["win_misses"])
+        self._win_outcomes = int(state["win_outcomes"])
+        self._arm = None if state["arm"] is None else int(state["arm"])
+        self._context = int(state["context"])
+        self._pulls = int(state["pulls"])
+        self._rng.bit_generator.state = state["rng"]
+
+    # ------------------------------------------------------------------
+    def policy_stats(self) -> dict:
+        """Arm table, per-arm pull totals, and visited-context count."""
+        per_arm = [sum(self.counts[c][a] for c in range(self.n_contexts))
+                   for a in range(len(self.arms))]
+        return {
+            "mode": "ucb" if self.config.ucb_c > 0.0 else "epsilon-greedy",
+            "arms": [[beta, alpha] for beta, alpha in self.arms],
+            "pulls": per_arm,
+            "contexts_visited": sum(
+                1 for row in self.counts if any(n > 0 for n in row)
+            ),
+        }

@@ -68,7 +68,7 @@ class ControllerDriver:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """JSON-ready ``controller_stats`` payload (round-trip stable)."""
-        return {
+        payload = {
             "controller": self.controller.name,
             "ticks": self.ticks,
             "time_ticks": self.time_ticks,
@@ -77,3 +77,10 @@ class ControllerDriver:
             "final": [float(self.setpoints.beta), float(self.setpoints.alpha)],
             "trajectory": [list(row) for row in self.trajectory],
         }
+        # Policy extras (the bandit's arm table/pull counts) ride along
+        # only when present, so the payloads of the pre-existing
+        # controllers — and their golden fixtures — stay byte-identical.
+        policy = self.controller.policy_stats()
+        if policy:
+            payload["policy"] = policy
+        return payload

@@ -23,7 +23,7 @@ from dataclasses import dataclass, replace
 __all__ = ["PruningConfig", "ToggleMode", "ControllerConfig", "CONTROLLER_KINDS"]
 
 #: Registered controller kinds (the :mod:`repro.control` registry keys).
-CONTROLLER_KINDS = ("static", "schedule", "hysteresis", "target-success")
+CONTROLLER_KINDS = ("static", "schedule", "hysteresis", "target-success", "bandit")
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,18 @@ class ControllerConfig:
         Successive-approximation search driving the windowed on-time
         rate toward ``target``: every ``settle`` ticks the observed rate
         halves the bracket [``beta_min``, ``beta_max``] around β.
+    ``bandit``
+        Contextual ε-greedy/UCB over a discretized (β, α) arm grid:
+        every ``window`` ticks the windowed on-time rate rewards the
+        pulled arm, the (miss-rate band × queue-depth band) context is
+        re-classified against ``miss_bands``/``queue_bands``, and the
+        next arm is drawn from ``betas`` × ``alphas`` (α falls back to
+        the :class:`PruningConfig` Toggle when ``alphas`` is empty).
+        ``ucb_c > 0`` selects deterministic UCB1; otherwise exploration
+        is ε-greedy at rate ``epsilon``, drawn from the dedicated
+        ``tuning`` named stream of :mod:`repro.sim.rng` rooted at
+        ``seed`` — so the policy stays a pure function of (config,
+        observed snapshots).
     """
 
     kind: str = "static"
@@ -76,6 +88,14 @@ class ControllerConfig:
     beta_max: float = 0.95
     target: float = 0.5
     settle: int = 16
+    # -- bandit --------------------------------------------------------
+    betas: tuple = ()
+    alphas: tuple = ()
+    epsilon: float = 0.1
+    ucb_c: float = 0.0
+    seed: int = 0
+    miss_bands: tuple = (0.05, 0.25)
+    queue_bands: tuple = (4, 16)
 
     def __post_init__(self) -> None:
         if self.kind not in CONTROLLER_KINDS:
@@ -115,6 +135,63 @@ class ControllerConfig:
                 value = int(value)
             if value < 1:
                 raise ValueError(f"{name} must be >= 1, got {value}")
+        self._init_bandit_fields()
+
+    def _init_bandit_fields(self) -> None:
+        """Coerce/validate the bandit-family fields (all kinds carry
+        them, so canonicalization is unconditional — cache payloads
+        round-trip through plain JSON lists)."""
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {self.epsilon}")
+        if self.ucb_c < 0.0:
+            raise ValueError(f"ucb_c must be >= 0, got {self.ucb_c}")
+        seed = self.seed
+        if isinstance(seed, float):
+            if not seed.is_integer():
+                raise ValueError(f"seed must be an integer, got {seed!r}")
+            object.__setattr__(self, "seed", int(seed))
+        elif not isinstance(seed, int) or isinstance(seed, bool):
+            raise ValueError(f"seed must be an integer, got {seed!r}")
+        betas = tuple(float(b) for b in self.betas)
+        if self.kind == "bandit" and not betas:
+            betas = (0.25, 0.5, 0.75, 0.95)  # canonical default arm grid
+        if any(not 0.0 <= b <= 1.0 for b in betas):
+            raise ValueError(f"betas must lie in [0, 1], got {betas}")
+        if list(betas) != sorted(set(betas)):
+            raise ValueError(f"betas must be strictly ascending, got {betas}")
+        object.__setattr__(self, "betas", betas)
+        alphas = []
+        for a in self.alphas:
+            if isinstance(a, float):
+                if not a.is_integer():
+                    raise ValueError(f"alphas must be integers, got {a!r}")
+                a = int(a)
+            if a < 0:
+                raise ValueError(f"alphas must be >= 0, got {a}")
+            alphas.append(int(a))
+        if alphas != sorted(set(alphas)):
+            raise ValueError(f"alphas must be strictly ascending, got {tuple(alphas)}")
+        object.__setattr__(self, "alphas", tuple(alphas))
+        bands = tuple(float(b) for b in self.miss_bands)
+        if not bands or any(not 0.0 <= b <= 1.0 for b in bands):
+            raise ValueError(f"miss_bands must be non-empty rates in [0, 1], got {bands}")
+        if list(bands) != sorted(set(bands)):
+            raise ValueError(f"miss_bands must be strictly ascending, got {bands}")
+        object.__setattr__(self, "miss_bands", bands)
+        qbands = []
+        for q in self.queue_bands:
+            if isinstance(q, float):
+                if not q.is_integer():
+                    raise ValueError(f"queue_bands must be integers, got {q!r}")
+                q = int(q)
+            if q < 0:
+                raise ValueError(f"queue_bands must be >= 0, got {q}")
+            qbands.append(int(q))
+        if not qbands or qbands != sorted(set(qbands)):
+            raise ValueError(
+                f"queue_bands must be non-empty and strictly ascending, got {tuple(qbands)}"
+            )
+        object.__setattr__(self, "queue_bands", tuple(qbands))
 
     def with_(self, **changes) -> ControllerConfig:
         """Functional update (frozen dataclass)."""

@@ -83,7 +83,11 @@ __all__ = [
 #: (``trace_format``/``trace_sample``) and the layered-DAG axis
 #: (``dag_layers``/``dag_edge_prob``/``dag_max_parents``); cached
 #: results may carry ``dag_stats``.
-CACHE_SCHEMA = 4
+#: v5: the controller payload gained the bandit fields (``betas``/
+#: ``alphas``/``epsilon``/``ucb_c``/``seed``/``miss_bands``/
+#: ``queue_bands``) and grids gained the ``tuning`` axis (applied as
+#: config patches, so tuned cells key on their patched payloads).
+CACHE_SCHEMA = 5
 
 #: Project-local default cache directory used by the CLI.
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -713,6 +717,58 @@ def _resolve_dag(entry: object) -> tuple[str, dict | None]:
     raise ValueError(f"unrecognized dag entry: {entry!r}")
 
 
+def _resolve_tuning(entry: object) -> tuple[str, dict | None]:
+    """Resolve one grid ``tuning`` entry to (label, params-or-None).
+
+    ``"none"``/``None`` runs the cell exactly as the grid defines it.
+    A mapping patches the offline tuner's knob vocabulary
+    (:mod:`repro.tuning.params`) onto each pruned cell — either spelled
+    out (``{"params": {"beta": 0.7, "controller.high": 0.2}}``) or
+    replayed from a tuner trial ledger (``{"ledger": "path.json"}``,
+    optional ``"rank"`` for the rank-th best record).  The label
+    defaults to the deterministic ``tuned-<hex>`` params digest.
+    """
+    if entry is None or entry == "none":
+        return "none", None
+    if isinstance(entry, Mapping):
+        fields = dict(entry)
+        label = fields.pop("label", None)
+        if ("params" in fields) == ("ledger" in fields):
+            raise ValueError(
+                f'a tuning entry needs exactly one of "params" or "ledger", '
+                f"got {sorted(fields)}"
+            )
+        if "params" in fields:
+            params = fields.pop("params")
+            if fields:
+                raise ValueError(
+                    f"unknown tuning-entry keys {sorted(fields)}; allowed: "
+                    f"['label', 'params']"
+                )
+            if not isinstance(params, Mapping) or not params:
+                raise ValueError(
+                    f'tuning "params" must be a non-empty mapping, got {params!r}'
+                )
+            params = dict(params)
+        else:
+            path = str(fields.pop("ledger"))
+            rank = fields.pop("rank", 0)
+            if fields:
+                raise ValueError(
+                    f"unknown tuning-entry keys {sorted(fields)}; allowed: "
+                    f"['label', 'ledger', 'rank']"
+                )
+            if isinstance(rank, bool) or not isinstance(rank, int):
+                raise ValueError(f'tuning "rank" must be an integer, got {rank!r}')
+            from ..tuning.ledger import ledger_best  # deferred: tuning imports this module
+
+            params = ledger_best(path, rank=rank)
+        from ..tuning.params import params_label  # deferred: tuning imports this module
+
+        return (str(label) if label else params_label(params)), params
+    raise ValueError(f"unrecognized tuning entry: {entry!r}")
+
+
 def _resolve_level(
     entry: object, pattern: ArrivalPattern, scale: float
 ) -> tuple[str, WorkloadSpec]:
@@ -795,6 +851,12 @@ class SweepGrid:
     synthetic workload (see :func:`_resolve_dag`); trace levels carry
     explicit edges in the file itself, so combining them with a
     non-``none`` dag entry is an error.
+
+    The ``tuning`` axis patches tuned parameter sets (explicit
+    ``params`` or a tuner trial ledger — see :func:`_resolve_tuning`)
+    onto each *pruned* variant, so an offline search's winner can run
+    head-to-head against the hand-set grid inside one campaign.
+    Baseline cells have no knobs to patch and are emitted once.
     """
 
     name: str = "campaign"
@@ -806,6 +868,7 @@ class SweepGrid:
     dynamics: tuple = ("none",)
     controller: tuple = ("none",)
     dag: tuple = ("none",)
+    tuning: tuple = ("none",)
     trials: int = 10
     base_seed: int = 42
     scale: float = 1.0
@@ -820,6 +883,7 @@ class SweepGrid:
             "dynamics",
             "controller",
             "dag",
+            "tuning",
         ):
             value = getattr(self, fname)
             if isinstance(value, (str, Mapping)):
@@ -863,14 +927,15 @@ class SweepGrid:
             if isinstance(entry, Mapping) and "trace" in entry
         )
         synthetic_levels = len(self.levels) - trace_levels
-        # Baseline pruning entries have no β/α to control: expand()
-        # emits them once, not once per controller entry.
+        # Baseline pruning entries have no β/α to control (and no knobs
+        # to tune): expand() emits them once, not once per controller or
+        # tuning entry.
         base_pruning = sum(
             1 for entry in self.pruning if entry is None or entry == "none"
         )
-        pruning_variants = (
-            base_pruning + (len(self.pruning) - base_pruning) * len(self.controller)
-        )
+        pruning_variants = base_pruning + (
+            len(self.pruning) - base_pruning
+        ) * len(self.controller) * len(self.tuning)
         # The dag axis applies to synthetic levels only (expand() rejects
         # the mixed case before any counting discrepancy could matter).
         return (
@@ -947,6 +1012,10 @@ class SweepGrid:
             controller_variants = [resolve_controller(entry) for entry in self.controller]
         except ValueError as exc:
             raise ValueError(f"controller axis: {exc}") from exc
+        try:
+            tuning_variants = [_resolve_tuning(entry) for entry in self.tuning]
+        except ValueError as exc:
+            raise ValueError(f"tuning axis: {exc}") from exc
         specs = {
             (pattern_name, li): _resolve_level(
                 entry, ArrivalPattern(pattern_name), self.scale
@@ -987,36 +1056,53 @@ class SweepGrid:
                                     controller_label = (
                                         "" if variant is None or cconfig is None else clabel
                                     )
-                                    for dlabel, dspec in dynamics_variants:
-                                        label = (
-                                            f"{heuristic}/{vlabel}@{level}"
-                                            f"/{pattern_label}/{het}"
-                                        )
-                                        if gfields is not None:
-                                            label += f"/{glabel}"
-                                        if dspec is not None:
-                                            label += f"/{dlabel}"
-                                        config = ExperimentConfig(
-                                            heuristic=heuristic,
-                                            spec=cell_spec,
-                                            pruning=variant,
-                                            heterogeneity=het,
-                                            trials=self.trials,
-                                            base_seed=self.base_seed,
-                                            label=label,
-                                            dynamics=dspec,
-                                        )
-                                        cells.append(
-                                            CampaignCell(
-                                                config=config,
-                                                level=level,
-                                                pattern=pattern_label,
-                                                pruning_label=vlabel,
-                                                dynamics_label=dlabel,
-                                                controller_label=controller_label,
-                                                dag_label=glabel,
+                                    for ti, (tlabel, tparams) in enumerate(tuning_variants):
+                                        # Baseline cells have no knobs to
+                                        # tune: emit them once, untouched.
+                                        if pconfig is None and ti > 0:
+                                            continue
+                                        tuned = tparams is not None and pconfig is not None
+                                        for dlabel, dspec in dynamics_variants:
+                                            label = (
+                                                f"{heuristic}/{vlabel}"
+                                                f"{f'~{tlabel}' if tuned else ''}@{level}"
+                                                f"/{pattern_label}/{het}"
                                             )
-                                        )
+                                            if gfields is not None:
+                                                label += f"/{glabel}"
+                                            if dspec is not None:
+                                                label += f"/{dlabel}"
+                                            config = ExperimentConfig(
+                                                heuristic=heuristic,
+                                                spec=cell_spec,
+                                                pruning=variant,
+                                                heterogeneity=het,
+                                                trials=self.trials,
+                                                base_seed=self.base_seed,
+                                                label=label,
+                                                dynamics=dspec,
+                                            )
+                                            if tuned:
+                                                from ..tuning.params import apply_params
+
+                                                try:
+                                                    config = apply_params(config, tparams)
+                                                except ValueError as exc:
+                                                    raise ValueError(
+                                                        f"tuning entry {tlabel!r}: {exc}"
+                                                    ) from exc
+                                            cells.append(
+                                                CampaignCell(
+                                                    config=config,
+                                                    level=level,
+                                                    pattern=pattern_label,
+                                                    pruning_label=vlabel,
+                                                    dynamics_label=dlabel,
+                                                    controller_label=controller_label,
+                                                    dag_label=glabel,
+                                                    tuning_label=tlabel if tuned else "none",
+                                                )
+                                            )
         _check_unique_labels(
             cells,
             "give the colliding pruning/dynamics/controller entries explicit "
@@ -1044,6 +1130,9 @@ class SweepGrid:
                 dict(c) if isinstance(c, Mapping) else c for c in self.controller
             ],
             "dag": [dict(g) if isinstance(g, Mapping) else g for g in self.dag],
+            "tuning": [
+                dict(t) if isinstance(t, Mapping) else t for t in self.tuning
+            ],
             "trials": self.trials,
             "base_seed": self.base_seed,
             "scale": self.scale,
@@ -1106,6 +1195,8 @@ class CampaignCell:
     controller_label: str = ""
     #: DAG-axis label ("none" = independent tasks).
     dag_label: str = "none"
+    #: Tuning-axis label ("none" = the grid config ran unpatched).
+    tuning_label: str = "none"
 
 
 def _depth_outcomes(trials: Sequence[SimulationResult]) -> dict:
@@ -1227,6 +1318,7 @@ class Campaign:
                     else 0.0
                 ),
                 depths=_depth_outcomes(trials),
+                tuning=cell.tuning_label,
                 stats=aggregate_robustness(trials),
             )
             for cell, trials in zip(self.cells, per_cell)

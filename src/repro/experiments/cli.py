@@ -302,6 +302,11 @@ def main(argv: list[str] | None = None) -> int:
         from ..service.__main__ import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "tune":
+        # Same: the offline auto-tuner owns its own argument surface.
+        from ..tuning.cli import main as tune_main
+
+        return tune_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.figure != "sweep" and args.grid is not None:
         print(

@@ -140,6 +140,8 @@ class CampaignRow:
     #: …, …}, …}``, string depth keys); empty for independent tasks and
     #: then omitted from the JSON payload.
     depths: Mapping = field(default_factory=dict)
+    #: Tuning-axis label (``"none"`` = cell ran its grid config as-is).
+    tuning: str = "none"
 
     def to_dict(self) -> dict:
         payload = {
@@ -160,6 +162,10 @@ class CampaignRow:
             payload["dag"] = self.dag
             payload["cascade_drops"] = self.cascade_drops
             payload["depths"] = {k: dict(v) for k, v in self.depths.items()}
+        # Emitted only for tuned cells: pre-tuning summaries (and every
+        # untuned campaign) keep their exact prior payload.
+        if self.tuning != "none":
+            payload["tuning"] = self.tuning
         return payload
 
     @classmethod
@@ -181,6 +187,8 @@ class CampaignRow:
             dag=payload.get("dag", "none"),
             cascade_drops=float(payload.get("cascade_drops", 0.0)),
             depths=dict(payload.get("depths", {})),
+            # Pre-tuning summaries lack the field: cells ran untuned.
+            tuning=payload.get("tuning", "none"),
             stats=AggregateStats.from_dict(payload["stats"]),
         )
 
@@ -202,6 +210,7 @@ CAMPAIGN_CSV_FIELDS = (
     "max_sufferage",
     "dag",
     "cascade_drops",
+    "tuning",
 )
 
 
@@ -311,6 +320,7 @@ class CampaignSummary:
                     "max_sufferage": f"{row.max_sufferage:.6f}",
                     "dag": row.dag,
                     "cascade_drops": f"{row.cascade_drops:.6f}",
+                    "tuning": row.tuning,
                 }
             )
         return buf.getvalue()

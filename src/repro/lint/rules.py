@@ -190,7 +190,10 @@ _NP_RANDOM_CONSTRUCTORS = frozenset(
 
 def _is_named_stream_seed(node: ast.AST) -> bool:
     """Whether a seed expression flows through the named-stream API
-    (``stream_seed(...)``, ``streams.stream(...)``, ``streams.fresh(...)``)."""
+    (``stream_seed(...)``, ``tuning_seed(...)``, ``streams.stream(...)``,
+    ``streams.fresh(...)``).  ``tuning_seed`` is the dedicated search/
+    learning family of sim/rng.py — tuner and bandit randomness drawn
+    through it is contract-compliant without a waiver."""
 
     def pred(sub: ast.AST) -> bool:
         if not isinstance(sub, ast.Call):
@@ -199,7 +202,7 @@ def _is_named_stream_seed(node: ast.AST) -> bool:
         if name is None:
             return False
         leaf = name.rsplit(".", 1)[-1]
-        return leaf in ("stream_seed", "stream", "fresh")
+        return leaf in ("stream_seed", "tuning_seed", "stream", "fresh")
 
     return _contains(node, pred)
 

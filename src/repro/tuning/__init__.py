@@ -1,0 +1,50 @@
+"""Offline auto-tuning: deterministic search over β/α/controller knobs.
+
+The search layer above the experiment layer: a declarative
+:class:`~repro.tuning.space.SearchSpace` of configuration knobs, a
+pluggable strategy registry (:data:`~repro.tuning.strategies.STRATEGIES`
+— random, successive halving, pure-NumPy GP/EI), objectives over
+:class:`~repro.experiments.report.CampaignSummary`, and a resumable JSON
+trial ledger.  Every proposal is a pure function of (seed, space,
+observed results); every evaluation is an ordinary cached campaign —
+so whole searches are byte-identical across runs and resume for free.
+
+The *online* counterpart — the contextual ``bandit`` controller that
+adapts β/α inside a single run — lives in :mod:`repro.control`; this
+package owns the outer, between-runs loop.
+"""
+
+from .ledger import LEDGER_VERSION, TrialRecord, read_ledger, write_ledger
+from .objective import OBJECTIVES, make_objective, paired_delta, pooled_on_time
+from .params import PARAM_KNOBS, apply_params, params_label
+from .presets import TUNE_PRESETS, TunePreset, get_preset
+from .space import Categorical, Continuous, Integer, SearchSpace
+from .strategies import STRATEGIES, Proposal, Strategy, make_strategy
+from .tuner import Tuner, TunerResult
+
+__all__ = [
+    "SearchSpace",
+    "Continuous",
+    "Integer",
+    "Categorical",
+    "Strategy",
+    "Proposal",
+    "STRATEGIES",
+    "make_strategy",
+    "OBJECTIVES",
+    "make_objective",
+    "pooled_on_time",
+    "paired_delta",
+    "TrialRecord",
+    "read_ledger",
+    "write_ledger",
+    "LEDGER_VERSION",
+    "PARAM_KNOBS",
+    "apply_params",
+    "params_label",
+    "TunePreset",
+    "TUNE_PRESETS",
+    "get_preset",
+    "Tuner",
+    "TunerResult",
+]

@@ -1,0 +1,162 @@
+"""The tuner's trial ledger: one JSON file, one record per trial.
+
+The ledger is the search's durable memory.  Every completed trial is
+appended and the file is rewritten atomically (temp file +
+``os.replace``), so an interrupted search resumes from the exact trial
+it stopped at.  A ``key`` fingerprint of the search identity (space,
+evaluation mix, strategy, objective, seed — deliberately *not* the
+budget, so a search can be extended) guards against resuming one
+search's trajectory under a different problem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Mapping, Sequence
+
+__all__ = [
+    "TrialRecord",
+    "read_ledger",
+    "write_ledger",
+    "ledger_best",
+    "LEDGER_VERSION",
+]
+
+#: Bump on ledger *format* changes.
+LEDGER_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One evaluated proposal: what was tried, at what fidelity, and how
+    it scored."""
+
+    index: int
+    params: dict
+    score: float
+    #: Fraction of the mix's full trial count this evaluation ran at
+    #: (successive halving evaluates early rungs cheaply).
+    fidelity: float = 1.0
+    #: Trials per cell actually run (``ceil(full * fidelity)``, min 1).
+    trials: int = 0
+    #: Per-cell pooled mean on-time %, label → value (diagnostics).
+    cells: dict = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "params": dict(self.params),
+            "score": self.score,
+            "fidelity": self.fidelity,
+            "trials": self.trials,
+            "cells": dict(self.cells),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> TrialRecord:
+        return cls(
+            index=int(payload["index"]),
+            params=dict(payload["params"]),
+            score=float(payload["score"]),
+            fidelity=float(payload.get("fidelity", 1.0)),
+            trials=int(payload.get("trials", 0)),
+            cells=dict(payload.get("cells", {})),
+            cache_hits=int(payload.get("cache_hits", 0)),
+            cache_misses=int(payload.get("cache_misses", 0)),
+        )
+
+
+def read_ledger(path: str | Path, key: str) -> list[TrialRecord]:
+    """Load the records of a prior run of the *same* search.
+
+    A missing file is an empty history; a ledger written by a different
+    problem (mismatched ``key``) or format version is an error — silently
+    resuming a foreign trajectory would poison the purity contract.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"cannot read trial ledger {path}: {exc}") from exc
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"trial ledger {path} is not a JSON object")
+    version = payload.get("version")
+    if version != LEDGER_VERSION:
+        raise ValueError(
+            f"trial ledger {path} has format version {version!r}; "
+            f"this build writes {LEDGER_VERSION}"
+        )
+    if payload.get("key") != key:
+        raise ValueError(
+            f"trial ledger {path} belongs to a different search "
+            f"(key {payload.get('key')!r} != {key!r}); point --ledger at a "
+            f"fresh path or delete the stale file"
+        )
+    records = [TrialRecord.from_dict(r) for r in payload.get("records", ())]
+    for i, record in enumerate(records):
+        if record.index != i:
+            raise ValueError(
+                f"trial ledger {path} is not contiguous at record {i} "
+                f"(found index {record.index})"
+            )
+    return records
+
+
+def ledger_best(path: str | Path, rank: int = 0) -> dict:
+    """The ``rank``-th best parameter set recorded in a ledger file.
+
+    This is the *consumer* side — e.g. a sweep grid replaying a tuned
+    configuration — so unlike :func:`read_ledger` it takes any ledger
+    regardless of which search wrote it.  Ranking mirrors the tuner's
+    own best-pick: full-fidelity records first (fall back to all when
+    none exist), scored descending, ties to the earlier trial.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"cannot read trial ledger {path}: {exc}") from exc
+    if not isinstance(payload, Mapping) or payload.get("version") != LEDGER_VERSION:
+        raise ValueError(
+            f"{path} is not a version-{LEDGER_VERSION} trial ledger"
+        )
+    records = [TrialRecord.from_dict(r) for r in payload.get("records", ())]
+    if not records:
+        raise ValueError(f"trial ledger {path} has no recorded trials")
+    full = [r for r in records if r.fidelity >= 1.0] or records
+    ranked = sorted(full, key=lambda r: (-r.score, r.index))
+    if not 0 <= rank < len(ranked):
+        raise ValueError(
+            f"trial ledger {path} has {len(ranked)} ranked trial(s); "
+            f"rank {rank} is out of range"
+        )
+    return dict(ranked[rank].params)
+
+
+def write_ledger(
+    path: str | Path,
+    key: str,
+    problem: Mapping,
+    records: Sequence[TrialRecord],
+) -> None:
+    """Atomically persist the search state after a completed trial."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": LEDGER_VERSION,
+        "key": key,
+        "problem": dict(problem),
+        "records": [r.to_dict() for r in records],
+    }
+    tmp = path.with_suffix(f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(payload, indent=2))
+    os.replace(tmp, path)

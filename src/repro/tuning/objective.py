@@ -1,0 +1,96 @@
+"""Objectives: scoring a :class:`CampaignSummary` with one number.
+
+The tuner's inner loop evaluates a proposal by running the evaluation
+mix as a campaign; an objective reduces the resulting summary to the
+scalar the search maximizes.  Two families ship:
+
+``pooled-on-time``
+    Mean robustness (% tasks on time) pooled over every per-trial value
+    of every *pruned* cell — the number the control-plane benchmark
+    gates on.  Baseline (no-pruning) cells are excluded when pruned
+    cells exist: they are the yardstick, not the thing being tuned.
+
+``paired-delta:<label>``
+    Mean paired per-trial delta (percentage points) of every other cell
+    against the named baseline cell — the
+    :func:`~repro.metrics.compare.compare_paired_stats` machinery, so
+    seed-matched trials cancel workload noise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from ..experiments.report import CampaignSummary
+
+__all__ = ["make_objective", "pooled_on_time", "paired_delta", "OBJECTIVES"]
+
+Objective = Callable[[CampaignSummary], float]
+
+
+def pooled_on_time(summary: CampaignSummary) -> float:
+    """Pooled mean per-trial on-time % over the summary's pruned cells."""
+    rows = [r for r in summary.rows if r.pruning != "base"] or summary.rows
+    values = [pct for row in rows for pct in row.stats.per_trial_pct]
+    if not values:
+        raise ValueError("campaign summary has no per-trial values to score")
+    return sum(values) / len(values)
+
+
+def paired_delta(summary: CampaignSummary, baseline: str) -> float:
+    """Mean paired delta (pp) of every non-baseline cell vs ``baseline``."""
+    if baseline not in summary.labels:
+        raise ValueError(
+            f"objective baseline cell {baseline!r} is not in the evaluation mix "
+            f"(cells: {summary.labels})"
+        )
+    deltas = [
+        summary.compare(baseline, row.label).mean_delta_pp
+        for row in summary.rows
+        if row.label != baseline
+    ]
+    if not deltas:
+        raise ValueError(
+            f"objective baseline {baseline!r} is the mix's only cell — "
+            f"nothing to compare against"
+        )
+    return sum(deltas) / len(deltas)
+
+
+#: Registered objective kinds (canonical spec spellings documented above).
+OBJECTIVES = ("pooled-on-time", "paired-delta")
+
+
+def make_objective(spec: object) -> tuple[str, Objective]:
+    """Resolve an objective spec to ``(canonical name, callable)``.
+
+    Accepted: ``"pooled-on-time"``, ``"paired-delta:<baseline label>"``,
+    or the mapping forms ``{"kind": "paired-delta", "baseline": "..."}``.
+    The canonical name is part of the trial-ledger identity.
+    """
+    if isinstance(spec, Mapping):
+        fields = dict(spec)
+        kind = fields.pop("kind", None)
+        if kind == "pooled-on-time" and not fields:
+            return "pooled-on-time", pooled_on_time
+        if kind == "paired-delta" and set(fields) == {"baseline"}:
+            baseline = str(fields["baseline"])
+            return (
+                f"paired-delta:{baseline}",
+                lambda summary: paired_delta(summary, baseline),
+            )
+        raise ValueError(
+            f"unrecognized objective {spec!r}; expected kind in {list(OBJECTIVES)} "
+            f"(paired-delta takes exactly one 'baseline' key)"
+        )
+    if isinstance(spec, str):
+        kind, _, rest = spec.partition(":")
+        if kind == "pooled-on-time" and not rest:
+            return "pooled-on-time", pooled_on_time
+        if kind == "paired-delta" and rest:
+            return spec, lambda summary: paired_delta(summary, rest)
+        raise ValueError(
+            f"unrecognized objective {spec!r}; expected 'pooled-on-time' or "
+            f"'paired-delta:<baseline label>'"
+        )
+    raise ValueError(f"unrecognized objective {spec!r}")

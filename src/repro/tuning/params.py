@@ -1,0 +1,132 @@
+"""Applying tuning parameters to experiment cells.
+
+The shared vocabulary between the offline tuner, the ``tuning`` sweep
+axis, and the CLI: a flat ``{knob: value}`` mapping patched onto an
+:class:`~repro.experiments.runner.ExperimentConfig`.
+
+Knobs
+-----
+``heuristic``
+    Mapping-heuristic registry name (``"MM"``, ``"MSD"``, …).
+``beta``
+    The pruning threshold β of the cell's :class:`PruningConfig`.
+``alpha``
+    The dropping-Toggle α.
+``controller``
+    A controller spec string (``"hysteresis:high=0.2"``,
+    ``"bandit:betas=[0.3,0.7]"``) or ``"none"`` to detach the control
+    plane.
+``controller.<field>``
+    One :class:`~repro.core.config.ControllerConfig` field of the
+    cell's controller (``controller.high``, ``controller.step``, …),
+    applied after any ``controller`` knob so the two compose.
+
+β/α/controller knobs require the cell to have a pruning config —
+patching a baseline (no-pruning) cell is an error, not a silent no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from collections.abc import Mapping
+
+from ..core.config import ControllerConfig
+from ..experiments.runner import ExperimentConfig
+from ..sim.rng import fingerprint
+
+__all__ = ["apply_params", "params_label", "PARAM_KNOBS"]
+
+#: Fixed (non-``controller.<field>``) knob names, in application order.
+PARAM_KNOBS = ("heuristic", "beta", "alpha", "controller")
+
+
+def params_label(params: Mapping) -> str:
+    """Deterministic short label of a parameter patch (``tuned-<hex>``)."""
+    return f"tuned-{fingerprint(dict(params), length=8)}"
+
+
+def _require_pruning(config: ExperimentConfig, knob: str) -> None:
+    if config.pruning is None:
+        raise ValueError(
+            f"tuning knob {knob!r} needs a pruning config, but cell "
+            f"{config.display_label!r} is a no-pruning baseline"
+        )
+
+
+def apply_params(config: ExperimentConfig, params: Mapping) -> ExperimentConfig:
+    """Return ``config`` with the tuning ``params`` patched in.
+
+    Knobs apply in a fixed order (heuristic, β, α, controller, then
+    ``controller.<field>`` sorted by name), so the result is independent
+    of the mapping's insertion order.  Unknown knobs and invalid values
+    raise ``ValueError`` naming the offending knob.
+    """
+    fixed = {k: v for k, v in params.items() if k in PARAM_KNOBS}
+    nested = {k: v for k, v in params.items() if k.startswith("controller.")}
+    unknown = sorted(set(params) - set(fixed) - set(nested))
+    if unknown:
+        raise ValueError(
+            f"unknown tuning knobs {unknown}; allowed: {list(PARAM_KNOBS)} "
+            f"or 'controller.<field>'"
+        )
+    out = config
+    if "heuristic" in fixed:
+        out = replace(out, heuristic=str(fixed["heuristic"]))
+    if "beta" in fixed:
+        _require_pruning(out, "beta")
+        try:
+            out = replace(
+                out, pruning=out.pruning.with_(pruning_threshold=float(fixed["beta"]))
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"tuning knob beta={fixed['beta']!r}: {exc}") from exc
+    if "alpha" in fixed:
+        _require_pruning(out, "alpha")
+        value = fixed["alpha"]
+        if isinstance(value, float):
+            if not value.is_integer():
+                raise ValueError(f"tuning knob alpha must be an integer, got {value!r}")
+            value = int(value)
+        try:
+            out = replace(out, pruning=out.pruning.with_(dropping_toggle=int(value)))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"tuning knob alpha={fixed['alpha']!r}: {exc}") from exc
+    if "controller" in fixed:
+        _require_pruning(out, "controller")
+        entry = fixed["controller"]
+        from ..control.registry import parse_controller_spec  # deferred: keeps layering thin
+
+        if entry is None or entry == "none":
+            controller = None
+        elif isinstance(entry, str):
+            try:
+                controller = parse_controller_spec(entry)
+            except ValueError as exc:
+                raise ValueError(f"tuning knob controller={entry!r}: {exc}") from exc
+        elif isinstance(entry, Mapping):
+            try:
+                controller = ControllerConfig(**dict(entry))
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"tuning knob controller={entry!r}: {exc}") from exc
+        else:
+            raise ValueError(f"tuning knob controller={entry!r} is not a spec or mapping")
+        out = replace(out, pruning=out.pruning.with_(controller=controller))
+    for knob in sorted(nested):
+        field = knob[len("controller."):]
+        _require_pruning(out, knob)
+        if out.pruning.controller is None:
+            raise ValueError(
+                f"tuning knob {knob!r} needs a controller on the cell — set one "
+                f"in the grid/mix or via the 'controller' knob"
+            )
+        if field not in ControllerConfig.__dataclass_fields__ or field == "kind":
+            raise ValueError(
+                f"tuning knob {knob!r}: no such controller field; allowed: "
+                f"{sorted(set(ControllerConfig.__dataclass_fields__) - {'kind'})}"
+            )
+        try:
+            controller = out.pruning.controller.with_(**{field: nested[knob]})
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"tuning knob {knob}={nested[knob]!r}: {exc}") from exc
+        out = replace(out, pruning=out.pruning.with_(controller=controller))
+    return out

@@ -200,7 +200,7 @@ class TestCampaignTelemetry:
         flat_payload = next(r for r in payload["rows"] if r["label"] == flat.label)
         assert "dag" not in flat_payload and "depths" not in flat_payload
         # CSV: the new columns are appended (never inserted) and filled.
-        assert CAMPAIGN_CSV_FIELDS[-2:] == ("dag", "cascade_drops")
+        assert CAMPAIGN_CSV_FIELDS[-3:] == ("dag", "cascade_drops", "tuning")
         lines = summary.to_csv().splitlines()
         assert lines[0] == ",".join(CAMPAIGN_CSV_FIELDS)
         dag_line = next(ln for ln in lines[1:] if "/dag3" in ln)

@@ -121,6 +121,16 @@ class TestD002Rng:
         )
         assert codes(lint_snippet(tmp_path, snippet)) == []
 
+    def test_negative_tuning_seed(self, tmp_path):
+        # The search/learning stream family (tuner proposals, bandit
+        # exploration) is sanctioned alongside stream_seed — no waivers.
+        snippet = (
+            "import numpy as np\n"
+            "from repro.sim.rng import tuning_seed\n"
+            "rng = np.random.default_rng(tuning_seed(42, 'trial/3'))\n"
+        )
+        assert codes(lint_snippet(tmp_path, snippet)) == []
+
     def test_negative_streams_api(self, tmp_path):
         snippet = "def f(streams):\n    return streams.stream('workload')\n"
         assert codes(lint_snippet(tmp_path, snippet)) == []

@@ -1,0 +1,118 @@
+"""Trial-ledger tests: durable, resumable, and guarded against misuse."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.tuning.ledger import (
+    LEDGER_VERSION,
+    TrialRecord,
+    ledger_best,
+    read_ledger,
+    write_ledger,
+)
+
+KEY = "abc123"
+
+
+def records(n=3):
+    return [
+        TrialRecord(
+            index=i,
+            params={"beta": 0.2 + 0.1 * i},
+            score=40.0 + i,
+            fidelity=1.0,
+            trials=2,
+            cells={"cell": 40.0 + i},
+            cache_hits=i,
+            cache_misses=2 - i if i < 2 else 0,
+        )
+        for i in range(n)
+    ]
+
+
+class TestRoundTrip:
+    def test_write_read_identity(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        original = records()
+        write_ledger(path, KEY, {"name": "t"}, original)
+        assert read_ledger(path, KEY) == original
+        payload = json.loads(path.read_text())
+        assert payload["version"] == LEDGER_VERSION
+        assert payload["key"] == KEY
+        assert payload["problem"] == {"name": "t"}
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert read_ledger(tmp_path / "nope.json", KEY) == []
+
+    def test_record_defaults_tolerate_sparse_payloads(self):
+        r = TrialRecord.from_dict({"index": 0, "params": {"beta": 0.5}, "score": 1.0})
+        assert (r.fidelity, r.trials, r.cells, r.cache_hits) == (1.0, 0, {}, 0)
+
+
+class TestGuards:
+    def test_key_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        write_ledger(path, "otherkey", {}, records())
+        with pytest.raises(ValueError, match="belongs to a different search"):
+            read_ledger(path, KEY)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        write_ledger(path, KEY, {}, records())
+        payload = json.loads(path.read_text())
+        payload["version"] = LEDGER_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            read_ledger(path, KEY)
+
+    def test_non_contiguous_records_rejected(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        rs = records()
+        write_ledger(path, KEY, {}, [rs[0], rs[2]])
+        with pytest.raises(ValueError, match="not contiguous at record 1"):
+            read_ledger(path, KEY)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        path.write_text("{broken")
+        with pytest.raises(ValueError, match="cannot read trial ledger"):
+            read_ledger(path, KEY)
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            read_ledger(path, KEY)
+
+
+class TestLedgerBest:
+    def test_ranks_full_fidelity_first(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        rs = [
+            TrialRecord(index=0, params={"beta": 0.9}, score=99.0, fidelity=0.25),
+            TrialRecord(index=1, params={"beta": 0.3}, score=41.0, fidelity=1.0),
+            TrialRecord(index=2, params={"beta": 0.6}, score=44.0, fidelity=1.0),
+        ]
+        write_ledger(path, "whatever", {}, rs)
+        # The low-fidelity 99.0 does not outrank full evaluations…
+        assert ledger_best(path) == {"beta": 0.6}
+        assert ledger_best(path, rank=1) == {"beta": 0.3}
+        # …and rank counts only the full-fidelity pool here.
+        with pytest.raises(ValueError, match="rank 2 is out of range"):
+            ledger_best(path, rank=2)
+
+    def test_accepts_foreign_key_but_not_empty(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        write_ledger(path, "foreign", {}, records(1))
+        assert ledger_best(path) == {"beta": 0.2}  # key irrelevant on read
+        write_ledger(path, "foreign", {}, [])
+        with pytest.raises(ValueError, match="no recorded trials"):
+            ledger_best(path)
+
+    def test_missing_or_wrong_version(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            ledger_best(tmp_path / "nope.json")
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"version": 0, "records": []}))
+        with pytest.raises(ValueError, match="not a version-1 trial ledger"):
+            ledger_best(path)

@@ -1,0 +1,96 @@
+"""Objective tests: reducing a campaign summary to the search scalar."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import CampaignRow, CampaignSummary
+from repro.metrics.robustness import AggregateStats
+from repro.tuning.objective import make_objective, paired_delta, pooled_on_time
+
+
+def row(label, per_trial, pruning="P"):
+    per_trial = tuple(float(v) for v in per_trial)
+    return CampaignRow(
+        label=label,
+        heuristic="MM",
+        level="t",
+        pattern="spiky",
+        heterogeneity="inconsistent",
+        pruning=pruning,
+        stats=AggregateStats(
+            mean_pct=sum(per_trial) / len(per_trial),
+            ci95_pct=0.0,
+            trials=len(per_trial),
+            per_trial_pct=per_trial,
+        ),
+    )
+
+
+def summary(*rows):
+    return CampaignSummary(name="t", rows=list(rows))
+
+
+class TestPooledOnTime:
+    def test_pools_per_trial_values(self):
+        s = summary(row("a", [40.0, 60.0]), row("b", [50.0, 50.0]))
+        assert pooled_on_time(s) == pytest.approx(50.0)
+
+    def test_excludes_baseline_rows_when_pruned_cells_exist(self):
+        s = summary(row("base", [90.0, 90.0], pruning="base"), row("p", [40.0, 50.0]))
+        assert pooled_on_time(s) == pytest.approx(45.0)
+
+    def test_all_baseline_mix_scores_itself(self):
+        s = summary(row("base", [90.0, 80.0], pruning="base"))
+        assert pooled_on_time(s) == pytest.approx(85.0)
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError, match="no per-trial values"):
+            pooled_on_time(summary())
+
+
+class TestPairedDelta:
+    def test_mean_paired_delta_against_baseline(self):
+        s = summary(
+            row("base", [40.0, 50.0], pruning="base"),
+            row("v1", [45.0, 55.0]),   # +5 pp
+            row("v2", [40.0, 52.0]),   # +1 pp
+        )
+        assert paired_delta(s, "base") == pytest.approx(3.0)
+
+    def test_unknown_baseline_named(self):
+        s = summary(row("a", [1.0]), row("b", [2.0]))
+        with pytest.raises(ValueError, match="'nope' is not in the evaluation mix"):
+            paired_delta(s, "nope")
+
+    def test_lonely_baseline_rejected(self):
+        with pytest.raises(ValueError, match="only cell"):
+            paired_delta(summary(row("solo", [1.0])), "solo")
+
+
+class TestMakeObjective:
+    def test_canonical_spellings(self):
+        name, fn = make_objective("pooled-on-time")
+        assert name == "pooled-on-time"
+        assert fn is pooled_on_time
+        name, fn = make_objective("paired-delta:base")
+        assert name == "paired-delta:base"
+        s = summary(row("base", [40.0], pruning="base"), row("v", [42.0]))
+        assert fn(s) == pytest.approx(2.0)
+
+    def test_mapping_forms(self):
+        assert make_objective({"kind": "pooled-on-time"})[0] == "pooled-on-time"
+        name, fn = make_objective({"kind": "paired-delta", "baseline": "base"})
+        assert name == "paired-delta:base"
+
+    def test_rejections(self):
+        for bad in (
+            "pooled",
+            "paired-delta",          # missing baseline
+            "pooled-on-time:extra",
+            {"kind": "paired-delta"},
+            {"kind": "paired-delta", "baseline": "b", "extra": 1},
+            7,
+        ):
+            with pytest.raises(ValueError, match="objective"):
+                make_objective(bad)

@@ -1,0 +1,151 @@
+"""CLI tests for ``repro tune`` (argument handling + artifact output).
+
+The evaluation mixes here are tiny 30-task grids so a whole search runs
+in well under a second; the shipped presets are covered by the CI smoke
+job and ``benchmarks/bench_tuning.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.tuning.cli import main
+from repro.tuning.presets import TUNE_PRESETS, get_preset
+
+
+@pytest.fixture
+def problem(tmp_path):
+    """A search-space JSON and a matching tiny grid JSON."""
+    space = tmp_path / "beta_space.json"
+    space.write_text(
+        json.dumps(
+            [
+                {"name": "beta", "type": "continuous", "low": 0.2, "high": 0.9},
+                {"name": "alpha", "type": "categorical", "choices": [0, 2]},
+            ]
+        )
+    )
+    grid = tmp_path / "grid.json"
+    grid.write_text(
+        json.dumps(
+            {
+                "name": "tiny",
+                "heuristics": ["MM"],
+                "levels": [
+                    {"name": "t", "num_tasks": 30, "time_span": 20.0,
+                     "num_task_types": 3}
+                ],
+                "pruning": ["paper"],
+                "trials": 1,
+            }
+        )
+    )
+    return space, grid
+
+
+def run(space, grid, tmp_path, *extra):
+    return main(
+        [
+            str(space),
+            "--mix",
+            str(grid),
+            "--budget",
+            "2",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            *extra,
+        ]
+    )
+
+
+class TestRuns:
+    def test_end_to_end_with_artifact_and_ledger(self, problem, tmp_path, capsys):
+        space, grid = problem
+        assert run(space, grid, tmp_path, "--json-dir", str(tmp_path / "out")) == 0
+        out = capsys.readouterr().out
+        assert "best params" in out
+        payload = json.loads((tmp_path / "out" / "tune-beta_space.json").read_text())
+        assert len(payload["records"]) == 2
+        assert payload["tuner_stats"]["trials"] == 2
+        assert set(payload["tuner_stats"]["best_params"]) == {"beta", "alpha"}
+        # The default ledger landed under <cache-dir>/tuning/.
+        ledgers = list((tmp_path / "cache" / "tuning").glob("beta_space-*.json"))
+        assert len(ledgers) == 1
+        assert payload["key"] in ledgers[0].name or ledgers[0].name.startswith(
+            f"beta_space-{payload['key'][:12]}"
+        )
+
+    def test_rerun_resumes_from_ledger(self, problem, tmp_path, capsys):
+        space, grid = problem
+        assert run(space, grid, tmp_path) == 0
+        capsys.readouterr()
+        assert run(space, grid, tmp_path) == 0
+        assert "2 resumed" in capsys.readouterr().out
+
+    def test_no_ledger_flag(self, problem, tmp_path, capsys):
+        space, grid = problem
+        assert run(space, grid, tmp_path, "--no-ledger", "--no-cache") == 0
+        assert not (tmp_path / "cache").exists()
+        assert "[ledger:" not in capsys.readouterr().out
+
+    def test_explicit_ledger_path_and_trials_override(self, problem, tmp_path, capsys):
+        space, grid = problem
+        ledger = tmp_path / "my-ledger.json"
+        assert run(
+            space, grid, tmp_path, "--ledger", str(ledger), "--trials", "2"
+        ) == 0
+        assert ledger.exists()
+        records = json.loads(ledger.read_text())["records"]
+        assert all(r["trials"] == 2 for r in records)
+        capsys.readouterr()
+
+
+class TestRejections:
+    def test_unknown_target_exits_2(self, tmp_path, capsys):
+        assert main(["not-a-preset", "--cache-dir", str(tmp_path)]) == 2
+        assert "neither a tuning preset" in capsys.readouterr().err
+
+    def test_json_space_needs_mix(self, problem, tmp_path, capsys):
+        space, _ = problem
+        assert main([str(space), "--cache-dir", str(tmp_path / "c")]) == 2
+        assert "needs --mix" in capsys.readouterr().err
+
+    def test_bad_strategy_exits_2(self, problem, tmp_path, capsys):
+        space, grid = problem
+        assert run(space, grid, tmp_path, "--strategy", "grid-search") == 2
+        assert "unknown strategy" in capsys.readouterr().err
+
+    def test_bad_trials_exits_2(self, problem, tmp_path, capsys):
+        space, grid = problem
+        assert run(space, grid, tmp_path, "--trials", "0") == 2
+        assert "--trials must be >= 1" in capsys.readouterr().err
+
+
+class TestPresets:
+    def test_preset_registry_is_self_consistent(self):
+        for name, preset in TUNE_PRESETS.items():
+            assert preset.name == name
+            assert get_preset(name) is preset
+            configs = preset.configs()
+            assert configs and all(c.pruning is not None for c in configs)
+            # Fresh factories: mutating one call's configs can't leak.
+            assert configs is not preset.configs()
+        with pytest.raises(ValueError, match="unknown tuning preset"):
+            get_preset("nope")
+
+    def test_control_preset_matches_bench_control_contract(self):
+        preset = get_preset("control-bursty")
+        assert preset.space.names == (
+            "controller.high",
+            "controller.step",
+            "controller.cooldown",
+            "controller.window",
+        )
+        configs = preset.configs()
+        assert [c.label for c in configs] == [
+            "adaptive@mild", "adaptive@heavy", "adaptive@extreme",
+        ]
+        assert all(c.pruning.controller.kind == "hysteresis" for c in configs)
+        assert all(c.trials == 5 and c.base_seed == 42 for c in configs)

@@ -16,7 +16,11 @@ them (each has a re-run gate in its own pytest entry):
   parallel pathology;
 * ``BENCH_estimator.json`` — the committed anchors: identical
   outcomes, convolution ratio ≥ 3x, and ≥ 2x the session-matched PR 4
-  events/sec baseline (the ISSUE-6 acceptance bar).
+  events/sec baseline (the ISSUE-6 acceptance bar);
+* ``BENCH_tuning.json`` — the ISSUE-10 auto-tuner artifact: the
+  searched hysteresis configuration matches-or-beats the committed
+  hand-set contender and beats the best static β, and its copied
+  reference numbers agree with ``BENCH_control.json``.
 
 Runs the estimator benchmark (``benchmarks/bench_sim.py``'s measurement
 core) on a *reduced* Fig. 7 workload and compares it against the
@@ -60,6 +64,7 @@ BASELINE = REPO_ROOT / "benchmarks" / "BENCH_estimator.json"
 CONTROL = REPO_ROOT / "benchmarks" / "BENCH_control.json"
 PMF = REPO_ROOT / "benchmarks" / "BENCH_pmf.json"
 CAMPAIGN = REPO_ROOT / "benchmarks" / "BENCH_campaign.json"
+TUNING = REPO_ROOT / "benchmarks" / "BENCH_tuning.json"
 
 #: Must match ``benchmarks.bench_control.MATERIAL_MARGIN_PP`` (kept
 #: literal here so the validator never imports the module under test).
@@ -117,6 +122,23 @@ PROVENANCE_KEYS: dict[str, tuple[str, ...]] = {
         "cpu_count",
         "jobs",
         "resolved_plan",
+    ),
+    "BENCH_tuning.json": (
+        "benchmark",
+        "workload.pattern",
+        "workload.levels",
+        "workload.trials",
+        "workload.base_seed",
+        "workload.heuristic",
+        "search.preset",
+        "search.space",
+        "search.strategy",
+        "search.objective",
+        "search.budget",
+        "search.seed",
+        "references.source",
+        "tuner_stats.best_score",
+        "tuner_stats.best_params",
     ),
 }
 
@@ -344,6 +366,87 @@ def check_campaign_payload(path: Path) -> list[str]:
     return errors
 
 
+def check_tuning_payload(path: Path, control_path: Path) -> list[str]:
+    """Shape + acceptance errors of the auto-tuner artifact
+    (``benchmarks/bench_tuning.py`` → ``BENCH_tuning.json``)."""
+    errors: list[str] = []
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"{path.name}: unreadable ({exc})"]
+
+    for key in ("benchmark", "workload", "search", "tuner_stats", "trials",
+                "references", "comparison"):
+        if key not in payload:
+            errors.append(f"{path.name}: missing top-level key {key!r}")
+    if errors:
+        return errors
+    if payload["benchmark"] != "tuning":
+        errors.append(f"{path.name}: benchmark is {payload['benchmark']!r}, not 'tuning'")
+
+    trials = payload["trials"]
+    if not trials:
+        errors.append(f"{path.name}: no recorded trials")
+        return errors
+    for i, record in enumerate(trials):
+        for field in ("index", "params", "score", "fidelity"):
+            if field not in record:
+                errors.append(f"{path.name}: trial {i} lacks {field!r}")
+        if record.get("index") != i:
+            errors.append(f"{path.name}: trial ledger not contiguous at {i}")
+    cmp = payload["comparison"]
+    for key in ("tuned_pct", "tuned_params", "hysteresis_pct", "best_static",
+                "best_static_pct", "tuned_minus_hysteresis_pp",
+                "tuned_minus_best_static_pp"):
+        if key not in cmp:
+            errors.append(f"{path.name}: comparison lacks {key!r}")
+    if errors:
+        return errors
+
+    # Internal consistency: the comparison block must agree with the
+    # tuner's own stats and with the trial ledger.
+    stats = payload["tuner_stats"]
+    if abs(cmp["tuned_pct"] - stats["best_score"]) > 1e-9:
+        errors.append(f"{path.name}: tuned_pct disagrees with tuner_stats.best_score")
+    if cmp["tuned_params"] != stats["best_params"]:
+        errors.append(f"{path.name}: tuned_params disagrees with tuner_stats.best_params")
+    full_scores = [t["score"] for t in trials if t.get("fidelity", 1.0) >= 1.0]
+    if full_scores and abs(max(full_scores) - cmp["tuned_pct"]) > 1e-9:
+        errors.append(f"{path.name}: tuned_pct is not the best full-fidelity trial score")
+
+    # The copied reference numbers must agree with the source artifact —
+    # a stale copy would make the comparison meaningless.
+    try:
+        control = json.loads(control_path.read_text())
+    except (OSError, ValueError) as exc:
+        errors.append(f"{path.name}: reference source unreadable ({exc})")
+        return errors
+    control_cmp = control["comparison"]
+    for mine, theirs in (
+        ("hysteresis_pct", "adaptive_pct"),
+        ("best_static", "best_static"),
+        ("best_static_pct", "best_static_pct"),
+    ):
+        if payload["references"][mine] != control_cmp[theirs]:
+            errors.append(
+                f"{path.name}: references.{mine} disagrees with "
+                f"{control_path.name} comparison.{theirs}"
+            )
+    # The acceptance inequalities the artifact exists to witness
+    # (ISSUE 10): searched config >= hand-set hysteresis, > best static.
+    if cmp["tuned_pct"] < cmp["hysteresis_pct"] - 1e-9:
+        errors.append(
+            f"{path.name}: tuned {cmp['tuned_pct']:.2f}% < hand-set hysteresis "
+            f"{cmp['hysteresis_pct']:.2f}%"
+        )
+    if cmp["tuned_pct"] <= cmp["best_static_pct"]:
+        errors.append(
+            f"{path.name}: tuned {cmp['tuned_pct']:.2f}% does not beat the best "
+            f"static β ({cmp['best_static_pct']:.2f}%)"
+        )
+    return errors
+
+
 def check_estimator_payload(path: Path) -> list[str]:
     """Anchor + consistency errors of the committed estimator artifact
     (the live re-run gate is in ``main``)."""
@@ -404,13 +507,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--campaign", type=Path, default=CAMPAIGN, help="committed BENCH_campaign.json"
     )
+    parser.add_argument(
+        "--tuning", type=Path, default=TUNING, help="committed BENCH_tuning.json"
+    )
     args = parser.parse_args(argv)
 
     static_errors: list[str] = []
     # Provenance first: every committed BENCH_*.json (plus whichever
     # paths this invocation points at) must name its anchors before the
     # shape checkers dereference them.
-    provenance_paths = {args.control, args.pmf, args.campaign, args.baseline}
+    provenance_paths = {args.control, args.pmf, args.campaign, args.baseline, args.tuning}
     provenance_paths.update((REPO_ROOT / "benchmarks").glob("BENCH_*.json"))
     for path in sorted(provenance_paths):
         errors = check_provenance(path)
@@ -422,6 +528,7 @@ def main(argv: list[str] | None = None) -> int:
         ("pmf", check_pmf_payload, args.pmf),
         ("campaign", check_campaign_payload, args.campaign),
         ("estimator", check_estimator_payload, args.baseline),
+        ("tuning", lambda p: check_tuning_payload(p, args.control), args.tuning),
     ):
         errors = checker(path)
         static_errors.extend(errors)
